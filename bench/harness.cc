@@ -1,0 +1,159 @@
+#include "bench/harness.h"
+
+#include <filesystem>
+#include <iostream>
+
+namespace crw {
+namespace bench {
+
+RunMetrics
+runSpell(SchemeKind scheme, int windows, SchedPolicy policy,
+         const SpellWorkload &workload, const SpellConfig &config)
+{
+    RuntimeConfig rc;
+    rc.engine.numWindows = windows;
+    rc.engine.scheme = scheme;
+    rc.engine.checkInvariants = false;
+    rc.policy = policy;
+    Runtime rt(rc);
+
+    BehaviorTracker tracker(64);
+    rt.engine().setObserver(&tracker);
+
+    SpellApp app(rt, workload, config);
+    rt.run();
+    tracker.finish(rt.now());
+
+    const auto &s = rt.engine().stats();
+    RunMetrics m;
+    m.scheme = scheme;
+    m.policy = policy;
+    m.windows = windows;
+    m.totalCycles = rt.now();
+    m.switches = s.counterValue("switches");
+    m.saves = s.counterValue("saves");
+    m.restores = s.counterValue("restores");
+    m.overflowTraps = s.counterValue("overflow_traps");
+    m.underflowTraps = s.counterValue("underflow_traps");
+    m.switchWindowsSaved = s.counterValue("switch_windows_saved");
+    m.switchWindowsRestored = s.counterValue("switch_windows_restored");
+    m.meanSwitchCost = s.distributions().at("switch_cost").mean();
+    const double ops = static_cast<double>(m.saves + m.restores);
+    m.trapProbability =
+        ops > 0 ? static_cast<double>(m.overflowTraps +
+                                      m.underflowTraps) /
+                      ops
+                : 0.0;
+    m.activityPerQuantum = tracker.activityPerQuantum().mean();
+    m.totalWindowActivity = tracker.totalWindowActivity().mean();
+    m.concurrency = tracker.concurrency().mean();
+    m.meanSlackness = rt.scheduler().slackness().mean();
+    m.misspelled = app.report().misspelled.size();
+    for (int n = 1; n <= SpellApp::kNumThreads; ++n)
+        m.perThread.push_back(rt.engine().threadCounters(app.tid(n)));
+    return m;
+}
+
+const std::vector<int> &
+defaultWindowSweep()
+{
+    static const std::vector<int> kSweep = {4,  5,  6,  7,  8,  10, 12,
+                                            16, 20, 24, 28, 32};
+    return kSweep;
+}
+
+const std::vector<SchemeKind> &
+evaluatedSchemes()
+{
+    static const std::vector<SchemeKind> kSchemes = {
+        SchemeKind::NS, SchemeKind::SNP, SchemeKind::SP};
+    return kSchemes;
+}
+
+std::string
+outputPath(const std::string &name)
+{
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    return "bench_out/" + name;
+}
+
+void
+banner(const std::string &title)
+{
+    std::cout << '\n'
+              << std::string(72, '=') << '\n'
+              << title << '\n'
+              << std::string(72, '=') << '\n';
+}
+
+SchemeSweep
+sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
+             SchedPolicy policy, const std::vector<int> &windows)
+{
+    const SpellConfig cfg = behaviorConfig(conc, gran);
+    const SpellWorkload wl = SpellWorkload::make(cfg);
+    SchemeSweep sweep;
+    sweep.windows = windows;
+    for (const SchemeKind scheme : evaluatedSchemes()) {
+        std::vector<RunMetrics> series;
+        series.reserve(windows.size());
+        for (const int w : windows)
+            series.push_back(runSpell(scheme, w, policy, wl, cfg));
+        sweep.bySchemeByWindow.push_back(std::move(series));
+    }
+    return sweep;
+}
+
+void
+emitSweepPanel(const std::string &title, const std::string &yLabel,
+               const SchemeSweep &sweep,
+               double (*metric)(const RunMetrics &),
+               const std::string &csvName)
+{
+    std::vector<std::string> headers{"windows"};
+    for (const SchemeKind s : evaluatedSchemes())
+        headers.emplace_back(schemeName(s));
+    Table table(std::move(headers));
+
+    AsciiChart chart(title, "number of windows", yLabel);
+    chart.setYFromZero(true);
+
+    for (std::size_t si = 0; si < evaluatedSchemes().size(); ++si) {
+        ChartSeries series;
+        series.name = schemeName(evaluatedSchemes()[si]);
+        for (std::size_t wi = 0; wi < sweep.windows.size(); ++wi) {
+            series.xs.push_back(sweep.windows[wi]);
+            series.ys.push_back(metric(sweep.at(si, wi)));
+        }
+        chart.addSeries(std::move(series));
+    }
+    for (std::size_t wi = 0; wi < sweep.windows.size(); ++wi) {
+        std::vector<std::string> row{
+            std::to_string(sweep.windows[wi])};
+        for (std::size_t si = 0; si < evaluatedSchemes().size(); ++si)
+            row.push_back(formatDouble(metric(sweep.at(si, wi)), 4));
+        table.addRow(std::move(row));
+    }
+    emitFigure(title, "number of windows", yLabel, table, chart,
+               csvName);
+}
+
+void
+emitFigure(const std::string &title, const std::string &xLabel,
+           const std::string &yLabel, Table &table, AsciiChart &chart,
+           const std::string &csvName)
+{
+    banner(title);
+    table.printText(std::cout);
+    std::cout << '\n';
+    chart.render(std::cout);
+    const std::string path = outputPath(csvName);
+    table.writeCsvFile(path);
+    std::cout << "\n(series written to " << path << ")\n";
+    (void)xLabel;
+    (void)yLabel;
+}
+
+} // namespace bench
+} // namespace crw

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared experiment harness for the exhibit-reproduction benches.
+ *
+ * Every figure/table binary drives full spell-checker runs through
+ * runSpell() and renders the projection the paper's exhibit shows.
+ * Conventions: each binary runs standalone with sensible defaults,
+ * prints an aligned table plus an ASCII chart of the figure's series,
+ * and writes a CSV next to the working directory (bench_out/).
+ */
+
+#ifndef CRW_BENCH_HARNESS_H_
+#define CRW_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/chart.h"
+#include "common/table.h"
+#include "spell/app.h"
+#include "trace/behavior.h"
+
+namespace crw {
+namespace bench {
+
+/** Everything one spell-checker run produced. */
+struct RunMetrics
+{
+    SchemeKind scheme{};
+    SchedPolicy policy{};
+    int windows = 0;
+
+    Cycles totalCycles = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t saves = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t overflowTraps = 0;
+    std::uint64_t underflowTraps = 0;
+    std::uint64_t switchWindowsSaved = 0;
+    std::uint64_t switchWindowsRestored = 0;
+    double meanSwitchCost = 0.0;
+
+    /** (overflow + underflow traps) / (saves + restores) — Fig. 13. */
+    double trapProbability = 0.0;
+
+    // §5 behavior metrics.
+    double activityPerQuantum = 0.0;
+    double totalWindowActivity = 0.0;
+    double concurrency = 0.0;
+    double meanSlackness = 0.0;
+
+    std::vector<ThreadCounters> perThread; ///< T1..T7
+    std::size_t misspelled = 0;
+};
+
+/** One full spell-checker simulation. */
+RunMetrics runSpell(SchemeKind scheme, int windows, SchedPolicy policy,
+                    const SpellWorkload &workload,
+                    const SpellConfig &config);
+
+/** The window counts swept by the figure benches (paper: 4..32). */
+const std::vector<int> &defaultWindowSweep();
+
+/** The three schemes in the paper's legend order. */
+const std::vector<SchemeKind> &evaluatedSchemes();
+
+/** Ensure bench_out/ exists and return "bench_out/<name>". */
+std::string outputPath(const std::string &name);
+
+/** Print a section header. */
+void banner(const std::string &title);
+
+/**
+ * Render one figure: a per-scheme series table (already assembled by
+ * the caller), the ASCII chart, and the CSV file.
+ */
+void emitFigure(const std::string &title, const std::string &xLabel,
+                const std::string &yLabel, Table &table,
+                AsciiChart &chart, const std::string &csvName);
+
+/** All runs of one scheme x window-count sweep at a fixed behavior. */
+struct SchemeSweep
+{
+    std::vector<int> windows;
+    /** Indexed parallel to evaluatedSchemes() then to windows. */
+    std::vector<std::vector<RunMetrics>> bySchemeByWindow;
+
+    const RunMetrics &
+    at(std::size_t scheme_idx, std::size_t window_idx) const
+    {
+        return bySchemeByWindow[scheme_idx][window_idx];
+    }
+};
+
+/** Run the NS/SNP/SP x windows matrix for one behavior. */
+SchemeSweep sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
+                         SchedPolicy policy,
+                         const std::vector<int> &windows);
+
+/**
+ * Emit one figure panel: the given metric as a function of the window
+ * count, one series per scheme, for one behavior.
+ */
+void emitSweepPanel(const std::string &title,
+                    const std::string &yLabel, const SchemeSweep &sweep,
+                    double (*metric)(const RunMetrics &),
+                    const std::string &csvName);
+
+} // namespace bench
+} // namespace crw
+
+#endif // CRW_BENCH_HARNESS_H_

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The working-set concept on register windows (paper §4.6 / §6.5):
+ * side-by-side FIFO versus working-set scheduling for the spell
+ * checker across a range of window counts, showing how the scheduler
+ * alone rescues the sharing schemes on small window files.
+ */
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "spell/app.h"
+
+using namespace crw;
+
+namespace {
+
+double
+runOnce(SchemeKind scheme, int windows, SchedPolicy policy,
+        const SpellWorkload &wl, const SpellConfig &cfg)
+{
+    RuntimeConfig rc;
+    rc.engine.scheme = scheme;
+    rc.engine.numWindows = windows;
+    rc.policy = policy;
+    Runtime rt(rc);
+    SpellApp app(rt, wl, cfg);
+    rt.run();
+    return static_cast<double>(rt.now()) / 1e6;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags;
+    flags.defineInt("corpus-bytes", 40500, "LaTeX corpus size");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    SpellConfig cfg =
+        behaviorConfig(ConcurrencyLevel::High, GranularityLevel::Fine);
+    cfg.corpusBytes =
+        static_cast<std::size_t>(flags.getInt("corpus-bytes"));
+    const SpellWorkload wl = SpellWorkload::make(cfg);
+
+    std::cout << "Execution time [Mcycles], spell checker at high "
+                 "concurrency, fine granularity.\n"
+                 "A thread awoken with windows still resident jumps "
+                 "the ready queue under WS.\n\n";
+
+    Table table({"windows", "SP FIFO", "SP WS", "SNP FIFO", "SNP WS",
+                 "NS FIFO"});
+    for (const int w : {5, 6, 7, 8, 10, 12, 16, 24, 32}) {
+        table.addRowOf(
+            w,
+            formatDouble(runOnce(SchemeKind::SP, w, SchedPolicy::Fifo,
+                                 wl, cfg),
+                         1),
+            formatDouble(runOnce(SchemeKind::SP, w,
+                                 SchedPolicy::WorkingSet, wl, cfg),
+                         1),
+            formatDouble(runOnce(SchemeKind::SNP, w, SchedPolicy::Fifo,
+                                 wl, cfg),
+                         1),
+            formatDouble(runOnce(SchemeKind::SNP, w,
+                                 SchedPolicy::WorkingSet, wl, cfg),
+                         1),
+            formatDouble(runOnce(SchemeKind::NS, w, SchedPolicy::Fifo,
+                                 wl, cfg),
+                         1));
+    }
+    table.printText(std::cout);
+
+    std::cout << "\nPaper §6.5: \"the sharing schemes work well with "
+                 "even seven or eight windows\" once the working-set "
+                 "concept is incorporated, with no significant loss "
+                 "at a large number of windows.\n";
+    return 0;
+}

@@ -1,0 +1,987 @@
+#include "asm/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.h"
+#include "sparc/isa.h"
+
+namespace crw {
+namespace sparcasm {
+
+using namespace sparc;
+
+namespace {
+
+// ---------------------------------------------------------------
+// Lexical helpers
+// ---------------------------------------------------------------
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+/** Split an operand list on commas, respecting brackets/parens. */
+std::vector<std::string>
+splitOperands(std::string_view s)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    bool quoted = false;
+    std::string cur;
+    for (char c : s) {
+        if (c == '"')
+            quoted = !quoted;
+        if (!quoted) {
+            if (c == '[' || c == '(')
+                ++depth;
+            else if (c == ']' || c == ')')
+                --depth;
+        }
+        if (c == ',' && depth == 0 && !quoted) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    const std::string last = trim(cur);
+    if (!last.empty())
+        out.push_back(last);
+    return out;
+}
+
+// ---------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------
+
+struct CondEntry
+{
+    const char *name;
+    Cond cond;
+};
+
+constexpr CondEntry kBranchConds[] = {
+    {"ba", Cond::A},     {"b", Cond::A},      {"bn", Cond::N},
+    {"bne", Cond::Ne},   {"bnz", Cond::Ne},   {"be", Cond::E},
+    {"bz", Cond::E},     {"bg", Cond::G},     {"ble", Cond::Le},
+    {"bge", Cond::Ge},   {"bl", Cond::L},     {"bgu", Cond::Gu},
+    {"bleu", Cond::Leu}, {"bcc", Cond::Cc},   {"bgeu", Cond::Cc},
+    {"bcs", Cond::Cs},   {"blu", Cond::Cs},   {"bpos", Cond::Pos},
+    {"bneg", Cond::Neg}, {"bvc", Cond::Vc},   {"bvs", Cond::Vs},
+};
+
+constexpr CondEntry kTrapConds[] = {
+    {"ta", Cond::A},     {"tn", Cond::N},     {"tne", Cond::Ne},
+    {"te", Cond::E},     {"tg", Cond::G},     {"tle", Cond::Le},
+    {"tge", Cond::Ge},   {"tl", Cond::L},     {"tgu", Cond::Gu},
+    {"tleu", Cond::Leu}, {"tcc", Cond::Cc},   {"tcs", Cond::Cs},
+    {"tpos", Cond::Pos}, {"tneg", Cond::Neg}, {"tvc", Cond::Vc},
+    {"tvs", Cond::Vs},
+};
+
+struct ArithEntry
+{
+    const char *name;
+    Op3A op3;
+};
+
+constexpr ArithEntry kArithOps[] = {
+    {"add", Op3A::Add},       {"addcc", Op3A::AddCc},
+    {"addx", Op3A::Addx},     {"addxcc", Op3A::AddxCc},
+    {"sub", Op3A::Sub},       {"subcc", Op3A::SubCc},
+    {"subx", Op3A::Subx},     {"subxcc", Op3A::SubxCc},
+    {"and", Op3A::And},       {"andcc", Op3A::AndCc},
+    {"andn", Op3A::Andn},     {"andncc", Op3A::AndnCc},
+    {"or", Op3A::Or},         {"orcc", Op3A::OrCc},
+    {"orn", Op3A::Orn},       {"orncc", Op3A::OrnCc},
+    {"xor", Op3A::Xor},       {"xorcc", Op3A::XorCc},
+    {"xnor", Op3A::Xnor},     {"xnorcc", Op3A::XnorCc},
+    {"umul", Op3A::Umul},     {"umulcc", Op3A::UmulCc},
+    {"smul", Op3A::Smul},     {"smulcc", Op3A::SmulCc},
+    {"udiv", Op3A::Udiv},     {"sdiv", Op3A::Sdiv},
+    {"sll", Op3A::Sll},       {"srl", Op3A::Srl},
+    {"sra", Op3A::Sra},       {"save", Op3A::Save},
+    {"restore", Op3A::Restore},
+};
+
+struct MemEntry
+{
+    const char *name;
+    Op3M op3;
+    bool isStore;
+};
+
+constexpr MemEntry kMemOps[] = {
+    {"ld", Op3M::Ld, false},     {"ldub", Op3M::Ldub, false},
+    {"ldsb", Op3M::Ldsb, false}, {"lduh", Op3M::Lduh, false},
+    {"ldsh", Op3M::Ldsh, false}, {"ldd", Op3M::Ldd, false},
+    {"st", Op3M::St, true},      {"stb", Op3M::Stb, true},
+    {"sth", Op3M::Sth, true},    {"std", Op3M::Std, true},
+};
+
+// ---------------------------------------------------------------
+// Parsed line representation
+// ---------------------------------------------------------------
+
+struct Line
+{
+    int number = 0;
+    std::string label;
+    std::string mnemonic; // lowercase, no annul suffix
+    bool annul = false;
+    std::vector<std::string> operands;
+};
+
+// ---------------------------------------------------------------
+// The assembler proper
+// ---------------------------------------------------------------
+
+class Assembler
+{
+  public:
+    Program
+    run(const std::string &source, Addr origin)
+    {
+        parse(source);
+        // Pass 1: assign addresses.
+        pass_ = 1;
+        pc_ = origin;
+        sectionStart_ = origin;
+        for (const Line &line : lines_)
+            handleLine(line);
+        // Pass 2: encode.
+        pass_ = 2;
+        pc_ = origin;
+        sectionStart_ = origin;
+        bytes_.clear();
+        program_.sections.clear();
+        for (const Line &line : lines_)
+            handleLine(line);
+        flushSection();
+        return std::move(program_);
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        crw_fatal << "asm line " << currentLine_ << ": " << msg;
+        throw FatalError(msg); // unreachable; silences no-return warn
+    }
+
+    // --- parsing ---
+
+    void
+    parse(const std::string &source)
+    {
+        std::istringstream in(source);
+        std::string raw;
+        int number = 0;
+        while (std::getline(in, raw)) {
+            ++number;
+            if (auto bang = raw.find('!'); bang != std::string::npos)
+                raw.resize(bang);
+            std::string text = trim(raw);
+            // A leading "label:" (possibly alone on the line).
+            while (true) {
+                std::size_t i = 0;
+                while (i < text.size() && isIdentChar(text[i]))
+                    ++i;
+                if (i > 0 && i < text.size() && text[i] == ':') {
+                    Line label_line;
+                    label_line.number = number;
+                    label_line.label = text.substr(0, i);
+                    lines_.push_back(label_line);
+                    text = trim(text.substr(i + 1));
+                    continue;
+                }
+                break;
+            }
+            if (text.empty())
+                continue;
+            Line line;
+            line.number = number;
+            std::size_t sp = 0;
+            while (sp < text.size() &&
+                   !std::isspace(static_cast<unsigned char>(text[sp])))
+                ++sp;
+            std::string mnem = text.substr(0, sp);
+            std::transform(mnem.begin(), mnem.end(), mnem.begin(),
+                           [](unsigned char c) {
+                               return static_cast<char>(
+                                   std::tolower(c));
+                           });
+            if (mnem.size() > 2 &&
+                mnem.compare(mnem.size() - 2, 2, ",a") == 0) {
+                line.annul = true;
+                mnem.resize(mnem.size() - 2);
+            }
+            line.mnemonic = mnem;
+            line.operands = splitOperands(text.substr(sp));
+            lines_.push_back(line);
+        }
+    }
+
+    // --- expression evaluation ---
+
+    std::optional<int>
+    parseRegister(std::string_view tok) const
+    {
+        if (tok.size() < 2 || tok[0] != '%')
+            return std::nullopt;
+        const std::string name(tok.substr(1));
+        if (name == "sp")
+            return kRegSp;
+        if (name == "fp")
+            return kRegFp;
+        if (name.size() >= 2) {
+            const char cls = name[0];
+            const std::string num = name.substr(1);
+            bool digits = !num.empty() &&
+                          std::all_of(num.begin(), num.end(),
+                                      [](unsigned char c) {
+                                          return std::isdigit(c);
+                                      });
+            if (digits) {
+                const int n = std::stoi(num);
+                if (cls == 'r' && n < 32)
+                    return n;
+                if (n < 8) {
+                    switch (cls) {
+                      case 'g': return n;
+                      case 'o': return 8 + n;
+                      case 'l': return 16 + n;
+                      case 'i': return 24 + n;
+                      default: break;
+                    }
+                }
+            }
+        }
+        return std::nullopt;
+    }
+
+    bool
+    isNumberStart(std::string_view s) const
+    {
+        return !s.empty() &&
+               (std::isdigit(static_cast<unsigned char>(s[0])) ||
+                s[0] == '-' || s[0] == '+');
+    }
+
+    /** Evaluate an integer expression (terms joined by + and -). */
+    std::int64_t
+    evalExpr(std::string_view expr) const
+    {
+        std::string s = trim(expr);
+        if (s.empty())
+            fail("empty expression");
+        std::int64_t acc = 0;
+        int sign = 1;
+        std::size_t i = 0;
+        bool expect_term = true;
+        while (i < s.size()) {
+            const char c = s[i];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i;
+                continue;
+            }
+            if (expect_term) {
+                if (c == '-') {
+                    sign = -sign;
+                    ++i;
+                    continue;
+                }
+                if (c == '+') {
+                    ++i;
+                    continue;
+                }
+                std::int64_t term;
+                i = parseTerm(s, i, &term);
+                acc += sign * term;
+                sign = 1;
+                expect_term = false;
+            } else {
+                if (c == '+') {
+                    expect_term = true;
+                    ++i;
+                } else if (c == '-') {
+                    sign = -1;
+                    expect_term = true;
+                    ++i;
+                } else {
+                    fail("unexpected '" + std::string(1, c) +
+                         "' in expression '" + s + "'");
+                }
+            }
+        }
+        if (expect_term)
+            fail("dangling operator in '" + s + "'");
+        return acc;
+    }
+
+    std::size_t
+    parseTerm(const std::string &s, std::size_t i,
+              std::int64_t *out) const
+    {
+        if (s[i] == '%') {
+            // %hi(expr) / %lo(expr)
+            if (s.compare(i, 4, "%hi(") == 0 ||
+                s.compare(i, 4, "%lo(") == 0) {
+                const bool hi = s[i + 1] == 'h';
+                int depth = 1;
+                std::size_t j = i + 4;
+                while (j < s.size() && depth > 0) {
+                    if (s[j] == '(')
+                        ++depth;
+                    else if (s[j] == ')')
+                        --depth;
+                    ++j;
+                }
+                if (depth != 0)
+                    fail("unbalanced parentheses");
+                const std::int64_t inner =
+                    evalExpr(s.substr(i + 4, j - i - 5));
+                *out = hi ? ((inner >> 10) & 0x3FFFFF)
+                          : (inner & 0x3FF);
+                return j;
+            }
+            fail("unexpected register in expression '" + s + "'");
+        }
+        if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+            std::size_t j = i;
+            int base = 10;
+            if (s[i] == '0' && i + 1 < s.size() &&
+                (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+                base = 16;
+                j += 2;
+            }
+            std::int64_t v = 0;
+            std::size_t digits = 0;
+            while (j < s.size() &&
+                   std::isxdigit(static_cast<unsigned char>(s[j]))) {
+                const char d = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(s[j])));
+                const int dv =
+                    d <= '9' ? d - '0' : 10 + (d - 'a');
+                if (base == 10 && dv >= 10)
+                    break;
+                v = v * base + dv;
+                ++j;
+                ++digits;
+            }
+            if (digits == 0)
+                fail("bad number in '" + s + "'");
+            *out = v;
+            return j;
+        }
+        if (isIdentChar(s[i])) {
+            std::size_t j = i;
+            while (j < s.size() && isIdentChar(s[j]))
+                ++j;
+            const std::string name = s.substr(i, j - i);
+            auto it = program_.symbols.find(name);
+            if (it == program_.symbols.end()) {
+                if (pass_ == 1) {
+                    *out = 0; // forward reference; resolved in pass 2
+                    return j;
+                }
+                fail("undefined symbol '" + name + "'");
+            }
+            *out = it->second;
+            return j;
+        }
+        fail("cannot parse term at '" + s.substr(i) + "'");
+    }
+
+    /** Does the expression reference only literal numbers? */
+    bool
+    isPureNumber(std::string_view expr) const
+    {
+        for (char c : expr) {
+            if (std::isalpha(static_cast<unsigned char>(c)) ||
+                c == '_' || c == '.')
+                return false;
+        }
+        return !trim(expr).empty();
+    }
+
+    // --- emission ---
+
+    void
+    flushSection()
+    {
+        if (pass_ != 2 || bytes_.empty())
+            return;
+        program_.sections.push_back(
+            {sectionStart_, std::move(bytes_)});
+        bytes_.clear();
+    }
+
+    void
+    emitByte(std::uint8_t b)
+    {
+        if (pass_ == 2)
+            bytes_.push_back(b);
+        ++pc_;
+    }
+
+    void
+    emitWord(Word w)
+    {
+        if (pc_ & 3)
+            fail("instruction/word at unaligned address");
+        emitByte(static_cast<std::uint8_t>(w >> 24));
+        emitByte(static_cast<std::uint8_t>(w >> 16));
+        emitByte(static_cast<std::uint8_t>(w >> 8));
+        emitByte(static_cast<std::uint8_t>(w));
+    }
+
+    std::int32_t
+    checkSimm13(std::int64_t v) const
+    {
+        if (v < -4096 || v > 4095)
+            fail("immediate " + std::to_string(v) +
+                 " does not fit simm13");
+        return static_cast<std::int32_t>(v);
+    }
+
+    /** reg_or_imm operand: returns (i, low13). */
+    std::pair<bool, std::uint32_t>
+    regOrImm(const std::string &tok) const
+    {
+        if (auto r = parseRegister(tok))
+            return {false, static_cast<std::uint32_t>(*r)};
+        const std::int32_t imm = checkSimm13(evalExpr(tok));
+        return {true, static_cast<std::uint32_t>(imm) & 0x1FFF};
+    }
+
+    int
+    mustRegister(const std::string &tok) const
+    {
+        auto r = parseRegister(tok);
+        if (!r)
+            fail("expected register, got '" + tok + "'");
+        return *r;
+    }
+
+    /** Parse "reg", "reg+reg", "reg+imm", "reg-imm" or "imm". */
+    void
+    parseAddress(const std::string &text, int *rs1, bool *i,
+                 std::uint32_t *low13) const
+    {
+        const std::string s = trim(text);
+        // Find a top-level + or - separating register and the rest.
+        int depth = 0;
+        for (std::size_t k = 1; k < s.size(); ++k) {
+            const char c = s[k];
+            if (c == '(')
+                ++depth;
+            else if (c == ')')
+                --depth;
+            else if ((c == '+' || c == '-') && depth == 0 &&
+                     s[0] == '%') {
+                *rs1 = mustRegister(trim(s.substr(0, k)));
+                const std::string rest =
+                    trim(s.substr(c == '+' ? k + 1 : k));
+                if (auto r2 = parseRegister(rest)) {
+                    if (c == '-')
+                        fail("cannot subtract a register");
+                    *i = false;
+                    *low13 = static_cast<std::uint32_t>(*r2);
+                    return;
+                }
+                *i = true;
+                *low13 = static_cast<std::uint32_t>(
+                             checkSimm13(evalExpr(rest))) &
+                         0x1FFF;
+                return;
+            }
+        }
+        if (auto r = parseRegister(s)) {
+            *rs1 = *r;
+            *i = true;
+            *low13 = 0;
+            return;
+        }
+        *rs1 = kRegG0;
+        *i = true;
+        *low13 =
+            static_cast<std::uint32_t>(checkSimm13(evalExpr(s))) &
+            0x1FFF;
+    }
+
+    /** [addr] memory operand. */
+    void
+    parseMemOperand(const std::string &tok, int *rs1, bool *i,
+                    std::uint32_t *low13) const
+    {
+        const std::string s = trim(tok);
+        if (s.size() < 2 || s.front() != '[' || s.back() != ']')
+            fail("expected [address], got '" + tok + "'");
+        parseAddress(s.substr(1, s.size() - 2), rs1, i, low13);
+    }
+
+    // --- per-line handling ---
+
+    void
+    defineLabel(const std::string &name)
+    {
+        if (pass_ == 1) {
+            if (program_.symbols.count(name))
+                fail("duplicate label '" + name + "'");
+            program_.symbols[name] = pc_;
+        }
+    }
+
+    void
+    handleLine(const Line &line)
+    {
+        currentLine_ = line.number;
+        if (!line.label.empty()) {
+            defineLabel(line.label);
+            return;
+        }
+        if (line.mnemonic.empty())
+            return;
+        if (line.mnemonic[0] == '.') {
+            handleDirective(line);
+            return;
+        }
+        handleInstruction(line);
+    }
+
+    void
+    handleDirective(const Line &line)
+    {
+        const std::string &d = line.mnemonic;
+        const auto &ops = line.operands;
+        if (d == ".org") {
+            if (ops.size() != 1)
+                fail(".org needs one operand");
+            const Addr target =
+                static_cast<Addr>(evalExpr(ops[0]));
+            if (target < pc_)
+                fail(".org cannot move backwards");
+            flushSection();
+            pc_ = target;
+            sectionStart_ = target;
+        } else if (d == ".word") {
+            for (const auto &op : ops)
+                emitWord(static_cast<Word>(evalExpr(op)));
+        } else if (d == ".half") {
+            for (const auto &op : ops) {
+                const auto v =
+                    static_cast<std::uint16_t>(evalExpr(op));
+                emitByte(static_cast<std::uint8_t>(v >> 8));
+                emitByte(static_cast<std::uint8_t>(v));
+            }
+        } else if (d == ".byte") {
+            for (const auto &op : ops)
+                emitByte(static_cast<std::uint8_t>(evalExpr(op)));
+        } else if (d == ".ascii" || d == ".asciz") {
+            if (ops.size() != 1 || ops[0].size() < 2 ||
+                ops[0].front() != '"' || ops[0].back() != '"')
+                fail(d + " needs one quoted string");
+            const std::string body =
+                ops[0].substr(1, ops[0].size() - 2);
+            for (std::size_t k = 0; k < body.size(); ++k) {
+                char c = body[k];
+                if (c == '\\' && k + 1 < body.size()) {
+                    ++k;
+                    switch (body[k]) {
+                      case 'n': c = '\n'; break;
+                      case 't': c = '\t'; break;
+                      case '0': c = '\0'; break;
+                      default:  c = body[k]; break;
+                    }
+                }
+                emitByte(static_cast<std::uint8_t>(c));
+            }
+            if (d == ".asciz")
+                emitByte(0);
+        } else if (d == ".align") {
+            const std::int64_t n =
+                ops.empty() ? 4 : evalExpr(ops[0]);
+            if (n <= 0 || (n & (n - 1)))
+                fail(".align needs a power of two");
+            while (pc_ % static_cast<Addr>(n))
+                emitByte(0);
+        } else if (d == ".skip") {
+            if (ops.size() != 1)
+                fail(".skip needs one operand");
+            const std::int64_t n = evalExpr(ops[0]);
+            for (std::int64_t k = 0; k < n; ++k)
+                emitByte(0);
+        } else if (d == ".set") {
+            if (ops.size() != 2)
+                fail(".set needs name, value");
+            if (pass_ == 1)
+                program_.symbols[ops[0]] =
+                    static_cast<Addr>(evalExpr(ops[1]));
+        } else if (d == ".global" || d == ".text" || d == ".data") {
+            // accepted and ignored
+        } else {
+            fail("unknown directive " + d);
+        }
+    }
+
+    void
+    emitFmt3Arith(Op3A op3, const std::vector<std::string> &ops)
+    {
+        if (ops.size() != 3)
+            fail("expected 3 operands");
+        const int rs1 = mustRegister(ops[0]);
+        const auto [i, low13] = regOrImm(ops[1]);
+        const int rd = mustRegister(ops[2]);
+        emitWord(encodeFmt3(Op::Arith, rd,
+                            static_cast<std::uint32_t>(op3), rs1, i,
+                            low13));
+    }
+
+    void
+    handleInstruction(const Line &line)
+    {
+        const std::string &m = line.mnemonic;
+        const auto &ops = line.operands;
+
+        // --- branches ---
+        for (const auto &e : kBranchConds) {
+            if (m == e.name) {
+                if (ops.size() != 1)
+                    fail("branch needs one target");
+                const std::int64_t target = evalExpr(ops[0]);
+                const std::int64_t disp =
+                    (target - static_cast<std::int64_t>(pc_)) / 4;
+                if (pass_ == 2 &&
+                    (disp < -(1 << 21) || disp >= (1 << 21)))
+                    fail("branch displacement out of range");
+                if (pass_ == 2 && ((target - pc_) & 3))
+                    fail("branch target not word-aligned");
+                emitWord(encodeBicc(e.cond, line.annul,
+                                    static_cast<std::int32_t>(disp)));
+                return;
+            }
+        }
+
+        // --- trap instructions ---
+        for (const auto &e : kTrapConds) {
+            if (m == e.name) {
+                if (ops.size() != 1)
+                    fail("trap needs one operand");
+                int rs1 = kRegG0;
+                bool i = true;
+                std::uint32_t low13 = 0;
+                parseAddress(ops[0], &rs1, &i, &low13);
+                emitWord(encodeFmt3(
+                    Op::Arith, static_cast<int>(e.cond),
+                    static_cast<std::uint32_t>(Op3A::Ticc), rs1, i,
+                    low13));
+                return;
+            }
+        }
+
+        // --- memory ---
+        for (const auto &e : kMemOps) {
+            if (m == e.name) {
+                if (ops.size() != 2)
+                    fail("memory op needs 2 operands");
+                int rs1 = 0;
+                bool i = false;
+                std::uint32_t low13 = 0;
+                int rd;
+                if (e.isStore) {
+                    rd = mustRegister(ops[0]);
+                    parseMemOperand(ops[1], &rs1, &i, &low13);
+                } else {
+                    parseMemOperand(ops[0], &rs1, &i, &low13);
+                    rd = mustRegister(ops[1]);
+                }
+                emitWord(encodeFmt3(Op::Mem, rd,
+                                    static_cast<std::uint32_t>(e.op3),
+                                    rs1, i, low13));
+                return;
+            }
+        }
+
+        // --- plain arithmetic (3 operands) ---
+        for (const auto &e : kArithOps) {
+            if (m == e.name) {
+                if (ops.empty() &&
+                    (e.op3 == Op3A::Save || e.op3 == Op3A::Restore)) {
+                    emitWord(encodeArithReg(e.op3, 0, 0, 0));
+                    return;
+                }
+                emitFmt3Arith(e.op3, ops);
+                return;
+            }
+        }
+
+        // --- everything else ---
+        if (m == "sethi") {
+            if (ops.size() != 2)
+                fail("sethi needs 2 operands");
+            const auto v =
+                static_cast<std::uint32_t>(evalExpr(ops[0]));
+            emitWord(encodeSethi(mustRegister(ops[1]), v));
+            return;
+        }
+        if (m == "call") {
+            if (ops.size() != 1)
+                fail("call needs one target");
+            const std::int64_t target = evalExpr(ops[0]);
+            const std::int64_t disp =
+                (target - static_cast<std::int64_t>(pc_)) / 4;
+            emitWord(encodeCall(static_cast<std::int32_t>(disp)));
+            return;
+        }
+        if (m == "jmpl") {
+            if (ops.size() != 2)
+                fail("jmpl needs address, rd");
+            int rs1;
+            bool i;
+            std::uint32_t low13;
+            parseAddress(ops[0], &rs1, &i, &low13);
+            emitWord(encodeFmt3(Op::Arith, mustRegister(ops[1]),
+                                static_cast<std::uint32_t>(Op3A::Jmpl),
+                                rs1, i, low13));
+            return;
+        }
+        if (m == "jmp") {
+            if (ops.size() != 1)
+                fail("jmp needs an address");
+            int rs1;
+            bool i;
+            std::uint32_t low13;
+            parseAddress(ops[0], &rs1, &i, &low13);
+            emitWord(encodeFmt3(Op::Arith, kRegG0,
+                                static_cast<std::uint32_t>(Op3A::Jmpl),
+                                rs1, i, low13));
+            return;
+        }
+        if (m == "rett") {
+            if (ops.size() != 1)
+                fail("rett needs an address");
+            int rs1;
+            bool i;
+            std::uint32_t low13;
+            parseAddress(ops[0], &rs1, &i, &low13);
+            emitWord(encodeFmt3(Op::Arith, 0,
+                                static_cast<std::uint32_t>(Op3A::Rett),
+                                rs1, i, low13));
+            return;
+        }
+        if (m == "rd") {
+            if (ops.size() != 2)
+                fail("rd needs %statereg, rd");
+            Op3A op3;
+            if (ops[0] == "%psr")
+                op3 = Op3A::RdPsr;
+            else if (ops[0] == "%wim")
+                op3 = Op3A::RdWim;
+            else if (ops[0] == "%tbr")
+                op3 = Op3A::RdTbr;
+            else if (ops[0] == "%y")
+                op3 = Op3A::RdY;
+            else
+                fail("unknown state register " + ops[0]);
+            emitWord(encodeFmt3(Op::Arith, mustRegister(ops[1]),
+                                static_cast<std::uint32_t>(op3), 0,
+                                false, 0));
+            return;
+        }
+        if (m == "wr") {
+            if (ops.size() != 3)
+                fail("wr needs rs1, reg_or_imm, %statereg");
+            Op3A op3;
+            if (ops[2] == "%psr")
+                op3 = Op3A::WrPsr;
+            else if (ops[2] == "%wim")
+                op3 = Op3A::WrWim;
+            else if (ops[2] == "%tbr")
+                op3 = Op3A::WrTbr;
+            else if (ops[2] == "%y")
+                op3 = Op3A::WrY;
+            else
+                fail("unknown state register " + ops[2]);
+            const int rs1 = mustRegister(ops[0]);
+            const auto [i, low13] = regOrImm(ops[1]);
+            emitWord(encodeFmt3(Op::Arith, 0,
+                                static_cast<std::uint32_t>(op3), rs1,
+                                i, low13));
+            return;
+        }
+
+        // --- synthetic instructions ---
+        if (m == "nop") {
+            emitWord(encodeSethi(0, 0));
+            return;
+        }
+        if (m == "mov") {
+            if (ops.size() != 2)
+                fail("mov needs 2 operands");
+            // State-register moves.
+            if (ops[1] == "%psr" || ops[1] == "%wim" ||
+                ops[1] == "%tbr" || ops[1] == "%y") {
+                handleInstruction(
+                    {line.number, "", "wr", false,
+                     {"%g0", ops[0], ops[1]}});
+                return;
+            }
+            if (ops[0] == "%psr" || ops[0] == "%wim" ||
+                ops[0] == "%tbr" || ops[0] == "%y") {
+                handleInstruction({line.number, "", "rd", false,
+                                   {ops[0], ops[1]}});
+                return;
+            }
+            emitFmt3Arith(Op3A::Or, {"%g0", ops[0], ops[1]});
+            return;
+        }
+        if (m == "set") {
+            if (ops.size() != 2)
+                fail("set needs value, rd");
+            const int rd = mustRegister(ops[1]);
+            if (isPureNumber(ops[0])) {
+                const std::int64_t v = evalExpr(ops[0]);
+                if (v >= -4096 && v <= 4095) {
+                    emitWord(encodeArithImm(
+                        Op3A::Or, rd, kRegG0,
+                        static_cast<std::int32_t>(v)));
+                    return;
+                }
+            }
+            const auto v =
+                static_cast<std::uint32_t>(evalExpr(ops[0]));
+            emitWord(encodeSethi(rd, v >> 10));
+            emitWord(encodeArithImm(
+                Op3A::Or, rd, rd,
+                static_cast<std::int32_t>(v & 0x3FF)));
+            return;
+        }
+        if (m == "cmp") {
+            if (ops.size() != 2)
+                fail("cmp needs 2 operands");
+            emitFmt3Arith(Op3A::SubCc, {ops[0], ops[1], "%g0"});
+            return;
+        }
+        if (m == "tst") {
+            if (ops.size() != 1)
+                fail("tst needs 1 operand");
+            emitFmt3Arith(Op3A::OrCc, {"%g0", ops[0], "%g0"});
+            return;
+        }
+        if (m == "btst") {
+            if (ops.size() != 2)
+                fail("btst needs mask, reg");
+            emitFmt3Arith(Op3A::AndCc, {ops[1], ops[0], "%g0"});
+            return;
+        }
+        if (m == "clr") {
+            if (ops.size() != 1)
+                fail("clr needs 1 operand");
+            if (!ops[0].empty() && ops[0][0] == '[') {
+                handleInstruction({line.number, "", "st", false,
+                                   {"%g0", ops[0]}});
+                return;
+            }
+            emitFmt3Arith(Op3A::Or, {"%g0", "%g0", ops[0]});
+            return;
+        }
+        if (m == "inc" || m == "dec") {
+            const Op3A op3 = (m == "inc") ? Op3A::Add : Op3A::Sub;
+            if (ops.size() == 1) {
+                emitFmt3Arith(op3, {ops[0], "1", ops[0]});
+                return;
+            }
+            if (ops.size() == 2) {
+                emitFmt3Arith(op3, {ops[1], ops[0], ops[1]});
+                return;
+            }
+            fail(m + " needs 1 or 2 operands");
+        }
+        if (m == "neg") {
+            if (ops.size() != 1)
+                fail("neg needs 1 operand");
+            emitFmt3Arith(Op3A::Sub, {"%g0", ops[0], ops[0]});
+            return;
+        }
+        if (m == "not") {
+            if (ops.size() != 1)
+                fail("not needs 1 operand");
+            emitFmt3Arith(Op3A::Xnor, {ops[0], "%g0", ops[0]});
+            return;
+        }
+        if (m == "ret") {
+            emitWord(encodeArithImm(Op3A::Jmpl, kRegG0, kRegI7, 8));
+            return;
+        }
+        if (m == "retl") {
+            emitWord(encodeArithImm(Op3A::Jmpl, kRegG0, kRegO7, 8));
+            return;
+        }
+
+        fail("unknown mnemonic '" + m + "'");
+    }
+
+    std::vector<Line> lines_;
+    Program program_;
+    int pass_ = 0;
+    int currentLine_ = 0;
+    Addr pc_ = 0;
+    Addr sectionStart_ = 0;
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        crw_fatal << "undefined symbol '" << name << "'";
+    return it->second;
+}
+
+void
+Program::loadInto(sparc::Memory &mem) const
+{
+    for (const Section &s : sections)
+        mem.loadBlock(s.base, s.bytes.data(), s.bytes.size());
+}
+
+std::size_t
+Program::sizeBytes() const
+{
+    std::size_t n = 0;
+    for (const Section &s : sections)
+        n += s.bytes.size();
+    return n;
+}
+
+Program
+assemble(const std::string &source, Addr origin)
+{
+    Assembler assembler;
+    return assembler.run(source, origin);
+}
+
+} // namespace sparcasm
+} // namespace crw

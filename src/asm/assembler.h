@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A two-pass assembler for the SPARC V8 integer subset.
+ *
+ * Exists so the window-management kernel (src/kernel) can be written
+ * as real SPARC assembly — the same form the paper's modified trap
+ * handlers took — and executed on the crw SPARC core.
+ *
+ * Supported syntax (SunOS-style):
+ *  - labels (`name:`), `!` comments;
+ *  - registers %g0-7/%o0-7/%l0-7/%i0-7/%r0-31/%sp/%fp, state
+ *    registers %psr/%wim/%tbr/%y;
+ *  - all implemented instructions plus the common synthetics (nop,
+ *    mov, set, cmp, tst, clr, ret, retl, jmp, b, inc, dec, neg, not,
+ *    ta/te/..., btst);
+ *  - operands: registers, immediates, label expressions with + and -,
+ *    %hi()/%lo(), memory operands [reg], [reg+reg], [reg+/-imm],
+ *    [imm];
+ *  - directives .org .word .half .byte .ascii .asciz .align .skip
+ *    .set .global (ignored) .text (ignored) .data (ignored);
+ *  - branch annul suffix `,a`.
+ *
+ * Errors throw FatalError with the line number.
+ */
+
+#ifndef CRW_ASM_ASSEMBLER_H_
+#define CRW_ASM_ASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sparc/memory.h"
+
+namespace crw {
+namespace sparcasm {
+
+/** The output of an assembly run (a plain result aggregate). */
+struct Program
+{
+    /** Non-contiguous output: (address, bytes) chunks. */
+    struct Section
+    {
+        Addr base;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    std::vector<Section> sections;
+    std::map<std::string, Addr> symbols;
+
+    /** Address of @p symbol; fatal if undefined. */
+    Addr symbol(const std::string &name) const;
+    bool hasSymbol(const std::string &name) const
+    {
+        return symbols.count(name) != 0;
+    }
+
+    /** Copy every section into simulated memory. */
+    void loadInto(sparc::Memory &mem) const;
+
+    /** Total emitted bytes (across sections). */
+    std::size_t sizeBytes() const;
+};
+
+/**
+ * Assemble @p source starting at @p origin.
+ */
+Program assemble(const std::string &source, Addr origin = 0);
+
+} // namespace sparcasm
+} // namespace crw
+
+#endif // CRW_ASM_ASSEMBLER_H_

@@ -1,0 +1,112 @@
+#include "common/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace crw {
+
+namespace {
+
+/** Marker glyphs cycled across series. */
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+} // namespace
+
+AsciiChart::AsciiChart(std::string title, std::string xLabel,
+                       std::string yLabel)
+    : title_(std::move(title)),
+      xLabel_(std::move(xLabel)),
+      yLabel_(std::move(yLabel))
+{}
+
+void
+AsciiChart::addSeries(ChartSeries series)
+{
+    crw_assert(series.xs.size() == series.ys.size());
+    series_.push_back(std::move(series));
+}
+
+void
+AsciiChart::setSize(int width, int height)
+{
+    crw_assert(width >= 16 && height >= 4);
+    width_ = width;
+    height_ = height;
+}
+
+void
+AsciiChart::render(std::ostream &os) const
+{
+    double min_x = std::numeric_limits<double>::infinity();
+    double max_x = -min_x;
+    double min_y = min_x;
+    double max_y = -min_x;
+    bool any = false;
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            min_x = std::min(min_x, s.xs[i]);
+            max_x = std::max(max_x, s.xs[i]);
+            min_y = std::min(min_y, s.ys[i]);
+            max_y = std::max(max_y, s.ys[i]);
+            any = true;
+        }
+    }
+    if (!any) {
+        os << title_ << ": (no data)\n";
+        return;
+    }
+    if (yFromZero_)
+        min_y = std::min(min_y, 0.0);
+    if (max_x == min_x)
+        max_x = min_x + 1;
+    if (max_y == min_y)
+        max_y = min_y + 1;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    auto plot = [&](double x, double y, char marker) {
+        const int col = static_cast<int>(std::lround(
+            (x - min_x) / (max_x - min_x) * (width_ - 1)));
+        const int row = static_cast<int>(std::lround(
+            (y - min_y) / (max_y - min_y) * (height_ - 1)));
+        grid[height_ - 1 - row][col] = marker;
+    };
+
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        const auto &s = series_[si];
+        const char marker = kMarkers[si % sizeof(kMarkers)];
+        // Connect consecutive points with linear interpolation so the
+        // curve shape reads even with few samples.
+        for (std::size_t i = 0; i + 1 < s.xs.size(); ++i) {
+            const int steps = width_;
+            for (int t = 0; t <= steps; ++t) {
+                const double f = static_cast<double>(t) / steps;
+                plot(s.xs[i] + f * (s.xs[i + 1] - s.xs[i]),
+                     s.ys[i] + f * (s.ys[i + 1] - s.ys[i]), marker);
+            }
+        }
+        if (s.xs.size() == 1)
+            plot(s.xs[0], s.ys[0], marker);
+    }
+
+    os << title_ << "\n";
+    os << "  y: " << yLabel_ << "  [" << formatDouble(min_y) << " .. "
+       << formatDouble(max_y) << "]\n";
+    for (const auto &line : grid)
+        os << "  |" << line << "\n";
+    os << "  +" << std::string(width_, '-') << "\n";
+    os << "   x: " << xLabel_ << "  [" << formatDouble(min_x) << " .. "
+       << formatDouble(max_x) << "]\n";
+    os << "   legend:";
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        os << "  " << kMarkers[si % sizeof(kMarkers)] << "="
+           << series_[si].name;
+    }
+    os << "\n";
+}
+
+} // namespace crw

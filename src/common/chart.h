@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII line charts for the figure-reproduction benches.
+ *
+ * Each figure bench prints both a CSV series table and one of these
+ * charts so the figure's *shape* (who wins, where curves cross, where
+ * they saturate) is visible directly in the bench output.
+ */
+
+#ifndef CRW_COMMON_CHART_H_
+#define CRW_COMMON_CHART_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crw {
+
+/** One named series of (x, y) points. */
+struct ChartSeries
+{
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+};
+
+/** Renders multiple series into a character grid. */
+class AsciiChart
+{
+  public:
+    AsciiChart(std::string title, std::string xLabel, std::string yLabel);
+
+    void addSeries(ChartSeries series);
+
+    /** Force the y axis to start at zero (default: auto range). */
+    void setYFromZero(bool v) { yFromZero_ = v; }
+
+    /** Plot grid size in characters (content area). */
+    void setSize(int width, int height);
+
+    void render(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::string xLabel_;
+    std::string yLabel_;
+    std::vector<ChartSeries> series_;
+    int width_ = 64;
+    int height_ = 20;
+    bool yFromZero_ = false;
+};
+
+} // namespace crw
+
+#endif // CRW_COMMON_CHART_H_

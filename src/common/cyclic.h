@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Arithmetic on cyclic window indices.
+ *
+ * SPARC's CWP lives in a modulo-NWINDOWS space: "save" decrements the
+ * pointer, "restore" increments it, and the window file wraps. All
+ * window bookkeeping in crw funnels through these helpers so the wrap
+ * logic exists in exactly one place.
+ *
+ * Terminology follows the paper: window i-1 is *above* window i (the
+ * direction "save" moves), window i+1 is *below* it (the direction
+ * "restore" moves).
+ */
+
+#ifndef CRW_COMMON_CYCLIC_H_
+#define CRW_COMMON_CYCLIC_H_
+
+#include "common/logging.h"
+
+namespace crw {
+
+/** Modulo-n index arithmetic with a validated modulus. */
+class CyclicSpace
+{
+  public:
+    /** @param n Number of slots; must be positive. */
+    explicit CyclicSpace(int n)
+        : n_(n)
+    {
+        crw_assert(n > 0);
+    }
+
+    int size() const { return n_; }
+
+    /** Normalize any (possibly negative) index into [0, n). */
+    int
+    wrap(int i) const
+    {
+        int m = i % n_;
+        return m < 0 ? m + n_ : m;
+    }
+
+    /** The window reached from @p i by one "save" (one step above). */
+    int above(int i) const { return wrap(i - 1); }
+
+    /** The window reached from @p i by one "restore" (one step below). */
+    int below(int i) const { return wrap(i + 1); }
+
+    /** @p i moved @p k steps in the "save" direction. */
+    int aboveBy(int i, int k) const { return wrap(i - k); }
+
+    /** @p i moved @p k steps in the "restore" direction. */
+    int belowBy(int i, int k) const { return wrap(i + k); }
+
+    /**
+     * Number of "restore" steps to walk from @p from to @p to.
+     * Always in [0, n).
+     */
+    int distanceBelow(int from, int to) const { return wrap(to - from); }
+
+    /** Number of "save" steps to walk from @p from to @p to. */
+    int distanceAbove(int from, int to) const { return wrap(from - to); }
+
+    /**
+     * True if @p x lies on the cyclic walk that starts at @p top and
+     * takes @p len - 1 "restore" steps (i.e., inside the contiguous run
+     * of @p len windows whose topmost member is @p top).
+     */
+    bool
+    inRunBelow(int top, int len, int x) const
+    {
+        crw_assert(len >= 0 && len <= n_);
+        return distanceBelow(top, x) < len;
+    }
+
+  private:
+    int n_;
+};
+
+} // namespace crw
+
+#endif // CRW_COMMON_CYCLIC_H_

@@ -1,0 +1,152 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace crw {
+
+void
+FlagSet::define(const std::string &name, Kind kind, std::string def,
+                const std::string &help)
+{
+    crw_assert(!flags_.count(name));
+    flags_[name] = Flag{kind, help, std::move(def)};
+}
+
+void
+FlagSet::defineInt(const std::string &name, std::int64_t def,
+                   const std::string &help)
+{
+    define(name, Kind::Int, std::to_string(def), help);
+}
+
+void
+FlagSet::defineString(const std::string &name, const std::string &def,
+                      const std::string &help)
+{
+    define(name, Kind::String, def, help);
+}
+
+void
+FlagSet::defineBool(const std::string &name, bool def,
+                    const std::string &help)
+{
+    define(name, Kind::Bool, def ? "true" : "false", help);
+}
+
+void
+FlagSet::defineDouble(const std::string &name, double def,
+                      const std::string &help)
+{
+    define(name, Kind::Double, std::to_string(def), help);
+}
+
+bool
+FlagSet::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        std::string body = arg.substr(2);
+        if (body == "help") {
+            printHelp(argv[0]);
+            return false;
+        }
+        std::string name;
+        std::string value;
+        bool have_value = false;
+        if (auto eq = body.find('='); eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+            have_value = true;
+        } else {
+            name = body;
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end())
+            crw_fatal << "unknown flag --" << name;
+        Flag &flag = it->second;
+        if (!have_value) {
+            if (flag.kind == Kind::Bool) {
+                value = "true";
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+            } else {
+                crw_fatal << "flag --" << name << " needs a value";
+            }
+        }
+        // Validate typed flags eagerly.
+        if (flag.kind == Kind::Int) {
+            char *end = nullptr;
+            std::strtoll(value.c_str(), &end, 0);
+            if (!end || *end != '\0' || value.empty())
+                crw_fatal << "flag --" << name << ": bad integer '"
+                          << value << "'";
+        } else if (flag.kind == Kind::Double) {
+            char *end = nullptr;
+            std::strtod(value.c_str(), &end);
+            if (!end || *end != '\0' || value.empty())
+                crw_fatal << "flag --" << name << ": bad number '"
+                          << value << "'";
+        } else if (flag.kind == Kind::Bool) {
+            if (value != "true" && value != "false")
+                crw_fatal << "flag --" << name
+                          << ": expected true/false, got '" << value << "'";
+        }
+        flag.value = value;
+    }
+    return true;
+}
+
+const FlagSet::Flag &
+FlagSet::lookup(const std::string &name, Kind kind) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        crw_panic << "flag --" << name << " was never defined";
+    if (it->second.kind != kind)
+        crw_panic << "flag --" << name << " accessed with wrong type";
+    return it->second;
+}
+
+std::int64_t
+FlagSet::getInt(const std::string &name) const
+{
+    return std::strtoll(lookup(name, Kind::Int).value.c_str(), nullptr, 0);
+}
+
+const std::string &
+FlagSet::getString(const std::string &name) const
+{
+    return lookup(name, Kind::String).value;
+}
+
+bool
+FlagSet::getBool(const std::string &name) const
+{
+    return lookup(name, Kind::Bool).value == "true";
+}
+
+double
+FlagSet::getDouble(const std::string &name) const
+{
+    return std::strtod(lookup(name, Kind::Double).value.c_str(), nullptr);
+}
+
+void
+FlagSet::printHelp(const std::string &program) const
+{
+    std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+    for (const auto &kv : flags_) {
+        std::fprintf(stderr, "  --%-24s %s (default: %s)\n",
+                     kv.first.c_str(), kv.second.help.c_str(),
+                     kv.second.value.c_str());
+    }
+}
+
+} // namespace crw

@@ -1,0 +1,79 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace crw {
+
+namespace {
+
+void
+defaultSink(LogLevel level, const std::string &msg)
+{
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Inform: tag = "info:  "; break;
+      case LogLevel::Warn:   tag = "warn:  "; break;
+      case LogLevel::Fatal:  tag = "fatal: "; break;
+      case LogLevel::Panic:  tag = "panic: "; break;
+    }
+    std::fprintf(stderr, "%s%s\n", tag, msg.c_str());
+}
+
+LogSink currentSink = defaultSink;
+
+} // namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink old = currentSink;
+    currentSink = sink ? sink : defaultSink;
+    return old;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    currentSink(level, msg);
+}
+
+void
+panicUnreachable(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << file << ':' << line << ": " << msg;
+    logMessage(LogLevel::Panic, os.str());
+    throw PanicError(os.str());
+}
+
+void
+fatalUnreachable(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << file << ':' << line << ": " << msg;
+    logMessage(LogLevel::Fatal, os.str());
+    throw FatalError(os.str());
+}
+
+namespace detail {
+
+LogStream::LogStream(LogLevel level, const char *file, int line)
+    : level_(level)
+{
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        stream_ << file << ':' << line << ": ";
+}
+
+LogStream::~LogStream() noexcept(false)
+{
+    const std::string msg = stream_.str();
+    logMessage(level_, msg);
+    if (level_ == LogLevel::Panic)
+        throw PanicError(msg);
+    if (level_ == LogLevel::Fatal)
+        throw FatalError(msg);
+}
+
+} // namespace detail
+
+} // namespace crw

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Status and error reporting for the crw library.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a crw bug — aborts), fatal() is for user errors (bad
+ * configuration — exits cleanly), warn()/inform() never stop anything.
+ */
+
+#ifndef CRW_COMMON_LOGGING_H_
+#define CRW_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace crw {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Sink invoked for every log message. Tests may replace it to capture
+ * output; the default writes to stderr.
+ */
+using LogSink = void (*)(LogLevel, const std::string &);
+
+/** Install a replacement log sink; returns the previous one. */
+LogSink setLogSink(LogSink sink);
+
+/** Emit one message through the current sink. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Log a panic message and throw PanicError; never returns. */
+[[noreturn]] void panicUnreachable(const char *file, int line,
+                                   const std::string &msg);
+
+/** Log a fatal (user-error) message and throw FatalError. */
+[[noreturn]] void fatalUnreachable(const char *file, int line,
+                                   const std::string &msg);
+
+namespace detail {
+
+/** Builds the message text, then dispatches on destruction. */
+class LogStream
+{
+  public:
+    LogStream(LogLevel level, const char *file, int line);
+    ~LogStream() noexcept(false);
+
+    LogStream(const LogStream &) = delete;
+    LogStream &operator=(const LogStream &) = delete;
+
+    template <typename T>
+    LogStream &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+/** Thrown by fatal() so harnesses/tests can intercept user errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Thrown by panic() — indicates a library bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+} // namespace crw
+
+/** Report an unrecoverable internal bug and throw PanicError. */
+#define crw_panic \
+    ::crw::detail::LogStream(::crw::LogLevel::Panic, __FILE__, __LINE__)
+
+/** Report an unrecoverable user/configuration error; throws FatalError. */
+#define crw_fatal \
+    ::crw::detail::LogStream(::crw::LogLevel::Fatal, __FILE__, __LINE__)
+
+/** Warn about suspicious but survivable conditions. */
+#define crw_warn \
+    ::crw::detail::LogStream(::crw::LogLevel::Warn, __FILE__, __LINE__)
+
+/** Plain status output. */
+#define crw_inform \
+    ::crw::detail::LogStream(::crw::LogLevel::Inform, __FILE__, __LINE__)
+
+/**
+ * Panic at a point the control flow must never reach (e.g. after an
+ * exhaustive switch); usable where the compiler needs [[noreturn]].
+ */
+#define crw_unreachable(msg) \
+    ::crw::panicUnreachable(__FILE__, __LINE__, msg)
+
+/** Fatal (user-error) variant of crw_unreachable. */
+#define crw_fatal_unreachable(msg) \
+    ::crw::fatalUnreachable(__FILE__, __LINE__, msg)
+
+/**
+ * Internal invariant check: active in all build types (the simulator's
+ * correctness claims rest on these).
+ */
+#define crw_assert(cond)                                                  \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            crw_panic << "assertion failed: " #cond;                      \
+        }                                                                 \
+    } while (0)
+
+#endif // CRW_COMMON_LOGGING_H_

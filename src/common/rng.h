@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in crw (corpus synthesis, microtrace call
+ * walks, randomized property tests) draws from this generator so runs
+ * are exactly reproducible from a seed. The core is xoshiro256**,
+ * seeded via SplitMix64 per the reference recommendation.
+ */
+
+#ifndef CRW_COMMON_RNG_H_
+#define CRW_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crw {
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be positive. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipf(s) sampler over ranks 1..n. Used to give the synthetic corpus a
+ * natural word-frequency distribution, which in turn gives the spell
+ * checker the irregular stream/call activity the paper relies on.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of ranks.
+     * @param s Skew exponent (s = 1.0 approximates English text).
+     */
+    ZipfSampler(int n, double s);
+
+    /** Sample a rank in [0, n). */
+    int sample(Rng &rng) const;
+
+    int size() const { return static_cast<int>(cdf_.size()); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace crw
+
+#endif // CRW_COMMON_RNG_H_

@@ -1,0 +1,33 @@
+#include "common/stats.h"
+
+#include <iomanip>
+
+namespace crw {
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : distributions_)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "==== " << name_ << " ====\n";
+    for (const auto &kv : counters_)
+        os << std::left << std::setw(40) << kv.first
+           << std::right << std::setw(16) << kv.second.value() << '\n';
+    for (const auto &kv : distributions_) {
+        const auto &d = kv.second;
+        os << std::left << std::setw(40) << kv.first
+           << " n=" << d.count()
+           << " mean=" << d.mean()
+           << " min=" << d.min()
+           << " max=" << d.max() << '\n';
+    }
+}
+
+} // namespace crw

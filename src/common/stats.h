@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Lightweight named statistics, in the spirit of gem5's stats package.
+ *
+ * A StatGroup owns a set of named counters and sample distributions.
+ * Simulation components register stats at construction and bump them
+ * during the run; harnesses read them out by name or dump them all.
+ */
+
+#ifndef CRW_COMMON_STATS_H_
+#define CRW_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/logging.h"
+
+namespace crw {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        value_ += n;
+        return *this;
+    }
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Streaming scalar distribution: count / sum / min / max / mean. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        sumSq_ += v * v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        const double m = mean();
+        return sumSq_ / count_ - m * m;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = sumSq_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Named registry of counters and distributions.
+ *
+ * Lookup creates on first use, so components can share a group without
+ * an explicit registration phase.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "stats")
+        : name_(std::move(name))
+    {}
+
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    Distribution &
+    distribution(const std::string &name)
+    {
+        return distributions_[name];
+    }
+
+    /** Value of a counter, or 0 if it was never touched. */
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    bool
+    hasCounter(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    const std::string &name() const { return name_; }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return distributions_;
+    }
+
+    void reset();
+
+    /** Human-readable dump of every stat, sorted by name. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> distributions_;
+};
+
+} // namespace crw
+
+#endif // CRW_COMMON_STATS_H_

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tabular output for benches: aligned text tables and CSV.
+ *
+ * Every exhibit reproduced from the paper is emitted through this class
+ * so the console rendering and the machine-readable CSV stay in sync.
+ */
+
+#ifndef CRW_COMMON_TABLE_H_
+#define CRW_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crw {
+
+/** A simple row/column table with string cells. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a fully-formed row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format arbitrary streamable values into a row. */
+    template <typename... Ts>
+    void
+    addRowOf(const Ts &...values)
+    {
+        std::vector<std::string> cells;
+        cells.reserve(sizeof...(Ts));
+        (cells.push_back(formatCell(values)), ...);
+        addRow(std::move(cells));
+    }
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
+    /** Render with aligned columns and a header rule. */
+    void printText(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (quotes cells containing , or "). */
+    void printCsv(std::ostream &os) const;
+
+    /** Write the CSV form to @p path, creating parent-less files only. */
+    void writeCsvFile(const std::string &path) const;
+
+  private:
+    template <typename T>
+    static std::string formatCell(const T &value);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits places, trimming trailing zeros. */
+std::string formatDouble(double v, int digits = 3);
+
+template <typename T>
+std::string
+Table::formatCell(const T &value)
+{
+    if constexpr (std::is_same_v<T, std::string>) {
+        return value;
+    } else if constexpr (std::is_convertible_v<T, const char *>) {
+        return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+        return formatDouble(static_cast<double>(value));
+    } else {
+        return std::to_string(value);
+    }
+}
+
+} // namespace crw
+
+#endif // CRW_COMMON_TABLE_H_

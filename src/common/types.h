@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the crw library.
+ */
+
+#ifndef CRW_COMMON_TYPES_H_
+#define CRW_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace crw {
+
+/** Simulated processor cycles. */
+using Cycles = std::uint64_t;
+
+/** A 32-bit SPARC word. */
+using Word = std::uint32_t;
+
+/** A simulated physical/virtual address (flat 32-bit space). */
+using Addr = std::uint32_t;
+
+/** Identifier of a window in the cyclic window file. */
+using WindowIndex = int;
+
+/** Identifier of a simulated thread. */
+using ThreadId = int;
+
+/** Sentinel meaning "no thread". */
+inline constexpr ThreadId kNoThread = -1;
+
+/** Sentinel meaning "no window". */
+inline constexpr WindowIndex kNoWindow = -1;
+
+} // namespace crw
+
+#endif // CRW_COMMON_TYPES_H_

@@ -1,0 +1,456 @@
+#include "kernel/kernel.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace crw {
+namespace kernel {
+
+namespace {
+
+/** Common .set prologue with layout constants. */
+std::string
+prologue(int num_windows)
+{
+    std::ostringstream os;
+    os << "    .set NWIN, " << num_windows << "\n"
+       << "    .set NWIN_M1, " << (num_windows - 1) << "\n"
+       << "    .set WMASK, "
+       << (num_windows >= 32 ? 0xFFFFFFFFull
+                             : ((1ull << num_windows) - 1))
+       << "\n"
+       << "    .set TCB_PSR, " << kTcbPsr << "\n"
+       << "    .set TCB_RESUME, " << kTcbResume << "\n"
+       << "    .set TCB_MASK, " << kTcbMask << "\n"
+       << "    .set TCB_FLAGS, " << kTcbFlags << "\n"
+       << "    .set TCB_SP, " << kTcbSp << "\n"
+       << "    .set TCB_OUTS, " << kTcbOuts << "\n"
+       << "    .set SCRATCH, " << kScratchBase << "\n";
+    return os.str();
+}
+
+/** Trap table: overflow and underflow vectors. */
+std::string
+vectorTable()
+{
+    return
+        "    .org 0x50            ! tt 0x05: window overflow\n"
+        "    ba win_ovf\n"
+        "    nop\n"
+        "    .org 0x60            ! tt 0x06: window underflow\n"
+        "    ba win_unf\n"
+        "    nop\n";
+}
+
+/** 8 x std spilling the current window's ins+locals to [%sp]. */
+constexpr const char *kSpillWindow =
+    "    std %l0, [%sp + 0]\n"
+    "    std %l2, [%sp + 8]\n"
+    "    std %l4, [%sp + 16]\n"
+    "    std %l6, [%sp + 24]\n"
+    "    std %i0, [%sp + 32]\n"
+    "    std %i2, [%sp + 40]\n"
+    "    std %i4, [%sp + 48]\n"
+    "    std %i6, [%sp + 56]\n";
+
+/** 8 x ldd refilling the current window from [%sp]. */
+constexpr const char *kFillWindow =
+    "    ldd [%sp + 0], %l0\n"
+    "    ldd [%sp + 8], %l2\n"
+    "    ldd [%sp + 16], %l4\n"
+    "    ldd [%sp + 24], %l6\n"
+    "    ldd [%sp + 32], %i0\n"
+    "    ldd [%sp + 40], %i2\n"
+    "    ldd [%sp + 48], %i4\n"
+    "    ldd [%sp + 56], %i6\n";
+
+} // namespace
+
+std::string
+conventionalKernelSource(int num_windows)
+{
+    crw_assert(num_windows >= 3);
+    std::string src = prologue(num_windows) + vectorTable();
+    src += "    .org 0x800\n";
+
+    // --- conventional overflow: spill the window above the trap
+    // window (the stack-bottom, Fig. 3) and rotate WIM up. ---
+    src +=
+        "win_ovf:\n"
+        "    mov %wim, %l3\n"
+        "    mov 0, %wim\n"
+        "    save                 ! into the victim (stack-bottom)\n";
+    src += kSpillWindow;
+    src +=
+        "    restore              ! back to the trap window\n"
+        "    srl %l3, 1, %l4      ! WIM: invalid bit moves up\n"
+        "    sll %l3, NWIN_M1, %l5\n"
+        "    or %l4, %l5, %l4\n"
+        "    mov %l4, %wim\n"
+        "    jmpl %l1, %g0        ! retry the save\n"
+        "    rett %l2\n";
+
+    // --- conventional underflow: refill the window two below the
+    // trap window, where the missing frame lived (Fig. 4). ---
+    src +=
+        "win_unf:\n"
+        "    mov %wim, %l3\n"
+        "    mov 0, %wim\n"
+        "    restore              ! the trapped window\n"
+        "    restore              ! the missing window; %sp = its frame\n";
+    src += kFillWindow;
+    src +=
+        "    save\n"
+        "    save                 ! back to the trap window\n"
+        "    sll %l3, 1, %l4      ! WIM: invalid bit moves down\n"
+        "    srl %l3, NWIN_M1, %l5\n"
+        "    or %l4, %l5, %l4\n"
+        "    mov %l4, %wim\n"
+        "    jmpl %l1, %g0        ! retry the restore\n"
+        "    rett %l2\n";
+    return src;
+}
+
+std::string
+sharingKernelSource(int num_windows)
+{
+    crw_assert(num_windows >= 3);
+    std::string src = prologue(num_windows) + vectorTable();
+    src += "    .org 0x800\n";
+
+    // --- sharing overflow: spill the stack-bottom window of the
+    // current thread's resident run (mask in %g7), make room for the
+    // trap window, recompute WIM = ~mask. Spillage is always from
+    // the stack-bottom (paper §3.1). ---
+    src +=
+        "win_ovf:\n"
+        "    mov 0, %wim\n"
+        "    mov %psr, %g5        ! CWP = the save target, which is\n"
+        "                         ! always the thread's own dead\n"
+        "                         ! boundary window (reserved / PRW)\n"
+        "    and %g5, 0x1f, %l5   ! target index\n"
+        "    mov 1, %l6\n"
+        "    sll %l6, %l5, %l6    ! target bit\n"
+        "    set SCRATCH, %l7\n"
+        "    ld [%l7 + 152], %l0  ! free-window mask\n"
+        "    andn %l0, %l6, %l0   ! the target joins the run\n"
+        "    or %g7, %l6, %g7\n"
+        "    srl %l6, 1, %l4      ! bit of above(target): the new\n"
+        "    sll %l6, NWIN_M1, %l3 ! boundary window\n"
+        "    or %l4, %l3, %l4\n"
+        "    set WMASK, %l3       ! confine rotation to NWIN bits\n"
+        "    and %l4, %l3, %l4\n"
+        "    btst %l4, %l0\n"
+        "    bne ovf_done         ! boundary is free: cheap trap\n"
+        "    st %l0, [%l7 + 152]\n"
+        "    ! The boundary holds somebody's stack-bottom window\n"
+        "    ! (§3.1: spillage is always from a stack-bottom): spill\n"
+        "    ! it and mark the slot free.\n"
+        "    andn %g7, %l4, %g7   ! leaves our run if it was ours\n"
+        "    or %l0, %l4, %l0\n"
+        "    st %l0, [%l7 + 152]\n"
+        "    add %l5, NWIN_M1, %l5 ! index of above(target), mod NWIN\n"
+        "    cmp %l5, NWIN\n"
+        "    bl ovf_rotate\n"
+        "    nop\n"
+        "    sub %l5, NWIN, %l5\n"
+        "ovf_rotate:\n"
+        "    andn %g5, 0x1f, %l6\n"
+        "    or %l6, %l5, %l6\n"
+        "    mov %l6, %psr        ! rotate into the victim\n";
+    src += kSpillWindow;
+    src +=
+        "    mov %g5, %psr        ! back to the trap window\n"
+        "ovf_done:\n"
+        "    xnor %g7, %g0, %l4   ! WIM = ~resident mask\n"
+        "    mov %l4, %wim\n"
+        "    jmpl %l1, %g0        ! retry the save\n"
+        "    rett %l2\n";
+
+    // --- the paper's underflow (§3.2): restore the caller's frame
+    // IN PLACE after copying the live ins to the outs; then emulate
+    // the trapped restore's add function (§4.3) and skip it. No
+    // window is ever spilled here, and the resident mask/WIM do not
+    // change. ---
+    src +=
+        "win_unf:\n"
+        "    mov 0, %wim\n"
+        "    mov %psr, %g5\n"
+        "    restore              ! into the callee's window\n"
+        "    mov %i0, %o0         ! ins -> outs: the virtual move\n"
+        "    mov %i1, %o1\n"
+        "    mov %i2, %o2\n"
+        "    mov %i3, %o3\n"
+        "    mov %i4, %o4\n"
+        "    mov %i5, %o5\n"
+        "    mov %i6, %o6         ! the caller's %sp\n"
+        "    mov %i7, %o7         ! the caller's return address\n"
+        "    ldd [%o6 + 0], %l0   ! refill the caller's frame here\n"
+        "    ldd [%o6 + 8], %l2\n"
+        "    ldd [%o6 + 16], %l4\n"
+        "    ldd [%o6 + 24], %l6\n"
+        "    ldd [%o6 + 32], %i0\n"
+        "    ldd [%o6 + 40], %i2\n"
+        "    ldd [%o6 + 48], %i4\n"
+        "    ldd [%o6 + 56], %i6\n"
+        "    save                 ! back to the trap window\n"
+        "    xnor %g7, %g0, %l4\n"
+        "    mov %l4, %wim\n"
+        "    ld [%l1], %l4        ! the trapped restore instruction\n"
+        "    srl %l4, 25, %l5\n"
+        "    and %l5, 0x1f, %l5   ! rd: %g0 (no-op) or %o0 (§4.3)\n"
+        "    cmp %l5, 0\n"
+        "    be unf_done\n"
+        "    nop\n"
+        "    set SCRATCH, %l5     ! operand table: globals + callee ins\n"
+        "    st %g0, [%l5 + 0]\n"
+        "    st %g1, [%l5 + 4]\n"
+        "    st %g2, [%l5 + 8]\n"
+        "    st %g3, [%l5 + 12]\n"
+        "    st %g4, [%l5 + 16]\n"
+        "    st %g5, [%l5 + 20]\n"
+        "    st %g6, [%l5 + 24]\n"
+        "    st %g7, [%l5 + 28]\n"
+        "    st %i0, [%l5 + 96]   ! callee ins survive as our ins\n"
+        "    st %i1, [%l5 + 100]\n"
+        "    st %i2, [%l5 + 104]\n"
+        "    st %i3, [%l5 + 108]\n"
+        "    st %i4, [%l5 + 112]\n"
+        "    st %i5, [%l5 + 116]\n"
+        "    st %i6, [%l5 + 120]\n"
+        "    st %i7, [%l5 + 124]\n"
+        "    srl %l4, 14, %l6     ! rs1 value\n"
+        "    and %l6, 0x1f, %l6\n"
+        "    sll %l6, 2, %l6\n"
+        "    ld [%l5 + %l6], %l6\n"
+        "    srl %l4, 13, %l7     ! i bit\n"
+        "    btst 1, %l7\n"
+        "    bne unf_imm\n"
+        "    nop\n"
+        "    and %l4, 0x1f, %l7   ! rs2 value\n"
+        "    sll %l7, 2, %l7\n"
+        "    ld [%l5 + %l7], %l7\n"
+        "    ba unf_add\n"
+        "    nop\n"
+        "unf_imm:\n"
+        "    sll %l4, 19, %l7     ! sign-extend simm13\n"
+        "    sra %l7, 19, %l7\n"
+        "unf_add:\n"
+        "    add %l6, %l7, %l6\n"
+        "    mov %l6, %i0         ! the virtual caller's %o0\n"
+        "unf_done:\n"
+        "    jmpl %l2, %g0        ! SKIP the emulated restore\n"
+        "    rett %l2 + 4\n";
+    return src;
+}
+
+std::string
+switchRoutinesSource(int num_windows)
+{
+    crw_assert(num_windows >= 3);
+    std::string src;
+
+    // Shared epilogue pieces are open-coded per routine so each
+    // routine's cycle count is self-contained (as measured in the
+    // paper's Table 2).
+
+    // --- NS: flush every resident window of `from` (count in %o2),
+    // reload `to`'s top frame, single-window WIM. ---
+    src +=
+        "ns_switch:               ! g1=from g2=to, o2=resident count\n"
+        "    mov %psr, %g5\n"
+        "    mov 0, %wim\n"
+        "    st %g5, [%g1 + TCB_PSR]\n"
+        "    std %o0, [%g1 + TCB_OUTS + 0]\n"
+        "    std %o2, [%g1 + TCB_OUTS + 8]\n"
+        "    std %o4, [%g1 + TCB_OUTS + 16]\n"
+        "    std %o6, [%g1 + TCB_OUTS + 24]\n"
+        "    add %o7, 8, %g6\n"
+        "    st %g6, [%g1 + TCB_RESUME]\n"
+        "    mov %o2, %g6\n"
+        "    tst %g6\n"
+        "    be ns_flushed\n"
+        "    st %g2, [%g1 + TCB_FLAGS] ! nonzero: frames in memory\n"
+        "ns_flush:\n";
+    src += kSpillWindow;
+    src +=
+        "    subcc %g6, 1, %g6\n"
+        "    bne ns_flush\n"
+        "    restore              ! down to the next frame\n"
+        "ns_flushed:\n"
+        "    set SCRATCH, %g4     ! ready-queue bookkeeping\n"
+        "    ld [%g4 + 128], %g6\n"
+        "    st %g1, [%g4 + 132]\n"
+        "    inc %g6\n"
+        "    st %g6, [%g4 + 128]\n"
+        "    st %g6, [%g4 + 136]  ! run-queue length record\n"
+        "    ld [%g2 + TCB_PSR], %g5\n"
+        "    mov %g5, %psr        ! rotate to the target's top window\n"
+        "    ld [%g2 + TCB_FLAGS], %g6\n"
+        "    tst %g6              ! nonzero: frames in memory\n"
+        "    be ns_no_refill\n"
+        "    nop\n"
+        "    ld [%g2 + TCB_OUTS + 24], %sp\n";
+    src += kFillWindow;
+    src +=
+        "    st %g0, [%g2 + TCB_FLAGS]\n"
+        "ns_no_refill:\n"
+        "    ldd [%g2 + TCB_OUTS + 0], %o0\n"
+        "    ldd [%g2 + TCB_OUTS + 8], %o2\n"
+        "    ldd [%g2 + TCB_OUTS + 16], %o4\n"
+        "    ldd [%g2 + TCB_OUTS + 24], %o6\n"
+        "    and %g5, 0x1f, %g6   ! WIM: only the top window valid\n"
+        "    mov 1, %g7\n"
+        "    sll %g7, %g6, %g7\n"
+        "    xnor %g7, %g0, %g6\n"
+        "    mov %g6, %wim\n"
+        "    ld [%g2 + TCB_RESUME], %g6\n"
+        "    jmp %g6\n"
+        "    nop\n";
+
+    // --- SNP: windows stay in situ; save/restore the stack-top outs
+    // through the TCB (the single reserved window is recycled); at
+    // most one victim spill (window index in %o3, -1 = none). ---
+    src +=
+        "snp_switch:              ! g1=from g2=to, o3=victim | -1\n"
+        "    mov %psr, %g5\n"
+        "    mov 0, %wim\n"
+        "    st %g5, [%g1 + TCB_PSR]\n"
+        "    std %o0, [%g1 + TCB_OUTS + 0]\n"
+        "    std %o2, [%g1 + TCB_OUTS + 8]\n"
+        "    std %o4, [%g1 + TCB_OUTS + 16]\n"
+        "    std %o6, [%g1 + TCB_OUTS + 24]\n"
+        "    add %o7, 8, %g6\n"
+        "    st %g6, [%g1 + TCB_RESUME]\n"
+        "    mov %o3, %g6\n"
+        "    set SCRATCH, %g4     ! ready-queue bookkeeping\n"
+        "    ld [%g4 + 128], %g5\n"
+        "    st %g1, [%g4 + 132]\n"
+        "    inc %g5\n"
+        "    st %g5, [%g4 + 128]\n"
+        "    tst %g6\n"
+        "    bneg snp_no_spill\n"
+        "    nop\n"
+        "    mov %psr, %g5        ! rotate to the victim window\n"
+        "    andn %g5, 0x1f, %g5\n"
+        "    or %g5, %g6, %g5\n"
+        "    mov %g5, %psr\n";
+    src += kSpillWindow;
+    src +=
+        "    st %sp, [%g4 + 136]  ! record the victim frame address\n"
+        "    ld [%g4 + 140], %g5  ! victim ownership bookkeeping\n"
+        "    or %g5, %g6, %g5\n"
+        "    st %g5, [%g4 + 140]\n"
+        "    mov %g0, %g5\n"
+        "snp_no_spill:\n"
+        "    ld [%g2 + TCB_PSR], %g5\n"
+        "    mov %g5, %psr\n"
+        "    ld [%g2 + TCB_FLAGS], %g6\n"
+        "    btst 1, %g6\n"
+        "    be snp_no_refill\n"
+        "    nop\n"
+        "    ld [%g2 + TCB_OUTS + 24], %sp\n";
+    src += kFillWindow;
+    src +=
+        "    st %g0, [%g2 + TCB_FLAGS]\n"
+        "snp_no_refill:\n"
+        "    ldd [%g2 + TCB_OUTS + 0], %o0\n"
+        "    ldd [%g2 + TCB_OUTS + 8], %o2\n"
+        "    ldd [%g2 + TCB_OUTS + 16], %o4\n"
+        "    ldd [%g2 + TCB_OUTS + 24], %o6\n"
+        "    ld [%g2 + TCB_MASK], %g7\n"
+        "    mov NWIN, %g6        ! per-window WIM calculation loop\n"
+        "    mov 0, %g4           ! (the paper\'s software overhead)\n"
+        "snp_wim:\n"
+        "    or %g4, 1, %g4\n"
+        "    subcc %g6, 1, %g6\n"
+        "    bne snp_wim\n"
+        "    sll %g4, 1, %g4\n"
+        "    srl %g4, 1, %g4\n"
+        "    xnor %g7, %g0, %g6\n"
+        "    and %g6, %g4, %g6\n"
+        "    mov %g6, %wim\n"
+        "    ld [%g2 + TCB_RESUME], %g6\n"
+        "    jmp %g6\n"
+        "    nop\n";
+
+    // --- SP: the stack-top outs and PCs stay in the private reserved
+    // window, so the resident-to-resident path moves nothing; up to
+    // two victim spills (%o3, %o4) for the windowless-thread case. ---
+    src +=
+        "sp_switch:               ! g1=from g2=to, o3/o4=victims | -1\n"
+        "    mov %psr, %g5\n"
+        "    mov 0, %wim\n"
+        "    st %g5, [%g1 + TCB_PSR]\n"
+        "    add %o7, 8, %g6\n"
+        "    st %g6, [%g1 + TCB_RESUME]\n"
+        "    mov %o3, %g6\n"
+        "    mov %o4, %g7         ! recomputed from the mask below\n"
+        "    set SCRATCH, %g4     ! ready-queue bookkeeping\n"
+        "    ld [%g4 + 128], %g5\n"
+        "    st %g1, [%g4 + 132]\n"
+        "    inc %g5\n"
+        "    st %g5, [%g4 + 128]\n"
+        "    tst %g6\n"
+        "    bneg sp_no_spill1\n"
+        "    nop\n"
+        "    mov %psr, %g5\n"
+        "    andn %g5, 0x1f, %g5\n"
+        "    or %g5, %g6, %g5\n"
+        "    mov %g5, %psr\n";
+    src += kSpillWindow;
+    src +=
+        "    st %sp, [%g4 + 136]  ! record the victim frame address\n"
+        "    ld [%g4 + 140], %g5\n"
+        "    st %g5, [%g4 + 144]\n"
+        "sp_no_spill1:\n"
+        "    tst %g7\n"
+        "    bneg sp_no_spill2\n"
+        "    nop\n"
+        "    mov %psr, %g5\n"
+        "    andn %g5, 0x1f, %g5\n"
+        "    or %g5, %g7, %g5\n"
+        "    mov %g5, %psr\n";
+    src += kSpillWindow;
+    src +=
+        "    st %sp, [%g4 + 136]\n"
+        "    ld [%g4 + 140], %g5\n"
+        "    st %g5, [%g4 + 144]\n"
+        "sp_no_spill2:\n"
+        "    ld [%g2 + TCB_PSR], %g5\n"
+        "    mov %g5, %psr\n"
+        "    ld [%g2 + TCB_FLAGS], %g6\n"
+        "    btst 1, %g6\n"
+        "    be sp_no_refill\n"
+        "    nop\n"
+        "    ld [%g2 + TCB_SP], %sp\n";
+    src += kFillWindow;
+    src +=
+        "    st %sp, [%g2 + TCB_SP]  ! track the live frame address\n"
+        "    ldd [%g2 + TCB_OUTS + 0], %o0\n"
+        "    ldd [%g2 + TCB_OUTS + 8], %o2\n"
+        "    ldd [%g2 + TCB_OUTS + 16], %o4\n"
+        "    ldd [%g2 + TCB_OUTS + 24], %o6\n"
+        "    st %g0, [%g2 + TCB_FLAGS]\n"
+        "sp_no_refill:\n"
+        "    ld [%g2 + TCB_MASK], %g7\n"
+        "    mov NWIN, %g6        ! per-window WIM calculation loop\n"
+        "    mov 0, %g4           ! (the paper\'s software overhead)\n"
+        "sp_wim:\n"
+        "    or %g4, 1, %g4\n"
+        "    subcc %g6, 1, %g6\n"
+        "    bne sp_wim\n"
+        "    sll %g4, 1, %g4\n"
+        "    srl %g4, 1, %g4\n"
+        "    xnor %g7, %g0, %g6\n"
+        "    and %g6, %g4, %g6\n"
+        "    mov %g6, %wim\n"
+        "    ld [%g2 + TCB_RESUME], %g6\n"
+        "    jmp %g6\n"
+        "    nop\n";
+    return src;
+}
+
+} // namespace kernel
+} // namespace crw

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The window-management "multi-tasking monitor": SPARC assembly
+ * sources for trap handlers and context-switch routines, plus the
+ * memory layout they assume.
+ *
+ * This is the instruction-level counterpart of the paper's modified
+ * SunOS trap handlers (§1, §6.1). Three pieces:
+ *
+ *  1. conventionalKernelSource(): the classic V8 single-reserved-
+ *     window overflow/underflow handlers (the NS substrate) — spill
+ *     one window on overflow, refill one window *below* on underflow.
+ *
+ *  2. sharingKernelSource(): the paper's handlers — a mask-based
+ *     overflow handler that spills the stack-bottom window of the
+ *     current thread's resident run, and the §3.2 underflow handler
+ *     that copies the live in registers to the outs and restores the
+ *     caller's frame *in place*, emulating the trapped restore's add
+ *     function (§4.3) instead of re-executing it.
+ *
+ *  3. switchRoutinesSource(): ns_switch / snp_switch / sp_switch —
+ *     the context-switch paths whose cycle costs Table 2 reports.
+ *     Each handles the window-transfer cases the paper lists, driven
+ *     by a staged thread control block (see offsets below), exactly
+ *     like the paper's static cycle measurement.
+ *
+ * Register conventions (monitor-owned): %g1 = from-TCB, %g2 = to-TCB,
+ * %g5/%g6 = scratch, %g7 = resident-window mask of the running thread.
+ * User code may not rely on these across calls into the monitor.
+ *
+ * Known restriction (documented per §4.3): the trapped `restore`'s
+ * operands must be in registers (or globals) that are still available
+ * after the in-to-out copy, i.e. %iN or %gN, with an immediate or
+ * %iN/%gN second operand — which is what compilers emit for the
+ * return-value peephole the paper describes.
+ */
+
+#ifndef CRW_KERNEL_KERNEL_H_
+#define CRW_KERNEL_KERNEL_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace crw {
+namespace kernel {
+
+// --- memory layout ---
+inline constexpr Addr kVectorBase = 0x0000;  ///< trap table (TBR = 0)
+inline constexpr Addr kKernelBase = 0x0800;  ///< handler code
+inline constexpr Addr kScratchBase = 0x3000; ///< 32-word reg scratch
+inline constexpr Addr kUserBase = 0x4000;    ///< test/user programs
+inline constexpr Addr kStackTop = 0xF0000;   ///< initial %sp
+
+// --- TCB field offsets ---
+inline constexpr int kTcbPsr = 0;    ///< saved PSR (holds top CWP)
+inline constexpr int kTcbResume = 4; ///< resume address
+inline constexpr int kTcbMask = 8;   ///< resident-window mask
+inline constexpr int kTcbFlags = 12; ///< bit0: top frame spilled
+inline constexpr int kTcbSp = 16;    ///< memory sp of the top frame
+/** 8-word out-register save area; 8-byte aligned for std/ldd. */
+inline constexpr int kTcbOuts = 24;
+inline constexpr int kTcbSize = 56;
+
+/**
+ * Vector table + conventional handlers, specialized for
+ * @p num_windows (the WIM rotation width).
+ */
+std::string conventionalKernelSource(int num_windows);
+
+/** Vector table + the paper's sharing handlers. */
+std::string sharingKernelSource(int num_windows);
+
+/**
+ * The ns_switch / snp_switch / sp_switch routines (appended to either
+ * kernel). Entry: %g1 = from TCB, %g2 = to TCB, %o2 = scheme-specific
+ * argument (NS: number of resident windows to flush).
+ */
+std::string switchRoutinesSource(int num_windows);
+
+} // namespace kernel
+} // namespace crw
+
+#endif // CRW_KERNEL_KERNEL_H_

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Stackful coroutines for the user-level thread runtime.
+ *
+ * The paper's threads are user-level contexts multiplexed on one SPARC
+ * by a multi-tasking monitor; here each simulated thread runs real C++
+ * code on its own host stack, switched non-preemptively. The simulated
+ * machine state (windows, cycles) lives in the WindowEngine — the
+ * coroutine carries only the host execution.
+ *
+ * On x86-64 the switch is a hand-rolled callee-saved-register swap
+ * (no syscalls); elsewhere it falls back to ucontext.
+ */
+
+#ifndef CRW_RT_COROUTINE_H_
+#define CRW_RT_COROUTINE_H_
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace crw {
+
+/**
+ * One suspendable host execution context.
+ *
+ * Lifecycle: construct with an entry function; resume() runs it until
+ * it calls yieldToMain() or returns; finished() reports completion.
+ * An exception escaping the entry function is captured and re-thrown
+ * from resume() in the main context.
+ */
+class Coroutine
+{
+  public:
+    using EntryFn = std::function<void()>;
+
+    explicit Coroutine(EntryFn entry,
+                       std::size_t stack_size = 256 * 1024);
+    ~Coroutine();
+
+    Coroutine(const Coroutine &) = delete;
+    Coroutine &operator=(const Coroutine &) = delete;
+
+    /**
+     * Transfer control from the main context into the coroutine.
+     * Must not be called from inside any coroutine, or after the
+     * coroutine finished.
+     */
+    void resume();
+
+    /** Transfer control back to main; must be called from inside. */
+    void yieldToMain();
+
+    bool finished() const { return finished_; }
+    bool started() const { return started_; }
+
+    /** Internal: runs the entry function. Called by the trampoline. */
+    void body();
+
+  private:
+    struct Impl;
+
+    void start();
+
+    EntryFn entry_;
+    std::vector<unsigned char> stack_;
+    std::unique_ptr<Impl> impl_;
+    std::exception_ptr pending_;
+    bool started_ = false;
+    bool finished_ = false;
+    bool inside_ = false;
+};
+
+} // namespace crw
+
+#endif // CRW_RT_COROUTINE_H_

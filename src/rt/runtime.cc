@@ -1,0 +1,11 @@
+#include "rt/runtime.h"
+
+namespace crw {
+
+Runtime::Runtime(const RuntimeConfig &config)
+    : engine_(config.engine),
+      sched_(engine_, config.policy, config.stackSize),
+      cyclesPerCall_(config.cyclesPerCall)
+{}
+
+} // namespace crw

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Runtime: the façade tying the window engine and the scheduler
+ * together, plus the Frame RAII helper that represents one traced
+ * procedure activation (a `save`/`restore` pair on SPARC).
+ */
+
+#ifndef CRW_RT_RUNTIME_H_
+#define CRW_RT_RUNTIME_H_
+
+#include <functional>
+#include <string>
+
+#include "rt/scheduler.h"
+#include "win/engine.h"
+
+namespace crw {
+
+/** Construction parameters for a Runtime. */
+struct RuntimeConfig
+{
+    EngineConfig engine;
+    SchedPolicy policy = SchedPolicy::Fifo;
+    /** Compute cycles charged per traced procedure call (prologue,
+     *  argument setup — everything except the save/restore itself). */
+    Cycles cyclesPerCall = 6;
+    std::size_t stackSize = 256 * 1024;
+};
+
+/**
+ * One simulated multi-threaded machine: a WindowEngine plus a
+ * Scheduler sharing it. Application code spawns threads, calls run(),
+ * and inside threads brackets procedures with Frame and reports
+ * computation with charge().
+ */
+class Runtime
+{
+  public:
+    explicit Runtime(const RuntimeConfig &config);
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    ThreadId
+    spawn(std::string name, std::function<void()> body)
+    {
+        return sched_.spawn(std::move(name), std::move(body));
+    }
+
+    /** Run all spawned threads to completion. */
+    void run() { sched_.run(); }
+
+    /** Charge ordinary computation cycles to the simulated clock. */
+    void charge(Cycles cycles) { engine_.charge(cycles); }
+
+    WindowEngine &engine() { return engine_; }
+    const WindowEngine &engine() const { return engine_; }
+    Scheduler &scheduler() { return sched_; }
+    const Scheduler &scheduler() const { return sched_; }
+
+    Cycles cyclesPerCall() const { return cyclesPerCall_; }
+    Cycles now() const { return engine_.now(); }
+
+  private:
+    WindowEngine engine_;
+    Scheduler sched_;
+    Cycles cyclesPerCall_;
+};
+
+/**
+ * RAII for one traced procedure activation: the constructor executes
+ * the `save` (possibly overflow-trapping), the destructor the
+ * `restore` (possibly underflow-trapping). Application code creates
+ * one at the top of every function whose activation record would live
+ * in a register window.
+ */
+class Frame
+{
+  public:
+    explicit Frame(Runtime &rt)
+        : rt_(rt)
+    {
+        rt_.engine().save();
+        rt_.charge(rt_.cyclesPerCall());
+    }
+
+    ~Frame() { rt_.engine().restore(); }
+
+    Frame(const Frame &) = delete;
+    Frame &operator=(const Frame &) = delete;
+
+  private:
+    Runtime &rt_;
+};
+
+} // namespace crw
+
+#endif // CRW_RT_RUNTIME_H_

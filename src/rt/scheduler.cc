@@ -1,0 +1,147 @@
+#include "rt/scheduler.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace crw {
+
+const char *
+policyName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::Fifo:       return "FIFO";
+      case SchedPolicy::WorkingSet: return "WS";
+    }
+    return "?";
+}
+
+Scheduler::Scheduler(WindowEngine &engine, SchedPolicy policy,
+                     std::size_t stack_size)
+    : engine_(engine),
+      policy_(policy),
+      stackSize_(stack_size)
+{}
+
+Scheduler::~Scheduler() = default;
+
+Scheduler::Thread &
+Scheduler::thread(ThreadId tid)
+{
+    crw_assert(tid >= 0 && tid < static_cast<ThreadId>(threads_.size()));
+    return threads_[static_cast<std::size_t>(tid)];
+}
+
+const Scheduler::Thread &
+Scheduler::thread(ThreadId tid) const
+{
+    crw_assert(tid >= 0 && tid < static_cast<ThreadId>(threads_.size()));
+    return threads_[static_cast<std::size_t>(tid)];
+}
+
+ThreadId
+Scheduler::spawn(std::string name, std::function<void()> body)
+{
+    const ThreadId tid = static_cast<ThreadId>(threads_.size());
+    engine_.addThread(tid);
+    Thread t;
+    t.id = tid;
+    t.name = std::move(name);
+    t.state = ThreadState::Ready;
+    t.coro = std::make_unique<Coroutine>(std::move(body), stackSize_);
+    threads_.push_back(std::move(t));
+    ready_.push_back(tid);
+    return tid;
+}
+
+void
+Scheduler::dispatch(ThreadId tid)
+{
+    Thread &t = thread(tid);
+    crw_assert(t.state == ThreadState::Ready);
+    t.state = ThreadState::Running;
+    running_ = tid;
+    ++dispatches_;
+    if (engine_.current() != tid)
+        engine_.contextSwitch(tid);
+    t.coro->resume();
+    running_ = kNoThread;
+    if (t.coro->finished()) {
+        t.state = ThreadState::Finished;
+        engine_.threadExit();
+    }
+    // Otherwise the thread blocked; blockCurrent() already set the
+    // state and queued the id on a waitlist.
+}
+
+void
+Scheduler::run()
+{
+    crw_assert(!inRun_);
+    inRun_ = true;
+    while (!ready_.empty()) {
+        const ThreadId tid = ready_.front();
+        ready_.pop_front();
+        // Paper §5 "parallel slackness": threads available for
+        // execution right now, excluding the one being executed.
+        slackness_.sample(static_cast<double>(ready_.size()));
+        dispatch(tid);
+    }
+    inRun_ = false;
+
+    std::ostringstream stuck;
+    int blocked = 0;
+    for (const Thread &t : threads_) {
+        if (t.state == ThreadState::Blocked) {
+            ++blocked;
+            stuck << ' ' << t.name << '(' << t.id << ')';
+        }
+    }
+    if (blocked > 0)
+        crw_fatal << "deadlock: " << blocked
+                  << " thread(s) blocked forever:" << stuck.str();
+}
+
+void
+Scheduler::blockCurrent(std::vector<ThreadId> &waitlist)
+{
+    crw_assert(running_ != kNoThread);
+    Thread &t = thread(running_);
+    crw_assert(t.state == ThreadState::Running);
+    waitlist.push_back(t.id);
+    t.state = ThreadState::Blocked;
+    t.coro->yieldToMain();
+    // Back: dispatch() marked us Running again.
+    crw_assert(t.state == ThreadState::Running);
+}
+
+void
+Scheduler::wake(ThreadId tid)
+{
+    Thread &t = thread(tid);
+    if (t.state != ThreadState::Blocked)
+        return;
+    t.state = ThreadState::Ready;
+    // §4.6: with the working-set policy, a thread that still has
+    // windows on the processor jumps the queue; others go to the back.
+    // The basic scheduler stays FIFO, so the refinement adds no
+    // overhead at context-switch time.
+    if (policy_ == SchedPolicy::WorkingSet && engine_.isResident(tid))
+        ready_.push_front(tid);
+    else
+        ready_.push_back(tid);
+}
+
+ThreadState
+Scheduler::state(ThreadId tid) const
+{
+    return thread(tid).state;
+}
+
+const std::string &
+Scheduler::nameOf(ThreadId tid) const
+{
+    return thread(tid).name;
+}
+
+} // namespace crw

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Non-preemptive user-level thread scheduler.
+ *
+ * Scheduling follows the paper's evaluation setup (§4.5/§4.6): it is
+ * non-preemptive and FIFO, with an optional working-set refinement —
+ * a thread awoken while its windows are still resident is enqueued at
+ * the *front* of the ready queue, otherwise at the back, steering the
+ * concurrently-scheduled working set to fit the physical window file.
+ *
+ * Every actual dispatch is reported to the WindowEngine as a context
+ * switch, so switch costs and window motion are charged exactly where
+ * the paper's monitor would run its switch routine.
+ */
+
+#ifndef CRW_RT_SCHEDULER_H_
+#define CRW_RT_SCHEDULER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "rt/coroutine.h"
+#include "win/engine.h"
+
+namespace crw {
+
+/** Ready-queue policy, paper §4.6. */
+enum class SchedPolicy {
+    Fifo,       ///< plain first-in first-out
+    WorkingSet, ///< awoken-and-resident threads jump the queue
+};
+
+const char *policyName(SchedPolicy policy);
+
+/** Lifecycle state of a simulated thread. */
+enum class ThreadState {
+    Ready,    ///< in the ready queue
+    Running,  ///< currently executing
+    Blocked,  ///< waiting on a stream (or explicit block)
+    Finished, ///< body returned
+};
+
+/**
+ * The scheduler. Owns the simulated threads and the dispatch loop.
+ *
+ * Usage: spawn() threads, then run() from the main context; run()
+ * returns when every thread finished (or throws FatalError on
+ * deadlock). Threads interact through blockCurrent()/wake(), usually
+ * via Stream.
+ */
+class Scheduler
+{
+  public:
+    Scheduler(WindowEngine &engine, SchedPolicy policy,
+              std::size_t stack_size = 256 * 1024);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Create a thread; it starts Ready, at the back of the queue. */
+    ThreadId spawn(std::string name, std::function<void()> body);
+
+    /** Dispatch until all threads finish. Main-context only. */
+    void run();
+
+    /**
+     * Block the running thread on @p waitlist (the caller appends the
+     * id; this parks the coroutine) and dispatch another thread.
+     * Thread-context only.
+     */
+    void blockCurrent(std::vector<ThreadId> &waitlist);
+
+    /**
+     * Move a Blocked thread to the ready queue (position depends on
+     * the policy). Ignores ids in other states so streams may wake
+     * generously.
+     */
+    void wake(ThreadId tid);
+
+    /** Id of the running thread; kNoThread from the main context. */
+    ThreadId currentId() const { return running_; }
+
+    ThreadState state(ThreadId tid) const;
+    const std::string &nameOf(ThreadId tid) const;
+    int numThreads() const { return static_cast<int>(threads_.size()); }
+
+    SchedPolicy policy() const { return policy_; }
+
+    /**
+     * Ready-queue length statistics sampled at every dispatch — the
+     * paper's "parallel slackness" (§5).
+     */
+    const Distribution &slackness() const { return slackness_; }
+
+    /** Dispatch count (= engine context switches + same-thread skips). */
+    std::uint64_t dispatches() const { return dispatches_; }
+
+  private:
+    struct Thread
+    {
+        ThreadId id;
+        std::string name;
+        ThreadState state;
+        std::unique_ptr<Coroutine> coro;
+    };
+
+    Thread &thread(ThreadId tid);
+    const Thread &thread(ThreadId tid) const;
+    void dispatch(ThreadId tid);
+
+    WindowEngine &engine_;
+    SchedPolicy policy_;
+    std::size_t stackSize_;
+
+    std::vector<Thread> threads_;
+    std::deque<ThreadId> ready_;
+    ThreadId running_ = kNoThread;
+    Distribution slackness_;
+    std::uint64_t dispatches_ = 0;
+    bool inRun_ = false;
+};
+
+} // namespace crw
+
+#endif // CRW_RT_SCHEDULER_H_

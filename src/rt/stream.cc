@@ -1,0 +1,138 @@
+#include "rt/stream.h"
+
+#include "common/logging.h"
+
+namespace crw {
+
+Stream::Stream(Runtime &rt, std::string name, std::size_t capacity,
+               int num_writers)
+    : rt_(rt),
+      name_(std::move(name)),
+      buffer_(capacity),
+      openWriters_(num_writers)
+{
+    if (capacity == 0)
+        crw_fatal << "stream " << name_ << ": capacity must be >= 1";
+    if (num_writers < 1)
+        crw_fatal << "stream " << name_ << ": needs >= 1 writer";
+}
+
+void
+Stream::wakeAll(std::vector<ThreadId> &waiters)
+{
+    // Wake-all with re-check on the woken side: simple and safe under
+    // non-preemptive scheduling.
+    for (const ThreadId tid : waiters)
+        rt_.scheduler().wake(tid);
+    waiters.clear();
+}
+
+void
+Stream::rawPut(std::uint8_t byte)
+{
+    if (closed())
+        crw_panic << "write to closed stream " << name_;
+    while (count_ == buffer_.size()) {
+        wakeAll(readWaiters_); // data is available for any reader
+        rt_.scheduler().blockCurrent(writeWaiters_);
+        if (closed())
+            crw_panic << "stream " << name_ << " closed while writing";
+    }
+    buffer_[(head_ + count_) % buffer_.size()] = byte;
+    ++count_;
+    ++totalBytes_;
+    wakeAll(readWaiters_);
+}
+
+int
+Stream::rawGet()
+{
+    while (count_ == 0) {
+        if (closed())
+            return kEof;
+        wakeAll(writeWaiters_); // space is available for any writer
+        rt_.scheduler().blockCurrent(readWaiters_);
+    }
+    const std::uint8_t byte = buffer_[head_];
+    head_ = (head_ + 1) % buffer_.size();
+    --count_;
+    wakeAll(writeWaiters_);
+    return byte;
+}
+
+void
+Stream::putByte(std::uint8_t byte)
+{
+    Frame frame(rt_); // putc() is a real call on the target machine
+    rt_.charge(2);
+    rawPut(byte);
+}
+
+void
+Stream::putBytes(std::string_view bytes)
+{
+    for (const char ch : bytes)
+        putByte(static_cast<std::uint8_t>(ch));
+}
+
+int
+Stream::getByte()
+{
+    Frame frame(rt_); // getc() likewise
+    rt_.charge(2);
+    return rawGet();
+}
+
+void
+Stream::putChunk(std::string_view bytes)
+{
+    Frame frame(rt_); // one word-copy activation
+    rt_.charge(2 + static_cast<Cycles>(bytes.size()));
+    for (const char ch : bytes)
+        rawPut(static_cast<std::uint8_t>(ch));
+}
+
+std::size_t
+Stream::getChunk(char *out, std::size_t max)
+{
+    Frame frame(rt_);
+    rt_.charge(2 + static_cast<Cycles>(max));
+    std::size_t got = 0;
+    while (got < max) {
+        const int c = rawGet();
+        if (c == kEof)
+            break;
+        out[got++] = static_cast<char>(c);
+    }
+    return got;
+}
+
+bool
+Stream::getLine(std::string &line)
+{
+    Frame frame(rt_);
+    line.clear();
+    while (true) {
+        const int c = getByte();
+        if (c == kEof)
+            return !line.empty();
+        if (c == '\n')
+            return true;
+        line.push_back(static_cast<char>(c));
+    }
+}
+
+void
+Stream::close()
+{
+    Frame frame(rt_);
+    if (openWriters_ <= 0)
+        crw_panic << "stream " << name_ << " closed too many times";
+    --openWriters_;
+    if (openWriters_ == 0) {
+        // EOF became observable: release any blocked readers.
+        wakeAll(readWaiters_);
+    }
+}
+
+} // namespace crw

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Bounded FIFO byte streams connecting threads.
+ *
+ * Paper §5.1: "Each stream is FIFO, and is organized as a cyclic
+ * buffer... Since the scheduling is non-preemptive, a thread execution
+ * continues until an input (output) buffer becomes empty (full)."
+ * Buffer capacity is the paper's granularity knob (M and N).
+ *
+ * Every stream operation is a traced procedure (it allocates a Frame),
+ * because on the real machine getc/putc-style calls are exactly where
+ * the spell checker's threads spend their window activity and where
+ * they block for a context switch.
+ */
+
+#ifndef CRW_RT_STREAM_H_
+#define CRW_RT_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/runtime.h"
+
+namespace crw {
+
+/** Returned by Stream::getByte at end of stream. */
+inline constexpr int kEof = -1;
+
+/**
+ * A bounded cyclic byte FIFO with blocking semantics and writer-count
+ * EOF: the stream is closed once every registered writer called
+ * close(), after which readers drain the remaining bytes, then see
+ * kEof.
+ */
+class Stream
+{
+  public:
+    /**
+     * @param rt The runtime whose scheduler blocks/wakes threads.
+     * @param name For deadlock diagnostics and stats.
+     * @param capacity Buffer size in bytes (M or N in the paper).
+     * @param num_writers Writers that must close() before EOF.
+     */
+    Stream(Runtime &rt, std::string name, std::size_t capacity,
+           int num_writers = 1);
+
+    Stream(const Stream &) = delete;
+    Stream &operator=(const Stream &) = delete;
+
+    /**
+     * Append one byte; blocks while the buffer is full. Traced: one
+     * Frame per call, like a putc() *function* call on the target.
+     */
+    void putByte(std::uint8_t byte);
+
+    /** Append a whole string, byte by byte (may block repeatedly). */
+    void putBytes(std::string_view bytes);
+
+    /**
+     * Remove and return the next byte, blocking while the buffer is
+     * empty; kEof once the stream is closed and drained. Traced.
+     */
+    int getByte();
+
+    /**
+     * Write all of @p bytes under a single traced activation — the
+     * word-at-a-time copy loop of the paper's kernel I/O threads
+     * (T4-T7), whose save counts are ~bytes/4. Blocks as needed.
+     */
+    void putChunk(std::string_view bytes);
+
+    /**
+     * Read exactly @p max bytes (short only at EOF) under a single
+     * traced activation; returns the byte count, 0 at EOF. The exact
+     * count keeps dynamic save counts independent of buffer sizes
+     * (paper Table 1).
+     */
+    std::size_t getChunk(char *out, std::size_t max);
+
+    /**
+     * Read bytes up to and including '\n' (or EOF) into @p line,
+     * excluding the newline itself.
+     * @return false if the stream ended before any byte was read.
+     */
+    bool getLine(std::string &line);
+
+    /** One writer is done; the last close() marks EOF. */
+    void close();
+
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return buffer_.size(); }
+    bool closed() const { return openWriters_ == 0; }
+    const std::string &name() const { return name_; }
+
+    /** Total bytes ever enqueued (for workload accounting). */
+    std::uint64_t totalBytes() const { return totalBytes_; }
+
+  private:
+    void wakeAll(std::vector<ThreadId> &waiters);
+
+    /** Untraced blocking primitives (the buffered-I/O fast path). */
+    void rawPut(std::uint8_t byte);
+    int rawGet();
+
+    Runtime &rt_;
+    std::string name_;
+    std::vector<std::uint8_t> buffer_;
+    std::size_t head_ = 0;  // index of the oldest byte
+    std::size_t count_ = 0; // bytes currently buffered
+    int openWriters_;
+    std::uint64_t totalBytes_ = 0;
+
+    std::vector<ThreadId> readWaiters_;
+    std::vector<ThreadId> writeWaiters_;
+};
+
+} // namespace crw
+
+#endif // CRW_RT_STREAM_H_

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Per-instruction-class cycle costs of the simulated core.
+ *
+ * Modeled on an early-90s single-issue SPARC (Fujitsu S-20 class, as
+ * on PIE64): single-cycle ALU, multi-cycle memory ops, taken-branch
+ * and CTI costs, multi-cycle trap entry. The defaults put the kernel's
+ * window handlers inside the cycle bands the paper measured with its
+ * bus-monitoring logic analyzer (Table 2); tests pin that calibration.
+ */
+
+#ifndef CRW_SPARC_CYCLES_H_
+#define CRW_SPARC_CYCLES_H_
+
+#include "common/types.h"
+
+namespace crw {
+namespace sparc {
+
+/** Cycle cost table; all values in processor cycles. */
+struct CycleModel
+{
+    Cycles alu = 1;          ///< add/sub/logic/shift/sethi
+    Cycles load = 2;         ///< ld / ldub / ...
+    Cycles loadDouble = 3;   ///< ldd
+    Cycles store = 3;        ///< st / stb / sth
+    Cycles storeDouble = 4;  ///< std
+    Cycles branch = 1;       ///< Bicc, untaken or taken (delay slot
+                             ///< instructions are charged themselves)
+    Cycles branchTakenExtra = 1; ///< extra cycle for a taken CTI
+    Cycles callJmpl = 2;     ///< call / jmpl
+    Cycles saveRestore = 1;  ///< save / restore (no trap)
+    Cycles readState = 1;    ///< rd %psr/%wim/%tbr/%y
+    Cycles writeState = 2;   ///< wr %psr/%wim/%tbr/%y
+    Cycles mul = 5;          ///< umul / smul
+    Cycles div = 18;         ///< udiv / sdiv
+    Cycles trapEntry = 4;    ///< vectoring into a trap handler
+    Cycles rett = 2;         ///< return from trap
+    Cycles annulled = 1;     ///< an annulled delay slot still ticks
+};
+
+} // namespace sparc
+} // namespace crw
+
+#endif // CRW_SPARC_CYCLES_H_

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * SPARC V8 (integer subset) instruction-set definitions.
+ *
+ * Encodings follow The SPARC Architecture Manual, Version 8. Only the
+ * integer unit is modeled — enough to run the window-management trap
+ * handlers and multi-threaded monitor code this project studies.
+ */
+
+#ifndef CRW_SPARC_ISA_H_
+#define CRW_SPARC_ISA_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace crw {
+namespace sparc {
+
+/** Top-level op field (bits 31:30). */
+enum class Op : std::uint32_t {
+    Branch = 0, ///< format 2: SETHI / Bicc
+    Call = 1,   ///< format 1: CALL
+    Arith = 2,  ///< format 3: arithmetic / control
+    Mem = 3,    ///< format 3: loads and stores
+};
+
+/** op2 field for format 2 (bits 24:22). */
+enum class Op2 : std::uint32_t {
+    Unimp = 0,
+    Bicc = 2,
+    Sethi = 4,
+};
+
+/** op3 values for Op::Arith. */
+enum class Op3A : std::uint32_t {
+    Add = 0x00,
+    And = 0x01,
+    Or = 0x02,
+    Xor = 0x03,
+    Sub = 0x04,
+    Andn = 0x05,
+    Orn = 0x06,
+    Xnor = 0x07,
+    Addx = 0x08,
+    Umul = 0x0A,
+    Smul = 0x0B,
+    Subx = 0x0C,
+    Udiv = 0x0E,
+    Sdiv = 0x0F,
+    AddCc = 0x10,
+    AndCc = 0x11,
+    OrCc = 0x12,
+    XorCc = 0x13,
+    SubCc = 0x14,
+    AndnCc = 0x15,
+    OrnCc = 0x16,
+    XnorCc = 0x17,
+    AddxCc = 0x18,
+    UmulCc = 0x1A,
+    SmulCc = 0x1B,
+    SubxCc = 0x1C,
+    Sll = 0x25,
+    Srl = 0x26,
+    Sra = 0x27,
+    RdY = 0x28,
+    RdPsr = 0x29,
+    RdWim = 0x2A,
+    RdTbr = 0x2B,
+    WrY = 0x30,
+    WrPsr = 0x31,
+    WrWim = 0x32,
+    WrTbr = 0x33,
+    Jmpl = 0x38,
+    Rett = 0x39,
+    Ticc = 0x3A,
+    Save = 0x3C,
+    Restore = 0x3D,
+};
+
+/** op3 values for Op::Mem. */
+enum class Op3M : std::uint32_t {
+    Ld = 0x00,
+    Ldub = 0x01,
+    Lduh = 0x02,
+    Ldd = 0x03,
+    St = 0x04,
+    Stb = 0x05,
+    Sth = 0x06,
+    Std = 0x07,
+    Ldsb = 0x09,
+    Ldsh = 0x0A,
+};
+
+/** Bicc / Ticc condition codes (bits 28:25). */
+enum class Cond : std::uint32_t {
+    N = 0,    ///< never
+    E = 1,    ///< equal (Z)
+    Le = 2,   ///< Z or (N xor V)
+    L = 3,    ///< N xor V
+    Leu = 4,  ///< C or Z
+    Cs = 5,   ///< C (lu)
+    Neg = 6,  ///< N
+    Vs = 7,   ///< V
+    A = 8,    ///< always
+    Ne = 9,   ///< not Z
+    G = 10,   ///< not (Z or (N xor V))
+    Ge = 11,  ///< not (N xor V)
+    Gu = 12,  ///< not (C or Z)
+    Cc = 13,  ///< not C (geu)
+    Pos = 14, ///< not N
+    Vc = 15,  ///< not V
+};
+
+/** V8 trap types (tt field of TBR). */
+enum class TrapType : std::uint32_t {
+    Reset = 0x00,
+    InstructionAccess = 0x01,
+    IllegalInstruction = 0x02,
+    PrivilegedInstruction = 0x03,
+    WindowOverflow = 0x05,
+    WindowUnderflow = 0x06,
+    MemAddressNotAligned = 0x07,
+    DataAccess = 0x09,
+    TrapInstructionBase = 0x80, ///< Ticc: 0x80 + (operand & 0x7f)
+};
+
+// --- PSR bit positions (V8 §4.2) ---
+inline constexpr std::uint32_t kPsrCwpMask = 0x1F;
+inline constexpr std::uint32_t kPsrEtBit = 1u << 5;
+inline constexpr std::uint32_t kPsrPsBit = 1u << 6;
+inline constexpr std::uint32_t kPsrSBit = 1u << 7;
+inline constexpr int kPsrIccShift = 20;
+inline constexpr std::uint32_t kIccC = 1u << 20;
+inline constexpr std::uint32_t kIccV = 1u << 21;
+inline constexpr std::uint32_t kIccZ = 1u << 22;
+inline constexpr std::uint32_t kIccN = 1u << 23;
+
+// --- register numbers ---
+inline constexpr int kRegG0 = 0;
+inline constexpr int kRegO0 = 8;
+inline constexpr int kRegSp = 14; ///< %o6
+inline constexpr int kRegO7 = 15;
+inline constexpr int kRegL0 = 16;
+inline constexpr int kRegL1 = 17; ///< trap: saved PC
+inline constexpr int kRegL2 = 18; ///< trap: saved nPC
+inline constexpr int kRegI0 = 24;
+inline constexpr int kRegFp = 30; ///< %i6
+inline constexpr int kRegI7 = 31;
+
+// --- field extraction helpers ---
+
+constexpr Op
+opOf(Word insn)
+{
+    return static_cast<Op>(insn >> 30);
+}
+
+constexpr std::uint32_t op2Of(Word insn) { return (insn >> 22) & 0x7; }
+constexpr std::uint32_t op3Of(Word insn) { return (insn >> 19) & 0x3F; }
+constexpr int rdOf(Word insn) { return (insn >> 25) & 0x1F; }
+constexpr int rs1Of(Word insn) { return (insn >> 14) & 0x1F; }
+constexpr int rs2Of(Word insn) { return insn & 0x1F; }
+constexpr bool iBitOf(Word insn) { return (insn >> 13) & 1; }
+constexpr bool annulOf(Word insn) { return (insn >> 29) & 1; }
+constexpr std::uint32_t condOf(Word insn) { return (insn >> 25) & 0xF; }
+constexpr std::uint32_t imm22Of(Word insn) { return insn & 0x3FFFFF; }
+
+/** simm13, sign-extended. */
+constexpr std::int32_t
+simm13Of(Word insn)
+{
+    return static_cast<std::int32_t>(insn << 19) >> 19;
+}
+
+/** disp22 (word offset), sign-extended. */
+constexpr std::int32_t
+disp22Of(Word insn)
+{
+    return static_cast<std::int32_t>(insn << 10) >> 10;
+}
+
+/** disp30 (word offset), sign-extended. */
+constexpr std::int32_t
+disp30Of(Word insn)
+{
+    return static_cast<std::int32_t>(insn << 2) >> 2;
+}
+
+// --- encoding helpers (used by the assembler and tests) ---
+
+constexpr Word
+encodeFmt3(Op op, int rd, std::uint32_t op3, int rs1, bool i,
+           std::uint32_t low13)
+{
+    return (static_cast<Word>(op) << 30) |
+           (static_cast<Word>(rd & 0x1F) << 25) | ((op3 & 0x3F) << 19) |
+           (static_cast<Word>(rs1 & 0x1F) << 14) |
+           (static_cast<Word>(i) << 13) | (low13 & 0x1FFF);
+}
+
+constexpr Word
+encodeArithReg(Op3A op3, int rd, int rs1, int rs2)
+{
+    return encodeFmt3(Op::Arith, rd, static_cast<std::uint32_t>(op3),
+                      rs1, false, static_cast<std::uint32_t>(rs2 & 0x1F));
+}
+
+constexpr Word
+encodeArithImm(Op3A op3, int rd, int rs1, std::int32_t simm13)
+{
+    return encodeFmt3(Op::Arith, rd, static_cast<std::uint32_t>(op3),
+                      rs1, true,
+                      static_cast<std::uint32_t>(simm13) & 0x1FFF);
+}
+
+constexpr Word
+encodeMemReg(Op3M op3, int rd, int rs1, int rs2)
+{
+    return encodeFmt3(Op::Mem, rd, static_cast<std::uint32_t>(op3), rs1,
+                      false, static_cast<std::uint32_t>(rs2 & 0x1F));
+}
+
+constexpr Word
+encodeMemImm(Op3M op3, int rd, int rs1, std::int32_t simm13)
+{
+    return encodeFmt3(Op::Mem, rd, static_cast<std::uint32_t>(op3), rs1,
+                      true, static_cast<std::uint32_t>(simm13) & 0x1FFF);
+}
+
+constexpr Word
+encodeSethi(int rd, std::uint32_t imm22)
+{
+    return (0u << 30) | (static_cast<Word>(rd & 0x1F) << 25) |
+           (4u << 22) | (imm22 & 0x3FFFFF);
+}
+
+constexpr Word
+encodeBicc(Cond cond, bool annul, std::int32_t disp22)
+{
+    return (0u << 30) | (static_cast<Word>(annul) << 29) |
+           (static_cast<Word>(cond) << 25) | (2u << 22) |
+           (static_cast<std::uint32_t>(disp22) & 0x3FFFFF);
+}
+
+constexpr Word
+encodeCall(std::int32_t disp30)
+{
+    return (1u << 30) | (static_cast<std::uint32_t>(disp30) & 0x3FFFFFFF);
+}
+
+} // namespace sparc
+} // namespace crw
+
+#endif // CRW_SPARC_ISA_H_

@@ -1,0 +1,83 @@
+#include "sparc/regfile.h"
+
+#include "common/logging.h"
+#include "sparc/isa.h"
+
+namespace crw {
+namespace sparc {
+
+RegFile::RegFile(int num_windows)
+    : space_(num_windows),
+      globals_(8, 0),
+      store_(static_cast<std::size_t>(num_windows) * 16, 0)
+{
+    if (num_windows < 2 || num_windows > 32)
+        crw_fatal << "SPARC V8 allows 2..32 windows, got "
+                  << num_windows;
+}
+
+int
+RegFile::slotIndex(int cwp, int reg) const
+{
+    crw_assert(cwp >= 0 && cwp < space_.size());
+    crw_assert(reg >= 0 && reg < 32);
+    if (reg < 8)
+        return -1; // global
+    if (reg < 16) {
+        // outs: physically the ins of the window above (cwp - 1).
+        const int w = space_.above(cwp);
+        return w * 16 + 8 + (reg - 8);
+    }
+    if (reg < 24)
+        return cwp * 16 + (reg - 16); // locals
+    return cwp * 16 + 8 + (reg - 24); // ins
+}
+
+Word
+RegFile::get(int cwp, int reg) const
+{
+    if (reg == 0)
+        return 0;
+    const int idx = slotIndex(cwp, reg);
+    if (idx < 0)
+        return globals_[static_cast<std::size_t>(reg)];
+    return store_[static_cast<std::size_t>(idx)];
+}
+
+void
+RegFile::set(int cwp, int reg, Word value)
+{
+    if (reg == 0)
+        return;
+    const int idx = slotIndex(cwp, reg);
+    if (idx < 0)
+        globals_[static_cast<std::size_t>(reg)] = value;
+    else
+        store_[static_cast<std::size_t>(idx)] = value;
+}
+
+Word
+RegFile::getRaw(int window, int slot) const
+{
+    crw_assert(window >= 0 && window < space_.size());
+    crw_assert(slot >= 0 && slot < 16);
+    return store_[static_cast<std::size_t>(window * 16 + slot)];
+}
+
+void
+RegFile::setRaw(int window, int slot, Word value)
+{
+    crw_assert(window >= 0 && window < space_.size());
+    crw_assert(slot >= 0 && slot < 16);
+    store_[static_cast<std::size_t>(window * 16 + slot)] = value;
+}
+
+void
+RegFile::reset()
+{
+    std::fill(globals_.begin(), globals_.end(), 0);
+    std::fill(store_.begin(), store_.end(), 0);
+}
+
+} // namespace sparc
+} // namespace crw

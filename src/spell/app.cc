@@ -1,0 +1,243 @@
+#include "spell/app.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "spell/delatex.h"
+
+namespace crw {
+
+const char *
+concurrencyName(ConcurrencyLevel c)
+{
+    return c == ConcurrencyLevel::High ? "HC" : "LC";
+}
+
+const char *
+granularityName(GranularityLevel g)
+{
+    switch (g) {
+      case GranularityLevel::Fine:   return "fine";
+      case GranularityLevel::Medium: return "medium";
+      case GranularityLevel::Coarse: return "coarse";
+    }
+    return "?";
+}
+
+SpellConfig
+behaviorConfig(ConcurrencyLevel c, GranularityLevel g)
+{
+    SpellConfig cfg;
+    switch (g) {
+      case GranularityLevel::Fine:   cfg.n = 1;  break;
+      case GranularityLevel::Medium: cfg.n = 4;  break;
+      case GranularityLevel::Coarse: cfg.n = 16; break;
+    }
+    cfg.m = (c == ConcurrencyLevel::High) ? cfg.n : 1024;
+    return cfg;
+}
+
+SpellWorkload
+SpellWorkload::make(const SpellConfig &config)
+{
+    SpellWorkload wl;
+    const auto vocab =
+        makeVocabulary(config.vocabularyWords, config.seed);
+
+    // Main dictionary: a deterministic ~95% subset of the vocabulary,
+    // serialized to the dictionary-stream size. The held-out 5% plus
+    // injected typos are the words the checker should flag.
+    Rng pick(config.seed ^ 0xD1C7);
+    std::vector<std::string> dict_words;
+    dict_words.reserve(vocab.size());
+    for (const auto &w : vocab)
+        if (!pick.nextBool(0.05))
+            dict_words.push_back(w);
+    wl.mainDictText = serializeWordList(dict_words, config.dictBytes);
+
+    // Stop list: derived forms that look legal to the suffix stripper
+    // but are wrong (UNIX spell's "stop list"); T2 filters these.
+    static constexpr std::string_view kBadSuffixes[] = {
+        "s", "es", "ed", "ing", "ly", "ment", "ness",
+    };
+    Rng stop_rng(config.seed ^ 0x57A7);
+    std::vector<std::string> stop_words;
+    std::size_t stop_bytes = 0;
+    while (stop_bytes + 12 < config.dictBytes) {
+        std::string w = vocab[stop_rng.nextBelow(vocab.size())];
+        w += kBadSuffixes[stop_rng.nextBelow(std::size(kBadSuffixes))];
+        stop_bytes += w.size() + 1;
+        stop_words.push_back(std::move(w));
+    }
+    wl.stopDictText = serializeWordList(stop_words, config.dictBytes);
+
+    CorpusConfig corpus_cfg;
+    corpus_cfg.targetBytes = config.corpusBytes;
+    corpus_cfg.seed = config.seed ^ 0xC0DE;
+    wl.corpus = makeCorpus(vocab, corpus_cfg);
+    return wl;
+}
+
+const char *
+SpellApp::threadLabel(int n)
+{
+    static const char *const kLabels[] = {
+        "T1 (delatex)", "T2 (spell1)", "T3 (spell2)", "T4 (input)",
+        "T5 (output)",  "T6 (dict1)",  "T7 (dict2)",
+    };
+    crw_assert(n >= 1 && n <= kNumThreads);
+    return kLabels[n - 1];
+}
+
+SpellApp::SpellApp(Runtime &rt, const SpellWorkload &workload,
+                   const SpellConfig &config)
+    : rt_(rt),
+      workload_(workload),
+      config_(config)
+{
+    s1_ = std::make_unique<Stream>(rt_, "S1", config_.m);
+    s2_ = std::make_unique<Stream>(rt_, "S2", config_.n);
+    s3_ = std::make_unique<Stream>(rt_, "S3", config_.n);
+    s4_ = std::make_unique<Stream>(rt_, "S4", config_.m, 2);
+    s5_ = std::make_unique<Stream>(rt_, "S5", config_.m);
+    s6_ = std::make_unique<Stream>(rt_, "S6", config_.m);
+    spawnThreads();
+}
+
+ThreadId
+SpellApp::tid(int n) const
+{
+    crw_assert(n >= 1 && n <= kNumThreads);
+    return tids_[n - 1];
+}
+
+void
+SpellApp::spawnThreads()
+{
+    Runtime &rt = rt_;
+
+    // T1: delatex — strip LaTeX, one word per line into S2.
+    tids_[0] = rt.spawn("T1", [this, &rt] {
+        Delatex lexer([this, &rt](const std::string &word) {
+            Frame action(rt); // the lex action routine
+            rt.charge(2);
+            s2_->putBytes(word);
+            s2_->putByte('\n');
+            ++report_.wordsFromDelatex;
+        });
+        int c;
+        while ((c = s1_->getByte()) != kEof) {
+            rt.charge(1); // scanner work per character
+            lexer.feed(static_cast<char>(c));
+        }
+        lexer.finish();
+        s2_->close();
+    });
+
+    // T2: spell1 — filter incorrect derivatives using the stop list.
+    tids_[1] = rt.spawn("T2", [this, &rt] {
+        Lexicon stop;
+        {
+            // Phase 1: read the stop dictionary from T6.
+            std::string line;
+            while (s5_->getLine(line)) {
+                Frame insert(rt);
+                rt.charge(3 + static_cast<Cycles>(line.size()));
+                stop.insert(line);
+            }
+        }
+        // Phase 2: route words.
+        std::string word;
+        while (s2_->getLine(word)) {
+            Frame check(rt);
+            rt.charge(2 + static_cast<Cycles>(word.size()));
+            if (stop.lookupDerived(rt, word)) {
+                s4_->putBytes(word);
+                s4_->putByte('\n');
+            } else {
+                s3_->putBytes(word);
+                s3_->putByte('\n');
+            }
+        }
+        s3_->close();
+        s4_->close();
+    });
+
+    // T3: spell2 — pass only words absent from the main dictionary
+    // (taking derivatives into account).
+    tids_[2] = rt.spawn("T3", [this, &rt] {
+        Lexicon dict;
+        {
+            // Phase 1: read the main dictionary from T7.
+            std::string line;
+            while (s6_->getLine(line)) {
+                Frame insert(rt);
+                rt.charge(3 + static_cast<Cycles>(line.size()));
+                dict.insert(line);
+            }
+        }
+        std::string word;
+        while (s3_->getLine(word)) {
+            Frame check(rt);
+            rt.charge(2 + static_cast<Cycles>(word.size()));
+            if (!dict.lookupDerived(rt, word)) {
+                s4_->putBytes(word);
+                s4_->putByte('\n');
+            }
+        }
+        s4_->close();
+    });
+
+    // T4-T7 correspond to OS kernel threads; instead of reading or
+    // writing disks they copy between their internal memory buffers
+    // ("disk cache") and the streams, word (4 bytes) at a time — which
+    // is why their dynamic save counts are ~bytes/4 in Table 1.
+    constexpr std::size_t kWord = 4;
+
+    // T4: input — copy the corpus into S1.
+    tids_[3] = rt.spawn("T4", [this, &rt] {
+        const std::string_view text = workload_.corpus;
+        for (std::size_t pos = 0; pos < text.size(); pos += kWord)
+            s1_->putChunk(text.substr(pos, kWord));
+        s1_->close();
+    });
+
+    // T5: output — collect flagged words into the report buffer.
+    tids_[4] = rt.spawn("T5", [this, &rt] {
+        std::string cache;
+        char word[kWord];
+        std::size_t got;
+        while ((got = s4_->getChunk(word, kWord)) > 0)
+            cache.append(word, got);
+        // Split the cached report into lines (local memory operation).
+        rt.charge(static_cast<Cycles>(cache.size()));
+        std::string line;
+        for (const char c : cache) {
+            if (c == '\n') {
+                report_.misspelled.push_back(line);
+                line.clear();
+            } else {
+                line.push_back(c);
+            }
+        }
+        if (!line.empty())
+            report_.misspelled.push_back(line);
+    });
+
+    // T6: dict1 — stream the stop list to T2.
+    tids_[5] = rt.spawn("T6", [this, &rt] {
+        const std::string_view text = workload_.stopDictText;
+        for (std::size_t pos = 0; pos < text.size(); pos += kWord)
+            s5_->putChunk(text.substr(pos, kWord));
+        s5_->close();
+    });
+
+    // T7: dict2 — stream the main dictionary to T3.
+    tids_[6] = rt.spawn("T7", [this, &rt] {
+        const std::string_view text = workload_.mainDictText;
+        for (std::size_t pos = 0; pos < text.size(); pos += kWord)
+            s6_->putChunk(text.substr(pos, kWord));
+        s6_->close();
+    });
+}
+
+} // namespace crw

@@ -1,0 +1,105 @@
+#include "spell/corpus.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace crw {
+
+namespace {
+
+constexpr std::string_view kSuffixes[] = {
+    "s", "es", "ed", "ing", "ly", "er", "est", "ness", "ment",
+};
+
+constexpr std::string_view kSkipCommands[] = {
+    "\\cite{ref91a}", "\\ref{fig:arch}", "\\label{sec:eval}",
+    "\\cite{hk93}",   "\\ref{tab:cost}",
+};
+
+/** Corrupt one character so the word leaves the vocabulary. */
+std::string
+misspell(Rng &rng, std::string word)
+{
+    if (word.empty())
+        return word;
+    const auto pos = rng.nextBelow(word.size());
+    // Replace with a letter unlikely to produce another valid word.
+    word[pos] = static_cast<char>('q' + rng.nextBelow(2)); // q or r
+    word.insert(pos, 1, 'q');
+    return word;
+}
+
+} // namespace
+
+std::string
+makeCorpus(const std::vector<std::string> &vocabulary,
+           const CorpusConfig &config)
+{
+    crw_assert(!vocabulary.empty());
+    Rng rng(config.seed);
+    ZipfSampler zipf(static_cast<int>(vocabulary.size()),
+                     config.zipfSkew);
+
+    std::string text;
+    text.reserve(config.targetBytes + 128);
+    text += "\\documentclass{article}\n"
+            "\\usepackage{windows}\n"
+            "% synthetic draft, deterministic seed\n"
+            "\\begin{document}\n";
+
+    auto emit_word = [&] {
+        std::string word = vocabulary[static_cast<std::size_t>(
+            zipf.sample(rng))];
+        if (rng.nextBool(config.deriveProb))
+            word += kSuffixes[rng.nextBelow(std::size(kSuffixes))];
+        if (rng.nextBool(config.typoProb))
+            word = misspell(rng, std::move(word));
+        text += word;
+    };
+
+    int words_in_line = 0;
+    int lines_in_para = 0;
+    while (text.size() < config.targetBytes) {
+        const auto roll = rng.nextBelow(100);
+        if (roll < 2) {
+            text += "\n\\section{";
+            emit_word();
+            text += ' ';
+            emit_word();
+            text += "}\n";
+            words_in_line = 0;
+        } else if (roll < 4) {
+            text += kSkipCommands[rng.nextBelow(
+                std::size(kSkipCommands))];
+            text += ' ';
+        } else if (roll < 6) {
+            text += "$x_{i} + y^{2}$ ";
+        } else if (roll < 8) {
+            text += "% ";
+            emit_word();
+            text += '\n';
+            words_in_line = 0;
+        } else if (roll < 10) {
+            text += "{\\em ";
+            emit_word();
+            text += "} ";
+        } else {
+            emit_word();
+            ++words_in_line;
+            if (words_in_line >= 9) {
+                text += '\n';
+                words_in_line = 0;
+                if (++lines_in_para >= 6) {
+                    text += '\n';
+                    lines_in_para = 0;
+                }
+            } else {
+                text += ' ';
+            }
+        }
+    }
+    text += "\n\\end{document}\n";
+    return text;
+}
+
+} // namespace crw

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Synthetic LaTeX corpus generation.
+ *
+ * Stands in for the paper's input — "a draft version of this paper...
+ * 40500 bytes long" (§5.1). The generator produces a deterministic
+ * LaTeX document of a requested size: preamble, sections, paragraphs
+ * of Zipf-distributed vocabulary words, inline commands, math spans,
+ * comments, and derivative word forms; a controlled fraction of words
+ * are misspelled so the pipeline has real work.
+ */
+
+#ifndef CRW_SPELL_CORPUS_H_
+#define CRW_SPELL_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crw {
+
+/** Parameters of the corpus generator. */
+struct CorpusConfig
+{
+    std::size_t targetBytes = 40500;
+    std::uint64_t seed = 0xC0FFEE;
+    double zipfSkew = 1.05;
+    /** Probability a word is emitted with a derivative suffix. */
+    double deriveProb = 0.18;
+    /** Probability a word is deliberately misspelled. */
+    double typoProb = 0.02;
+};
+
+/**
+ * Generate a LaTeX document over @p vocabulary. The text length is
+ * targetBytes up to the final token boundary.
+ */
+std::string makeCorpus(const std::vector<std::string> &vocabulary,
+                       const CorpusConfig &config);
+
+} // namespace crw
+
+#endif // CRW_SPELL_CORPUS_H_

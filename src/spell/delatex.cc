@@ -1,0 +1,125 @@
+#include "spell/delatex.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace crw {
+
+Delatex::Delatex(EmitFn emit)
+    : emit_(std::move(emit))
+{
+    crw_assert(emit_ != nullptr);
+}
+
+bool
+Delatex::isSkipArgCommand(const std::string &name)
+{
+    static const std::array<std::string_view, 12> kSkip = {
+        "begin",         "end",    "cite",          "ref",
+        "label",         "input",  "documentclass", "usepackage",
+        "bibliography",  "pageref", "includegraphics",
+        "bibliographystyle",
+    };
+    for (const auto &s : kSkip)
+        if (name == s)
+            return true;
+    return false;
+}
+
+void
+Delatex::flushWord()
+{
+    if (word_.size() >= 2) {
+        emit_(word_);
+        ++wordsEmitted_;
+    }
+    word_.clear();
+}
+
+void
+Delatex::textChar(char c)
+{
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+        word_.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+        return;
+    }
+    flushWord();
+    switch (c) {
+      case '\\':
+        state_ = State::Command;
+        command_.clear();
+        break;
+      case '$':
+        state_ = State::Math;
+        break;
+      case '%':
+        state_ = State::Comment;
+        break;
+      default:
+        break; // separators: spaces, digits, punctuation, braces
+    }
+}
+
+void
+Delatex::feed(char c)
+{
+    switch (state_) {
+      case State::Text:
+        textChar(c);
+        break;
+
+      case State::Command:
+        if (std::isalpha(static_cast<unsigned char>(c))) {
+            command_.push_back(c);
+            break;
+        }
+        if (command_.empty()) {
+            // Single-character command like \\ or \% — swallow it.
+            state_ = State::Text;
+            break;
+        }
+        if (c == '{' && isSkipArgCommand(command_)) {
+            state_ = State::ArgSkip;
+            braceDepth_ = 1;
+            break;
+        }
+        // Command without skipped argument: its argument (if any) is
+        // prose; reprocess this character as text.
+        state_ = State::Text;
+        textChar(c);
+        break;
+
+      case State::ArgSkip:
+        if (c == '{') {
+            ++braceDepth_;
+        } else if (c == '}') {
+            if (--braceDepth_ == 0)
+                state_ = State::Text;
+        }
+        break;
+
+      case State::Math:
+        if (c == '$')
+            state_ = State::Text;
+        break;
+
+      case State::Comment:
+        if (c == '\n')
+            state_ = State::Text;
+        break;
+    }
+}
+
+void
+Delatex::finish()
+{
+    if (state_ == State::Text)
+        flushWord();
+    word_.clear();
+    state_ = State::Text;
+}
+
+} // namespace crw

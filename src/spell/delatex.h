@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The "delatex" lexer of thread T1 (paper §5.1).
+ *
+ * The paper's T1 is a lex-generated filter that "removes LaTeX
+ * commands from the input, and makes each line have just one word";
+ * this is a hand-written equivalent state machine. It is a pure class
+ * (characters in, words out) so it can be unit-tested exhaustively;
+ * the T1 thread wraps it with streams and Frames.
+ */
+
+#ifndef CRW_SPELL_DELATEX_H_
+#define CRW_SPELL_DELATEX_H_
+
+#include <functional>
+#include <string>
+
+namespace crw {
+
+/**
+ * Streaming LaTeX-stripping tokenizer.
+ *
+ * Behaviour:
+ *  - runs of letters become lowercase words (length >= 2 emitted);
+ *  - `\name` commands are swallowed; for argument-carrying commands
+ *    whose argument is not prose (\cite, \ref, \label, \begin, ...)
+ *    the braced argument is skipped too;
+ *  - `$...$` math and `%...` comments are skipped;
+ *  - everything else is a word separator.
+ */
+class Delatex
+{
+  public:
+    using EmitFn = std::function<void(const std::string &)>;
+
+    explicit Delatex(EmitFn emit);
+
+    /** Process one input character. */
+    void feed(char c);
+
+    /** Flush a pending word at end of input. */
+    void finish();
+
+    /** Words emitted so far. */
+    std::uint64_t wordsEmitted() const { return wordsEmitted_; }
+
+  private:
+    enum class State {
+        Text,    ///< ordinary prose
+        Command, ///< accumulating a \command name
+        ArgSkip, ///< inside a skipped {…} argument (tracks nesting)
+        Math,    ///< inside $…$
+        Comment, ///< after % until end of line
+    };
+
+    static bool isSkipArgCommand(const std::string &name);
+
+    void flushWord();
+    void textChar(char c);
+
+    EmitFn emit_;
+    State state_ = State::Text;
+    std::string word_;
+    std::string command_;
+    int braceDepth_ = 0;
+    std::uint64_t wordsEmitted_ = 0;
+};
+
+} // namespace crw
+
+#endif // CRW_SPELL_DELATEX_H_

@@ -1,0 +1,169 @@
+#include "spell/words.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace crw {
+
+namespace {
+
+constexpr std::string_view kOnsets[] = {
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h",
+    "j", "k", "l", "m", "n", "p", "pl", "pr", "qu", "r", "s", "sc",
+    "sh", "sl", "sp", "st", "str", "t", "th", "tr", "v", "w", "z",
+};
+
+constexpr std::string_view kVowels[] = {
+    "a", "e", "i", "o", "u", "ai", "ea", "io", "ou",
+};
+
+constexpr std::string_view kCodas[] = {
+    "", "b", "ck", "d", "g", "l", "ll", "m", "n", "nd", "ng", "nt",
+    "p", "r", "rd", "rn", "s", "ss", "st", "t", "x",
+};
+
+} // namespace
+
+std::string
+makeWord(Rng &rng)
+{
+    std::string word;
+    const int syllables = 1 + static_cast<int>(rng.nextBelow(3));
+    for (int s = 0; s < syllables; ++s) {
+        word += kOnsets[rng.nextBelow(std::size(kOnsets))];
+        word += kVowels[rng.nextBelow(std::size(kVowels))];
+        if (s == syllables - 1 || rng.nextBool(0.35))
+            word += kCodas[rng.nextBelow(std::size(kCodas))];
+    }
+    if (word.size() > 11)
+        word.resize(11);
+    return word;
+}
+
+std::vector<std::string>
+makeVocabulary(int count, std::uint64_t seed)
+{
+    crw_assert(count > 0);
+    Rng rng(seed);
+    std::unordered_set<std::string> seen;
+    std::vector<std::string> words;
+    words.reserve(static_cast<std::size_t>(count));
+    while (static_cast<int>(words.size()) < count) {
+        std::string w = makeWord(rng);
+        if (seen.insert(w).second)
+            words.push_back(std::move(w));
+    }
+    std::sort(words.begin(), words.end());
+    return words;
+}
+
+std::string
+serializeWordList(const std::vector<std::string> &words,
+                  std::size_t target_bytes, std::size_t *used_out)
+{
+    std::string text;
+    std::size_t used = 0;
+    for (const std::string &w : words) {
+        if (text.size() + w.size() + 1 > target_bytes)
+            break;
+        text += w;
+        text += '\n';
+        ++used;
+    }
+    if (used_out)
+        *used_out = used;
+    return text;
+}
+
+void
+Lexicon::insert(std::string word)
+{
+    words_.insert(std::move(word));
+}
+
+bool
+Lexicon::containsExact(std::string_view word) const
+{
+    // C++20 heterogeneous lookup on unordered_set<string> needs a
+    // transparent hash; a temporary string keeps it simple here.
+    return words_.count(std::string(word)) != 0;
+}
+
+bool
+Lexicon::lookup(Runtime &rt, std::string_view word) const
+{
+    Frame frame(rt); // the hash-probe procedure
+    rt.charge(3 + static_cast<Cycles>(word.size()));
+    return containsExact(word);
+}
+
+void
+Lexicon::stripOnce(std::string_view word, std::vector<std::string> &out)
+{
+    const auto ends = [&](std::string_view suffix) {
+        return word.size() >= suffix.size() &&
+               word.substr(word.size() - suffix.size()) == suffix;
+    };
+    const auto base = [&](std::size_t drop) {
+        return std::string(word.substr(0, word.size() - drop));
+    };
+    // Candidate stems shorter than 3 letters are noise; drop them
+    // (UNIX spell similarly refuses tiny roots).
+    const auto push = [&out](std::string candidate) {
+        if (candidate.size() >= 3)
+            out.push_back(std::move(candidate));
+    };
+
+    if (ends("ies"))
+        push(base(3) + "y");
+    if (ends("es"))
+        push(base(2));
+    else if (ends("s") && !ends("ss"))
+        push(base(1));
+    if (ends("ed")) {
+        push(base(2));
+        push(base(1)); // -d for stems already ending in e
+    }
+    if (ends("ing")) {
+        push(base(3));
+        push(base(3) + "e");
+    }
+    if (ends("ly"))
+        push(base(2));
+    if (ends("est"))
+        push(base(3));
+    else if (ends("er"))
+        push(base(2));
+    if (ends("ness"))
+        push(base(4));
+    if (ends("ment"))
+        push(base(4));
+}
+
+bool
+Lexicon::lookupDerivedRec(Runtime &rt, std::string_view word,
+                          int budget) const
+{
+    Frame frame(rt); // one stripping activation per level
+    rt.charge(4 + static_cast<Cycles>(word.size()));
+    if (lookup(rt, word))
+        return true;
+    if (budget == 0)
+        return false;
+    std::vector<std::string> bases;
+    stripOnce(word, bases);
+    for (const std::string &b : bases) {
+        if (lookupDerivedRec(rt, b, budget - 1))
+            return true;
+    }
+    return false;
+}
+
+bool
+Lexicon::lookupDerived(Runtime &rt, std::string_view word) const
+{
+    return lookupDerivedRec(rt, word, kMaxStrip);
+}
+
+} // namespace crw

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic vocabulary synthesis and dictionary lookup.
+ *
+ * Substitution note (DESIGN.md §3): the paper used real UNIX spell
+ * dictionaries and a 40,500-byte LaTeX draft of the paper itself. We
+ * synthesize a pronounceable vocabulary with a Zipf frequency
+ * distribution so the spell pipeline sees realistic, irregular word
+ * traffic, and size the serialized dictionaries to the paper's
+ * 50,001-byte dictionary streams.
+ *
+ * The Lexicon implements UNIX-spell-style lookup: a word is accepted
+ * if it, or a base form reached by iteratively stripping derivative
+ * suffixes (-s, -es, -ies, -ed, -ing, -ly, -er, -est, -ness, -ment),
+ * is present. The recursive stripping is what gives the spell threads
+ * their variable call depth — exactly the "realistic window activity"
+ * the paper wants from this application (§5.1).
+ */
+
+#ifndef CRW_SPELL_WORDS_H_
+#define CRW_SPELL_WORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "rt/runtime.h"
+
+namespace crw {
+
+/** Generate one pronounceable lowercase word of 3..11 letters. */
+std::string makeWord(Rng &rng);
+
+/**
+ * Generate @p count distinct base words, sorted, deterministic in
+ * @p seed.
+ */
+std::vector<std::string> makeVocabulary(int count, std::uint64_t seed);
+
+/**
+ * Serialize words (newline-separated) until the text reaches
+ * approximately @p target_bytes; returns the prefix actually used via
+ * @p used_out when non-null.
+ */
+std::string serializeWordList(const std::vector<std::string> &words,
+                              std::size_t target_bytes,
+                              std::size_t *used_out = nullptr);
+
+/**
+ * A hash set of words with derivative-aware lookup.
+ *
+ * Lookup methods that take a Runtime are *traced*: they open Frames
+ * (simulated register-window activations) and charge compute cycles,
+ * because on the target machine they are real procedure calls — the
+ * heart of the spell threads' window activity.
+ */
+class Lexicon
+{
+  public:
+    Lexicon() = default;
+
+    void insert(std::string word);
+    bool containsExact(std::string_view word) const;
+    std::size_t size() const { return words_.size(); }
+
+    /**
+     * Traced exact lookup: hash probe as one procedure activation.
+     */
+    bool lookup(Runtime &rt, std::string_view word) const;
+
+    /**
+     * Traced derivative-aware lookup (UNIX spell): accept the word if
+     * it or any iteratively-stripped base form is present. Recursion
+     * depth is bounded by kMaxStrip.
+     */
+    bool lookupDerived(Runtime &rt, std::string_view word) const;
+
+    static constexpr int kMaxStrip = 3;
+
+    /**
+     * Apply every applicable single-suffix strip to @p word; appends
+     * the resulting base candidates to @p out. Pure (untraced) —
+     * exposed for unit tests.
+     */
+    static void stripOnce(std::string_view word,
+                          std::vector<std::string> &out);
+
+  private:
+    bool lookupDerivedRec(Runtime &rt, std::string_view word,
+                          int budget) const;
+
+    std::unordered_set<std::string> words_;
+};
+
+} // namespace crw
+
+#endif // CRW_SPELL_WORDS_H_

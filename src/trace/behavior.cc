@@ -1,0 +1,90 @@
+#include "trace/behavior.h"
+
+#include "common/logging.h"
+
+namespace crw {
+
+BehaviorTracker::BehaviorTracker(int period_switches)
+    : periodSwitches_(period_switches)
+{
+    crw_assert(period_switches >= 1);
+}
+
+void
+BehaviorTracker::noteDepth(ThreadId tid, int depth)
+{
+    quantumRange_.note(depth);
+    periodRanges_[tid].note(depth);
+}
+
+void
+BehaviorTracker::onSave(ThreadId tid, int depth)
+{
+    crw_assert(tid == running_);
+    noteDepth(tid, depth);
+}
+
+void
+BehaviorTracker::onRestore(ThreadId tid, int depth)
+{
+    crw_assert(tid == running_);
+    noteDepth(tid, depth);
+}
+
+void
+BehaviorTracker::closeQuantum(Cycles now)
+{
+    if (running_ == kNoThread)
+        return;
+    activityPerQuantum_.sample(quantumRange_.span());
+    granularity_.sample(static_cast<double>(now - quantumStart_));
+}
+
+void
+BehaviorTracker::closePeriod()
+{
+    if (periodRanges_.empty())
+        return;
+    double total = 0;
+    for (const auto &kv : periodRanges_)
+        total += kv.second.span();
+    totalActivity_.sample(total);
+    concurrency_.sample(static_cast<double>(periodRanges_.size()));
+    periodRanges_.clear();
+    switchesInPeriod_ = 0;
+}
+
+void
+BehaviorTracker::onSwitch(ThreadId from, ThreadId to, int to_depth,
+                          Cycles begin, Cycles end)
+{
+    (void)from;
+    closeQuantum(begin);
+    running_ = to;
+    quantumRange_ = DepthRange{};
+    quantumStart_ = end;
+    // The scheduled thread's current window counts as used right away
+    // (its stack-top is demanded first, §3.1).
+    noteDepth(to, to_depth);
+    if (++switchesInPeriod_ >= periodSwitches_)
+        closePeriod();
+}
+
+void
+BehaviorTracker::onExit(ThreadId tid)
+{
+    (void)tid;
+    // The quantum ends here; granularity is closed by the next switch
+    // (or finish()). Nothing special to do: the thread's depth range
+    // within the period remains counted.
+}
+
+void
+BehaviorTracker::finish(Cycles now)
+{
+    closeQuantum(now);
+    running_ = kNoThread;
+    closePeriod();
+}
+
+} // namespace crw

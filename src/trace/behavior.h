@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Program-behavior instrumentation, paper §5.
+ *
+ * Definitions implemented here (quoted terms from the paper):
+ *
+ *  - "Window activity per thread": the number of windows used between
+ *    two successive context switches, assuming an infinite number of
+ *    windows; a repeatedly-used window counts once. With infinite
+ *    windows every call depth maps to a unique window, and the depths
+ *    visited in a scheduling quantum form a contiguous range, so the
+ *    activity equals maxDepth - minDepth + 1 over the quantum.
+ *
+ *  - "Total window activity": the number of windows used during a
+ *    given period under the same assumption — the sum over threads of
+ *    each thread's depth-range size within the period. Measured over
+ *    fixed-length periods of context switches.
+ *
+ *  - "Concurrency": the number of distinct threads scheduled at least
+ *    once during a period.
+ *
+ *  - "Granularity": execution run length between two successive
+ *    context switches (cycles per scheduling quantum).
+ *
+ *  - "Parallel slackness" is sampled by the Scheduler itself (ready
+ *    queue length at dispatch).
+ *
+ * These metrics are scheme-independent whenever scheduling is FIFO
+ * (the paper's Table 1 argument), which the tests verify.
+ */
+
+#ifndef CRW_TRACE_BEHAVIOR_H_
+#define CRW_TRACE_BEHAVIOR_H_
+
+#include <map>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "win/engine.h"
+
+namespace crw {
+
+/**
+ * EngineObserver computing the §5 behavior metrics. Install with
+ * WindowEngine::setObserver before running; read the distributions
+ * afterwards (finish() flushes the final quantum/period).
+ */
+class BehaviorTracker : public EngineObserver
+{
+  public:
+    /**
+     * @param period_switches Length, in context switches, of the
+     *        period over which total window activity and concurrency
+     *        are measured.
+     */
+    explicit BehaviorTracker(int period_switches = 64);
+
+    void onSave(ThreadId tid, int depth) override;
+    void onRestore(ThreadId tid, int depth) override;
+    void onSwitch(ThreadId from, ThreadId to, int to_depth,
+                  Cycles begin, Cycles end) override;
+    void onExit(ThreadId tid) override;
+
+    /** Flush the in-progress quantum and period. Call once at end. */
+    void finish(Cycles now);
+
+    /** Windows used per scheduling quantum (activity per thread). */
+    const Distribution &activityPerQuantum() const
+    {
+        return activityPerQuantum_;
+    }
+
+    /** Sum of per-thread window footprints per period. */
+    const Distribution &totalWindowActivity() const
+    {
+        return totalActivity_;
+    }
+
+    /** Distinct threads scheduled per period. */
+    const Distribution &concurrency() const { return concurrency_; }
+
+    /** Cycles per scheduling quantum. */
+    const Distribution &granularityCycles() const
+    {
+        return granularity_;
+    }
+
+    std::uint64_t quanta() const
+    {
+        return activityPerQuantum_.count();
+    }
+
+  private:
+    void noteDepth(ThreadId tid, int depth);
+    void closeQuantum(Cycles now);
+    void closePeriod();
+
+    struct DepthRange
+    {
+        int minDepth = 0;
+        int maxDepth = 0;
+        bool touched = false;
+
+        void
+        note(int depth)
+        {
+            if (!touched) {
+                minDepth = maxDepth = depth;
+                touched = true;
+            } else {
+                if (depth < minDepth)
+                    minDepth = depth;
+                if (depth > maxDepth)
+                    maxDepth = depth;
+            }
+        }
+
+        int span() const { return touched ? maxDepth - minDepth + 1 : 0; }
+    };
+
+    int periodSwitches_;
+
+    // Current quantum.
+    ThreadId running_ = kNoThread;
+    DepthRange quantumRange_;
+    Cycles quantumStart_ = 0;
+
+    // Current period.
+    int switchesInPeriod_ = 0;
+    std::map<ThreadId, DepthRange> periodRanges_;
+
+    Distribution activityPerQuantum_;
+    Distribution totalActivity_;
+    Distribution concurrency_;
+    Distribution granularity_;
+};
+
+} // namespace crw
+
+#endif // CRW_TRACE_BEHAVIOR_H_

@@ -1,0 +1,51 @@
+#include "win/cost_model.h"
+
+#include "common/logging.h"
+
+namespace crw {
+
+const char *
+schemeName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::NS:       return "NS";
+      case SchemeKind::SNP:      return "SNP";
+      case SchemeKind::SP:       return "SP";
+      case SchemeKind::Infinite: return "INF";
+    }
+    return "?";
+}
+
+CostModel
+CostModel::paperTable2()
+{
+    CostModel m;
+    // Table 2 midpoints:
+    //   NS  (s,1), s=1..6: 147, 183, 219, 255, 291, 327  (step 36)
+    //   SNP (0,0)=115.5 (0,1)=144.5 (1,0)=166.5 (1,1)=191.5
+    //   SP  (0,0)=95.5  (0,1)=138.5 (1,1)=188.5 (2,1)=228.5
+    // Linear fits (all listed cases land inside the paper's bands):
+    m.ns = SwitchCostLine{75, 36, 36};    // (1,1)=147 ... (6,1)=327
+    m.snp = SwitchCostLine{115, 51, 29};  // 115 / 144 / 166 / 195
+    m.sp = SwitchCostLine{95, 45, 43};    // 95 / 138 / 183 / 228
+    return m;
+}
+
+Cycles
+CostModel::switchCost(SchemeKind kind, int saves, int restores) const
+{
+    crw_assert(saves >= 0 && restores >= 0);
+    switch (kind) {
+      case SchemeKind::NS:
+        return ns.cost(saves, restores);
+      case SchemeKind::SNP:
+        return snp.cost(saves, restores);
+      case SchemeKind::SP:
+        return sp.cost(saves, restores);
+      case SchemeKind::Infinite:
+        return 0;
+    }
+    crw_unreachable("bad scheme kind");
+}
+
+} // namespace crw

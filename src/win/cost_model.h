@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cycle costs of window-management operations.
+ *
+ * The paper measured every cost on real hardware (a Fujitsu S-20 SPARC
+ * on PIE64, cycles counted by a bus-monitoring logic analyzer). We keep
+ * the same cost structure and ship two presets:
+ *
+ *  - paperTable2(): linear fits through the midpoints of the cycle
+ *    bands the paper reports in Table 2 (context-switch cost as a
+ *    function of windows saved/restored per scheme), plus window-trap
+ *    costs consistent with SPARC trap-handler footprints.
+ *  - fromMeasurement(): built from cycle counts measured by running the
+ *    actual assembly handlers in crw's SPARC ISA simulator (see
+ *    src/kernel), closing the loop between the two layers.
+ */
+
+#ifndef CRW_WIN_COST_MODEL_H_
+#define CRW_WIN_COST_MODEL_H_
+
+#include "common/types.h"
+
+namespace crw {
+
+/** Window-management scheme, per paper §4.5. */
+enum class SchemeKind {
+    NS,       ///< non-sharing: flush everything on a switch
+    SNP,      ///< sharing, single global reserved window
+    SP,       ///< sharing, private reserved window per thread
+    Infinite, ///< oracle: unbounded windows, no traps (testing only)
+};
+
+/** Short display name ("NS", "SNP", "SP", "INF"). */
+const char *schemeName(SchemeKind kind);
+
+/**
+ * Context-switch cost parameters for one scheme:
+ * cycles = base + perSave * saves + perRestore * restores.
+ */
+struct SwitchCostLine
+{
+    Cycles base = 0;
+    Cycles perSave = 0;
+    Cycles perRestore = 0;
+
+    Cycles
+    cost(int saves, int restores) const
+    {
+        return base + perSave * static_cast<Cycles>(saves) +
+               perRestore * static_cast<Cycles>(restores);
+    }
+};
+
+/** All cycle-cost knobs of the window engine. */
+class CostModel
+{
+  public:
+    /** Calibrated to the paper's Table 2 (see file comment). */
+    static CostModel paperTable2();
+
+    /** Context-switch cost for @p kind moving @p saves / @p restores. */
+    Cycles switchCost(SchemeKind kind, int saves, int restores) const;
+
+    /** Overflow trap; @p spills windows written to memory (0 or 1). */
+    Cycles
+    overflowTrapCost(int spills) const
+    {
+        return overflowBase + transferSave * static_cast<Cycles>(spills);
+    }
+
+    /**
+     * Underflow trap in a sharing scheme: restore-in-place, including
+     * the copy of live in registers into the out registers and the
+     * emulation of the trapped restore's add function (paper §3.2/§4.3).
+     */
+    Cycles
+    underflowSharingCost() const
+    {
+        return underflowSharingBase + transferRestore;
+    }
+
+    /** Conventional underflow trap (NS): restore one window below. */
+    Cycles
+    underflowConventionalCost() const
+    {
+        return underflowConventionalBase + transferRestore;
+    }
+
+    /** Trap-free save or restore instruction. */
+    Cycles plainSaveRestore = 1;
+
+    /** Memory traffic for one 16-register window save / restore. */
+    Cycles transferSave = 19;
+    Cycles transferRestore = 21;
+
+    /** Trap entry/exit + handler bookkeeping, excluding the transfer. */
+    Cycles overflowBase = 46;
+    Cycles underflowSharingBase = 59;
+    Cycles underflowConventionalBase = 49;
+
+    SwitchCostLine ns;
+    SwitchCostLine snp;
+    SwitchCostLine sp;
+};
+
+} // namespace crw
+
+#endif // CRW_WIN_COST_MODEL_H_

@@ -1,0 +1,167 @@
+#include "win/engine.h"
+
+#include "common/logging.h"
+
+namespace crw {
+
+WindowEngine::WindowEngine(const EngineConfig &config)
+    : file_(config.numWindows),
+      scheme_(makeScheme(config.scheme, file_, config.prwReclaim,
+                         config.allocPolicy)),
+      cost_(config.cost),
+      checkInvariants_(config.checkInvariants),
+      stats_(std::string("engine.") + schemeName(config.scheme))
+{
+    cSaves_ = &stats_.counter("saves");
+    cRestores_ = &stats_.counter("restores");
+    cOvfTraps_ = &stats_.counter("overflow_traps");
+    cUnfTraps_ = &stats_.counter("underflow_traps");
+    cOvfSpilled_ = &stats_.counter("ovf_windows_spilled");
+    cUnfRestored_ = &stats_.counter("unf_windows_restored");
+    cCyclesTrap_ = &stats_.counter("cycles_trap");
+    cCyclesCallret_ = &stats_.counter("cycles_callret");
+    cCyclesCompute_ = &stats_.counter("cycles_compute");
+    cCyclesSwitch_ = &stats_.counter("cycles_switch");
+    cSwitches_ = &stats_.counter("switches");
+    cSwitchSaved_ = &stats_.counter("switch_windows_saved");
+    cSwitchRestored_ = &stats_.counter("switch_windows_restored");
+    dSwitchCost_ = &stats_.distribution("switch_cost");
+
+    // A sharing scheme needs room for a stack-top window, the dead
+    // window above it (reserved/PRW), and the window being grown into.
+    if (config.scheme == SchemeKind::SNP ||
+        config.scheme == SchemeKind::SP) {
+        if (config.numWindows < 3)
+            crw_fatal << "sharing schemes need at least 3 windows, got "
+                      << config.numWindows;
+    }
+}
+
+WindowEngine::~WindowEngine() = default;
+
+void
+WindowEngine::addThread(ThreadId tid)
+{
+    file_.addThread(tid);
+    if (tid >= static_cast<ThreadId>(threadCounters_.size()))
+        threadCounters_.resize(static_cast<std::size_t>(tid) + 1);
+    threadCounters_[static_cast<std::size_t>(tid)] = ThreadCounters{};
+}
+
+void
+WindowEngine::save()
+{
+    crw_assert(current_ != kNoThread);
+    const OpOutcome out = scheme_->onSave(current_);
+
+    ++*cSaves_;
+    ++threadCounters_[static_cast<std::size_t>(current_)].saves;
+    Cycles cycles = cost_.plainSaveRestore;
+    if (out.trapped) {
+        ++*cOvfTraps_;
+        *cOvfSpilled_ += static_cast<std::uint64_t>(out.windowsSaved);
+        const Cycles trap = cost_.overflowTrapCost(out.windowsSaved);
+        *cCyclesTrap_ += trap;
+        cycles += trap;
+    }
+    *cCyclesCallret_ += cost_.plainSaveRestore;
+    now_ += cycles;
+    if (observer_)
+        observer_->onSave(current_, file_.thread(current_).depth);
+    postEventCheck();
+}
+
+void
+WindowEngine::restore()
+{
+    crw_assert(current_ != kNoThread);
+    const OpOutcome out = scheme_->onRestore(current_);
+
+    ++*cRestores_;
+    ++threadCounters_[static_cast<std::size_t>(current_)].restores;
+    Cycles cycles = cost_.plainSaveRestore;
+    if (out.trapped) {
+        ++*cUnfTraps_;
+        *cUnfRestored_ += static_cast<std::uint64_t>(out.windowsRestored);
+        const Cycles trap = (scheme_->kind() == SchemeKind::NS)
+                                ? cost_.underflowConventionalCost()
+                                : cost_.underflowSharingCost();
+        *cCyclesTrap_ += trap;
+        cycles += trap;
+    }
+    *cCyclesCallret_ += cost_.plainSaveRestore;
+    now_ += cycles;
+    if (observer_)
+        observer_->onRestore(current_, file_.thread(current_).depth);
+    postEventCheck();
+}
+
+void
+WindowEngine::contextSwitch(ThreadId to)
+{
+    crw_assert(file_.hasThread(to));
+    crw_assert(to != current_);
+    const ThreadId from = current_;
+    const SwitchOutcome out = scheme_->onSwitchIn(from, to);
+    current_ = to;
+
+    ++*cSwitches_;
+    ++threadCounters_[static_cast<std::size_t>(to)].switchesIn;
+    *cSwitchSaved_ += static_cast<std::uint64_t>(out.windowsSaved);
+    *cSwitchRestored_ += static_cast<std::uint64_t>(out.windowsRestored);
+    ++switchCases_[{out.windowsSaved, out.windowsRestored}];
+
+    const Cycles cycles = cost_.switchCost(
+        scheme_->kind(), out.windowsSaved, out.windowsRestored);
+    *cCyclesSwitch_ += cycles;
+    dSwitchCost_->sample(static_cast<double>(cycles));
+    now_ += cycles;
+    if (observer_)
+        observer_->onSwitch(from, to, file_.thread(to).depth,
+                            now_ - cycles, now_);
+    postEventCheck();
+}
+
+void
+WindowEngine::threadExit()
+{
+    crw_assert(current_ != kNoThread);
+    scheme_->onExit(current_);
+    ++stats_.counter("thread_exits");
+    if (observer_)
+        observer_->onExit(current_);
+    current_ = kNoThread;
+    postEventCheck();
+}
+
+void
+WindowEngine::charge(Cycles cycles)
+{
+    *cCyclesCompute_ += cycles;
+    now_ += cycles;
+}
+
+bool
+WindowEngine::isResident(ThreadId tid) const
+{
+    if (!file_.hasThread(tid))
+        return false;
+    return file_.thread(tid).isResident();
+}
+
+const ThreadCounters &
+WindowEngine::threadCounters(ThreadId tid) const
+{
+    crw_assert(tid >= 0 &&
+               tid < static_cast<ThreadId>(threadCounters_.size()));
+    return threadCounters_[static_cast<std::size_t>(tid)];
+}
+
+void
+WindowEngine::postEventCheck()
+{
+    if (checkInvariants_)
+        file_.checkInvariants(scheme_->usesPrw());
+}
+
+} // namespace crw

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * WindowEngine: the event-level simulator of cyclic register windows
+ * shared among threads.
+ *
+ * The runtime (src/rt) drives it with four events — save, restore,
+ * context switch, thread exit — exactly the points where the paper's
+ * modified SPARC trap handlers run. The engine delegates window motion
+ * to the configured Scheme, charges cycles through the CostModel, and
+ * maintains the statistics the evaluation section reports (trap
+ * probabilities, per-switch transfer counts, cycle decomposition).
+ */
+
+#ifndef CRW_WIN_ENGINE_H_
+#define CRW_WIN_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "win/cost_model.h"
+#include "win/scheme.h"
+#include "win/window_file.h"
+
+namespace crw {
+
+/** Construction parameters of a WindowEngine. */
+struct EngineConfig
+{
+    int numWindows = 8;
+    SchemeKind scheme = SchemeKind::SP;
+    CostModel cost = CostModel::paperTable2();
+    /** SP only: what happens to a fully-spilled thread's PRW. */
+    PrwReclaim prwReclaim = PrwReclaim::Eager;
+    /** Sharing schemes: placement of a windowless scheduled thread. */
+    AllocPolicy allocPolicy = AllocPolicy::Simple;
+    /** Run the full structural invariant check after every event. */
+    bool checkInvariants = false;
+};
+
+/**
+ * Hook interface for trace/metric collectors. Callbacks fire after the
+ * corresponding event has been applied (file state and depth already
+ * updated, cycles charged).
+ */
+class EngineObserver
+{
+  public:
+    virtual ~EngineObserver() = default;
+    virtual void onSave(ThreadId tid, int depth) { (void)tid; (void)depth; }
+    virtual void onRestore(ThreadId tid, int depth)
+    {
+        (void)tid;
+        (void)depth;
+    }
+    /**
+     * @param begin Simulated time when the switch started (the end of
+     *        the suspended thread's run).
+     * @param end Time when the scheduled thread starts running (begin
+     *        plus the switch cost).
+     */
+    virtual void onSwitch(ThreadId from, ThreadId to, int to_depth,
+                          Cycles begin, Cycles end)
+    {
+        (void)from;
+        (void)to;
+        (void)to_depth;
+        (void)begin;
+        (void)end;
+    }
+    virtual void onExit(ThreadId tid) { (void)tid; }
+};
+
+/** Per-thread counters the benches report (paper Table 1). */
+struct ThreadCounters
+{
+    std::uint64_t saves = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t switchesIn = 0;
+};
+
+/**
+ * The window-management simulator.
+ *
+ * Cycle accounting: now() advances by compute charges plus every
+ * window-management cost. The decomposition (compute / call-return /
+ * trap / switch cycles) is exact and is exposed through stats().
+ */
+class WindowEngine
+{
+  public:
+    explicit WindowEngine(const EngineConfig &config);
+    ~WindowEngine();
+
+    WindowEngine(const WindowEngine &) = delete;
+    WindowEngine &operator=(const WindowEngine &) = delete;
+
+    /** Register a thread id before it can be switched to. */
+    void addThread(ThreadId tid);
+
+    /** The running thread executes a `save` (procedure entry). */
+    void save();
+
+    /** The running thread executes a `restore` (procedure return). */
+    void restore();
+
+    /**
+     * Switch from the running thread (if any) to @p to. A fresh
+     * thread's root frame is created here.
+     */
+    void contextSwitch(ThreadId to);
+
+    /**
+     * The running thread terminates. Its windows die without memory
+     * traffic; the caller must contextSwitch() to another thread (or
+     * stop the simulation) afterwards.
+     */
+    void threadExit();
+
+    /** Charge @p cycles of ordinary computation. */
+    void charge(Cycles cycles);
+
+    ThreadId current() const { return current_; }
+    Cycles now() const { return now_; }
+    int numWindows() const { return file_.numWindows(); }
+    SchemeKind scheme() const { return scheme_->kind(); }
+
+    /** True if @p tid has at least one window in the file. */
+    bool isResident(ThreadId tid) const;
+
+    /** Current total call depth of @p tid. */
+    int depthOf(ThreadId tid) const { return file_.thread(tid).depth; }
+
+    const WindowFile &file() const { return file_; }
+    const CostModel &costModel() const { return cost_; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    const ThreadCounters &threadCounters(ThreadId tid) const;
+
+    /** Install a metrics observer (nullptr to remove). Not owned. */
+    void setObserver(EngineObserver *observer) { observer_ = observer; }
+
+    /**
+     * Histogram of context switches by (windows saved, windows
+     * restored) — the shape of the paper's Table 2 usage.
+     */
+    const std::map<std::pair<int, int>, std::uint64_t> &
+    switchCases() const
+    {
+        return switchCases_;
+    }
+
+  private:
+    void postEventCheck();
+
+    WindowFile file_;
+    std::unique_ptr<Scheme> scheme_;
+    CostModel cost_;
+    bool checkInvariants_;
+
+    ThreadId current_ = kNoThread;
+    Cycles now_ = 0;
+    EngineObserver *observer_ = nullptr;
+
+    StatGroup stats_;
+    std::vector<ThreadCounters> threadCounters_;
+    std::map<std::pair<int, int>, std::uint64_t> switchCases_;
+
+    // Hot-path counters resolved once at construction (StatGroup name
+    // lookup is a map probe; save/restore fire millions of times).
+    Counter *cSaves_;
+    Counter *cRestores_;
+    Counter *cOvfTraps_;
+    Counter *cUnfTraps_;
+    Counter *cOvfSpilled_;
+    Counter *cUnfRestored_;
+    Counter *cCyclesTrap_;
+    Counter *cCyclesCallret_;
+    Counter *cCyclesCompute_;
+    Counter *cCyclesSwitch_;
+    Counter *cSwitches_;
+    Counter *cSwitchSaved_;
+    Counter *cSwitchRestored_;
+    Distribution *dSwitchCost_;
+};
+
+} // namespace crw
+
+#endif // CRW_WIN_ENGINE_H_

@@ -1,0 +1,243 @@
+#include "win/window_file.h"
+
+namespace crw {
+
+WindowFile::WindowFile(int num_windows)
+    : space_(num_windows),
+      slots_(static_cast<std::size_t>(num_windows))
+{
+    if (num_windows < 2)
+        crw_fatal << "window file needs at least 2 windows, got "
+                  << num_windows;
+}
+
+const WindowSlot &
+WindowFile::slot(WindowIndex w) const
+{
+    crw_assert(w >= 0 && w < space_.size());
+    return slots_[static_cast<std::size_t>(w)];
+}
+
+void
+WindowFile::addThread(ThreadId tid)
+{
+    crw_assert(tid >= 0);
+    if (tid >= static_cast<ThreadId>(threads_.size()))
+        threads_.resize(static_cast<std::size_t>(tid) + 1);
+    // Re-registration of a finished id is allowed (ids may be reused).
+    threads_[static_cast<std::size_t>(tid)] = ThreadWindows{};
+}
+
+bool
+WindowFile::hasThread(ThreadId tid) const
+{
+    return tid >= 0 && tid < static_cast<ThreadId>(threads_.size());
+}
+
+ThreadWindows &
+WindowFile::thread(ThreadId tid)
+{
+    crw_assert(hasThread(tid));
+    return threads_[static_cast<std::size_t>(tid)];
+}
+
+const ThreadWindows &
+WindowFile::thread(ThreadId tid) const
+{
+    crw_assert(hasThread(tid));
+    return threads_[static_cast<std::size_t>(tid)];
+}
+
+WindowIndex
+WindowFile::bottomOf(ThreadId tid) const
+{
+    const ThreadWindows &tw = thread(tid);
+    crw_assert(tw.isResident());
+    return space_.belowBy(tw.top, tw.resident - 1);
+}
+
+bool
+WindowFile::inRunOf(ThreadId tid, WindowIndex w) const
+{
+    const ThreadWindows &tw = thread(tid);
+    if (!tw.isResident())
+        return false;
+    return space_.inRunBelow(tw.top, tw.resident, w);
+}
+
+void
+WindowFile::claimAsTop(ThreadId tid, WindowIndex w)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(isFree(w));
+    if (tw.isResident())
+        crw_assert(w == space_.above(tw.top));
+    slots_[static_cast<std::size_t>(w)] = {WinState::Owned, tid};
+    tw.top = w;
+    ++tw.resident;
+}
+
+void
+WindowFile::releaseTop(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(tw.resident >= 2); // plain restore needs a caller below
+    slots_[static_cast<std::size_t>(tw.top)] = {WinState::Free, kNoThread};
+    tw.top = space_.below(tw.top);
+    --tw.resident;
+}
+
+void
+WindowFile::spillBottom(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(tw.isResident());
+    const WindowIndex b = bottomOf(tid);
+    slots_[static_cast<std::size_t>(b)] = {WinState::Free, kNoThread};
+    --tw.resident;
+    if (tw.resident == 0)
+        tw.top = kNoWindow;
+}
+
+void
+WindowFile::fillAsTop(ThreadId tid, WindowIndex w)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(!tw.isResident());
+    crw_assert(tw.memFrames() >= 1);
+    crw_assert(isFree(w));
+    slots_[static_cast<std::size_t>(w)] = {WinState::Owned, tid};
+    tw.top = w;
+    tw.resident = 1;
+}
+
+void
+WindowFile::refillInPlace(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(tw.resident == 1);
+    crw_assert(tw.depth >= 1); // the caller's frame must exist
+    // The slot already belongs to tid; only the (unmodeled) contents
+    // change: the callee's dead frame is overwritten by the caller's.
+}
+
+void
+WindowFile::refillBelow(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(tw.resident == 1);
+    crw_assert(tw.depth >= 1);
+    const WindowIndex below = space_.below(tw.top);
+    crw_assert(isFree(below));
+    slots_[static_cast<std::size_t>(tw.top)] = {WinState::Free, kNoThread};
+    slots_[static_cast<std::size_t>(below)] = {WinState::Owned, tid};
+    tw.top = below;
+}
+
+void
+WindowFile::setPrw(ThreadId tid, WindowIndex w)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(isFree(w));
+    if (tw.prw != kNoWindow)
+        slots_[static_cast<std::size_t>(tw.prw)] =
+            {WinState::Free, kNoThread};
+    slots_[static_cast<std::size_t>(w)] = {WinState::Prw, tid};
+    tw.prw = w;
+}
+
+void
+WindowFile::clearPrw(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    if (tw.prw == kNoWindow)
+        return;
+    slots_[static_cast<std::size_t>(tw.prw)] = {WinState::Free, kNoThread};
+    tw.prw = kNoWindow;
+}
+
+void
+WindowFile::dropAll(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    while (tw.isResident()) {
+        const WindowIndex b = bottomOf(tid);
+        slots_[static_cast<std::size_t>(b)] = {WinState::Free, kNoThread};
+        --tw.resident;
+    }
+    tw.top = kNoWindow;
+    clearPrw(tid);
+}
+
+void
+WindowFile::pushFrame(ThreadId tid)
+{
+    ++thread(tid).depth;
+}
+
+void
+WindowFile::popFrame(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(tw.depth >= 1);
+    --tw.depth;
+}
+
+int
+WindowFile::freeCount() const
+{
+    int n = 0;
+    for (const auto &s : slots_)
+        if (s.state == WinState::Free)
+            ++n;
+    return n;
+}
+
+void
+WindowFile::checkInvariants(bool sp_scheme) const
+{
+    // Slot/record agreement: count each thread's Owned slots.
+    std::vector<int> owned(threads_.size(), 0);
+    for (int w = 0; w < space_.size(); ++w) {
+        const WindowSlot &s = slots_[static_cast<std::size_t>(w)];
+        switch (s.state) {
+          case WinState::Free:
+            crw_assert(s.owner == kNoThread);
+            break;
+          case WinState::Owned:
+            crw_assert(hasThread(s.owner));
+            ++owned[static_cast<std::size_t>(s.owner)];
+            break;
+          case WinState::Prw:
+            crw_assert(sp_scheme);
+            crw_assert(hasThread(s.owner));
+            crw_assert(thread(s.owner).prw == w);
+            break;
+        }
+    }
+
+    for (ThreadId tid = 0; tid < static_cast<ThreadId>(threads_.size());
+         ++tid) {
+        const ThreadWindows &tw = threads_[static_cast<std::size_t>(tid)];
+        crw_assert(tw.resident >= 0 && tw.depth >= tw.resident);
+        crw_assert(owned[static_cast<std::size_t>(tid)] == tw.resident);
+
+        if (!tw.isResident()) {
+            crw_assert(tw.top == kNoWindow);
+            continue;
+        }
+
+        // Contiguity: every window on the run belongs to tid, in order.
+        for (int k = 0; k < tw.resident; ++k) {
+            const WindowIndex w = space_.belowBy(tw.top, k);
+            crw_assert(state(w) == WinState::Owned && owner(w) == tid);
+        }
+
+        if (sp_scheme && tw.prw != kNoWindow) {
+            // PRW sits immediately above the stack-top (paper §4.1).
+            crw_assert(tw.prw == space_.above(tw.top));
+        }
+    }
+}
+
+} // namespace crw

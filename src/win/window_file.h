@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Ownership model of the cyclic register-window file.
+ *
+ * This is the event-level abstraction of Figure 5 of the paper: each of
+ * the N windows is free, owned by a thread (holding one live activation
+ * record of that thread), or a thread's private reserved window (PRW,
+ * SP scheme only). Window *contents* are not modeled here — the ISA
+ * layer (src/sparc) does that; this layer models exactly the state the
+ * window-management algorithms manipulate.
+ *
+ * Direction convention follows the paper: window i-1 is "above" window
+ * i (the direction `save` moves), i+1 is "below" (`restore`). A
+ * resident thread's windows always form one contiguous cyclic run from
+ * its stack-bottom (oldest frame, lowest end) to its stack-top (newest
+ * frame, highest end); this is the key invariant the paper's
+ * restore-in-place underflow handling preserves.
+ */
+
+#ifndef CRW_WIN_WINDOW_FILE_H_
+#define CRW_WIN_WINDOW_FILE_H_
+
+#include <vector>
+
+#include "common/cyclic.h"
+#include "common/types.h"
+
+namespace crw {
+
+/** State of one window slot. */
+enum class WinState : std::uint8_t {
+    Free,  ///< dead: contents are garbage, may be taken freely
+    Owned, ///< holds a live activation record of `owner`
+    Prw,   ///< private reserved window of `owner` (SP scheme)
+};
+
+/** One slot of the cyclic window file. */
+struct WindowSlot
+{
+    WinState state = WinState::Free;
+    ThreadId owner = kNoThread;
+};
+
+/** Residency bookkeeping for one thread. */
+struct ThreadWindows
+{
+    /** Stack-top window (newest resident frame); kNoWindow if none. */
+    WindowIndex top = kNoWindow;
+    /** Number of resident Owned windows. */
+    int resident = 0;
+    /** PRW slot (SP scheme), kNoWindow otherwise. */
+    WindowIndex prw = kNoWindow;
+    /** Total live frames, resident plus spilled to the memory stack. */
+    int depth = 0;
+
+    bool isResident() const { return resident > 0; }
+
+    /** Frames currently spilled to the thread's memory stack. */
+    int memFrames() const { return depth - resident; }
+};
+
+/**
+ * The cyclic window file plus per-thread residency records.
+ *
+ * All mutation happens through the scheme implementations; this class
+ * provides primitive transitions and a full invariant check used after
+ * every engine operation in checked builds/tests.
+ */
+class WindowFile
+{
+  public:
+    explicit WindowFile(int num_windows);
+
+    int numWindows() const { return space_.size(); }
+    const CyclicSpace &space() const { return space_; }
+
+    const WindowSlot &slot(WindowIndex w) const;
+    WinState state(WindowIndex w) const { return slot(w).state; }
+    ThreadId owner(WindowIndex w) const { return slot(w).owner; }
+    bool isFree(WindowIndex w) const
+    {
+        return state(w) == WinState::Free;
+    }
+
+    /** Register a new thread id (depth 0, not resident). */
+    void addThread(ThreadId tid);
+    bool hasThread(ThreadId tid) const;
+
+    ThreadWindows &thread(ThreadId tid);
+    const ThreadWindows &thread(ThreadId tid) const;
+
+    /** Stack-bottom window of a resident thread. */
+    WindowIndex bottomOf(ThreadId tid) const;
+
+    /** True if @p w lies inside @p tid's resident run. */
+    bool inRunOf(ThreadId tid, WindowIndex w) const;
+
+    // --- primitive transitions (callers maintain run contiguity) ---
+
+    /** Claim a Free window as the new stack-top of @p tid. */
+    void claimAsTop(ThreadId tid, WindowIndex w);
+
+    /** Release @p tid's stack-top (plain restore); top moves below. */
+    void releaseTop(ThreadId tid);
+
+    /** Spill @p tid's stack-bottom window: slot freed, frame to memory. */
+    void spillBottom(ThreadId tid);
+
+    /** Fill one frame from memory into the Free window @p w as new top. */
+    void fillAsTop(ThreadId tid, WindowIndex w);
+
+    /**
+     * Restore-in-place (the paper's §3.2 underflow): the caller's frame
+     * replaces the callee's in the *same* window. Depth bookkeeping:
+     * one frame leaves memory, the resident count is unchanged.
+     */
+    void refillInPlace(ThreadId tid);
+
+    /**
+     * Conventional underflow (NS): the caller's frame is restored into
+     * the window *below* the current one, and the replayed restore
+     * moves the stack-top there; the old top window dies.
+     */
+    void refillBelow(ThreadId tid);
+
+    /** Set / move / clear @p tid's PRW. */
+    void setPrw(ThreadId tid, WindowIndex w);
+    void clearPrw(ThreadId tid);
+
+    /** Free every window (and PRW) of @p tid without memory traffic. */
+    void dropAll(ThreadId tid);
+
+    /** Adjust total call depth (save/restore instructions). */
+    void pushFrame(ThreadId tid);
+    void popFrame(ThreadId tid);
+
+    /** Number of Free slots. */
+    int freeCount() const;
+
+    /**
+     * Verify every structural invariant (slot/record agreement, run
+     * contiguity, disjointness, PRW adjacency). Panics on violation.
+     * @param sp_scheme whether PRW invariants should be enforced.
+     */
+    void checkInvariants(bool sp_scheme) const;
+
+  private:
+    CyclicSpace space_;
+    std::vector<WindowSlot> slots_;
+    std::vector<ThreadWindows> threads_; // indexed by ThreadId
+};
+
+} // namespace crw
+
+#endif // CRW_WIN_WINDOW_FILE_H_

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Assembler unit tests: encodings against hand-computed words,
+ * synthetics, expressions, directives, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "common/logging.h"
+#include "sparc/isa.h"
+
+namespace crw {
+namespace sparcasm {
+namespace {
+
+using namespace sparc;
+
+/** Assemble one instruction at origin 0 and return its word. */
+Word
+one(const std::string &line)
+{
+    const Program p = assemble(line + "\n", 0);
+    EXPECT_EQ(p.sizeBytes(), 4u) << line;
+    const auto &b = p.sections.at(0).bytes;
+    return (Word(b[0]) << 24) | (Word(b[1]) << 16) | (Word(b[2]) << 8) |
+           Word(b[3]);
+}
+
+TEST(Assembler, AddRegisterForm)
+{
+    EXPECT_EQ(one("add %l1, %l2, %l3"),
+              encodeArithReg(Op3A::Add, 19, 17, 18));
+}
+
+TEST(Assembler, AddImmediateForm)
+{
+    EXPECT_EQ(one("add %o0, 42, %o1"),
+              encodeArithImm(Op3A::Add, 9, 8, 42));
+    EXPECT_EQ(one("add %o0, -1, %o1"),
+              encodeArithImm(Op3A::Add, 9, 8, -1));
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    EXPECT_EQ(one("add %sp, 0, %fp"),
+              encodeArithImm(Op3A::Add, kRegFp, kRegSp, 0));
+    EXPECT_EQ(one("add %r17, 0, %r19"),
+              encodeArithImm(Op3A::Add, 19, 17, 0));
+}
+
+TEST(Assembler, SaveWithOperandsAndBare)
+{
+    EXPECT_EQ(one("save %sp, -96, %sp"),
+              encodeArithImm(Op3A::Save, kRegSp, kRegSp, -96));
+    EXPECT_EQ(one("restore"), encodeArithReg(Op3A::Restore, 0, 0, 0));
+}
+
+TEST(Assembler, LoadStoreForms)
+{
+    EXPECT_EQ(one("ld [%l0+8], %o0"),
+              encodeMemImm(Op3M::Ld, 8, 16, 8));
+    EXPECT_EQ(one("ld [%l0 - 4], %o0"),
+              encodeMemImm(Op3M::Ld, 8, 16, -4));
+    EXPECT_EQ(one("st %o0, [%l0+%l1]"),
+              encodeMemReg(Op3M::St, 8, 16, 17));
+    EXPECT_EQ(one("ldub [%g1], %g2"),
+              encodeMemImm(Op3M::Ldub, 2, 1, 0));
+    EXPECT_EQ(one("std %l2, [%sp]"),
+              encodeMemImm(Op3M::Std, 18, kRegSp, 0));
+    // Absolute address form.
+    EXPECT_EQ(one("ld [256], %g1"), encodeMemImm(Op3M::Ld, 1, 0, 256));
+}
+
+TEST(Assembler, SethiAndHiLo)
+{
+    EXPECT_EQ(one("sethi %hi(0xDEADB000), %l0"),
+              encodeSethi(16, 0xDEADB000u >> 10));
+    EXPECT_EQ(one("or %l0, %lo(0x123), %l0"),
+              encodeArithImm(Op3A::Or, 16, 16, 0x123));
+}
+
+TEST(Assembler, SetExpandsToTwoWordsForLargeValues)
+{
+    const Program p = assemble("set 0x12345678, %l0\n", 0);
+    EXPECT_EQ(p.sizeBytes(), 8u);
+    const Program q = assemble("set 100, %l0\n", 0);
+    EXPECT_EQ(q.sizeBytes(), 4u); // fits simm13: single or
+}
+
+TEST(Assembler, BranchesAndAnnul)
+{
+    // Branch to itself: disp22 == 0.
+    EXPECT_EQ(one("x: ba x"), encodeBicc(Cond::A, false, 0));
+    EXPECT_EQ(one("x: bne,a x"), encodeBicc(Cond::Ne, true, 0));
+}
+
+TEST(Assembler, ForwardBranchDisplacement)
+{
+    const Program p = assemble("    ba target\n"
+                               "    nop\n"
+                               "target:\n"
+                               "    nop\n",
+                               0);
+    const auto &b = p.sections.at(0).bytes;
+    const Word insn =
+        (Word(b[0]) << 24) | (Word(b[1]) << 16) | (Word(b[2]) << 8) |
+        Word(b[3]);
+    EXPECT_EQ(insn, encodeBicc(Cond::A, false, 2));
+    EXPECT_EQ(p.symbol("target"), 8u);
+}
+
+TEST(Assembler, CallEncodesDisp30)
+{
+    const Program p = assemble("    call f\n"
+                               "    nop\n"
+                               "f:  nop\n",
+                               0x100);
+    const auto &b = p.sections.at(0).bytes;
+    const Word insn =
+        (Word(b[0]) << 24) | (Word(b[1]) << 16) | (Word(b[2]) << 8) |
+        Word(b[3]);
+    EXPECT_EQ(insn, encodeCall(2));
+}
+
+TEST(Assembler, TrapInstructions)
+{
+    // ta 0 == ticc cond=always rs1=%g0 imm 0.
+    EXPECT_EQ(one("ta 0"),
+              encodeFmt3(Op::Arith, 8,
+                         static_cast<std::uint32_t>(Op3A::Ticc), 0,
+                         true, 0));
+    EXPECT_EQ(one("te 3"),
+              encodeFmt3(Op::Arith, 1,
+                         static_cast<std::uint32_t>(Op3A::Ticc), 0,
+                         true, 3));
+}
+
+TEST(Assembler, StateRegisterMoves)
+{
+    EXPECT_EQ(one("rd %psr, %l0"),
+              encodeFmt3(Op::Arith, 16,
+                         static_cast<std::uint32_t>(Op3A::RdPsr), 0,
+                         false, 0));
+    EXPECT_EQ(one("wr %l0, 0, %wim"),
+              encodeFmt3(Op::Arith, 0,
+                         static_cast<std::uint32_t>(Op3A::WrWim), 16,
+                         true, 0));
+    EXPECT_EQ(one("mov %wim, %l3"),
+              encodeFmt3(Op::Arith, 19,
+                         static_cast<std::uint32_t>(Op3A::RdWim), 0,
+                         false, 0));
+    EXPECT_EQ(one("mov 0x20, %psr"),
+              encodeFmt3(Op::Arith, 0,
+                         static_cast<std::uint32_t>(Op3A::WrPsr), 0,
+                         true, 0x20));
+}
+
+TEST(Assembler, Synthetics)
+{
+    EXPECT_EQ(one("nop"), encodeSethi(0, 0));
+    EXPECT_EQ(one("mov %l1, %l2"),
+              encodeArithReg(Op3A::Or, 18, 0, 17));
+    EXPECT_EQ(one("clr %o3"), encodeArithReg(Op3A::Or, 11, 0, 0));
+    EXPECT_EQ(one("cmp %l0, 7"),
+              encodeArithImm(Op3A::SubCc, 0, 16, 7));
+    EXPECT_EQ(one("tst %i2"), encodeArithReg(Op3A::OrCc, 0, 0, 26));
+    EXPECT_EQ(one("inc %l5"), encodeArithImm(Op3A::Add, 21, 21, 1));
+    EXPECT_EQ(one("dec 4, %l5"),
+              encodeArithImm(Op3A::Sub, 21, 21, 4));
+    EXPECT_EQ(one("ret"),
+              encodeArithImm(Op3A::Jmpl, 0, kRegI7, 8));
+    EXPECT_EQ(one("retl"),
+              encodeArithImm(Op3A::Jmpl, 0, kRegO7, 8));
+    EXPECT_EQ(one("jmp %l2 + 4"),
+              encodeArithImm(Op3A::Jmpl, 0, 18, 4));
+    EXPECT_EQ(one("neg %o2"),
+              encodeArithReg(Op3A::Sub, 10, 0, 10));
+    EXPECT_EQ(one("not %o2"),
+              encodeArithReg(Op3A::Xnor, 10, 10, 0));
+}
+
+TEST(Assembler, DirectivesEmitData)
+{
+    const Program p = assemble("    .word 0x11223344, 5\n"
+                               "    .half 0xAABB\n"
+                               "    .byte 1, 2\n"
+                               "    .align 4\n"
+                               "    .asciz \"ok\"\n",
+                               0);
+    const auto &b = p.sections.at(0).bytes;
+    // 8 (.word x2) + 2 (.half) + 2 (.byte x2) + 0 (already aligned)
+    // + 3 (.asciz) = 15 bytes.
+    ASSERT_EQ(b.size(), 15u);
+    EXPECT_EQ(b[0], 0x11);
+    EXPECT_EQ(b[3], 0x44);
+    EXPECT_EQ(b[7], 5);
+    EXPECT_EQ(b[8], 0xAA);
+    EXPECT_EQ(b[10], 1);
+    EXPECT_EQ(b[11], 2);
+    EXPECT_EQ(b[12], 'o');
+    EXPECT_EQ(b[13], 'k');
+    EXPECT_EQ(b[14], 0);
+}
+
+TEST(Assembler, OrgCreatesSections)
+{
+    const Program p = assemble("    .word 1\n"
+                               "    .org 0x100\n"
+                               "    .word 2\n",
+                               0);
+    ASSERT_EQ(p.sections.size(), 2u);
+    EXPECT_EQ(p.sections[0].base, 0u);
+    EXPECT_EQ(p.sections[1].base, 0x100u);
+}
+
+TEST(Assembler, SetDirectiveDefinesSymbols)
+{
+    const Program p = assemble("    .set FRAME, 96\n"
+                               "    sub %sp, FRAME, %sp\n",
+                               0);
+    EXPECT_EQ(p.symbol("FRAME"), 96u);
+}
+
+TEST(Assembler, LabelArithmeticInExpressions)
+{
+    const Program p = assemble("a:  .word 0\n"
+                               "b:  .word 0\n"
+                               "    set b - a, %l0\n",
+                               0);
+    // b - a == 4, fits simm13 but contains symbols -> 2 words anyway.
+    EXPECT_EQ(p.sizeBytes(), 8u + 8u);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program p = assemble("! leading comment\n"
+                               "\n"
+                               "    nop ! trailing comment\n",
+                               0);
+    EXPECT_EQ(p.sizeBytes(), 4u);
+}
+
+TEST(Assembler, ErrorsAreFatalWithLineNumbers)
+{
+    EXPECT_THROW(assemble("    frobnicate %l0\n"), FatalError);
+    EXPECT_THROW(assemble("    add %l0, %l1\n"), FatalError);
+    EXPECT_THROW(assemble("    add %l0, 99999, %l1\n"), FatalError);
+    EXPECT_THROW(assemble("    ba nowhere\n"), FatalError);
+    EXPECT_THROW(assemble("x:\nx:  nop\n"), FatalError);
+    EXPECT_THROW(assemble("    .org 8\n    .org 0\n"), FatalError);
+    try {
+        assemble("    nop\n    bogus\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, DuplicateSymbolAcrossSetAndLabelFails)
+{
+    EXPECT_THROW(assemble("    .set x, 1\nx: nop\n"), FatalError);
+}
+
+} // namespace
+} // namespace sparcasm
+} // namespace crw

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for cyclic window-index arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cyclic.h"
+
+namespace crw {
+namespace {
+
+TEST(CyclicSpace, WrapNormalizesIntoRange)
+{
+    CyclicSpace s(8);
+    EXPECT_EQ(s.wrap(0), 0);
+    EXPECT_EQ(s.wrap(7), 7);
+    EXPECT_EQ(s.wrap(8), 0);
+    EXPECT_EQ(s.wrap(15), 7);
+    EXPECT_EQ(s.wrap(-1), 7);
+    EXPECT_EQ(s.wrap(-8), 0);
+    EXPECT_EQ(s.wrap(-9), 7);
+}
+
+TEST(CyclicSpace, AboveIsSaveDirection)
+{
+    CyclicSpace s(8);
+    // Paper convention: window i-1 is above window i.
+    EXPECT_EQ(s.above(4), 3);
+    EXPECT_EQ(s.above(0), 7);
+    EXPECT_EQ(s.below(4), 5);
+    EXPECT_EQ(s.below(7), 0);
+}
+
+TEST(CyclicSpace, AboveByAndBelowByCompose)
+{
+    CyclicSpace s(5);
+    for (int i = 0; i < 5; ++i) {
+        for (int k = 0; k <= 12; ++k) {
+            int up = i;
+            int down = i;
+            for (int j = 0; j < k; ++j) {
+                up = s.above(up);
+                down = s.below(down);
+            }
+            EXPECT_EQ(s.aboveBy(i, k), up);
+            EXPECT_EQ(s.belowBy(i, k), down);
+        }
+    }
+}
+
+TEST(CyclicSpace, DistanceBelowIsInverseOfBelowBy)
+{
+    CyclicSpace s(7);
+    for (int from = 0; from < 7; ++from) {
+        for (int k = 0; k < 7; ++k) {
+            const int to = s.belowBy(from, k);
+            EXPECT_EQ(s.distanceBelow(from, to), k);
+            EXPECT_EQ(s.distanceAbove(to, from), k);
+        }
+    }
+}
+
+TEST(CyclicSpace, InRunBelowMatchesEnumeration)
+{
+    CyclicSpace s(6);
+    // Run of length 3 whose top is window 4: {4, 5, 0}.
+    EXPECT_TRUE(s.inRunBelow(4, 3, 4));
+    EXPECT_TRUE(s.inRunBelow(4, 3, 5));
+    EXPECT_TRUE(s.inRunBelow(4, 3, 0));
+    EXPECT_FALSE(s.inRunBelow(4, 3, 1));
+    EXPECT_FALSE(s.inRunBelow(4, 3, 3));
+}
+
+TEST(CyclicSpace, EmptyRunContainsNothing)
+{
+    CyclicSpace s(4);
+    for (int w = 0; w < 4; ++w)
+        EXPECT_FALSE(s.inRunBelow(2, 0, w));
+}
+
+TEST(CyclicSpace, FullRunContainsEverything)
+{
+    CyclicSpace s(4);
+    for (int w = 0; w < 4; ++w)
+        EXPECT_TRUE(s.inRunBelow(1, 4, w));
+}
+
+TEST(CyclicSpace, SingleSlotSpace)
+{
+    CyclicSpace s(1);
+    EXPECT_EQ(s.above(0), 0);
+    EXPECT_EQ(s.below(0), 0);
+    EXPECT_EQ(s.wrap(100), 0);
+}
+
+} // namespace
+} // namespace crw

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/logging.h"
+
+namespace crw {
+namespace {
+
+FlagSet
+makeFlags()
+{
+    FlagSet f;
+    f.defineInt("windows", 8, "number of windows");
+    f.defineString("scheme", "SP", "scheme name");
+    f.defineBool("verbose", false, "chatty output");
+    f.defineDouble("scale", 1.5, "scale factor");
+    return f;
+}
+
+TEST(FlagSet, DefaultsApplyWithoutArguments)
+{
+    FlagSet f = makeFlags();
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(f.parse(1, argv));
+    EXPECT_EQ(f.getInt("windows"), 8);
+    EXPECT_EQ(f.getString("scheme"), "SP");
+    EXPECT_FALSE(f.getBool("verbose"));
+    EXPECT_DOUBLE_EQ(f.getDouble("scale"), 1.5);
+}
+
+TEST(FlagSet, EqualsSyntax)
+{
+    FlagSet f = makeFlags();
+    const char *argv[] = {"prog", "--windows=16", "--scheme=NS"};
+    ASSERT_TRUE(f.parse(3, argv));
+    EXPECT_EQ(f.getInt("windows"), 16);
+    EXPECT_EQ(f.getString("scheme"), "NS");
+}
+
+TEST(FlagSet, SpaceSeparatedValue)
+{
+    FlagSet f = makeFlags();
+    const char *argv[] = {"prog", "--windows", "32"};
+    ASSERT_TRUE(f.parse(3, argv));
+    EXPECT_EQ(f.getInt("windows"), 32);
+}
+
+TEST(FlagSet, BareBoolSetsTrue)
+{
+    FlagSet f = makeFlags();
+    const char *argv[] = {"prog", "--verbose"};
+    ASSERT_TRUE(f.parse(2, argv));
+    EXPECT_TRUE(f.getBool("verbose"));
+}
+
+TEST(FlagSet, UnknownFlagIsFatal)
+{
+    FlagSet f = makeFlags();
+    const char *argv[] = {"prog", "--nope=1"};
+    EXPECT_THROW(f.parse(2, argv), FatalError);
+}
+
+TEST(FlagSet, BadIntegerIsFatal)
+{
+    FlagSet f = makeFlags();
+    const char *argv[] = {"prog", "--windows=abc"};
+    EXPECT_THROW(f.parse(2, argv), FatalError);
+}
+
+TEST(FlagSet, BadBoolIsFatal)
+{
+    FlagSet f = makeFlags();
+    const char *argv[] = {"prog", "--verbose=yes"};
+    EXPECT_THROW(f.parse(2, argv), FatalError);
+}
+
+TEST(FlagSet, MissingValueIsFatal)
+{
+    FlagSet f = makeFlags();
+    const char *argv[] = {"prog", "--windows"};
+    EXPECT_THROW(f.parse(2, argv), FatalError);
+}
+
+TEST(FlagSet, PositionalArgumentsCollected)
+{
+    FlagSet f = makeFlags();
+    const char *argv[] = {"prog", "input.tex", "--verbose", "out.txt"};
+    ASSERT_TRUE(f.parse(4, argv));
+    ASSERT_EQ(f.positional().size(), 2u);
+    EXPECT_EQ(f.positional()[0], "input.tex");
+    EXPECT_EQ(f.positional()[1], "out.txt");
+}
+
+TEST(FlagSet, HelpReturnsFalse)
+{
+    FlagSet f = makeFlags();
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_FALSE(f.parse(2, argv));
+}
+
+TEST(FlagSet, WrongTypeAccessPanics)
+{
+    FlagSet f = makeFlags();
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(f.parse(1, argv));
+    EXPECT_THROW(f.getInt("scheme"), PanicError);
+    EXPECT_THROW(f.getBool("windows"), PanicError);
+}
+
+} // namespace
+} // namespace crw

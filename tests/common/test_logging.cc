@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the logging/panic/fatal machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace crw {
+namespace {
+
+std::vector<std::pair<LogLevel, std::string>> g_captured;
+
+void
+captureSink(LogLevel level, const std::string &msg)
+{
+    g_captured.emplace_back(level, msg);
+}
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        g_captured.clear();
+        previous_ = setLogSink(captureSink);
+    }
+
+    void TearDown() override { setLogSink(previous_); }
+
+  private:
+    LogSink previous_ = nullptr;
+};
+
+TEST_F(LoggingTest, InformGoesThroughSink)
+{
+    crw_inform << "hello " << 42;
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Inform);
+    EXPECT_EQ(g_captured[0].second, "hello 42");
+}
+
+TEST_F(LoggingTest, WarnDoesNotThrow)
+{
+    EXPECT_NO_THROW(crw_warn << "suspicious");
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Warn);
+}
+
+TEST_F(LoggingTest, FatalThrowsFatalError)
+{
+    EXPECT_THROW(crw_fatal << "bad config", FatalError);
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Fatal);
+    // Fatal messages carry the source location.
+    EXPECT_NE(g_captured[0].second.find("test_logging"),
+              std::string::npos);
+}
+
+TEST_F(LoggingTest, PanicThrowsPanicError)
+{
+    EXPECT_THROW(crw_panic << "bug", PanicError);
+}
+
+TEST_F(LoggingTest, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(crw_assert(1 + 1 == 2));
+    EXPECT_TRUE(g_captured.empty());
+}
+
+TEST_F(LoggingTest, AssertPanicsOnFalse)
+{
+    EXPECT_THROW(crw_assert(1 + 1 == 3), PanicError);
+}
+
+TEST_F(LoggingTest, FatalErrorMessageIsPreserved)
+{
+    try {
+        crw_fatal << "value=" << 7;
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace crw

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace crw {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(1234);
+    Rng b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(99);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleIsRoughlyUniform)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BoolProbabilityRespected)
+{
+    Rng rng(13);
+    int trues = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        trues += rng.nextBool(0.25);
+    EXPECT_NEAR(static_cast<double>(trues) / n, 0.25, 0.02);
+}
+
+TEST(ZipfSampler, RanksInBounds)
+{
+    Rng rng(3);
+    ZipfSampler zipf(50, 1.0);
+    for (int i = 0; i < 1000; ++i) {
+        const int r = zipf.sample(rng);
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, 50);
+    }
+}
+
+TEST(ZipfSampler, LowRanksDominateHighRanks)
+{
+    Rng rng(17);
+    ZipfSampler zipf(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[static_cast<std::size_t>(zipf.sample(rng))];
+    // Rank 0 should be roughly 1/H(100) of the mass, far above rank 99.
+    EXPECT_GT(counts[0], 10 * counts[99]);
+    EXPECT_GT(counts[0], counts[9]);
+}
+
+TEST(ZipfSampler, SingleRankAlwaysZero)
+{
+    Rng rng(1);
+    ZipfSampler zipf(1, 1.0);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0);
+}
+
+} // namespace
+} // namespace crw

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for counters, distributions and StatGroup.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace crw {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, TracksMomentsAndExtremes)
+{
+    Distribution d;
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+    EXPECT_NEAR(d.variance(), 8.0 / 3.0, 1e-9);
+}
+
+TEST(Distribution, EmptyDistributionIsZeroed)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, NegativeSamples)
+{
+    Distribution d;
+    d.sample(-5.0);
+    d.sample(5.0);
+    EXPECT_DOUBLE_EQ(d.min(), -5.0);
+    EXPECT_DOUBLE_EQ(d.max(), 5.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(StatGroup, CounterCreatedOnFirstUse)
+{
+    StatGroup g("test");
+    EXPECT_FALSE(g.hasCounter("x"));
+    EXPECT_EQ(g.counterValue("x"), 0u);
+    ++g.counter("x");
+    EXPECT_TRUE(g.hasCounter("x"));
+    EXPECT_EQ(g.counterValue("x"), 1u);
+}
+
+TEST(StatGroup, SameNameReturnsSameCounter)
+{
+    StatGroup g;
+    g.counter("a") += 2;
+    g.counter("a") += 3;
+    EXPECT_EQ(g.counterValue("a"), 5u);
+}
+
+TEST(StatGroup, ResetClearsEverything)
+{
+    StatGroup g;
+    g.counter("a") += 7;
+    g.distribution("d").sample(1.0);
+    g.reset();
+    EXPECT_EQ(g.counterValue("a"), 0u);
+    EXPECT_EQ(g.distribution("d").count(), 0u);
+}
+
+TEST(StatGroup, DumpMentionsEveryStat)
+{
+    StatGroup g("grp");
+    g.counter("saves") += 3;
+    g.distribution("cost").sample(10.0);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("grp"), std::string::npos);
+    EXPECT_NE(s.find("saves"), std::string::npos);
+    EXPECT_NE(s.find("cost"), std::string::npos);
+}
+
+} // namespace
+} // namespace crw

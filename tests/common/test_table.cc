@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for table/CSV rendering and double formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace crw {
+namespace {
+
+TEST(Table, TextRenderingAlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    std::ostringstream os;
+    t.printText(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Table, CsvQuotesSpecialCells)
+{
+    Table t({"x"});
+    t.addRow({"plain"});
+    t.addRow({"has,comma"});
+    t.addRow({"has\"quote"});
+    std::ostringstream os;
+    t.printCsv(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("plain"), std::string::npos);
+    EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, AddRowOfFormatsMixedTypes)
+{
+    Table t({"s", "i", "d"});
+    t.addRowOf(std::string("str"), 42, 3.5);
+    ASSERT_EQ(t.numRows(), 1u);
+    EXPECT_EQ(t.rows()[0][0], "str");
+    EXPECT_EQ(t.rows()[0][1], "42");
+    EXPECT_EQ(t.rows()[0][2], "3.5");
+}
+
+TEST(FormatDouble, TrimsTrailingZeros)
+{
+    EXPECT_EQ(formatDouble(1.0), "1");
+    EXPECT_EQ(formatDouble(1.5), "1.5");
+    EXPECT_EQ(formatDouble(1.25, 2), "1.25");
+    EXPECT_EQ(formatDouble(0.1, 3), "0.1");
+    EXPECT_EQ(formatDouble(-2.0), "-2");
+}
+
+TEST(FormatDouble, RespectsPrecision)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatDouble(1.23456, 4), "1.2346");
+}
+
+} // namespace
+} // namespace crw

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cross-layer integration: the event-level evaluation re-run with the
+ * cost model *measured* from the instruction-level kernel (instead of
+ * the paper-fit preset). The paper's headline conclusions must be
+ * robust to that swap — this is the strongest internal-consistency
+ * check the two-layer reproduction offers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+#include "spell/app.h"
+
+namespace crw {
+namespace {
+
+CostModel
+measuredModel()
+{
+    static const CostModel model = [] {
+        kernel::Table2Harness harness(7);
+        return harness.measuredCostModel();
+    }();
+    return model;
+}
+
+Cycles
+runSpellWith(SchemeKind scheme, int windows, const CostModel &cost,
+             const SpellWorkload &wl, const SpellConfig &cfg)
+{
+    RuntimeConfig rc;
+    rc.engine.scheme = scheme;
+    rc.engine.numWindows = windows;
+    rc.engine.cost = cost;
+    Runtime rt(rc);
+    SpellApp app(rt, wl, cfg);
+    rt.run();
+    return rt.now();
+}
+
+class MeasuredCostModel : public ::testing::Test
+{
+  protected:
+    static SpellConfig
+    config()
+    {
+        SpellConfig cfg = behaviorConfig(ConcurrencyLevel::High,
+                                         GranularityLevel::Fine);
+        cfg.corpusBytes = 10000; // keep the unit run quick
+        cfg.dictBytes = 12000;
+        return cfg;
+    }
+};
+
+TEST_F(MeasuredCostModel, SwitchLinesStayInPaperBands)
+{
+    const CostModel m = measuredModel();
+    EXPECT_GE(m.switchCost(SchemeKind::NS, 1, 1), 145u);
+    EXPECT_LE(m.switchCost(SchemeKind::NS, 1, 1), 149u);
+    EXPECT_GE(m.switchCost(SchemeKind::SNP, 0, 0), 113u);
+    EXPECT_LE(m.switchCost(SchemeKind::SNP, 0, 0), 118u);
+    EXPECT_GE(m.switchCost(SchemeKind::SP, 0, 0), 93u);
+    EXPECT_LE(m.switchCost(SchemeKind::SP, 0, 0), 98u);
+}
+
+TEST_F(MeasuredCostModel, HeadlineConclusionsSurviveTheSwap)
+{
+    const SpellConfig cfg = config();
+    const SpellWorkload wl = SpellWorkload::make(cfg);
+    const CostModel measured = measuredModel();
+
+    // With sufficient windows, SP < SNP < NS (Fig. 11's right edge).
+    const Cycles ns32 =
+        runSpellWith(SchemeKind::NS, 32, measured, wl, cfg);
+    const Cycles snp32 =
+        runSpellWith(SchemeKind::SNP, 32, measured, wl, cfg);
+    const Cycles sp32 =
+        runSpellWith(SchemeKind::SP, 32, measured, wl, cfg);
+    EXPECT_LT(sp32, snp32);
+    EXPECT_LT(snp32, ns32);
+
+    // With very few windows, NS wins (Fig. 11's left edge).
+    const Cycles ns4 =
+        runSpellWith(SchemeKind::NS, 4, measured, wl, cfg);
+    const Cycles sp4 =
+        runSpellWith(SchemeKind::SP, 4, measured, wl, cfg);
+    EXPECT_LT(ns4, sp4);
+}
+
+TEST_F(MeasuredCostModel, AgreesWithPaperPresetWithinTolerance)
+{
+    // Whole-run execution times under the two presets should agree
+    // closely — the presets differ only in second-order cost terms.
+    const SpellConfig cfg = config();
+    const SpellWorkload wl = SpellWorkload::make(cfg);
+    const CostModel paper = CostModel::paperTable2();
+    const CostModel measured = measuredModel();
+    for (const SchemeKind scheme :
+         {SchemeKind::NS, SchemeKind::SNP, SchemeKind::SP}) {
+        for (const int windows : {8, 32}) {
+            const auto a = static_cast<double>(
+                runSpellWith(scheme, windows, paper, wl, cfg));
+            const auto b = static_cast<double>(
+                runSpellWith(scheme, windows, measured, wl, cfg));
+            EXPECT_LT(std::abs(a - b) / a, 0.20)
+                << schemeName(scheme) << " w=" << windows;
+        }
+    }
+}
+
+} // namespace
+} // namespace crw

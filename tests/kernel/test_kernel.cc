@@ -1,0 +1,212 @@
+/**
+ * @file
+ * End-to-end kernel tests: deep recursion through real overflow/
+ * underflow handlers on the SPARC core — conventional (NS substrate)
+ * versus the paper's sharing handlers (restore-in-place + restore
+ * emulation) — plus the Table 2 cycle-band calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/machine.h"
+
+namespace crw {
+namespace kernel {
+namespace {
+
+using sparc::StopReason;
+
+/** Recursive sum(n) = n + sum(n-1): one window per activation. */
+const char *const kRecursiveSum =
+    "start:\n"
+    "    mov 15, %o0\n"
+    "    call rsum\n"
+    "    nop\n"
+    "    ta 0\n"
+    "rsum:\n"
+    "    save %sp, -96, %sp\n"
+    "    cmp %i0, 1\n"
+    "    ble rbase\n"
+    "    nop\n"
+    "    call rsum\n"
+    "    sub %i0, 1, %o0\n"
+    "    add %o0, %i0, %i0\n"
+    "    ret\n"
+    "    restore\n"
+    "rbase:\n"
+    "    mov 1, %i0\n"
+    "    ret\n"
+    "    restore\n";
+
+/**
+ * Like kRecursiveSum but returns through the paper's §4.3 peephole:
+ * the callee's value comes back via `restore %i0, 0, %o0` — the add
+ * form the sharing underflow handler must emulate.
+ */
+const char *const kRecursiveSumPeephole =
+    "start:\n"
+    "    mov 15, %o0\n"
+    "    call rsum\n"
+    "    nop\n"
+    "    ta 0\n"
+    "rsum:\n"
+    "    save %sp, -96, %sp\n"
+    "    cmp %i0, 1\n"
+    "    ble rbase\n"
+    "    nop\n"
+    "    call rsum\n"
+    "    sub %i0, 1, %o0\n"
+    "    add %o0, %i0, %i0\n"
+    "    ret\n"
+    "    restore %i0, 0, %o0\n"
+    "rbase:\n"
+    "    mov 1, %i0\n"
+    "    ret\n"
+    "    restore %i0, 0, %o0\n";
+
+TEST(KernelConventional, DeepRecursionSpillsAndRefills)
+{
+    Machine m(KernelFlavor::Conventional, 7, kRecursiveSum);
+    const Word result = m.runToHalt();
+    EXPECT_EQ(result, 120u); // sum 1..15
+    // Depth 16 in a 7-window file: both handler kinds must have run.
+    EXPECT_GT(m.cpu.stats().counterValue("trap.window_overflow"), 5u);
+    EXPECT_GT(m.cpu.stats().counterValue("trap.window_underflow"), 5u);
+}
+
+TEST(KernelConventional, WorksAcrossWindowCounts)
+{
+    for (int windows : {3, 4, 5, 7, 8}) {
+        Machine m(KernelFlavor::Conventional, windows, kRecursiveSum);
+        EXPECT_EQ(m.runToHalt(), 120u) << windows << " windows";
+    }
+}
+
+TEST(KernelSharing, DeepRecursionRestoresInPlace)
+{
+    Machine m(KernelFlavor::Sharing, 7, kRecursiveSum);
+    const Word result = m.runToHalt();
+    EXPECT_EQ(result, 120u);
+    EXPECT_GT(m.cpu.stats().counterValue("trap.window_underflow"), 5u);
+}
+
+TEST(KernelSharing, PeepholeRestoreEmulatedCorrectly)
+{
+    // The paper's §4.3 emulation: the trapped `restore %i0, 0, %o0`
+    // is decoded and its add performed by the handler.
+    Machine m(KernelFlavor::Sharing, 7, kRecursiveSumPeephole);
+    EXPECT_EQ(m.runToHalt(), 120u);
+    EXPECT_GT(m.cpu.stats().counterValue("trap.window_underflow"), 5u);
+}
+
+TEST(KernelSharing, MatchesConventionalResults)
+{
+    // Invariant 5 of DESIGN.md: identical architectural results under
+    // either window-management algorithm.
+    for (int windows : {3, 5, 7}) {
+        Machine conv(KernelFlavor::Conventional, windows,
+                     kRecursiveSum);
+        Machine shar(KernelFlavor::Sharing, windows, kRecursiveSum);
+        EXPECT_EQ(conv.runToHalt(), shar.runToHalt())
+            << windows << " windows";
+    }
+}
+
+TEST(KernelSharing, SharingTakesFewerSpillsGoingDeep)
+{
+    // The sharing handlers claim free windows with cheap traps and
+    // only spill when the file truly wraps; the refills never spill
+    // anything (restore-in-place).
+    Machine m(KernelFlavor::Sharing, 7, kRecursiveSum);
+    m.runToHalt();
+    const auto ovf =
+        m.cpu.stats().counterValue("trap.window_overflow");
+    // Depth 16 with 7 windows: 6 cheap claims + ~9 wrapping spills.
+    EXPECT_GE(ovf, 14u);
+    EXPECT_LE(ovf, 16u);
+}
+
+class Table2Calibration : public ::testing::Test
+{
+  protected:
+    static Table2Harness &
+    harness()
+    {
+        static Table2Harness h(7); // the S-20's window count
+        return h;
+    }
+
+    static void
+    expectInBand(Cycles measured, Cycles lo, Cycles hi,
+                 const std::string &what)
+    {
+        EXPECT_GE(measured, lo) << what;
+        EXPECT_LE(measured, hi) << what;
+    }
+};
+
+TEST_F(Table2Calibration, NsCasesInPaperBands)
+{
+    // Paper Table 2, NS rows: save s=1..6, restore 1.
+    const Cycles lo[] = {145, 181, 217, 253, 289, 325};
+    const Cycles hi[] = {149, 185, 221, 257, 293, 329};
+    for (int s = 1; s <= 6; ++s) {
+        expectInBand(harness().measureNs(s), lo[s - 1], hi[s - 1],
+                     "NS save=" + std::to_string(s));
+    }
+}
+
+TEST_F(Table2Calibration, SnpCasesInPaperBands)
+{
+    expectInBand(harness().measureSnp(false, false), 113, 118,
+                 "SNP 0/0");
+    expectInBand(harness().measureSnp(false, true), 142, 147,
+                 "SNP 0/1");
+    expectInBand(harness().measureSnp(true, false), 162, 171,
+                 "SNP 1/0");
+    expectInBand(harness().measureSnp(true, true), 187, 196,
+                 "SNP 1/1");
+}
+
+TEST_F(Table2Calibration, SpCasesInPaperBands)
+{
+    expectInBand(harness().measureSp(0, false), 93, 98, "SP 0/0");
+    expectInBand(harness().measureSp(0, true), 136, 141, "SP 0/1");
+    expectInBand(harness().measureSp(1, true), 180, 197, "SP 1/1");
+    expectInBand(harness().measureSp(2, true), 220, 237, "SP 2/1");
+}
+
+TEST_F(Table2Calibration, TrapHandlerCostsAreSane)
+{
+    const Cycles conv_ovf = harness().measureConventionalOverflow();
+    const Cycles conv_unf = harness().measureConventionalUnderflow();
+    const Cycles shr_ovf = harness().measureSharingOverflow();
+    const Cycles shr_unf = harness().measureSharingUnderflow();
+    // A window trap is tens of cycles, dominated by the transfer.
+    EXPECT_GT(conv_ovf, 30u);
+    EXPECT_LT(conv_ovf, 150u);
+    EXPECT_GT(conv_unf, 30u);
+    EXPECT_LT(conv_unf, 150u);
+    // The sharing handlers do strictly more bookkeeping (mask scan /
+    // in-copy + emulation), as the paper's design discussion implies.
+    EXPECT_GT(shr_ovf, conv_ovf);
+    EXPECT_GT(shr_unf, conv_unf);
+}
+
+TEST_F(Table2Calibration, MeasuredCostModelIsConsistent)
+{
+    CostModel m = harness().measuredCostModel();
+    // The measured model must reproduce the same qualitative ordering
+    // the paper's Table 2 shows.
+    EXPECT_LT(m.switchCost(SchemeKind::SP, 0, 0),
+              m.switchCost(SchemeKind::SNP, 0, 0));
+    EXPECT_LT(m.switchCost(SchemeKind::SNP, 0, 0),
+              m.switchCost(SchemeKind::NS, 1, 1));
+    EXPECT_GT(m.ns.perSave, 20u);
+    EXPECT_GT(m.snp.perRestore, 10u);
+    EXPECT_GT(m.underflowSharingBase, 0u);
+}
+
+} // namespace
+} // namespace kernel
+} // namespace crw

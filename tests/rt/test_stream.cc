@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests of blocking byte streams: producer/consumer blocking, EOF,
+ * multi-writer close, granularity effects of the buffer size.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "rt/stream.h"
+
+namespace crw {
+namespace {
+
+RuntimeConfig
+makeConfig(int windows = 8)
+{
+    RuntimeConfig cfg;
+    cfg.engine.numWindows = windows;
+    cfg.engine.scheme = SchemeKind::SP;
+    cfg.engine.checkInvariants = true;
+    return cfg;
+}
+
+TEST(Stream, ProducerConsumerTransfersAllBytes)
+{
+    Runtime rt(makeConfig());
+    Stream s(rt, "s", 4);
+    std::string received;
+    rt.spawn("producer", [&] {
+        s.putBytes("hello stream world");
+        s.close();
+    });
+    rt.spawn("consumer", [&] {
+        int c;
+        while ((c = s.getByte()) != kEof)
+            received.push_back(static_cast<char>(c));
+    });
+    rt.run();
+    EXPECT_EQ(received, "hello stream world");
+    EXPECT_EQ(s.totalBytes(), 18u);
+}
+
+TEST(Stream, ZeroCapacityIsFatal)
+{
+    Runtime rt(makeConfig());
+    EXPECT_THROW(Stream(rt, "bad", 0), FatalError);
+}
+
+TEST(Stream, OneByteBufferPingPongs)
+{
+    // M = 1 is the paper's finest granularity: every byte forces a
+    // context switch between producer and consumer.
+    Runtime rt(makeConfig());
+    Stream s(rt, "s", 1);
+    const int n = 50;
+    int got = 0;
+    rt.spawn("producer", [&] {
+        for (int i = 0; i < n; ++i)
+            s.putByte(static_cast<std::uint8_t>(i));
+        s.close();
+    });
+    rt.spawn("consumer", [&] {
+        int c;
+        int expect = 0;
+        while ((c = s.getByte()) != kEof) {
+            EXPECT_EQ(c, expect++ & 0xff);
+            ++got;
+        }
+    });
+    rt.run();
+    EXPECT_EQ(got, n);
+    // Every byte blocked the producer at least once: ~2 switches/byte.
+    EXPECT_GE(rt.engine().stats().counterValue("switches"),
+              static_cast<std::uint64_t>(n));
+}
+
+TEST(Stream, LargerBufferMeansFewerSwitches)
+{
+    auto run_with_capacity = [](std::size_t cap) {
+        Runtime rt(makeConfig());
+        Stream s(rt, "s", cap);
+        rt.spawn("producer", [&] {
+            for (int i = 0; i < 400; ++i)
+                s.putByte(7);
+            s.close();
+        });
+        rt.spawn("consumer", [&] {
+            while (s.getByte() != kEof) {
+            }
+        });
+        rt.run();
+        return rt.engine().stats().counterValue("switches");
+    };
+    const auto fine = run_with_capacity(1);
+    const auto medium = run_with_capacity(8);
+    const auto coarse = run_with_capacity(64);
+    EXPECT_GT(fine, medium);
+    EXPECT_GT(medium, coarse);
+}
+
+TEST(Stream, EofOnlyAfterDrain)
+{
+    Runtime rt(makeConfig());
+    Stream s(rt, "s", 16);
+    std::string received;
+    rt.spawn("producer", [&] {
+        s.putBytes("abc");
+        s.close(); // closes while bytes are still buffered
+    });
+    rt.spawn("consumer", [&] {
+        int c;
+        while ((c = s.getByte()) != kEof)
+            received.push_back(static_cast<char>(c));
+    });
+    rt.run();
+    EXPECT_EQ(received, "abc");
+}
+
+TEST(Stream, MultiWriterClosesWhenAllDone)
+{
+    Runtime rt(makeConfig());
+    Stream s(rt, "s", 8, 2);
+    std::string received;
+    rt.spawn("w1", [&] {
+        s.putBytes("aa");
+        s.close();
+    });
+    rt.spawn("w2", [&] {
+        s.putBytes("bb");
+        s.close();
+    });
+    rt.spawn("reader", [&] {
+        int c;
+        while ((c = s.getByte()) != kEof)
+            received.push_back(static_cast<char>(c));
+    });
+    rt.run();
+    EXPECT_EQ(received.size(), 4u);
+    EXPECT_TRUE(s.closed());
+}
+
+TEST(Stream, GetLineSplitsOnNewlines)
+{
+    Runtime rt(makeConfig());
+    Stream s(rt, "s", 8);
+    std::vector<std::string> lines;
+    rt.spawn("producer", [&] {
+        s.putBytes("one\ntwo\n\nlast");
+        s.close();
+    });
+    rt.spawn("consumer", [&] {
+        std::string line;
+        while (s.getLine(line))
+            lines.push_back(line);
+    });
+    rt.run();
+    EXPECT_EQ(lines, (std::vector<std::string>{"one", "two", "",
+                                               "last"}));
+}
+
+TEST(Stream, PipelineOfThreeThreads)
+{
+    // A miniature of the spell checker's filter pipeline.
+    Runtime rt(makeConfig(12));
+    Stream s1(rt, "s1", 4);
+    Stream s2(rt, "s2", 4);
+    std::string out;
+    rt.spawn("source", [&] {
+        s1.putBytes("pipeline!");
+        s1.close();
+    });
+    rt.spawn("upper", [&] {
+        int c;
+        while ((c = s1.getByte()) != kEof) {
+            Frame f(rt); // a little per-byte processing function
+            s2.putByte(static_cast<std::uint8_t>(
+                c >= 'a' && c <= 'z' ? c - 32 : c));
+        }
+        s2.close();
+    });
+    rt.spawn("sink", [&] {
+        int c;
+        while ((c = s2.getByte()) != kEof)
+            out.push_back(static_cast<char>(c));
+    });
+    rt.run();
+    EXPECT_EQ(out, "PIPELINE!");
+}
+
+TEST(Stream, DeadlockWithoutCloseIsDetected)
+{
+    Runtime rt(makeConfig());
+    Stream s(rt, "s", 4);
+    rt.spawn("producer", [&] {
+        s.putBytes("xy");
+        // forgets to close()
+    });
+    rt.spawn("consumer", [&] {
+        while (s.getByte() != kEof) {
+        }
+    });
+    EXPECT_THROW(rt.run(), FatalError);
+}
+
+TEST(Stream, WorksUnderEverySchemeAndTightWindows)
+{
+    for (SchemeKind scheme :
+         {SchemeKind::NS, SchemeKind::SNP, SchemeKind::SP}) {
+        RuntimeConfig cfg;
+        cfg.engine.numWindows = 4;
+        cfg.engine.scheme = scheme;
+        cfg.engine.checkInvariants = true;
+        Runtime rt(cfg);
+        Stream s(rt, "s", 2);
+        int sum = 0;
+        rt.spawn("producer", [&] {
+            for (int i = 1; i <= 30; ++i)
+                s.putByte(static_cast<std::uint8_t>(i));
+            s.close();
+        });
+        rt.spawn("consumer", [&] {
+            int c;
+            while ((c = s.getByte()) != kEof)
+                sum += c;
+        });
+        rt.run();
+        EXPECT_EQ(sum, 465) << schemeName(scheme);
+    }
+}
+
+} // namespace
+} // namespace crw

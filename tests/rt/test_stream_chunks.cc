@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests of the chunked (word-at-a-time) stream operations used by the
+ * kernel I/O threads T4-T7, including the Table 1 invariant that
+ * traced-call counts stay independent of buffer sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "rt/stream.h"
+
+namespace crw {
+namespace {
+
+RuntimeConfig
+makeConfig()
+{
+    RuntimeConfig cfg;
+    cfg.engine.numWindows = 8;
+    cfg.engine.scheme = SchemeKind::SP;
+    cfg.engine.checkInvariants = true;
+    return cfg;
+}
+
+TEST(StreamChunks, PutChunkDeliversAllBytes)
+{
+    Runtime rt(makeConfig());
+    Stream s(rt, "s", 3);
+    std::string received;
+    rt.spawn("producer", [&] {
+        s.putChunk("hello");
+        s.putChunk(" world");
+        s.close();
+    });
+    rt.spawn("consumer", [&] {
+        int c;
+        while ((c = s.getByte()) != kEof)
+            received.push_back(static_cast<char>(c));
+    });
+    rt.run();
+    EXPECT_EQ(received, "hello world");
+}
+
+TEST(StreamChunks, GetChunkReadsExactCountUnlessEof)
+{
+    Runtime rt(makeConfig());
+    Stream s(rt, "s", 2);
+    std::string received;
+    rt.spawn("producer", [&] {
+        s.putChunk("abcdefghij"); // 10 bytes
+        s.close();
+    });
+    rt.spawn("consumer", [&] {
+        char buf[4];
+        std::size_t got;
+        while ((got = s.getChunk(buf, 4)) > 0)
+            received.append(buf, got);
+    });
+    rt.run();
+    EXPECT_EQ(received, "abcdefghij");
+}
+
+TEST(StreamChunks, GetChunkShortOnlyAtEof)
+{
+    Runtime rt(makeConfig());
+    Stream s(rt, "s", 2);
+    std::vector<std::size_t> counts;
+    rt.spawn("producer", [&] {
+        s.putChunk("abcdefg"); // 7 bytes: chunks of 4, 3
+        s.close();
+    });
+    rt.spawn("consumer", [&] {
+        char buf[4];
+        std::size_t got;
+        while ((got = s.getChunk(buf, 4)) > 0)
+            counts.push_back(got);
+    });
+    rt.run();
+    EXPECT_EQ(counts, (std::vector<std::size_t>{4, 3}));
+}
+
+TEST(StreamChunks, OneFramePerChunkRegardlessOfBlocking)
+{
+    // putChunk is ONE traced activation even when the tiny buffer
+    // forces it to block repeatedly (Table 1: dynamic save counts
+    // are independent of the buffer sizes).
+    auto saves_for_capacity = [](std::size_t cap) {
+        Runtime rt(makeConfig());
+        Stream s(rt, "s", cap);
+        rt.spawn("producer", [&] {
+            for (int i = 0; i < 16; ++i)
+                s.putChunk("wxyz");
+            s.close();
+        });
+        rt.spawn("consumer", [&] {
+            char buf[4];
+            while (s.getChunk(buf, 4) > 0) {
+            }
+        });
+        rt.run();
+        return rt.engine().stats().counterValue("saves");
+    };
+    const auto tight = saves_for_capacity(1);
+    EXPECT_EQ(tight, saves_for_capacity(4));
+    EXPECT_EQ(tight, saves_for_capacity(64));
+}
+
+TEST(StreamChunks, TightBufferStillSwitchesPerByte)
+{
+    // The frame count is buffer-independent but the context-switch
+    // count is not: with capacity 1 every byte ping-pongs.
+    auto switches_for_capacity = [](std::size_t cap) {
+        Runtime rt(makeConfig());
+        Stream s(rt, "s", cap);
+        rt.spawn("producer", [&] {
+            for (int i = 0; i < 32; ++i)
+                s.putChunk("wxyz");
+            s.close();
+        });
+        rt.spawn("consumer", [&] {
+            char buf[4];
+            while (s.getChunk(buf, 4) > 0) {
+            }
+        });
+        rt.run();
+        return rt.engine().stats().counterValue("switches");
+    };
+    EXPECT_GT(switches_for_capacity(1), switches_for_capacity(64));
+}
+
+TEST(StreamChunks, MixedByteAndChunkAccess)
+{
+    Runtime rt(makeConfig());
+    Stream s(rt, "s", 4);
+    std::string received;
+    rt.spawn("producer", [&] {
+        s.putByte('A');
+        s.putChunk("BCD");
+        s.putByte('E');
+        s.close();
+    });
+    rt.spawn("consumer", [&] {
+        char buf[2];
+        std::size_t got;
+        while ((got = s.getChunk(buf, 2)) > 0)
+            received.append(buf, got);
+    });
+    rt.run();
+    EXPECT_EQ(received, "ABCDE");
+}
+
+} // namespace
+} // namespace crw

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for SPARC core / assembler / kernel tests.
+ */
+
+#ifndef CRW_TESTS_SPARC_SPARC_TEST_UTIL_H_
+#define CRW_TESTS_SPARC_SPARC_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "asm/assembler.h"
+#include "sparc/cpu.h"
+
+namespace crw {
+namespace sparc {
+
+/** An assembled program loaded into a fresh machine. */
+struct TestMachine
+{
+    Memory mem;
+    Cpu cpu;
+    sparcasm::Program program;
+
+    explicit TestMachine(const std::string &source, int windows = 8,
+                         Addr origin = 0x1000)
+        : mem(1 << 20),
+          cpu(mem, windows),
+          program(sparcasm::assemble(source, origin))
+    {
+        program.loadInto(mem);
+        cpu.setPsr(kPsrSBit | kPsrEtBit); // supervisor, traps on, CWP 0
+        cpu.setCwp(windows - 1); // room to save downward... (above
+                                 // wraps; fine for WIM=0 tests)
+        cpu.setPc(program.hasSymbol("start") ? program.symbol("start")
+                                             : origin);
+        // A stack for the initial window, top of memory.
+        cpu.setReg(kRegSp, (1 << 20) - 4096);
+    }
+
+    /** Run to completion; asserts a clean halt. */
+    Word
+    runToHalt(std::uint64_t max_steps = 10'000'000)
+    {
+        const StopReason r = cpu.run(max_steps);
+        if (r != StopReason::Halted) {
+            ADD_FAILURE() << "cpu stopped with "
+                          << stopReasonName(r) << ": "
+                          << cpu.errorMessage() << " at pc=0x"
+                          << std::hex << cpu.pc();
+        }
+        return cpu.exitCode();
+    }
+};
+
+} // namespace sparc
+} // namespace crw
+
+#endif // CRW_TESTS_SPARC_SPARC_TEST_UTIL_H_

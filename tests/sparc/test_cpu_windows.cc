@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Window mechanics at instruction level: save/restore CWP movement,
+ * WIM-triggered overflow/underflow traps, trap entry state, rett, and
+ * a minimal trap handler round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/sparc/sparc_test_util.h"
+
+namespace crw {
+namespace sparc {
+namespace {
+
+TEST(CpuWindows, SaveDecrementsCwpAndRestoresIncrements)
+{
+    TestMachine m("start:\n"
+                  "    save %sp, -96, %sp\n"
+                  "    rd %psr, %o0\n"
+                  "    ta 0\n",
+                  8);
+    m.cpu.setCwp(5);
+    const Word psr = m.runToHalt();
+    EXPECT_EQ(psr & kPsrCwpMask, 4u); // save moved 5 -> 4 ("above")
+}
+
+TEST(CpuWindows, SaveComputesWithOldWindowWritesNew)
+{
+    TestMachine m("start:\n"
+                  "    set 0x9000, %sp\n"
+                  "    save %sp, -96, %sp\n"
+                  "    mov %sp, %o0\n"
+                  "    ta 0\n",
+                  8);
+    m.cpu.setCwp(5);
+    EXPECT_EQ(m.runToHalt(), 0x9000u - 96u);
+    // The caller's %sp is visible as the callee's %fp (overlap).
+    EXPECT_EQ(m.cpu.reg(kRegFp), 0x9000u);
+}
+
+TEST(CpuWindows, SaveRestoreRoundTripPreservesLocals)
+{
+    TestMachine m("start:\n"
+                  "    mov 77, %l3\n"
+                  "    save %sp, -96, %sp\n"
+                  "    mov 88, %l3\n" // callee's private %l3
+                  "    restore\n"
+                  "    mov %l3, %o0\n"
+                  "    ta 0\n",
+                  8);
+    m.cpu.setCwp(5);
+    EXPECT_EQ(m.runToHalt(), 77u);
+}
+
+TEST(CpuWindows, ReturnValuePassesThroughRestore)
+{
+    // Callee leaves the value in %i0; after restore it is %o0.
+    TestMachine m("start:\n"
+                  "    save %sp, -96, %sp\n"
+                  "    mov 123, %i0\n"
+                  "    restore %i0, 1, %o0\n" // restore-as-add (§4.3)
+                  "    ta 0\n",
+                  8);
+    m.cpu.setCwp(5);
+    EXPECT_EQ(m.runToHalt(), 124u);
+}
+
+TEST(CpuWindows, SaveIntoInvalidWindowTrapsWithoutEffect)
+{
+    TestMachine m("start:\n"
+                  "    save %sp, -96, %sp\n"
+                  "    ta 0\n",
+                  8);
+    m.cpu.setCwp(5);
+    m.cpu.setWim(1u << 4); // window 4 (above 5) is invalid
+    m.cpu.setPsr(m.cpu.psr() & ~kPsrEtBit); // ET=0 -> error mode
+    m.cpu.setCwp(5);
+    EXPECT_EQ(m.cpu.run(10), StopReason::ErrorMode);
+    // Precision: CWP unchanged by the trapping save.
+    EXPECT_NE(m.cpu.errorMessage().find("window_overflow"),
+              std::string::npos);
+}
+
+TEST(CpuWindows, TrapEntryRotatesWindowAndSavesPcs)
+{
+    // Vector table at 0: entry for tt=5 jumps to a tiny handler that
+    // records state and halts.
+    const std::string src =
+        "    .org 0x50\n" // tt=5 << 4
+        "vec5:\n"
+        "    ba handler\n"
+        "    nop\n"
+        "    .org 0x1000\n"
+        "start:\n"
+        "    save %sp, -96, %sp\n" // traps: window 4 invalid
+        "    nop\n"
+        "    ta 0\n"
+        "handler:\n"
+        "    rd %psr, %o0\n"
+        "    ta 0\n";
+    TestMachine m(src, 8, 0);
+    m.cpu.setTbr(0);
+    m.cpu.setWim(1u << 4);
+    m.cpu.setCwp(5);
+    const Word psr = m.runToHalt();
+    // Trap rotated into window 4 regardless of WIM.
+    EXPECT_EQ(psr & kPsrCwpMask, 4u);
+    EXPECT_FALSE(psr & kPsrEtBit); // traps disabled
+    EXPECT_TRUE(psr & kPsrSBit);
+    EXPECT_TRUE(psr & kPsrPsBit); // was supervisor
+    // %l1/%l2 of the trap window hold the trapped PC/nPC.
+    EXPECT_EQ(m.cpu.reg(kRegL1), 0x1000u);
+    EXPECT_EQ(m.cpu.reg(kRegL2), 0x1004u);
+    EXPECT_EQ(m.cpu.stats().counterValue("trap.window_overflow"), 1u);
+}
+
+TEST(CpuWindows, RettRestoresStateAndRetriesInstruction)
+{
+    // Full round trip: save traps, the handler frees the window in
+    // WIM and replays the save via jmpl %l1 / rett %l2.
+    const std::string src =
+        "    .org 0x50\n"
+        "    ba handler\n"
+        "    nop\n"
+        "    .org 0x1000\n"
+        "start:\n"
+        "    save %sp, -96, %sp\n"
+        "    rd %psr, %o0\n"
+        "    ta 0\n"
+        "handler:\n"
+        "    mov 0, %wim\n" // make every window valid
+        "    jmpl %l1, %g0\n" // retry the trapped save
+        "    rett %l2\n";
+    TestMachine m(src, 8, 0);
+    m.cpu.setTbr(0);
+    m.cpu.setWim(1u << 4);
+    m.cpu.setCwp(5);
+    const Word psr = m.runToHalt();
+    EXPECT_EQ(psr & kPsrCwpMask, 4u); // the save finally moved 5 -> 4
+    EXPECT_TRUE(psr & kPsrEtBit);     // rett re-enabled traps
+    EXPECT_TRUE(psr & kPsrSBit);
+    EXPECT_EQ(m.cpu.stats().counterValue("trap.window_overflow"), 1u);
+}
+
+TEST(CpuWindows, RestoreIntoInvalidWindowTraps)
+{
+    const std::string src =
+        "    .org 0x60\n" // tt=6 << 4
+        "    ba handler\n"
+        "    nop\n"
+        "    .org 0x1000\n"
+        "start:\n"
+        "    restore\n"
+        "    ta 0\n"
+        "handler:\n"
+        "    mov 1, %o0\n"
+        "    ta 0\n";
+    TestMachine m(src, 8, 0);
+    m.cpu.setTbr(0);
+    m.cpu.setCwp(5);
+    m.cpu.setWim(1u << 6); // window below 5 is invalid
+    EXPECT_EQ(m.runToHalt(), 1u);
+    EXPECT_EQ(m.cpu.stats().counterValue("trap.window_underflow"), 1u);
+}
+
+TEST(CpuWindows, CalleeWithOwnWindowComputesFib)
+{
+    // A one-level call into a routine that computes fib(10)
+    // iteratively in its own window; exercises the full call/save/
+    // ret/restore protocol. Deep multi-window recursion with real
+    // spills is covered by the kernel tests.
+    const std::string src =
+        "start:\n"
+        "    mov 10, %o0\n"
+        "    call fib\n"
+        "    nop\n"
+        "    ta 0\n"
+        // Iterative fibonacci in one window.
+        "fib:\n"
+        "    save %sp, -96, %sp\n"
+        "    mov 0, %l0\n" // fib(0)
+        "    mov 1, %l1\n" // fib(1)
+        "loop:\n"
+        "    subcc %i0, 0, %g0\n"
+        "    be done\n"
+        "    nop\n"
+        "    add %l0, %l1, %l2\n"
+        "    mov %l1, %l0\n"
+        "    mov %l2, %l1\n"
+        "    ba loop\n"
+        "    sub %i0, 1, %i0\n"
+        "done:\n"
+        "    mov %l0, %i0\n"
+        "    ret\n"
+        "    restore\n";
+    TestMachine m(src, 8);
+    m.cpu.setCwp(5);
+    EXPECT_EQ(m.runToHalt(), 55u); // fib(10)
+}
+
+TEST(CpuWindows, PrivilegedOpsTrapInUserMode)
+{
+    TestMachine m("start:\n"
+                  "    rd %psr, %o0\n"
+                  "    ta 0\n",
+                  8);
+    m.cpu.setPsr(kPsrEtBit); // user mode, traps enabled
+    m.cpu.setTbr(0);
+    // No handler at the vector: executing from address 0x30 runs
+    // zero words (unimp) -> illegal trap with ET=0 -> error mode.
+    EXPECT_EQ(m.cpu.run(10), StopReason::ErrorMode);
+    EXPECT_EQ(
+        m.cpu.stats().counterValue("trap.privileged_instruction"),
+        1u);
+}
+
+} // namespace
+} // namespace sparc
+} // namespace crw

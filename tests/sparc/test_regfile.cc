@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests of the windowed register file, especially the in/out overlap
+ * that the whole window-sharing algorithm revolves around.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sparc/isa.h"
+#include "sparc/regfile.h"
+
+namespace crw {
+namespace sparc {
+namespace {
+
+TEST(RegFile, GlobalsSharedAcrossWindows)
+{
+    RegFile rf(8);
+    rf.set(0, 1, 0xAA);
+    for (int w = 0; w < 8; ++w)
+        EXPECT_EQ(rf.get(w, 1), 0xAAu);
+}
+
+TEST(RegFile, G0ReadsZeroAndIgnoresWrites)
+{
+    RegFile rf(8);
+    rf.set(3, 0, 0xFFFF);
+    EXPECT_EQ(rf.get(3, 0), 0u);
+}
+
+TEST(RegFile, LocalsArePrivatePerWindow)
+{
+    RegFile rf(8);
+    rf.set(2, kRegL0, 111);
+    rf.set(3, kRegL0, 222);
+    EXPECT_EQ(rf.get(2, kRegL0), 111u);
+    EXPECT_EQ(rf.get(3, kRegL0), 222u);
+}
+
+TEST(RegFile, OutsAliasInsOfWindowAbove)
+{
+    RegFile rf(8);
+    // Window 4's outs are window 3's ins (3 is "above" 4).
+    rf.set(4, kRegO0 + 2, 0xBEEF);
+    EXPECT_EQ(rf.get(3, kRegI0 + 2), 0xBEEFu);
+    // And the reverse direction.
+    rf.set(3, kRegI0 + 5, 0xCAFE);
+    EXPECT_EQ(rf.get(4, kRegO0 + 5), 0xCAFEu);
+}
+
+TEST(RegFile, OverlapWrapsAroundTheFile)
+{
+    RegFile rf(8);
+    // Window 0's outs are window 7's ins.
+    rf.set(0, kRegO0 + 3, 0x1234);
+    EXPECT_EQ(rf.get(7, kRegI0 + 3), 0x1234u);
+}
+
+TEST(RegFile, SpAndFpOverlapOnCall)
+{
+    RegFile rf(8);
+    // Caller's %sp (%o6) must become the callee's %fp (%i6).
+    rf.set(5, kRegSp, 0x8000);
+    EXPECT_EQ(rf.get(4, kRegFp), 0x8000u); // callee window is above
+}
+
+TEST(RegFile, RawAccessMatchesArchView)
+{
+    RegFile rf(8);
+    rf.set(2, kRegL0 + 3, 77);
+    EXPECT_EQ(rf.getRaw(2, 3), 77u); // slots 0..7 = locals
+    rf.set(2, kRegI0 + 1, 88);
+    EXPECT_EQ(rf.getRaw(2, 8 + 1), 88u); // slots 8..15 = ins
+}
+
+TEST(RegFile, WindowCountValidation)
+{
+    EXPECT_THROW(RegFile(1), FatalError);
+    EXPECT_THROW(RegFile(33), FatalError);
+    EXPECT_NO_THROW(RegFile(2));
+    EXPECT_NO_THROW(RegFile(32));
+}
+
+TEST(RegFile, ResetZeroesEverything)
+{
+    RegFile rf(4);
+    rf.set(0, 5, 1);
+    rf.set(1, kRegL0, 2);
+    rf.reset();
+    EXPECT_EQ(rf.get(0, 5), 0u);
+    EXPECT_EQ(rf.get(1, kRegL0), 0u);
+}
+
+} // namespace
+} // namespace sparc
+} // namespace crw

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests of the synthetic LaTeX corpus generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "spell/corpus.h"
+#include "spell/delatex.h"
+#include "spell/words.h"
+
+namespace crw {
+namespace {
+
+TEST(Corpus, DeterministicAndSized)
+{
+    const auto vocab = makeVocabulary(500, 9);
+    CorpusConfig cfg;
+    cfg.targetBytes = 40500;
+    const std::string a = makeCorpus(vocab, cfg);
+    const std::string b = makeCorpus(vocab, cfg);
+    EXPECT_EQ(a, b);
+    // Size lands near the target (within one trailing construct).
+    EXPECT_GE(a.size(), 40500u);
+    EXPECT_LE(a.size(), 40700u);
+}
+
+TEST(Corpus, LooksLikeLatex)
+{
+    const auto vocab = makeVocabulary(300, 11);
+    CorpusConfig cfg;
+    cfg.targetBytes = 20000;
+    const std::string text = makeCorpus(vocab, cfg);
+    EXPECT_NE(text.find("\\documentclass"), std::string::npos);
+    EXPECT_NE(text.find("\\begin{document}"), std::string::npos);
+    EXPECT_NE(text.find("\\end{document}"), std::string::npos);
+    EXPECT_NE(text.find("\\section{"), std::string::npos);
+    EXPECT_NE(text.find('$'), std::string::npos);
+    EXPECT_NE(text.find('%'), std::string::npos);
+}
+
+TEST(Corpus, DelatexExtractsMostlyVocabularyWords)
+{
+    const auto vocab = makeVocabulary(800, 13);
+    Lexicon lex;
+    for (const auto &w : vocab)
+        lex.insert(w);
+
+    CorpusConfig cfg;
+    cfg.targetBytes = 30000;
+    cfg.typoProb = 0.02;
+    const std::string text = makeCorpus(vocab, cfg);
+
+    int total = 0;
+    int known_or_derived = 0;
+    Delatex d([&](const std::string &w) {
+        ++total;
+        if (lex.containsExact(w)) {
+            ++known_or_derived;
+        } else {
+            std::vector<std::string> bases;
+            Lexicon::stripOnce(w, bases);
+            for (const auto &b : bases) {
+                if (lex.containsExact(b)) {
+                    ++known_or_derived;
+                    break;
+                }
+            }
+        }
+    });
+    for (char c : text)
+        d.feed(c);
+    d.finish();
+
+    ASSERT_GT(total, 2000);
+    // Most words resolve against the vocabulary; a small tail (typos,
+    // double-suffix forms) does not — that's the spell checker's work.
+    const double hit = static_cast<double>(known_or_derived) / total;
+    EXPECT_GT(hit, 0.90);
+    EXPECT_LT(hit, 0.999);
+}
+
+TEST(Corpus, TypoRateControlsMisses)
+{
+    const auto vocab = makeVocabulary(400, 21);
+    Lexicon lex;
+    for (const auto &w : vocab)
+        lex.insert(w);
+    auto miss_count = [&](double typo_prob) {
+        CorpusConfig cfg;
+        cfg.targetBytes = 20000;
+        cfg.typoProb = typo_prob;
+        cfg.deriveProb = 0.0;
+        const std::string text = makeCorpus(vocab, cfg);
+        int misses = 0;
+        Delatex d([&](const std::string &w) {
+            if (!lex.containsExact(w))
+                ++misses;
+        });
+        for (char c : text)
+            d.feed(c);
+        d.finish();
+        return misses;
+    };
+    EXPECT_GT(miss_count(0.10), miss_count(0.01));
+}
+
+} // namespace
+} // namespace crw

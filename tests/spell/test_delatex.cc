@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests of the delatex lexer (T1's word extractor).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "spell/delatex.h"
+
+namespace crw {
+namespace {
+
+std::vector<std::string>
+lex(const std::string &input)
+{
+    std::vector<std::string> words;
+    Delatex d([&](const std::string &w) { words.push_back(w); });
+    for (char c : input)
+        d.feed(c);
+    d.finish();
+    return words;
+}
+
+TEST(Delatex, PlainWordsLowercased)
+{
+    EXPECT_EQ(lex("Hello World"),
+              (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(Delatex, SingleLettersDropped)
+{
+    EXPECT_EQ(lex("a bc d ef"),
+              (std::vector<std::string>{"bc", "ef"}));
+}
+
+TEST(Delatex, PunctuationSeparates)
+{
+    EXPECT_EQ(lex("one,two.three;four"),
+              (std::vector<std::string>{"one", "two", "three", "four"}));
+}
+
+TEST(Delatex, CommandNameSwallowed)
+{
+    EXPECT_EQ(lex("alpha \\textbf beta"),
+              (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(Delatex, ProseArgumentKept)
+{
+    // \section's argument is prose and must be spell-checked.
+    EXPECT_EQ(lex("\\section{Register Windows}"),
+              (std::vector<std::string>{"register", "windows"}));
+}
+
+TEST(Delatex, CiteArgumentSkipped)
+{
+    EXPECT_EQ(lex("see \\cite{hk93} here"),
+              (std::vector<std::string>{"see", "here"}));
+}
+
+TEST(Delatex, NestedBracesInSkippedArg)
+{
+    EXPECT_EQ(lex("xx \\cite{aa{bb}cc} yy"),
+              (std::vector<std::string>{"xx", "yy"}));
+}
+
+TEST(Delatex, BeginEndSkipped)
+{
+    EXPECT_EQ(lex("\\begin{document}body\\end{document}"),
+              (std::vector<std::string>{"body"}));
+}
+
+TEST(Delatex, MathSkipped)
+{
+    EXPECT_EQ(lex("before $x + y_{i}$ after"),
+              (std::vector<std::string>{"before", "after"}));
+}
+
+TEST(Delatex, CommentSkippedToEol)
+{
+    EXPECT_EQ(lex("keep % drop these\nnext"),
+              (std::vector<std::string>{"keep", "next"}));
+}
+
+TEST(Delatex, EscapedBackslashCommands)
+{
+    EXPECT_EQ(lex("pp\\\\qq \\% rr"),
+              (std::vector<std::string>{"pp", "qq", "rr"}));
+}
+
+TEST(Delatex, EmphasisContentKept)
+{
+    EXPECT_EQ(lex("{\\em stressed words} end"),
+              (std::vector<std::string>{"stressed", "words", "end"}));
+}
+
+TEST(Delatex, WordPendingAtEofFlushedByFinish)
+{
+    std::vector<std::string> words;
+    Delatex d([&](const std::string &w) { words.push_back(w); });
+    for (char c : std::string("trailing"))
+        d.feed(c);
+    EXPECT_TRUE(words.empty());
+    d.finish();
+    EXPECT_EQ(words, (std::vector<std::string>{"trailing"}));
+    EXPECT_EQ(d.wordsEmitted(), 1u);
+}
+
+TEST(Delatex, CommandAtEndOfInput)
+{
+    EXPECT_EQ(lex("word \\end{doc}"),
+              (std::vector<std::string>{"word"}));
+}
+
+TEST(Delatex, RealisticFragment)
+{
+    const std::string frag =
+        "\\documentclass{article}\n"
+        "\\begin{document}\n"
+        "Overlapping register windows\\cite{rx} speed $n$ calls.\n"
+        "% internal note\n"
+        "\\section{Multi Threading}\n"
+        "fast context switching\n"
+        "\\end{document}\n";
+    EXPECT_EQ(lex(frag),
+              (std::vector<std::string>{
+                  "overlapping", "register", "windows", "speed",
+                  "calls", "multi", "threading", "fast", "context",
+                  "switching"}));
+}
+
+} // namespace
+} // namespace crw

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests of vocabulary synthesis and the Lexicon (derivative
+ * stripping, traced lookups).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "spell/words.h"
+
+namespace crw {
+namespace {
+
+RuntimeConfig
+rtConfig()
+{
+    RuntimeConfig cfg;
+    cfg.engine.numWindows = 8;
+    cfg.engine.scheme = SchemeKind::SP;
+    cfg.engine.checkInvariants = true;
+    return cfg;
+}
+
+TEST(Words, MakeWordIsWellFormed)
+{
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const std::string w = makeWord(rng);
+        EXPECT_GE(w.size(), 2u);
+        EXPECT_LE(w.size(), 11u);
+        for (char c : w)
+            EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    }
+}
+
+TEST(Words, VocabularyDistinctSortedDeterministic)
+{
+    const auto v1 = makeVocabulary(500, 7);
+    const auto v2 = makeVocabulary(500, 7);
+    EXPECT_EQ(v1, v2);
+    EXPECT_EQ(v1.size(), 500u);
+    EXPECT_TRUE(std::is_sorted(v1.begin(), v1.end()));
+    EXPECT_EQ(std::adjacent_find(v1.begin(), v1.end()), v1.end());
+}
+
+TEST(Words, DifferentSeedsGiveDifferentVocabularies)
+{
+    EXPECT_NE(makeVocabulary(100, 1), makeVocabulary(100, 2));
+}
+
+TEST(Words, SerializeRespectsByteBudget)
+{
+    const auto v = makeVocabulary(4000, 3);
+    std::size_t used = 0;
+    const std::string text = serializeWordList(v, 10000, &used);
+    EXPECT_LE(text.size(), 10000u);
+    EXPECT_GT(text.size(), 9000u); // close to the target
+    EXPECT_GT(used, 0u);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(text.begin(), text.end(), '\n')),
+              used);
+}
+
+TEST(Lexicon, ExactLookup)
+{
+    Lexicon lex;
+    lex.insert("window");
+    EXPECT_TRUE(lex.containsExact("window"));
+    EXPECT_FALSE(lex.containsExact("windows"));
+    EXPECT_EQ(lex.size(), 1u);
+}
+
+TEST(Lexicon, StripOnceRules)
+{
+    auto strips = [](std::string_view w) {
+        std::vector<std::string> out;
+        Lexicon::stripOnce(w, out);
+        return out;
+    };
+    auto has = [](const std::vector<std::string> &v,
+                  const std::string &s) {
+        return std::find(v.begin(), v.end(), s) != v.end();
+    };
+
+    EXPECT_TRUE(has(strips("windows"), "window"));
+    EXPECT_TRUE(has(strips("boxes"), "box"));
+    EXPECT_TRUE(has(strips("tries"), "try"));
+    EXPECT_TRUE(has(strips("walked"), "walk"));
+    EXPECT_TRUE(has(strips("saved"), "save"));
+    EXPECT_TRUE(has(strips("running"), "runn")); // naive, as UNIX spell
+    EXPECT_TRUE(has(strips("making"), "make"));
+    EXPECT_TRUE(has(strips("quickly"), "quick"));
+    EXPECT_TRUE(has(strips("faster"), "fast"));
+    EXPECT_TRUE(has(strips("fastest"), "fast"));
+    EXPECT_TRUE(has(strips("goodness"), "good"));
+    EXPECT_TRUE(has(strips("placement"), "place"));
+    // Too-short stems are not produced.
+    EXPECT_TRUE(strips("as").empty());
+    EXPECT_TRUE(strips("less").empty()); // -ss guard
+}
+
+TEST(Lexicon, TracedLookupOpensFrames)
+{
+    Runtime rt(rtConfig());
+    Lexicon lex;
+    lex.insert("spell");
+    bool found = false;
+    std::uint64_t saves = 0;
+    rt.spawn("t", [&] {
+        const auto before = rt.engine().stats().counterValue("saves");
+        found = lex.lookup(rt, "spell");
+        saves = rt.engine().stats().counterValue("saves") - before;
+    });
+    rt.run();
+    EXPECT_TRUE(found);
+    EXPECT_EQ(saves, 1u);
+}
+
+TEST(Lexicon, DerivedLookupFindsSuffixedForms)
+{
+    Runtime rt(rtConfig());
+    Lexicon lex;
+    lex.insert("check");
+    lex.insert("window");
+    std::vector<std::pair<std::string, bool>> cases = {
+        {"check", true},    {"checks", true},  {"checked", true},
+        {"checking", true}, {"windowly", true}, {"windows", true},
+        {"xyzzy", false},   {"checkqq", false},
+    };
+    std::vector<bool> results;
+    rt.spawn("t", [&] {
+        for (const auto &kv : cases)
+            results.push_back(lex.lookupDerived(rt, kv.first));
+    });
+    rt.run();
+    for (std::size_t i = 0; i < cases.size(); ++i)
+        EXPECT_EQ(results[i], cases[i].second) << cases[i].first;
+}
+
+TEST(Lexicon, DerivedLookupRecursionIsDeeperForSuffixes)
+{
+    // "checkings" needs two strips -> more frames than "check".
+    Runtime rt(rtConfig());
+    Lexicon lex;
+    lex.insert("check");
+    std::uint64_t frames_plain = 0;
+    std::uint64_t frames_deep = 0;
+    rt.spawn("t", [&] {
+        auto count = [&](std::string_view w) {
+            const auto before =
+                rt.engine().stats().counterValue("saves");
+            lex.lookupDerived(rt, w);
+            return rt.engine().stats().counterValue("saves") - before;
+        };
+        frames_plain = count("check");
+        frames_deep = count("checkings");
+    });
+    rt.run();
+    EXPECT_GT(frames_deep, frames_plain);
+}
+
+} // namespace
+} // namespace crw

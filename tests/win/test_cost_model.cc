@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The paperTable2 cost preset must land inside the cycle bands the
+ * paper reports in Table 2 for every listed (saves, restores) case.
+ */
+
+#include <gtest/gtest.h>
+
+#include "win/cost_model.h"
+
+namespace crw {
+namespace {
+
+class PaperCost : public ::testing::Test
+{
+  protected:
+    CostModel m = CostModel::paperTable2();
+};
+
+TEST_F(PaperCost, NsCasesMatchTable2Bands)
+{
+    // NS rows: save s=1..6, restore 1.
+    const Cycles lo[] = {145, 181, 217, 253, 289, 325};
+    const Cycles hi[] = {149, 185, 221, 257, 293, 329};
+    for (int s = 1; s <= 6; ++s) {
+        const Cycles c = m.switchCost(SchemeKind::NS, s, 1);
+        EXPECT_GE(c, lo[s - 1]) << "NS save=" << s;
+        EXPECT_LE(c, hi[s - 1]) << "NS save=" << s;
+    }
+}
+
+TEST_F(PaperCost, NsCostGrowsLinearlyBeyondTable)
+{
+    // The paper's S-20 had 7 windows so Table 2 stops at 6 saves; our
+    // simulations go to 32 windows and extrapolate the same slope.
+    const Cycles c6 = m.switchCost(SchemeKind::NS, 6, 1);
+    const Cycles c7 = m.switchCost(SchemeKind::NS, 7, 1);
+    const Cycles c8 = m.switchCost(SchemeKind::NS, 8, 1);
+    EXPECT_EQ(c7 - c6, c8 - c7);
+    EXPECT_GT(c7, c6);
+}
+
+TEST_F(PaperCost, SnpCasesMatchTable2Bands)
+{
+    EXPECT_GE(m.switchCost(SchemeKind::SNP, 0, 0), 113u);
+    EXPECT_LE(m.switchCost(SchemeKind::SNP, 0, 0), 118u);
+    EXPECT_GE(m.switchCost(SchemeKind::SNP, 0, 1), 142u);
+    EXPECT_LE(m.switchCost(SchemeKind::SNP, 0, 1), 147u);
+    EXPECT_GE(m.switchCost(SchemeKind::SNP, 1, 0), 162u);
+    EXPECT_LE(m.switchCost(SchemeKind::SNP, 1, 0), 171u);
+    EXPECT_GE(m.switchCost(SchemeKind::SNP, 1, 1), 187u);
+    EXPECT_LE(m.switchCost(SchemeKind::SNP, 1, 1), 196u);
+}
+
+TEST_F(PaperCost, SpCasesMatchTable2Bands)
+{
+    EXPECT_GE(m.switchCost(SchemeKind::SP, 0, 0), 93u);
+    EXPECT_LE(m.switchCost(SchemeKind::SP, 0, 0), 98u);
+    EXPECT_GE(m.switchCost(SchemeKind::SP, 0, 1), 136u);
+    EXPECT_LE(m.switchCost(SchemeKind::SP, 0, 1), 141u);
+    EXPECT_GE(m.switchCost(SchemeKind::SP, 1, 1), 180u);
+    EXPECT_LE(m.switchCost(SchemeKind::SP, 1, 1), 197u);
+    EXPECT_GE(m.switchCost(SchemeKind::SP, 2, 1), 220u);
+    EXPECT_LE(m.switchCost(SchemeKind::SP, 2, 1), 237u);
+}
+
+TEST_F(PaperCost, SpBestCaseBeatsSnpBestCase)
+{
+    // §6.2: the SP best case is cheaper because outs/PCs stay in PRW.
+    EXPECT_LT(m.switchCost(SchemeKind::SP, 0, 0),
+              m.switchCost(SchemeKind::SNP, 0, 0));
+}
+
+TEST_F(PaperCost, SpWorstCaseExceedsSnpWorstCase)
+{
+    // §6.2: SP can need two saves where SNP needs at most one.
+    EXPECT_GT(m.switchCost(SchemeKind::SP, 2, 1),
+              m.switchCost(SchemeKind::SNP, 1, 1));
+}
+
+TEST_F(PaperCost, SharingBestCaseBeatsNsBestCase)
+{
+    EXPECT_LT(m.switchCost(SchemeKind::SP, 0, 0),
+              m.switchCost(SchemeKind::NS, 1, 1));
+    EXPECT_LT(m.switchCost(SchemeKind::SNP, 0, 0),
+              m.switchCost(SchemeKind::NS, 1, 1));
+}
+
+TEST_F(PaperCost, InfiniteSchemeIsFree)
+{
+    EXPECT_EQ(m.switchCost(SchemeKind::Infinite, 3, 2), 0u);
+}
+
+TEST_F(PaperCost, TrapCostsArePositiveAndOrdered)
+{
+    EXPECT_GT(m.overflowTrapCost(1), m.overflowTrapCost(0));
+    EXPECT_GT(m.underflowSharingCost(), 0u);
+    // The sharing underflow does strictly more work (ins->outs copy,
+    // restore emulation) than the conventional one.
+    EXPECT_GT(m.underflowSharingCost(), m.underflowConventionalCost());
+}
+
+TEST_F(PaperCost, SchemeNames)
+{
+    EXPECT_STREQ(schemeName(SchemeKind::NS), "NS");
+    EXPECT_STREQ(schemeName(SchemeKind::SNP), "SNP");
+    EXPECT_STREQ(schemeName(SchemeKind::SP), "SP");
+    EXPECT_STREQ(schemeName(SchemeKind::Infinite), "INF");
+}
+
+} // namespace
+} // namespace crw

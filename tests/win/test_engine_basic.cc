@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Engine-level tests that hold across schemes: cycle decomposition,
+ * stat accounting, and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "win/engine.h"
+
+namespace crw {
+namespace {
+
+class EngineAllSchemes
+    : public ::testing::TestWithParam<SchemeKind>
+{
+  protected:
+    EngineConfig
+    config(int windows) const
+    {
+        EngineConfig cfg;
+        cfg.numWindows = windows;
+        cfg.scheme = GetParam();
+        cfg.checkInvariants = true;
+        return cfg;
+    }
+};
+
+TEST_P(EngineAllSchemes, CycleDecompositionIsExact)
+{
+    WindowEngine e(config(8));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    for (int i = 0; i < 10; ++i)
+        e.save();
+    e.charge(123);
+    e.contextSwitch(1);
+    e.charge(77);
+    e.contextSwitch(0);
+    for (int i = 0; i < 10; ++i)
+        e.restore();
+
+    const auto &s = e.stats();
+    const Cycles sum = s.counterValue("cycles_compute") +
+                       s.counterValue("cycles_callret") +
+                       s.counterValue("cycles_trap") +
+                       s.counterValue("cycles_switch");
+    EXPECT_EQ(e.now(), sum);
+    EXPECT_EQ(s.counterValue("cycles_compute"), 200u);
+}
+
+TEST_P(EngineAllSchemes, SaveRestoreCountsPerThread)
+{
+    WindowEngine e(config(8));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save();
+    e.save();
+    e.contextSwitch(1);
+    e.save();
+    const auto &c0 = e.threadCounters(0);
+    const auto &c1 = e.threadCounters(1);
+    EXPECT_EQ(c0.saves, 2u);
+    EXPECT_EQ(c1.saves, 1u);
+    EXPECT_EQ(c0.switchesIn, 1u);
+    EXPECT_EQ(c1.switchesIn, 1u);
+    EXPECT_EQ(e.stats().counterValue("saves"), 3u);
+}
+
+TEST_P(EngineAllSchemes, DepthBalancedAfterMatchedPairs)
+{
+    WindowEngine e(config(8));
+    e.addThread(0);
+    e.contextSwitch(0);
+    for (int i = 0; i < 17; ++i)
+        e.save();
+    for (int i = 0; i < 17; ++i)
+        e.restore();
+    EXPECT_EQ(e.depthOf(0), 1); // the root frame remains
+}
+
+TEST_P(EngineAllSchemes, SwitchToSelfPanics)
+{
+    WindowEngine e(config(8));
+    e.addThread(0);
+    e.contextSwitch(0);
+    EXPECT_THROW(e.contextSwitch(0), PanicError);
+}
+
+TEST_P(EngineAllSchemes, ExitThenSwitchContinues)
+{
+    WindowEngine e(config(8));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save();
+    e.threadExit();
+    e.contextSwitch(1);
+    e.save();
+    EXPECT_EQ(e.current(), 1);
+    EXPECT_EQ(e.depthOf(1), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, EngineAllSchemes,
+    ::testing::Values(SchemeKind::NS, SchemeKind::SNP, SchemeKind::SP,
+                      SchemeKind::Infinite),
+    [](const ::testing::TestParamInfo<SchemeKind> &info) {
+        return schemeName(info.param);
+    });
+
+TEST(Engine, SharingNeedsThreeWindows)
+{
+    EngineConfig cfg;
+    cfg.numWindows = 2;
+    cfg.scheme = SchemeKind::SNP;
+    EXPECT_THROW(WindowEngine{cfg}, FatalError);
+    cfg.scheme = SchemeKind::SP;
+    EXPECT_THROW(WindowEngine{cfg}, FatalError);
+    cfg.scheme = SchemeKind::NS;
+    EXPECT_NO_THROW(WindowEngine{cfg});
+}
+
+TEST(Engine, InfiniteSchemeNeverTrapsOrTransfers)
+{
+    EngineConfig cfg;
+    cfg.numWindows = 4;
+    cfg.scheme = SchemeKind::Infinite;
+    WindowEngine e(cfg);
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    for (int i = 0; i < 100; ++i)
+        e.save();
+    e.contextSwitch(1);
+    e.contextSwitch(0);
+    for (int i = 0; i < 100; ++i)
+        e.restore();
+    EXPECT_EQ(e.stats().counterValue("overflow_traps"), 0u);
+    EXPECT_EQ(e.stats().counterValue("underflow_traps"), 0u);
+    EXPECT_EQ(e.stats().counterValue("cycles_switch"), 0u);
+}
+
+} // namespace
+} // namespace crw

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Behavioral tests of the NS (non-sharing / conventional) scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "win/engine.h"
+
+namespace crw {
+namespace {
+
+EngineConfig
+nsConfig(int windows)
+{
+    EngineConfig cfg;
+    cfg.numWindows = windows;
+    cfg.scheme = SchemeKind::NS;
+    cfg.checkInvariants = true;
+    return cfg;
+}
+
+TEST(NsScheme, FreshThreadGetsRootFrameOnFirstSwitch)
+{
+    WindowEngine e(nsConfig(8));
+    e.addThread(0);
+    e.contextSwitch(0);
+    EXPECT_EQ(e.current(), 0);
+    EXPECT_EQ(e.depthOf(0), 1);
+    EXPECT_TRUE(e.isResident(0));
+}
+
+TEST(NsScheme, SavesGrowResidencyUntilOverflow)
+{
+    WindowEngine e(nsConfig(8));
+    e.addThread(0);
+    e.contextSwitch(0);
+    // 8 windows -> at most 7 resident; root occupies 1, so 6 saves fit.
+    for (int i = 0; i < 6; ++i)
+        e.save();
+    EXPECT_EQ(e.stats().counterValue("overflow_traps"), 0u);
+    e.save(); // 8th frame: overflow
+    EXPECT_EQ(e.stats().counterValue("overflow_traps"), 1u);
+    EXPECT_EQ(e.stats().counterValue("ovf_windows_spilled"), 1u);
+    EXPECT_EQ(e.depthOf(0), 8);
+}
+
+TEST(NsScheme, DeepRecursionSpillsOnePerSave)
+{
+    WindowEngine e(nsConfig(8));
+    e.addThread(0);
+    e.contextSwitch(0);
+    for (int i = 0; i < 20; ++i)
+        e.save();
+    // depth 21, capacity 7: 14 overflows.
+    EXPECT_EQ(e.stats().counterValue("overflow_traps"), 14u);
+    // Returning reloads the spilled frames one underflow at a time.
+    for (int i = 0; i < 20; ++i)
+        e.restore();
+    EXPECT_EQ(e.stats().counterValue("underflow_traps"), 14u);
+    EXPECT_EQ(e.depthOf(0), 1);
+}
+
+TEST(NsScheme, SwitchFlushesAllActiveWindows)
+{
+    WindowEngine e(nsConfig(8));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    for (int i = 0; i < 4; ++i)
+        e.save(); // thread 0 resident: 5 windows
+    e.contextSwitch(1);
+    // All 5 windows of thread 0 flushed; thread 1 fresh (no restore).
+    EXPECT_FALSE(e.isResident(0));
+    auto it = e.switchCases().find({5, 0});
+    ASSERT_NE(it, e.switchCases().end());
+    EXPECT_EQ(it->second, 1u);
+    EXPECT_EQ(e.stats().counterValue("switch_windows_saved"), 5u);
+}
+
+TEST(NsScheme, ResumedThreadRestoresOnlyTopFrame)
+{
+    WindowEngine e(nsConfig(8));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    for (int i = 0; i < 4; ++i)
+        e.save();
+    e.contextSwitch(1);
+    e.contextSwitch(0);
+    // Back to thread 0: only its stack-top window returns.
+    EXPECT_TRUE(e.isResident(0));
+    EXPECT_EQ(e.file().thread(0).resident, 1);
+    EXPECT_EQ(e.depthOf(0), 5);
+    EXPECT_EQ(e.stats().counterValue("switch_windows_restored"), 1u);
+}
+
+TEST(NsScheme, HiddenUnderflowAfterSwitch)
+{
+    // §6.2: "if two or more windows are saved at a context switch,
+    // some of the saved windows will have to be restored by underflow
+    // traps" — the NS scheme's hidden overhead.
+    WindowEngine e(nsConfig(8));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    for (int i = 0; i < 4; ++i)
+        e.save();
+    e.contextSwitch(1);
+    e.contextSwitch(0);
+    EXPECT_EQ(e.stats().counterValue("underflow_traps"), 0u);
+    for (int i = 0; i < 4; ++i)
+        e.restore();
+    // Each return below the restored top frame traps.
+    EXPECT_EQ(e.stats().counterValue("underflow_traps"), 4u);
+    EXPECT_EQ(e.depthOf(0), 1);
+}
+
+TEST(NsScheme, OnlyCurrentThreadEverResident)
+{
+    WindowEngine e(nsConfig(8));
+    for (ThreadId t = 0; t < 3; ++t)
+        e.addThread(t);
+    e.contextSwitch(0);
+    e.save();
+    e.contextSwitch(1);
+    e.save();
+    e.save();
+    e.contextSwitch(2);
+    EXPECT_FALSE(e.isResident(0));
+    EXPECT_FALSE(e.isResident(1));
+    EXPECT_TRUE(e.isResident(2));
+}
+
+TEST(NsScheme, ThreadExitFreesEverything)
+{
+    WindowEngine e(nsConfig(8));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save();
+    e.save();
+    e.threadExit();
+    EXPECT_EQ(e.current(), kNoThread);
+    EXPECT_EQ(e.file().freeCount(), 8);
+    e.contextSwitch(1);
+    EXPECT_TRUE(e.isResident(1));
+}
+
+TEST(NsScheme, SwitchCostScalesWithResidency)
+{
+    // More active windows -> strictly costlier switch (Table 2 NS).
+    for (int frames : {1, 3, 5}) {
+        WindowEngine e(nsConfig(8));
+        e.addThread(0);
+        e.addThread(1);
+        e.contextSwitch(0);
+        for (int i = 1; i < frames; ++i)
+            e.save();
+        const Cycles before = e.stats().counterValue("cycles_switch");
+        e.contextSwitch(1);
+        const Cycles cost =
+            e.stats().counterValue("cycles_switch") - before;
+        EXPECT_EQ(cost, e.costModel().switchCost(SchemeKind::NS,
+                                                 frames, 0));
+    }
+}
+
+TEST(NsScheme, MinimumTwoWindowsDegenerates)
+{
+    // With 2 windows only one is usable: every save overflows and
+    // every matching restore underflows, but bookkeeping stays sound.
+    WindowEngine e(nsConfig(2));
+    e.addThread(0);
+    e.contextSwitch(0);
+    e.save();
+    EXPECT_EQ(e.stats().counterValue("overflow_traps"), 1u);
+    e.restore();
+    EXPECT_EQ(e.stats().counterValue("underflow_traps"), 1u);
+    EXPECT_EQ(e.depthOf(0), 1);
+}
+
+} // namespace
+} // namespace crw

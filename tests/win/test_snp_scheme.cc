@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Behavioral tests of the SNP scheme (sharing, no private reserved
+ * windows) — including the paper's §3 problem cases and the §4.2
+ * ping-pong allocation pathology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "win/engine.h"
+
+namespace crw {
+namespace {
+
+EngineConfig
+snpConfig(int windows)
+{
+    EngineConfig cfg;
+    cfg.numWindows = windows;
+    cfg.scheme = SchemeKind::SNP;
+    cfg.checkInvariants = true;
+    return cfg;
+}
+
+TEST(SnpScheme, WindowsStayInSituAcrossSwitch)
+{
+    WindowEngine e(snpConfig(12));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save();
+    e.save(); // thread 0: 3 windows
+    e.contextSwitch(1);
+    EXPECT_TRUE(e.isResident(0));
+    EXPECT_EQ(e.file().thread(0).resident, 3);
+}
+
+TEST(SnpScheme, SwitchToResidentThreadKeepsItsWindows)
+{
+    // SNP's own windows never move on a switch-in; at most the window
+    // above its stack-top is re-reserved (evicting a neighbour's
+    // bottom — §4.1's extra work for the no-PRW variant).
+    WindowEngine e(snpConfig(12));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save(); // t0: {2 windows}
+    e.contextSwitch(1);
+    e.save(); // t1 sits right above t0: {2 windows}
+    // Switching to t0 must evict t1's bottom (it occupies the slot
+    // above t0's top) but may not touch t0's windows.
+    e.contextSwitch(0);
+    EXPECT_EQ(e.depthOf(0), 2);
+    EXPECT_EQ(e.file().thread(0).resident, 2);
+    EXPECT_EQ(e.file().thread(1).resident, 1);
+    auto evicting = e.switchCases().find({1, 0});
+    ASSERT_NE(evicting, e.switchCases().end());
+    EXPECT_EQ(evicting->second, 1u);
+
+    // Switching back to t1 (whose above-top slot is now free) is the
+    // zero-transfer case.
+    const auto saved = e.stats().counterValue("switch_windows_saved");
+    const auto restored =
+        e.stats().counterValue("switch_windows_restored");
+    e.contextSwitch(1);
+    EXPECT_EQ(e.stats().counterValue("switch_windows_saved"), saved);
+    EXPECT_EQ(e.stats().counterValue("switch_windows_restored"),
+              restored);
+    EXPECT_EQ(e.file().thread(1).resident, 1);
+    EXPECT_EQ(e.depthOf(1), 2);
+}
+
+TEST(SnpScheme, NewThreadAllocatedAboveSuspended)
+{
+    WindowEngine e(snpConfig(12));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0); // thread 0 takes some window w
+    const WindowIndex top0 = e.file().thread(0).top;
+    e.contextSwitch(1);
+    // §4.5 SNP: the window above the suspended thread's is allocated
+    // (that is exactly the old reserved window).
+    EXPECT_EQ(e.file().thread(1).top, e.file().space().above(top0));
+}
+
+TEST(SnpScheme, UnderflowRestoresInPlaceWithoutSpill)
+{
+    WindowEngine e(snpConfig(6));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    for (int i = 0; i < 8; ++i)
+        e.save(); // deep recursion: 4 of the 9 frames spilled
+    // One slot must stay dead above the top, so 5 of 6 are resident.
+    EXPECT_EQ(e.file().thread(0).resident, 5);
+    EXPECT_EQ(e.file().thread(0).memFrames(), 4);
+    const WindowIndex top = e.file().thread(0).top;
+    // Return until only one window remains, then once more.
+    for (int i = 0; i < 4; ++i)
+        e.restore();
+    EXPECT_EQ(e.file().thread(0).resident, 1);
+    const auto spills_before =
+        e.stats().counterValue("ovf_windows_spilled");
+    e.restore(); // underflow
+    EXPECT_EQ(e.stats().counterValue("underflow_traps"), 1u);
+    // Paper §3.2: the frame is restored into the same window the
+    // callee vacated; nothing is spilled and the top stays put.
+    EXPECT_EQ(e.stats().counterValue("ovf_windows_spilled"),
+              spills_before);
+    EXPECT_EQ(e.file().thread(0).top,
+              e.file().space().belowBy(top, 4));
+    EXPECT_EQ(e.file().thread(0).resident, 1);
+}
+
+TEST(SnpScheme, Figure6ProblemSolved)
+{
+    // The paper's Figure 6 scenario: thread A underflows while another
+    // thread's windows are resident. With the conventional algorithm
+    // restoring A's missing window below its run would force spilling
+    // the neighbour's stack-top; with restore-in-place nobody is
+    // touched.
+    WindowEngine e(snpConfig(10));
+    e.addThread(0); // B in the figure
+    e.addThread(1); // A in the figure
+    e.contextSwitch(0); // B: 1 window
+    e.contextSwitch(1); // A allocated above B
+    for (int i = 0; i < 3; ++i)
+        e.save(); // A: 4 windows
+    // B runs again: re-reserving above B's top spills A's bottom, and
+    // B's growth spills another of A's frames.
+    e.contextSwitch(0);
+    e.save();
+    EXPECT_EQ(e.file().thread(1).resident, 2);
+    EXPECT_EQ(e.file().thread(1).memFrames(), 2);
+    const int b_resident = e.file().thread(0).resident;
+    EXPECT_EQ(b_resident, 2);
+
+    // A returns all the way down. The two spilled frames come back via
+    // underflow traps that must not move any of B's windows.
+    e.contextSwitch(1);
+    for (int i = 0; i < 3; ++i)
+        e.restore();
+    EXPECT_EQ(e.stats().counterValue("underflow_traps"), 2u);
+    EXPECT_EQ(e.file().thread(0).resident, b_resident);
+    EXPECT_EQ(e.file().thread(1).memFrames(), 0);
+    EXPECT_EQ(e.depthOf(1), 1);
+}
+
+TEST(SnpScheme, OverflowSpillsVictimsBottomWindow)
+{
+    WindowEngine e(snpConfig(6));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save();
+    e.save(); // thread 0: 3 windows + reserved above = 4 slots
+    const WindowIndex bottom0 = e.file().bottomOf(0);
+    e.contextSwitch(1); // thread 1 allocated above thread 0's run
+    e.save();           // grows toward thread 0's bottom
+    e.save();
+    // 6 windows: t0 had 3, t1 now 3, + dead window above t1's top ->
+    // the second save had to evict t0's bottom.
+    EXPECT_EQ(e.stats().counterValue("overflow_traps"), 1u);
+    EXPECT_TRUE(e.file().isFree(bottom0) ||
+                e.file().owner(bottom0) != 0);
+    EXPECT_EQ(e.file().thread(0).resident, 2);
+    EXPECT_EQ(e.file().thread(0).memFrames(), 1);
+}
+
+TEST(SnpScheme, PingPongPathology)
+{
+    // §4.2: repeated switching between A and B with the simple
+    // allocation scheme causes unnecessary spillage: B is allocated
+    // above A, and re-reserving above A evicts B every time once the
+    // file has wrapped so that B's slot is needed again.
+    WindowEngine e(snpConfig(4));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save(); // A: 2 windows (slots wrap tightly in a 4-window file)
+    const auto switches_with_transfer = [&e] {
+        std::uint64_t n = 0;
+        for (const auto &kv : e.switchCases())
+            if (kv.first.first + kv.first.second > 0)
+                n += kv.second;
+        return n;
+    };
+    for (int i = 0; i < 10; ++i) {
+        e.contextSwitch(1);
+        e.contextSwitch(0);
+    }
+    // A large fraction of these switches moved windows even though
+    // neither thread made further calls — the pathology is real.
+    EXPECT_GT(switches_with_transfer(), 5u);
+}
+
+TEST(SnpScheme, ReschedulingSpilledThreadRestoresTopFrame)
+{
+    WindowEngine e(snpConfig(4));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save(); // A: 2 of 4 windows
+    e.contextSwitch(1);
+    e.save();
+    e.save(); // B grows, evicting all of A
+    EXPECT_FALSE(e.isResident(0));
+    e.contextSwitch(0);
+    EXPECT_TRUE(e.isResident(0));
+    EXPECT_EQ(e.file().thread(0).resident, 1);
+    EXPECT_EQ(e.depthOf(0), 2);
+    EXPECT_GE(e.stats().counterValue("switch_windows_restored"), 1u);
+}
+
+TEST(SnpScheme, ExitReleasesWindows)
+{
+    WindowEngine e(snpConfig(8));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save();
+    e.contextSwitch(1);
+    e.contextSwitch(0);
+    e.restore();
+    e.threadExit();
+    EXPECT_FALSE(e.isResident(0));
+    e.contextSwitch(1);
+    EXPECT_TRUE(e.isResident(1));
+}
+
+TEST(SnpScheme, RootReturnDropsLastWindow)
+{
+    WindowEngine e(snpConfig(8));
+    e.addThread(0);
+    e.contextSwitch(0);
+    e.save();
+    e.restore();
+    e.restore(); // root frame returns
+    EXPECT_EQ(e.depthOf(0), 0);
+    EXPECT_FALSE(e.isResident(0));
+}
+
+} // namespace
+} // namespace crw

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Behavioral tests of the SP scheme (sharing with private reserved
+ * windows) — the paper's preferred configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "win/engine.h"
+
+namespace crw {
+namespace {
+
+EngineConfig
+spConfig(int windows)
+{
+    EngineConfig cfg;
+    cfg.numWindows = windows;
+    cfg.scheme = SchemeKind::SP;
+    cfg.checkInvariants = true;
+    return cfg;
+}
+
+TEST(SpScheme, FreshThreadGetsWindowAndPrw)
+{
+    WindowEngine e(spConfig(8));
+    e.addThread(0);
+    e.contextSwitch(0);
+    const auto &tw = e.file().thread(0);
+    EXPECT_EQ(tw.resident, 1);
+    ASSERT_NE(tw.prw, kNoWindow);
+    EXPECT_EQ(tw.prw, e.file().space().above(tw.top));
+    EXPECT_EQ(e.file().state(tw.prw), WinState::Prw);
+}
+
+TEST(SpScheme, SaveAdvancesIntoPrwSlot)
+{
+    WindowEngine e(spConfig(8));
+    e.addThread(0);
+    e.contextSwitch(0);
+    const WindowIndex old_prw = e.file().thread(0).prw;
+    e.save();
+    const auto &tw = e.file().thread(0);
+    // The stack-top moved into the old PRW slot (whose ins alias the
+    // old top's outs); the PRW moved one window up.
+    EXPECT_EQ(tw.top, old_prw);
+    EXPECT_EQ(tw.prw, e.file().space().above(old_prw));
+    EXPECT_EQ(tw.resident, 2);
+}
+
+TEST(SpScheme, RestoreMovesPrwDownWithoutCost)
+{
+    WindowEngine e(spConfig(8));
+    e.addThread(0);
+    e.contextSwitch(0);
+    e.save();
+    const WindowIndex vacated = e.file().thread(0).top;
+    e.restore();
+    const auto &tw = e.file().thread(0);
+    // §4.1: the vacated top becomes the PRW with no copying.
+    EXPECT_EQ(tw.prw, vacated);
+    EXPECT_EQ(tw.prw, e.file().space().above(tw.top));
+    EXPECT_EQ(e.stats().counterValue("underflow_traps"), 0u);
+}
+
+TEST(SpScheme, SwitchToResidentThreadIsZeroTransfer)
+{
+    WindowEngine e(spConfig(12));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save();
+    e.contextSwitch(1);
+    e.save();
+    e.contextSwitch(0); // both resident: Table 2's 93-98 cycle case
+    e.contextSwitch(1);
+    auto it = e.switchCases().find({0, 0});
+    ASSERT_NE(it, e.switchCases().end());
+    EXPECT_GE(it->second, 2u);
+    // And the cost charged matches the model's (0,0) case.
+    EXPECT_EQ(e.costModel().switchCost(SchemeKind::SP, 0, 0),
+              CostModel::paperTable2().switchCost(SchemeKind::SP, 0, 0));
+}
+
+TEST(SpScheme, NewThreadAllocatedAbovePrwOfSuspended)
+{
+    WindowEngine e(spConfig(12));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    const WindowIndex prw0 = e.file().thread(0).prw;
+    e.contextSwitch(1);
+    // §4.5 SP: allocate above the suspended thread's PRW.
+    EXPECT_EQ(e.file().thread(1).top, e.file().space().above(prw0));
+    EXPECT_EQ(e.file().thread(1).prw,
+              e.file().space().above(e.file().thread(1).top));
+}
+
+TEST(SpScheme, TwoSavesWorstCaseOnSwitch)
+{
+    // Drive the file into a state where scheduling a spilled thread
+    // must evict two windows (Table 2's SP 2/1 worst case).
+    WindowEngine e(spConfig(6));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save(); // t0: 2 windows + PRW = 3 slots
+    e.contextSwitch(1); // t1: 1 window + PRW; 6-slot file almost full
+    // t1 grows until all of t0 — run and orphan PRW — is evicted and
+    // t1 alone fills the file (N-1 windows + its PRW).
+    e.save();
+    e.save();
+    e.save();
+    e.save();
+    EXPECT_FALSE(e.isResident(0));
+    EXPECT_EQ(e.file().thread(0).prw, kNoWindow);
+    EXPECT_EQ(e.file().thread(1).resident, 5);
+    e.contextSwitch(0); // t0 needs window+PRW: both slots occupied
+    bool saw_double_save = false;
+    for (const auto &kv : e.switchCases())
+        if (kv.first.first == 2 && kv.first.second == 1)
+            saw_double_save = true;
+    EXPECT_TRUE(saw_double_save);
+}
+
+TEST(SpScheme, EagerReclaimSpillsPrwWithLastWindow)
+{
+    // Default policy: when a thread's last window is evicted, its PRW
+    // state goes to memory with it and the slot frees immediately —
+    // counted as a second window transfer.
+    WindowEngine e(spConfig(6));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0); // t0: window + PRW
+    e.contextSwitch(1); // t1 above t0's PRW
+    e.save();
+    e.save();
+    const auto spilled_before =
+        e.stats().counterValue("ovf_windows_spilled");
+    e.save(); // evicts t0's only window -> PRW reclaimed too
+    EXPECT_FALSE(e.isResident(0));
+    EXPECT_EQ(e.file().thread(0).prw, kNoWindow);
+    EXPECT_EQ(e.stats().counterValue("ovf_windows_spilled"),
+              spilled_before + 2);
+}
+
+TEST(SpScheme, OrphanPrwPreservedUntilEvicted)
+{
+    EngineConfig lazy_cfg = spConfig(6);
+    lazy_cfg.prwReclaim = PrwReclaim::Lazy;
+    WindowEngine e(lazy_cfg);
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0); // t0: window + PRW
+    e.contextSwitch(1); // t1 above t0's PRW
+    e.save();
+    e.save();
+    e.save(); // t1 grows around the 6-window file, evicting t0's run
+    EXPECT_FALSE(e.isResident(0));
+    // t0's PRW survives its run (it preserves outs/PCs) until growth
+    // actually needs that slot.
+    EXPECT_EQ(e.file().state(e.file().thread(0).prw), WinState::Prw);
+    e.save(); // now the PRW slot is needed
+    EXPECT_EQ(e.file().thread(0).prw, kNoWindow);
+}
+
+TEST(SpScheme, UnderflowRestoresInPlace)
+{
+    WindowEngine e(spConfig(6));
+    e.addThread(0);
+    e.contextSwitch(0);
+    for (int i = 0; i < 7; ++i)
+        e.save();
+    const auto &tw = e.file().thread(0);
+    EXPECT_EQ(tw.resident, 5); // N-1: run + PRW fill the file
+    while (tw.resident > 1)
+        e.restore();
+    const WindowIndex top = tw.top;
+    e.restore(); // underflow: restore-in-place
+    EXPECT_EQ(e.stats().counterValue("underflow_traps"), 1u);
+    EXPECT_EQ(tw.top, top);
+    EXPECT_EQ(tw.resident, 1);
+    EXPECT_EQ(tw.prw, e.file().space().above(tw.top));
+}
+
+TEST(SpScheme, DeepRecursionKeepsPrwAdjacent)
+{
+    WindowEngine e(spConfig(5));
+    e.addThread(0);
+    e.contextSwitch(0);
+    for (int i = 0; i < 12; ++i) {
+        e.save();
+        const auto &tw = e.file().thread(0);
+        ASSERT_EQ(tw.prw, e.file().space().above(tw.top));
+    }
+    for (int i = 0; i < 12; ++i) {
+        e.restore();
+        const auto &tw = e.file().thread(0);
+        ASSERT_EQ(tw.prw, e.file().space().above(tw.top));
+    }
+    EXPECT_EQ(e.depthOf(0), 1);
+}
+
+TEST(SpScheme, ThreeThreadsShareTheFile)
+{
+    WindowEngine e(spConfig(12));
+    for (ThreadId t = 0; t < 3; ++t)
+        e.addThread(t);
+    e.contextSwitch(0);
+    e.save();
+    e.contextSwitch(1);
+    e.save();
+    e.contextSwitch(2);
+    e.save();
+    EXPECT_TRUE(e.isResident(0));
+    EXPECT_TRUE(e.isResident(1));
+    EXPECT_TRUE(e.isResident(2));
+    // 3 threads x (2 windows + PRW) = 9 slots of 12; all disjoint
+    // (checked by the engine's invariant checker on every event).
+    EXPECT_EQ(e.file().freeCount(), 3);
+}
+
+TEST(SpScheme, ExitThenReuseWindows)
+{
+    WindowEngine e(spConfig(6));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.save();
+    e.threadExit();
+    EXPECT_EQ(e.file().freeCount(), 6);
+    e.contextSwitch(1);
+    EXPECT_TRUE(e.isResident(1));
+    EXPECT_NE(e.file().thread(1).prw, kNoWindow);
+}
+
+TEST(SpScheme, SwitchCostsChargedMatchCases)
+{
+    WindowEngine e(spConfig(12));
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    e.contextSwitch(1);
+    e.contextSwitch(0);
+    Cycles expected = 0;
+    for (const auto &kv : e.switchCases()) {
+        expected += kv.second * e.costModel().switchCost(
+            SchemeKind::SP, kv.first.first, kv.first.second);
+    }
+    EXPECT_EQ(e.stats().counterValue("cycles_switch"), expected);
+}
+
+} // namespace
+} // namespace crw

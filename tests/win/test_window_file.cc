@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for WindowFile primitives and the invariant checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "win/window_file.h"
+
+namespace crw {
+namespace {
+
+TEST(WindowFile, StartsAllFree)
+{
+    WindowFile f(8);
+    EXPECT_EQ(f.numWindows(), 8);
+    EXPECT_EQ(f.freeCount(), 8);
+    for (int w = 0; w < 8; ++w)
+        EXPECT_TRUE(f.isFree(w));
+    f.checkInvariants(false);
+}
+
+TEST(WindowFile, TooFewWindowsIsFatal)
+{
+    EXPECT_THROW(WindowFile(1), FatalError);
+}
+
+TEST(WindowFile, ClaimGrowsRunUpward)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.pushFrame(0);
+    f.claimAsTop(0, 5);
+    EXPECT_EQ(f.thread(0).top, 5);
+    EXPECT_EQ(f.thread(0).resident, 1);
+    EXPECT_EQ(f.bottomOf(0), 5);
+
+    f.pushFrame(0);
+    f.claimAsTop(0, 4); // above 5
+    EXPECT_EQ(f.thread(0).top, 4);
+    EXPECT_EQ(f.thread(0).resident, 2);
+    EXPECT_EQ(f.bottomOf(0), 5);
+    EXPECT_TRUE(f.inRunOf(0, 4));
+    EXPECT_TRUE(f.inRunOf(0, 5));
+    EXPECT_FALSE(f.inRunOf(0, 3));
+    f.checkInvariants(false);
+}
+
+TEST(WindowFile, ClaimNonAdjacentPanics)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.pushFrame(0);
+    f.claimAsTop(0, 5);
+    f.pushFrame(0);
+    EXPECT_THROW(f.claimAsTop(0, 2), PanicError);
+}
+
+TEST(WindowFile, ClaimOccupiedPanics)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.addThread(1);
+    f.pushFrame(0);
+    f.claimAsTop(0, 3);
+    f.pushFrame(1);
+    EXPECT_THROW(f.claimAsTop(1, 3), PanicError);
+}
+
+TEST(WindowFile, RunWrapsAroundTheFile)
+{
+    WindowFile f(4);
+    f.addThread(0);
+    f.pushFrame(0);
+    f.claimAsTop(0, 1);
+    f.pushFrame(0);
+    f.claimAsTop(0, 0);
+    f.pushFrame(0);
+    f.claimAsTop(0, 3); // wraps: above(0) == 3
+    EXPECT_EQ(f.thread(0).top, 3);
+    EXPECT_EQ(f.bottomOf(0), 1);
+    EXPECT_TRUE(f.inRunOf(0, 3));
+    EXPECT_TRUE(f.inRunOf(0, 0));
+    EXPECT_TRUE(f.inRunOf(0, 1));
+    EXPECT_FALSE(f.inRunOf(0, 2));
+    f.checkInvariants(false);
+}
+
+TEST(WindowFile, ReleaseTopMovesBelow)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.pushFrame(0);
+    f.claimAsTop(0, 5);
+    f.pushFrame(0);
+    f.claimAsTop(0, 4);
+    f.popFrame(0);
+    f.releaseTop(0);
+    EXPECT_EQ(f.thread(0).top, 5);
+    EXPECT_EQ(f.thread(0).resident, 1);
+    EXPECT_TRUE(f.isFree(4));
+    f.checkInvariants(false);
+}
+
+TEST(WindowFile, ReleaseTopWithSingleWindowPanics)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.pushFrame(0);
+    f.claimAsTop(0, 5);
+    EXPECT_THROW(f.releaseTop(0), PanicError);
+}
+
+TEST(WindowFile, SpillBottomShrinksFromBelow)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    for (int i = 0; i < 3; ++i) {
+        f.pushFrame(0);
+        f.claimAsTop(0, 5 - i);
+    }
+    EXPECT_EQ(f.bottomOf(0), 5);
+    f.spillBottom(0);
+    EXPECT_EQ(f.bottomOf(0), 4);
+    EXPECT_EQ(f.thread(0).resident, 2);
+    EXPECT_EQ(f.thread(0).depth, 3);
+    EXPECT_EQ(f.thread(0).memFrames(), 1);
+    EXPECT_TRUE(f.isFree(5));
+    f.checkInvariants(false);
+}
+
+TEST(WindowFile, SpillLastWindowClearsResidency)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.pushFrame(0);
+    f.claimAsTop(0, 2);
+    f.spillBottom(0);
+    EXPECT_FALSE(f.thread(0).isResident());
+    EXPECT_EQ(f.thread(0).top, kNoWindow);
+    EXPECT_EQ(f.thread(0).memFrames(), 1);
+    f.checkInvariants(false);
+}
+
+TEST(WindowFile, FillAsTopBringsBackOneFrame)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.pushFrame(0);
+    f.claimAsTop(0, 2);
+    f.spillBottom(0);
+    f.fillAsTop(0, 6);
+    EXPECT_EQ(f.thread(0).top, 6);
+    EXPECT_EQ(f.thread(0).resident, 1);
+    EXPECT_EQ(f.thread(0).memFrames(), 0);
+    f.checkInvariants(false);
+}
+
+TEST(WindowFile, RefillBelowMovesSingleWindowDown)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.thread(0).depth = 3; // three live frames, two spilled to memory
+    f.claimAsTop(0, 2);
+    f.popFrame(0); // restore pops the callee
+    f.refillBelow(0);
+    EXPECT_EQ(f.thread(0).top, 3);
+    EXPECT_EQ(f.thread(0).resident, 1);
+    EXPECT_TRUE(f.isFree(2));
+    f.checkInvariants(false);
+}
+
+TEST(WindowFile, PrwLifecycle)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.pushFrame(0);
+    f.claimAsTop(0, 4);
+    f.setPrw(0, 3); // immediately above the top
+    EXPECT_EQ(f.thread(0).prw, 3);
+    EXPECT_EQ(f.state(3), WinState::Prw);
+    EXPECT_EQ(f.owner(3), 0);
+    f.checkInvariants(true);
+
+    // Moving the PRW frees the old slot.
+    f.pushFrame(0);
+    f.clearPrw(0);
+    f.claimAsTop(0, 3);
+    f.setPrw(0, 2);
+    EXPECT_TRUE(f.state(3) == WinState::Owned);
+    EXPECT_EQ(f.thread(0).prw, 2);
+    f.checkInvariants(true);
+
+    f.clearPrw(0);
+    EXPECT_EQ(f.thread(0).prw, kNoWindow);
+    EXPECT_TRUE(f.isFree(2));
+}
+
+TEST(WindowFile, NonAdjacentPrwFailsInvariant)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.pushFrame(0);
+    f.claimAsTop(0, 4);
+    f.setPrw(0, 1); // not above(4)
+    EXPECT_THROW(f.checkInvariants(true), PanicError);
+}
+
+TEST(WindowFile, DropAllFreesRunAndPrw)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    for (int i = 0; i < 3; ++i) {
+        f.pushFrame(0);
+        f.claimAsTop(0, 6 - i);
+    }
+    f.setPrw(0, 3);
+    f.dropAll(0);
+    EXPECT_EQ(f.freeCount(), 8);
+    EXPECT_FALSE(f.thread(0).isResident());
+    EXPECT_EQ(f.thread(0).prw, kNoWindow);
+    // Depth is untouched by dropAll (frames conceptually lost; callers
+    // reset it explicitly on exit).
+    EXPECT_EQ(f.thread(0).depth, 3);
+}
+
+TEST(WindowFile, TwoThreadsDisjointRuns)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.addThread(1);
+    f.pushFrame(0);
+    f.claimAsTop(0, 7);
+    f.pushFrame(0);
+    f.claimAsTop(0, 6);
+    f.pushFrame(1);
+    f.claimAsTop(1, 2);
+    EXPECT_TRUE(f.inRunOf(0, 6));
+    EXPECT_FALSE(f.inRunOf(1, 6));
+    EXPECT_TRUE(f.inRunOf(1, 2));
+    f.checkInvariants(false);
+}
+
+TEST(WindowFile, InvariantCatchesResidencyMismatch)
+{
+    WindowFile f(8);
+    f.addThread(0);
+    f.pushFrame(0);
+    f.claimAsTop(0, 4);
+    f.thread(0).resident = 2; // corrupt the record
+    EXPECT_THROW(f.checkInvariants(false), PanicError);
+}
+
+} // namespace
+} // namespace crw
