@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microtrace.dir/bench_microtrace.cc.o"
+  "CMakeFiles/bench_microtrace.dir/bench_microtrace.cc.o.d"
+  "bench_microtrace"
+  "bench_microtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libcrw_bench_harness.a"
+)

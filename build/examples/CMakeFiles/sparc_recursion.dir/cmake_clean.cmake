@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparc_recursion.dir/sparc_recursion.cpp.o"
+  "CMakeFiles/sparc_recursion.dir/sparc_recursion.cpp.o.d"
+  "sparc_recursion"
+  "sparc_recursion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparc_recursion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/working_set.dir/working_set.cpp.o"
+  "CMakeFiles/working_set.dir/working_set.cpp.o.d"
+  "working_set"
+  "working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

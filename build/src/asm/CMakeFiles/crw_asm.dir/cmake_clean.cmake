@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crw_asm.dir/assembler.cc.o"
+  "CMakeFiles/crw_asm.dir/assembler.cc.o.d"
+  "libcrw_asm.a"
+  "libcrw_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crw_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

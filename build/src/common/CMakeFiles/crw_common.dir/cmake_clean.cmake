@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crw_common.dir/chart.cc.o"
+  "CMakeFiles/crw_common.dir/chart.cc.o.d"
+  "CMakeFiles/crw_common.dir/flags.cc.o"
+  "CMakeFiles/crw_common.dir/flags.cc.o.d"
+  "CMakeFiles/crw_common.dir/logging.cc.o"
+  "CMakeFiles/crw_common.dir/logging.cc.o.d"
+  "CMakeFiles/crw_common.dir/rng.cc.o"
+  "CMakeFiles/crw_common.dir/rng.cc.o.d"
+  "CMakeFiles/crw_common.dir/stats.cc.o"
+  "CMakeFiles/crw_common.dir/stats.cc.o.d"
+  "CMakeFiles/crw_common.dir/table.cc.o"
+  "CMakeFiles/crw_common.dir/table.cc.o.d"
+  "libcrw_common.a"
+  "libcrw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crw_kernel.dir/kernel.cc.o"
+  "CMakeFiles/crw_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/crw_kernel.dir/machine.cc.o"
+  "CMakeFiles/crw_kernel.dir/machine.cc.o.d"
+  "libcrw_kernel.a"
+  "libcrw_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crw_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crw_rt.dir/coroutine.cc.o"
+  "CMakeFiles/crw_rt.dir/coroutine.cc.o.d"
+  "CMakeFiles/crw_rt.dir/runtime.cc.o"
+  "CMakeFiles/crw_rt.dir/runtime.cc.o.d"
+  "CMakeFiles/crw_rt.dir/scheduler.cc.o"
+  "CMakeFiles/crw_rt.dir/scheduler.cc.o.d"
+  "CMakeFiles/crw_rt.dir/stream.cc.o"
+  "CMakeFiles/crw_rt.dir/stream.cc.o.d"
+  "libcrw_rt.a"
+  "libcrw_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crw_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

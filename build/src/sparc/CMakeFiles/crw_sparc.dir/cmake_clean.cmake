@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crw_sparc.dir/cpu.cc.o"
+  "CMakeFiles/crw_sparc.dir/cpu.cc.o.d"
+  "CMakeFiles/crw_sparc.dir/memory.cc.o"
+  "CMakeFiles/crw_sparc.dir/memory.cc.o.d"
+  "CMakeFiles/crw_sparc.dir/regfile.cc.o"
+  "CMakeFiles/crw_sparc.dir/regfile.cc.o.d"
+  "libcrw_sparc.a"
+  "libcrw_sparc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crw_sparc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

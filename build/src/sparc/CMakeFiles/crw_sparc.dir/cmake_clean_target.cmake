@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrw_sparc.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spell/app.cc" "src/spell/CMakeFiles/crw_spell.dir/app.cc.o" "gcc" "src/spell/CMakeFiles/crw_spell.dir/app.cc.o.d"
+  "/root/repo/src/spell/corpus.cc" "src/spell/CMakeFiles/crw_spell.dir/corpus.cc.o" "gcc" "src/spell/CMakeFiles/crw_spell.dir/corpus.cc.o.d"
+  "/root/repo/src/spell/delatex.cc" "src/spell/CMakeFiles/crw_spell.dir/delatex.cc.o" "gcc" "src/spell/CMakeFiles/crw_spell.dir/delatex.cc.o.d"
+  "/root/repo/src/spell/words.cc" "src/spell/CMakeFiles/crw_spell.dir/words.cc.o" "gcc" "src/spell/CMakeFiles/crw_spell.dir/words.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/crw_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/win/CMakeFiles/crw_win.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

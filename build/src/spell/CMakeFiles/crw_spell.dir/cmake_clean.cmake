@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crw_spell.dir/app.cc.o"
+  "CMakeFiles/crw_spell.dir/app.cc.o.d"
+  "CMakeFiles/crw_spell.dir/corpus.cc.o"
+  "CMakeFiles/crw_spell.dir/corpus.cc.o.d"
+  "CMakeFiles/crw_spell.dir/delatex.cc.o"
+  "CMakeFiles/crw_spell.dir/delatex.cc.o.d"
+  "CMakeFiles/crw_spell.dir/words.cc.o"
+  "CMakeFiles/crw_spell.dir/words.cc.o.d"
+  "libcrw_spell.a"
+  "libcrw_spell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crw_spell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crw_trace.dir/behavior.cc.o"
+  "CMakeFiles/crw_trace.dir/behavior.cc.o.d"
+  "libcrw_trace.a"
+  "libcrw_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crw_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

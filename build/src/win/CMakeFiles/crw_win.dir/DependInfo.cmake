@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/win/cost_model.cc" "src/win/CMakeFiles/crw_win.dir/cost_model.cc.o" "gcc" "src/win/CMakeFiles/crw_win.dir/cost_model.cc.o.d"
+  "/root/repo/src/win/engine.cc" "src/win/CMakeFiles/crw_win.dir/engine.cc.o" "gcc" "src/win/CMakeFiles/crw_win.dir/engine.cc.o.d"
+  "/root/repo/src/win/schemes.cc" "src/win/CMakeFiles/crw_win.dir/schemes.cc.o" "gcc" "src/win/CMakeFiles/crw_win.dir/schemes.cc.o.d"
+  "/root/repo/src/win/window_file.cc" "src/win/CMakeFiles/crw_win.dir/window_file.cc.o" "gcc" "src/win/CMakeFiles/crw_win.dir/window_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crw_win.dir/cost_model.cc.o"
+  "CMakeFiles/crw_win.dir/cost_model.cc.o.d"
+  "CMakeFiles/crw_win.dir/engine.cc.o"
+  "CMakeFiles/crw_win.dir/engine.cc.o.d"
+  "CMakeFiles/crw_win.dir/schemes.cc.o"
+  "CMakeFiles/crw_win.dir/schemes.cc.o.d"
+  "CMakeFiles/crw_win.dir/window_file.cc.o"
+  "CMakeFiles/crw_win.dir/window_file.cc.o.d"
+  "libcrw_win.a"
+  "libcrw_win.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crw_win.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/test_coroutine.cc" "tests/CMakeFiles/test_rt.dir/rt/test_coroutine.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/test_coroutine.cc.o.d"
+  "/root/repo/tests/rt/test_scheduler.cc" "tests/CMakeFiles/test_rt.dir/rt/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/test_scheduler.cc.o.d"
+  "/root/repo/tests/rt/test_stream.cc" "tests/CMakeFiles/test_rt.dir/rt/test_stream.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/test_stream.cc.o.d"
+  "/root/repo/tests/rt/test_stream_chunks.cc" "tests/CMakeFiles/test_rt.dir/rt/test_stream_chunks.cc.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/test_stream_chunks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/win/CMakeFiles/crw_win.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/crw_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt.dir/rt/test_coroutine.cc.o"
+  "CMakeFiles/test_rt.dir/rt/test_coroutine.cc.o.d"
+  "CMakeFiles/test_rt.dir/rt/test_scheduler.cc.o"
+  "CMakeFiles/test_rt.dir/rt/test_scheduler.cc.o.d"
+  "CMakeFiles/test_rt.dir/rt/test_stream.cc.o"
+  "CMakeFiles/test_rt.dir/rt/test_stream.cc.o.d"
+  "CMakeFiles/test_rt.dir/rt/test_stream_chunks.cc.o"
+  "CMakeFiles/test_rt.dir/rt/test_stream_chunks.cc.o.d"
+  "test_rt"
+  "test_rt.pdb"
+  "test_rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparc.dir/sparc/test_cpu_basic.cc.o"
+  "CMakeFiles/test_sparc.dir/sparc/test_cpu_basic.cc.o.d"
+  "CMakeFiles/test_sparc.dir/sparc/test_cpu_windows.cc.o"
+  "CMakeFiles/test_sparc.dir/sparc/test_cpu_windows.cc.o.d"
+  "CMakeFiles/test_sparc.dir/sparc/test_regfile.cc.o"
+  "CMakeFiles/test_sparc.dir/sparc/test_regfile.cc.o.d"
+  "test_sparc"
+  "test_sparc.pdb"
+  "test_sparc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spell.dir/spell/test_app.cc.o"
+  "CMakeFiles/test_spell.dir/spell/test_app.cc.o.d"
+  "CMakeFiles/test_spell.dir/spell/test_corpus.cc.o"
+  "CMakeFiles/test_spell.dir/spell/test_corpus.cc.o.d"
+  "CMakeFiles/test_spell.dir/spell/test_delatex.cc.o"
+  "CMakeFiles/test_spell.dir/spell/test_delatex.cc.o.d"
+  "CMakeFiles/test_spell.dir/spell/test_words.cc.o"
+  "CMakeFiles/test_spell.dir/spell/test_words.cc.o.d"
+  "test_spell"
+  "test_spell.pdb"
+  "test_spell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/win/test_cost_model.cc" "tests/CMakeFiles/test_win.dir/win/test_cost_model.cc.o" "gcc" "tests/CMakeFiles/test_win.dir/win/test_cost_model.cc.o.d"
+  "/root/repo/tests/win/test_engine_basic.cc" "tests/CMakeFiles/test_win.dir/win/test_engine_basic.cc.o" "gcc" "tests/CMakeFiles/test_win.dir/win/test_engine_basic.cc.o.d"
+  "/root/repo/tests/win/test_ns_scheme.cc" "tests/CMakeFiles/test_win.dir/win/test_ns_scheme.cc.o" "gcc" "tests/CMakeFiles/test_win.dir/win/test_ns_scheme.cc.o.d"
+  "/root/repo/tests/win/test_property_random.cc" "tests/CMakeFiles/test_win.dir/win/test_property_random.cc.o" "gcc" "tests/CMakeFiles/test_win.dir/win/test_property_random.cc.o.d"
+  "/root/repo/tests/win/test_snp_scheme.cc" "tests/CMakeFiles/test_win.dir/win/test_snp_scheme.cc.o" "gcc" "tests/CMakeFiles/test_win.dir/win/test_snp_scheme.cc.o.d"
+  "/root/repo/tests/win/test_sp_scheme.cc" "tests/CMakeFiles/test_win.dir/win/test_sp_scheme.cc.o" "gcc" "tests/CMakeFiles/test_win.dir/win/test_sp_scheme.cc.o.d"
+  "/root/repo/tests/win/test_window_file.cc" "tests/CMakeFiles/test_win.dir/win/test_window_file.cc.o" "gcc" "tests/CMakeFiles/test_win.dir/win/test_window_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/win/CMakeFiles/crw_win.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_win.dir/win/test_cost_model.cc.o"
+  "CMakeFiles/test_win.dir/win/test_cost_model.cc.o.d"
+  "CMakeFiles/test_win.dir/win/test_engine_basic.cc.o"
+  "CMakeFiles/test_win.dir/win/test_engine_basic.cc.o.d"
+  "CMakeFiles/test_win.dir/win/test_ns_scheme.cc.o"
+  "CMakeFiles/test_win.dir/win/test_ns_scheme.cc.o.d"
+  "CMakeFiles/test_win.dir/win/test_property_random.cc.o"
+  "CMakeFiles/test_win.dir/win/test_property_random.cc.o.d"
+  "CMakeFiles/test_win.dir/win/test_snp_scheme.cc.o"
+  "CMakeFiles/test_win.dir/win/test_snp_scheme.cc.o.d"
+  "CMakeFiles/test_win.dir/win/test_sp_scheme.cc.o"
+  "CMakeFiles/test_win.dir/win/test_sp_scheme.cc.o.d"
+  "CMakeFiles/test_win.dir/win/test_window_file.cc.o"
+  "CMakeFiles/test_win.dir/win/test_window_file.cc.o.d"
+  "test_win"
+  "test_win.pdb"
+  "test_win[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_win.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sparc[1]_include.cmake")
+include("/root/repo/build/tests/test_asm[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_spell[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_rt[1]_include.cmake")
+include("/root/repo/build/tests/test_win[1]_include.cmake")
