@@ -21,18 +21,16 @@ namespace {
 
 double
 runVariant(SchemeKind scheme, int windows, PrwReclaim reclaim,
-           AllocPolicy alloc, const SpellWorkload &wl,
-           const SpellConfig &cfg)
+           AllocPolicy alloc, const EventTrace &trace)
 {
-    RuntimeConfig rc;
-    rc.engine.numWindows = windows;
-    rc.engine.scheme = scheme;
-    rc.engine.prwReclaim = reclaim;
-    rc.engine.allocPolicy = alloc;
-    Runtime rt(rc);
-    SpellApp app(rt, wl, cfg);
-    rt.run();
-    return static_cast<double>(rt.now()) / 1e6;
+    EngineConfig ec;
+    ec.numWindows = windows;
+    ec.scheme = scheme;
+    ec.prwReclaim = reclaim;
+    ec.allocPolicy = alloc;
+    return static_cast<double>(
+               replayPoint(trace, ec, SchedPolicy::Fifo).totalCycles) /
+           1e6;
 }
 
 int
@@ -41,9 +39,8 @@ runAblation()
     banner("Ablation: PRW reclamation and §4.2 allocation policy "
            "(spell checker, high concurrency, fine granularity)");
 
-    const SpellConfig cfg = behaviorConfig(ConcurrencyLevel::High,
-                                           GranularityLevel::Fine);
-    const SpellWorkload wl = SpellWorkload::make(cfg);
+    const EventTrace &trace = cachedTrace(ConcurrencyLevel::High,
+                                          GranularityLevel::Fine);
 
     Table table({"windows", "INF", "SNP", "SNP+search", "SP(lazy)",
                  "SP(eager)", "SP(folded)", "SP+search"});
@@ -52,31 +49,31 @@ runAblation()
             w,
             formatDouble(runVariant(SchemeKind::Infinite, w,
                                     PrwReclaim::Eager,
-                                    AllocPolicy::Simple, wl, cfg),
+                                    AllocPolicy::Simple, trace),
                          1),
             formatDouble(runVariant(SchemeKind::SNP, w,
                                     PrwReclaim::Eager,
-                                    AllocPolicy::Simple, wl, cfg),
+                                    AllocPolicy::Simple, trace),
                          1),
             formatDouble(runVariant(SchemeKind::SNP, w,
                                     PrwReclaim::Eager,
-                                    AllocPolicy::FreeSearch, wl, cfg),
+                                    AllocPolicy::FreeSearch, trace),
                          1),
             formatDouble(runVariant(SchemeKind::SP, w,
                                     PrwReclaim::Lazy,
-                                    AllocPolicy::Simple, wl, cfg),
+                                    AllocPolicy::Simple, trace),
                          1),
             formatDouble(runVariant(SchemeKind::SP, w,
                                     PrwReclaim::Eager,
-                                    AllocPolicy::Simple, wl, cfg),
+                                    AllocPolicy::Simple, trace),
                          1),
             formatDouble(runVariant(SchemeKind::SP, w,
                                     PrwReclaim::EagerFolded,
-                                    AllocPolicy::Simple, wl, cfg),
+                                    AllocPolicy::Simple, trace),
                          1),
             formatDouble(runVariant(SchemeKind::SP, w,
                                     PrwReclaim::Eager,
-                                    AllocPolicy::FreeSearch, wl, cfg),
+                                    AllocPolicy::FreeSearch, trace),
                          1));
     }
     std::cout << "\nExecution time [Mcycles]:\n\n";
@@ -99,17 +96,17 @@ runAblation()
     // The oracle lower-bounds everything.
     const double inf32 = runVariant(SchemeKind::Infinite, 32,
                                     PrwReclaim::Eager,
-                                    AllocPolicy::Simple, wl, cfg);
+                                    AllocPolicy::Simple, trace);
     const double sp32 = runVariant(SchemeKind::SP, 32,
                                    PrwReclaim::Eager,
-                                   AllocPolicy::Simple, wl, cfg);
+                                   AllocPolicy::Simple, trace);
     check(inf32 < sp32, "infinite-window oracle lower-bounds SP");
     const double lazy10 = runVariant(SchemeKind::SP, 10,
                                      PrwReclaim::Lazy,
-                                     AllocPolicy::Simple, wl, cfg);
+                                     AllocPolicy::Simple, trace);
     const double eager10 = runVariant(SchemeKind::SP, 10,
                                       PrwReclaim::Eager,
-                                      AllocPolicy::Simple, wl, cfg);
+                                      AllocPolicy::Simple, trace);
     check(eager10 <= lazy10 * 1.02,
           "eager PRW reclamation is not worse in the tight range");
     return ok ? 0 : 1;
@@ -120,7 +117,9 @@ runAblation()
 } // namespace crw
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!crw::bench::benchInit(argc, argv))
+        return 0;
     return crw::bench::runAblation();
 }

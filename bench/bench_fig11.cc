@@ -117,7 +117,9 @@ runFig11()
 } // namespace crw
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!crw::bench::benchInit(argc, argv))
+        return 0;
     return crw::bench::runFig11();
 }

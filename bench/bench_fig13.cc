@@ -75,7 +75,9 @@ runFig13()
 } // namespace crw
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!crw::bench::benchInit(argc, argv))
+        return 0;
     return crw::bench::runFig13();
 }

@@ -152,7 +152,9 @@ runMicrotrace()
 } // namespace crw
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!crw::bench::benchInit(argc, argv))
+        return 0;
     return crw::bench::runMicrotrace();
 }

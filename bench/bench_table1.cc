@@ -51,13 +51,6 @@ constexpr Behavior kBehaviors[6] = {
     {ConcurrencyLevel::Low, GranularityLevel::Coarse},
 };
 
-std::string
-behaviorLabel(const Behavior &b)
-{
-    return std::string(concurrencyName(b.conc)) + "-" +
-           granularityName(b.gran);
-}
-
 int
 runTable1()
 {
@@ -65,13 +58,12 @@ runTable1()
            "checker");
 
     // The counts are scheme-independent; use SP with ample windows.
+    // One cached trace per behavior, replayed at the chosen point.
     std::vector<RunMetrics> runs;
-    for (const Behavior &b : kBehaviors) {
-        const SpellConfig cfg = behaviorConfig(b.conc, b.gran);
-        const SpellWorkload wl = SpellWorkload::make(cfg);
-        runs.push_back(runSpell(SchemeKind::SP, 32, SchedPolicy::Fifo,
-                                wl, cfg));
-    }
+    for (const Behavior &b : kBehaviors)
+        runs.push_back(replayPoint(cachedTrace(b.conc, b.gran),
+                                   SchemeKind::SP, 32,
+                                   SchedPolicy::Fifo));
 
     // --- context switches ---
     Table switches({"thread", "HC-fine", "HC-med", "HC-coarse",
@@ -164,7 +156,9 @@ runTable1()
 } // namespace crw
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!crw::bench::benchInit(argc, argv))
+        return 0;
     return crw::bench::runTable1();
 }

@@ -1,57 +1,145 @@
 #include "bench/harness.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "common/flags.h"
 
 namespace crw {
 namespace bench {
+
+namespace {
+
+int g_jobs = 0; // 0 = benchInit() not called / flag not given
+
+int
+resolveJobs(std::int64_t flag_jobs)
+{
+    if (flag_jobs > 0)
+        return static_cast<int>(flag_jobs);
+    if (const char *env = std::getenv("CRW_JOBS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+bool
+benchInit(int argc, const char *const *argv)
+{
+    FlagSet flags;
+    flags.defineInt("jobs", 0,
+                    "parallel sweep workers (0 = $CRW_JOBS, else "
+                    "hardware concurrency)");
+    if (!flags.parse(argc, argv))
+        return false;
+    g_jobs = resolveJobs(flags.getInt("jobs"));
+    return true;
+}
+
+int
+sweepJobs()
+{
+    return g_jobs > 0 ? g_jobs : resolveJobs(0);
+}
 
 RunMetrics
 runSpell(SchemeKind scheme, int windows, SchedPolicy policy,
          const SpellWorkload &workload, const SpellConfig &config)
 {
-    RuntimeConfig rc;
-    rc.engine.numWindows = windows;
-    rc.engine.scheme = scheme;
-    rc.engine.checkInvariants = false;
-    rc.policy = policy;
-    Runtime rt(rc);
+    return runSpellLive(scheme, windows, policy, workload, config);
+}
 
-    BehaviorTracker tracker(64);
-    rt.engine().setObserver(&tracker);
+const EventTrace &
+cachedTrace(ConcurrencyLevel conc, GranularityLevel gran)
+{
+    static std::map<std::pair<int, int>, EventTrace> cache;
+    const auto behavior =
+        std::make_pair(static_cast<int>(conc), static_cast<int>(gran));
+    const auto hit = cache.find(behavior);
+    if (hit != cache.end())
+        return hit->second;
 
-    SpellApp app(rt, workload, config);
-    rt.run();
-    tracker.finish(rt.now());
+    const SpellConfig cfg = behaviorConfig(conc, gran);
+    const std::string key = spellTraceKey(cfg);
+    const std::string path = outputPath(
+        "traces/" + key + "-s" + std::to_string(cfg.seed) + "-c" +
+        std::to_string(cfg.corpusBytes) + ".trace");
 
-    const auto &s = rt.engine().stats();
-    RunMetrics m;
-    m.scheme = scheme;
-    m.policy = policy;
-    m.windows = windows;
-    m.totalCycles = rt.now();
-    m.switches = s.counterValue("switches");
-    m.saves = s.counterValue("saves");
-    m.restores = s.counterValue("restores");
-    m.overflowTraps = s.counterValue("overflow_traps");
-    m.underflowTraps = s.counterValue("underflow_traps");
-    m.switchWindowsSaved = s.counterValue("switch_windows_saved");
-    m.switchWindowsRestored = s.counterValue("switch_windows_restored");
-    m.meanSwitchCost = s.distributions().at("switch_cost").mean();
-    const double ops = static_cast<double>(m.saves + m.restores);
-    m.trapProbability =
-        ops > 0 ? static_cast<double>(m.overflowTraps +
-                                      m.underflowTraps) /
-                      ops
-                : 0.0;
-    m.activityPerQuantum = tracker.activityPerQuantum().mean();
-    m.totalWindowActivity = tracker.totalWindowActivity().mean();
-    m.concurrency = tracker.concurrency().mean();
-    m.meanSlackness = rt.scheduler().slackness().mean();
-    m.misspelled = app.report().misspelled.size();
-    for (int n = 1; n <= SpellApp::kNumThreads; ++n)
-        m.perThread.push_back(rt.engine().threadCounters(app.tid(n)));
-    return m;
+    EventTrace trace;
+    std::string err;
+    if (loadTraceFile(path, trace, &err)) {
+        if (trace.key == key && trace.seed == cfg.seed &&
+            trace.corpusBytes == cfg.corpusBytes)
+            return cache.emplace(behavior, std::move(trace))
+                .first->second;
+        std::cerr << "note: " << path
+                  << " is for a different workload; re-capturing\n";
+    }
+
+    const SpellWorkload wl = SpellWorkload::make(cfg);
+    trace = captureSpellTrace(wl, cfg);
+    if (!saveTraceFile(trace, path, &err))
+        std::cerr << "warning: could not cache trace at " << path
+                  << ": " << err << '\n';
+    return cache.emplace(behavior, std::move(trace)).first->second;
+}
+
+RunMetrics
+replayPoint(const EventTrace &trace, const EngineConfig &engine,
+            SchedPolicy policy)
+{
+    ReplayDriver driver(trace, engine, policy);
+    driver.run();
+    return driver.metrics();
+}
+
+RunMetrics
+replayPoint(const EventTrace &trace, SchemeKind scheme, int windows,
+            SchedPolicy policy)
+{
+    EngineConfig ec;
+    ec.scheme = scheme;
+    ec.numWindows = windows;
+    ec.checkInvariants = false;
+    return replayPoint(trace, ec, policy);
+}
+
+ParallelSweep::ParallelSweep(int jobs)
+    : jobs_(jobs < 1 ? 1 : jobs)
+{}
+
+void
+ParallelSweep::run(std::size_t count,
+                   const std::function<void(std::size_t)> &task) const
+{
+    const std::size_t workers =
+        std::min<std::size_t>(static_cast<std::size_t>(jobs_), count);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            task(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back([&next, count, &task] {
+            for (std::size_t i = next.fetch_add(1); i < count;
+                 i = next.fetch_add(1))
+                task(i);
+        });
+    for (std::thread &t : pool)
+        t.join();
 }
 
 const std::vector<int> &
@@ -73,9 +161,11 @@ evaluatedSchemes()
 std::string
 outputPath(const std::string &name)
 {
+    const std::filesystem::path path =
+        std::filesystem::path("bench_out") / name;
     std::error_code ec;
-    std::filesystem::create_directories("bench_out", ec);
-    return "bench_out/" + name;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    return path.string();
 }
 
 void
@@ -91,17 +181,23 @@ SchemeSweep
 sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
              SchedPolicy policy, const std::vector<int> &windows)
 {
-    const SpellConfig cfg = behaviorConfig(conc, gran);
-    const SpellWorkload wl = SpellWorkload::make(cfg);
+    const EventTrace &trace = cachedTrace(conc, gran);
+    const std::vector<SchemeKind> &schemes = evaluatedSchemes();
+
     SchemeSweep sweep;
     sweep.windows = windows;
-    for (const SchemeKind scheme : evaluatedSchemes()) {
-        std::vector<RunMetrics> series;
-        series.reserve(windows.size());
-        for (const int w : windows)
-            series.push_back(runSpell(scheme, w, policy, wl, cfg));
-        sweep.bySchemeByWindow.push_back(std::move(series));
-    }
+    sweep.bySchemeByWindow.assign(
+        schemes.size(), std::vector<RunMetrics>(windows.size()));
+
+    // One replay per (scheme, windows) point; every point is
+    // independent, results land in their fixed slots.
+    const ParallelSweep pool(sweepJobs());
+    pool.run(schemes.size() * windows.size(), [&](std::size_t i) {
+        const std::size_t si = i / windows.size();
+        const std::size_t wi = i % windows.size();
+        sweep.bySchemeByWindow[si][wi] =
+            replayPoint(trace, schemes[si], windows[wi], policy);
+    });
     return sweep;
 }
 

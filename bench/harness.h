@@ -2,61 +2,99 @@
  * @file
  * Shared experiment harness for the exhibit-reproduction benches.
  *
- * Every figure/table binary drives full spell-checker runs through
- * runSpell() and renders the projection the paper's exhibit shows.
- * Conventions: each binary runs standalone with sensible defaults,
- * prints an aligned table plus an ASCII chart of the figure's series,
- * and writes a CSV next to the working directory (bench_out/).
+ * Since the capture/replay refactor (DESIGN.md §8) the harness is
+ * built on the capture-once / replay-many architecture: each behavior
+ * is executed live (coroutines) exactly once to capture an EventTrace
+ * — cached on disk under bench_out/traces/ — and every point of a
+ * scheme × windows sweep is a cheap replay of that trace. Replays are
+ * independent (one engine per point), so sweepSchemes() fans them out
+ * over a ParallelSweep worker pool (--jobs N / CRW_JOBS).
+ *
+ * Conventions: each binary runs standalone with sensible defaults
+ * (call benchInit() first to parse the common flags), prints an
+ * aligned table plus an ASCII chart of the figure's series, and
+ * writes a CSV next to the working directory (bench_out/). Results
+ * are deterministic and independent of the worker count.
  */
 
 #ifndef CRW_BENCH_HARNESS_H_
 #define CRW_BENCH_HARNESS_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/chart.h"
 #include "common/table.h"
 #include "spell/app.h"
+#include "spell/capture.h"
 #include "trace/behavior.h"
+#include "trace/event_trace.h"
+#include "trace/replay_driver.h"
+#include "trace/run_metrics.h"
 
 namespace crw {
 namespace bench {
 
-/** Everything one spell-checker run produced. */
-struct RunMetrics
-{
-    SchemeKind scheme{};
-    SchedPolicy policy{};
-    int windows = 0;
+/**
+ * Parse the common bench command line (--jobs, --help). Returns false
+ * if the process should exit immediately (--help was printed).
+ */
+bool benchInit(int argc, const char *const *argv);
 
-    Cycles totalCycles = 0;
-    std::uint64_t switches = 0;
-    std::uint64_t saves = 0;
-    std::uint64_t restores = 0;
-    std::uint64_t overflowTraps = 0;
-    std::uint64_t underflowTraps = 0;
-    std::uint64_t switchWindowsSaved = 0;
-    std::uint64_t switchWindowsRestored = 0;
-    double meanSwitchCost = 0.0;
+/**
+ * Worker count for ParallelSweep: the --jobs flag if given, else the
+ * CRW_JOBS environment variable, else the hardware concurrency
+ * (always at least 1).
+ */
+int sweepJobs();
 
-    /** (overflow + underflow traps) / (saves + restores) — Fig. 13. */
-    double trapProbability = 0.0;
-
-    // §5 behavior metrics.
-    double activityPerQuantum = 0.0;
-    double totalWindowActivity = 0.0;
-    double concurrency = 0.0;
-    double meanSlackness = 0.0;
-
-    std::vector<ThreadCounters> perThread; ///< T1..T7
-    std::size_t misspelled = 0;
-};
-
-/** One full spell-checker simulation. */
+/**
+ * One full *live* (coroutine) spell-checker simulation — the oracle
+ * the replay path is pinned against. Sweeps should use cachedTrace()
+ * + replayPoint() instead.
+ */
 RunMetrics runSpell(SchemeKind scheme, int windows, SchedPolicy policy,
                     const SpellWorkload &workload,
                     const SpellConfig &config);
+
+/**
+ * The captured trace of one behavior. In-memory cache first, then the
+ * disk cache bench_out/traces/<key>-s<seed>-c<bytes>.trace (stale or
+ * corrupted files are re-captured), else one live capture run.
+ */
+const EventTrace &cachedTrace(ConcurrencyLevel conc,
+                              GranularityLevel gran);
+
+/** Replay @p trace at one configuration point. */
+RunMetrics replayPoint(const EventTrace &trace,
+                       const EngineConfig &engine, SchedPolicy policy);
+RunMetrics replayPoint(const EventTrace &trace, SchemeKind scheme,
+                       int windows, SchedPolicy policy);
+
+/**
+ * Fixed-size fan-out over a pool of std::threads. run() executes
+ * task(0..count-1), each exactly once, claims ordered by an atomic
+ * counter. Tasks must be independent (replay points are: one engine
+ * per point, no shared mutable state); each writes its result into
+ * its own pre-allocated slot, so the output is deterministic and
+ * independent of the worker count.
+ */
+class ParallelSweep
+{
+  public:
+    /** @param jobs Worker count; <= 1 runs inline on the caller. */
+    explicit ParallelSweep(int jobs);
+
+    void run(std::size_t count,
+             const std::function<void(std::size_t)> &task) const;
+
+    int jobs() const { return jobs_; }
+
+  private:
+    int jobs_;
+};
 
 /** The window counts swept by the figure benches (paper: 4..32). */
 const std::vector<int> &defaultWindowSweep();
@@ -64,7 +102,7 @@ const std::vector<int> &defaultWindowSweep();
 /** The three schemes in the paper's legend order. */
 const std::vector<SchemeKind> &evaluatedSchemes();
 
-/** Ensure bench_out/ exists and return "bench_out/<name>". */
+/** Ensure the parent directory exists, return "bench_out/<name>". */
 std::string outputPath(const std::string &name);
 
 /** Print a section header. */
@@ -92,7 +130,10 @@ struct SchemeSweep
     }
 };
 
-/** Run the NS/SNP/SP x windows matrix for one behavior. */
+/**
+ * Run the NS/SNP/SP x windows matrix for one behavior: one trace
+ * capture (or cache hit), then sweepJobs() parallel replays.
+ */
 SchemeSweep sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
                          SchedPolicy policy,
                          const std::vector<int> &windows);

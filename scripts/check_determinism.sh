@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Verify the parallel sweep runner is deterministic: run bench_fig11
+# serially (--jobs 1) and in parallel (--jobs N), then require every
+# emitted CSV to be byte-for-byte identical. A cached trace is shared
+# between the two runs, so any difference is a scheduling bug in
+# ParallelSweep, not workload noise.
+#
+# Usage: scripts/check_determinism.sh [build-dir] [jobs]
+#   build-dir  CMake build tree containing bench/ (default: build)
+#   jobs       parallel worker count for the second run
+#              (default: number of processors, minimum 2)
+set -eu
+
+build_dir=${1:-build}
+jobs=${2:-$(nproc 2>/dev/null || echo 2)}
+[ "$jobs" -ge 2 ] || jobs=2
+
+bench="$build_dir/bench/bench_fig11"
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not found or not executable." >&2
+    echo "Build first: cmake -B $build_dir -S . && \\" >&2
+    echo "             cmake --build $build_dir -j" >&2
+    exit 2
+fi
+
+# bench_out/ is created relative to the working directory; give each
+# run its own so the CSVs cannot overwrite each other. The shared
+# trace cache is re-captured per run (also deterministic).
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+bench_abs=$(cd "$(dirname "$bench")" && pwd)/$(basename "$bench")
+
+run() {
+    # $1: subdir, $2: --jobs value
+    mkdir -p "$workdir/$1"
+    (cd "$workdir/$1" && "$bench_abs" --jobs "$2" > stdout.txt)
+}
+
+echo "== bench_fig11 --jobs 1"
+run serial 1
+echo "== bench_fig11 --jobs $jobs"
+run parallel "$jobs"
+
+status=0
+found=0
+for serial_csv in "$workdir"/serial/bench_out/*.csv; do
+    [ -e "$serial_csv" ] || break
+    found=1
+    name=$(basename "$serial_csv")
+    parallel_csv="$workdir/parallel/bench_out/$name"
+    if cmp -s "$serial_csv" "$parallel_csv"; then
+        echo "  ok   $name"
+    else
+        echo "  FAIL $name differs between --jobs 1 and --jobs $jobs"
+        status=1
+    fi
+done
+if [ "$found" -eq 0 ]; then
+    echo "error: the serial run produced no CSVs" >&2
+    exit 2
+fi
+
+if ! cmp -s "$workdir/serial/stdout.txt" \
+            "$workdir/parallel/stdout.txt"; then
+    echo "  FAIL stdout differs between --jobs 1 and --jobs $jobs"
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "determinism check passed: identical output at --jobs 1 and" \
+         "--jobs $jobs"
+else
+    echo "determinism check FAILED" >&2
+fi
+exit "$status"

@@ -1,5 +1,7 @@
 #include "rt/runtime.h"
 
+#include "common/logging.h"
+
 namespace crw {
 
 Runtime::Runtime(const RuntimeConfig &config)
@@ -7,5 +9,15 @@ Runtime::Runtime(const RuntimeConfig &config)
       sched_(engine_, config.policy, config.stackSize),
       cyclesPerCall_(config.cyclesPerCall)
 {}
+
+ThreadId
+Runtime::requireCaptureThread() const
+{
+    const ThreadId tid = sched_.currentId();
+    if (tid == kNoThread)
+        crw_fatal << "trace capture: charge() from the main context "
+                     "is not replayable; charge from a thread";
+    return tid;
+}
 
 } // namespace crw

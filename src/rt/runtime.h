@@ -12,6 +12,7 @@
 #include <string>
 
 #include "rt/scheduler.h"
+#include "rt/trace_sink.h"
 #include "win/engine.h"
 
 namespace crw {
@@ -51,7 +52,27 @@ class Runtime
     void run() { sched_.run(); }
 
     /** Charge ordinary computation cycles to the simulated clock. */
-    void charge(Cycles cycles) { engine_.charge(cycles); }
+    void
+    charge(Cycles cycles)
+    {
+        engine_.charge(cycles);
+        if (sink_)
+            sink_->recordCharge(requireCaptureThread(), cycles);
+    }
+
+    /**
+     * Install a capture sink (nullptr to remove). Must be installed
+     * *before* the application constructs its streams and spawns its
+     * threads, so every stream and thread is registered. Not owned.
+     */
+    void
+    setTraceSink(TraceSink *sink)
+    {
+        sink_ = sink;
+        sched_.setTraceSink(sink);
+    }
+
+    TraceSink *traceSink() const { return sink_; }
 
     WindowEngine &engine() { return engine_; }
     const WindowEngine &engine() const { return engine_; }
@@ -62,9 +83,13 @@ class Runtime
     Cycles now() const { return engine_.now(); }
 
   private:
+    /** Capture requires a thread context; enforced in runtime.cc. */
+    ThreadId requireCaptureThread() const;
+
     WindowEngine engine_;
     Scheduler sched_;
     Cycles cyclesPerCall_;
+    TraceSink *sink_ = nullptr;
 };
 
 /**
@@ -81,10 +106,17 @@ class Frame
         : rt_(rt)
     {
         rt_.engine().save();
+        if (TraceSink *sink = rt_.traceSink())
+            sink->recordSave(rt_.engine().current());
         rt_.charge(rt_.cyclesPerCall());
     }
 
-    ~Frame() { rt_.engine().restore(); }
+    ~Frame()
+    {
+        rt_.engine().restore();
+        if (TraceSink *sink = rt_.traceSink())
+            sink->recordRestore(rt_.engine().current());
+    }
 
     Frame(const Frame &) = delete;
     Frame &operator=(const Frame &) = delete;

@@ -1,0 +1,15 @@
+#include "rt/sched_core.h"
+
+namespace crw {
+
+const char *
+policyName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::Fifo:       return "FIFO";
+      case SchedPolicy::WorkingSet: return "WS";
+    }
+    return "?";
+}
+
+} // namespace crw

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SchedCore: the pure scheduling-policy core shared by the live
+ * coroutine Scheduler (src/rt/scheduler.h) and the trace ReplayDriver
+ * (src/trace/replay_driver.h).
+ *
+ * The paper's ready-queue policies (§4.5 FIFO, §4.6 working set) are
+ * decisions about *queue placement only*; they do not need coroutines,
+ * thread objects or streams. Extracting them here lets a captured
+ * event trace be re-scheduled against any (scheme, window-count,
+ * policy) combination: the working-set refinement consults *engine
+ * residency at the moment of the wake*, which the caller passes in, so
+ * replay reproduces exactly the decisions a live run would make.
+ */
+
+#ifndef CRW_RT_SCHED_CORE_H_
+#define CRW_RT_SCHED_CORE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace crw {
+
+/** Ready-queue policy, paper §4.6. */
+enum class SchedPolicy {
+    Fifo,       ///< plain first-in first-out
+    WorkingSet, ///< awoken-and-resident threads jump the queue
+};
+
+const char *policyName(SchedPolicy policy);
+
+/**
+ * The ready queue plus the dispatch-order bookkeeping the paper's
+ * evaluation reports. Thread lifecycle state (Ready/Blocked/...) stays
+ * with the driver (live Scheduler or ReplayDriver); SchedCore only
+ * sees ids of ready threads.
+ */
+class SchedCore
+{
+  public:
+    explicit SchedCore(SchedPolicy policy)
+        : policy_(policy)
+    {}
+
+    SchedPolicy policy() const { return policy_; }
+
+    /** Enqueue a newly spawned thread (always at the back). */
+    void enqueueBack(ThreadId tid) { ready_.push_back(tid); }
+
+    /**
+     * Enqueue an awoken thread. §4.6: under the working-set policy a
+     * thread whose windows are still resident jumps to the *front* of
+     * the queue; everything else goes to the back.
+     *
+     * @param windows_resident Whether the engine still holds at least
+     *        one window of @p tid (WindowEngine::isResident, evaluated
+     *        by the caller at wake time).
+     */
+    void
+    wake(ThreadId tid, bool windows_resident)
+    {
+        if (policy_ == SchedPolicy::WorkingSet && windows_resident)
+            ready_.push_front(tid);
+        else
+            ready_.push_back(tid);
+    }
+
+    bool idle() const { return ready_.empty(); }
+
+    /**
+     * Pop the next thread to run. Samples "parallel slackness"
+     * (paper §5: threads available for execution right now, excluding
+     * the one being dispatched) and counts the dispatch.
+     */
+    ThreadId
+    dispatchNext()
+    {
+        const ThreadId tid = ready_.front();
+        ready_.pop_front();
+        slackness_.sample(static_cast<double>(ready_.size()));
+        ++dispatches_;
+        return tid;
+    }
+
+    /** Ready-queue length sampled at every dispatch (paper §5). */
+    const Distribution &slackness() const { return slackness_; }
+
+    /** Dispatch count (= context switches + same-thread skips). */
+    std::uint64_t dispatches() const { return dispatches_; }
+
+  private:
+    SchedPolicy policy_;
+    std::deque<ThreadId> ready_;
+    Distribution slackness_;
+    std::uint64_t dispatches_ = 0;
+};
+
+} // namespace crw
+
+#endif // CRW_RT_SCHED_CORE_H_

@@ -6,20 +6,10 @@
 
 namespace crw {
 
-const char *
-policyName(SchedPolicy policy)
-{
-    switch (policy) {
-      case SchedPolicy::Fifo:       return "FIFO";
-      case SchedPolicy::WorkingSet: return "WS";
-    }
-    return "?";
-}
-
 Scheduler::Scheduler(WindowEngine &engine, SchedPolicy policy,
                      std::size_t stack_size)
     : engine_(engine),
-      policy_(policy),
+      core_(policy),
       stackSize_(stack_size)
 {}
 
@@ -44,13 +34,15 @@ Scheduler::spawn(std::string name, std::function<void()> body)
 {
     const ThreadId tid = static_cast<ThreadId>(threads_.size());
     engine_.addThread(tid);
+    if (sink_)
+        sink_->onThreadSpawn(tid, name);
     Thread t;
     t.id = tid;
     t.name = std::move(name);
     t.state = ThreadState::Ready;
     t.coro = std::make_unique<Coroutine>(std::move(body), stackSize_);
     threads_.push_back(std::move(t));
-    ready_.push_back(tid);
+    core_.enqueueBack(tid);
     return tid;
 }
 
@@ -61,13 +53,14 @@ Scheduler::dispatch(ThreadId tid)
     crw_assert(t.state == ThreadState::Ready);
     t.state = ThreadState::Running;
     running_ = tid;
-    ++dispatches_;
     if (engine_.current() != tid)
         engine_.contextSwitch(tid);
     t.coro->resume();
     running_ = kNoThread;
     if (t.coro->finished()) {
         t.state = ThreadState::Finished;
+        if (sink_)
+            sink_->recordExit(tid);
         engine_.threadExit();
     }
     // Otherwise the thread blocked; blockCurrent() already set the
@@ -79,14 +72,8 @@ Scheduler::run()
 {
     crw_assert(!inRun_);
     inRun_ = true;
-    while (!ready_.empty()) {
-        const ThreadId tid = ready_.front();
-        ready_.pop_front();
-        // Paper §5 "parallel slackness": threads available for
-        // execution right now, excluding the one being executed.
-        slackness_.sample(static_cast<double>(ready_.size()));
-        dispatch(tid);
-    }
+    while (!core_.idle())
+        dispatch(core_.dispatchNext());
     inRun_ = false;
 
     std::ostringstream stuck;
@@ -122,14 +109,9 @@ Scheduler::wake(ThreadId tid)
     if (t.state != ThreadState::Blocked)
         return;
     t.state = ThreadState::Ready;
-    // §4.6: with the working-set policy, a thread that still has
-    // windows on the processor jumps the queue; others go to the back.
-    // The basic scheduler stays FIFO, so the refinement adds no
-    // overhead at context-switch time.
-    if (policy_ == SchedPolicy::WorkingSet && engine_.isResident(tid))
-        ready_.push_front(tid);
-    else
-        ready_.push_back(tid);
+    // §4.6 queue placement is SchedCore's job; residency is evaluated
+    // here, at wake time, exactly as the paper's monitor would.
+    core_.wake(tid, engine_.isResident(tid));
 }
 
 ThreadState

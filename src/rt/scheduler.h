@@ -8,6 +8,11 @@
  * the *front* of the ready queue, otherwise at the back, steering the
  * concurrently-scheduled working set to fit the physical window file.
  *
+ * The queue-placement policy itself lives in SchedCore
+ * (rt/sched_core.h) so the trace ReplayDriver can reuse it without
+ * coroutines; this class adds the live side: thread objects, stackful
+ * coroutines, and the dispatch loop.
+ *
  * Every actual dispatch is reported to the WindowEngine as a context
  * switch, so switch costs and window motion are charged exactly where
  * the paper's monitor would run its switch routine.
@@ -16,7 +21,6 @@
 #ifndef CRW_RT_SCHEDULER_H_
 #define CRW_RT_SCHEDULER_H_
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -25,17 +29,11 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "rt/coroutine.h"
+#include "rt/sched_core.h"
+#include "rt/trace_sink.h"
 #include "win/engine.h"
 
 namespace crw {
-
-/** Ready-queue policy, paper §4.6. */
-enum class SchedPolicy {
-    Fifo,       ///< plain first-in first-out
-    WorkingSet, ///< awoken-and-resident threads jump the queue
-};
-
-const char *policyName(SchedPolicy policy);
 
 /** Lifecycle state of a simulated thread. */
 enum class ThreadState {
@@ -90,16 +88,19 @@ class Scheduler
     const std::string &nameOf(ThreadId tid) const;
     int numThreads() const { return static_cast<int>(threads_.size()); }
 
-    SchedPolicy policy() const { return policy_; }
+    SchedPolicy policy() const { return core_.policy(); }
 
     /**
      * Ready-queue length statistics sampled at every dispatch — the
      * paper's "parallel slackness" (§5).
      */
-    const Distribution &slackness() const { return slackness_; }
+    const Distribution &slackness() const { return core_.slackness(); }
 
     /** Dispatch count (= engine context switches + same-thread skips). */
-    std::uint64_t dispatches() const { return dispatches_; }
+    std::uint64_t dispatches() const { return core_.dispatches(); }
+
+    /** Capture hook for thread-exit events (installed by Runtime). */
+    void setTraceSink(TraceSink *sink) { sink_ = sink; }
 
   private:
     struct Thread
@@ -115,15 +116,13 @@ class Scheduler
     void dispatch(ThreadId tid);
 
     WindowEngine &engine_;
-    SchedPolicy policy_;
+    SchedCore core_;
     std::size_t stackSize_;
 
     std::vector<Thread> threads_;
-    std::deque<ThreadId> ready_;
     ThreadId running_ = kNoThread;
-    Distribution slackness_;
-    std::uint64_t dispatches_ = 0;
     bool inRun_ = false;
+    TraceSink *sink_ = nullptr;
 };
 
 } // namespace crw

@@ -8,6 +8,7 @@ Stream::Stream(Runtime &rt, std::string name, std::size_t capacity,
                int num_writers)
     : rt_(rt),
       name_(std::move(name)),
+      sink_(rt.traceSink()),
       buffer_(capacity),
       openWriters_(num_writers)
 {
@@ -15,6 +16,8 @@ Stream::Stream(Runtime &rt, std::string name, std::size_t capacity,
         crw_fatal << "stream " << name_ << ": capacity must be >= 1";
     if (num_writers < 1)
         crw_fatal << "stream " << name_ << ": needs >= 1 writer";
+    if (sink_)
+        sinkId_ = sink_->onStreamCreate(name_, capacity, num_writers);
 }
 
 void
@@ -30,6 +33,8 @@ Stream::wakeAll(std::vector<ThreadId> &waiters)
 void
 Stream::rawPut(std::uint8_t byte)
 {
+    if (sink_)
+        sink_->recordPut(rt_.scheduler().currentId(), sinkId_);
     if (closed())
         crw_panic << "write to closed stream " << name_;
     while (count_ == buffer_.size()) {
@@ -47,6 +52,8 @@ Stream::rawPut(std::uint8_t byte)
 int
 Stream::rawGet()
 {
+    if (sink_)
+        sink_->recordGet(rt_.scheduler().currentId(), sinkId_);
     while (count_ == 0) {
         if (closed())
             return kEof;
@@ -126,6 +133,8 @@ void
 Stream::close()
 {
     Frame frame(rt_);
+    if (sink_)
+        sink_->recordClose(rt_.scheduler().currentId(), sinkId_);
     if (openWriters_ <= 0)
         crw_panic << "stream " << name_ << " closed too many times";
     --openWriters_;

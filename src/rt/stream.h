@@ -106,6 +106,9 @@ class Stream
 
     Runtime &rt_;
     std::string name_;
+    /** Capture sink bound at construction (see Runtime::setTraceSink). */
+    TraceSink *sink_;
+    int sinkId_ = -1;
     std::vector<std::uint8_t> buffer_;
     std::size_t head_ = 0;  // index of the oldest byte
     std::size_t count_ = 0; // bytes currently buffered

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * TraceSink: the capture hook interface of the runtime layer.
+ *
+ * A sink installed on a Runtime (Runtime::setTraceSink, *before* the
+ * application constructs its streams and threads) receives every
+ * engine-relevant action a thread performs — procedure entry/exit
+ * (save/restore), compute charges, and the stream operations whose
+ * blocking semantics drive all context switches. The concrete
+ * recorder (src/trace/event_trace.h) turns these callbacks into a
+ * replayable EventTrace.
+ *
+ * Deliberately *not* in the interface: block, wake and dispatch
+ * events. Those are schedule-dependent — they differ between FIFO and
+ * working-set runs and between window configurations — so recording
+ * them would pin the trace to the capture-time configuration. The
+ * replay driver re-derives them from the stream operations instead
+ * (see DESIGN.md §8).
+ */
+
+#ifndef CRW_RT_TRACE_SINK_H_
+#define CRW_RT_TRACE_SINK_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+
+namespace crw {
+
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** A thread was spawned; tids arrive in spawn order, 0-based. */
+    virtual void onThreadSpawn(ThreadId tid, const std::string &name) = 0;
+
+    /**
+     * A stream was constructed. Returns the stream id the runtime
+     * must pass back in recordPut/recordGet/recordClose.
+     */
+    virtual int onStreamCreate(const std::string &name,
+                               std::size_t capacity, int num_writers) = 0;
+
+    virtual void recordSave(ThreadId tid) = 0;
+    virtual void recordRestore(ThreadId tid) = 0;
+    virtual void recordCharge(ThreadId tid, Cycles cycles) = 0;
+    /** One rawPut call (one byte enqueued, blocking as needed). */
+    virtual void recordPut(ThreadId tid, int stream_id) = 0;
+    /** One rawGet call (one byte dequeued, or EOF). */
+    virtual void recordGet(ThreadId tid, int stream_id) = 0;
+    virtual void recordClose(ThreadId tid, int stream_id) = 0;
+    virtual void recordExit(ThreadId tid) = 0;
+};
+
+} // namespace crw
+
+#endif // CRW_RT_TRACE_SINK_H_

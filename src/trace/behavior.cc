@@ -11,63 +11,21 @@ BehaviorTracker::BehaviorTracker(int period_switches)
 }
 
 void
-BehaviorTracker::noteDepth(ThreadId tid, int depth)
-{
-    quantumRange_.note(depth);
-    periodRanges_[tid].note(depth);
-}
-
-void
-BehaviorTracker::onSave(ThreadId tid, int depth)
-{
-    crw_assert(tid == running_);
-    noteDepth(tid, depth);
-}
-
-void
-BehaviorTracker::onRestore(ThreadId tid, int depth)
-{
-    crw_assert(tid == running_);
-    noteDepth(tid, depth);
-}
-
-void
-BehaviorTracker::closeQuantum(Cycles now)
-{
-    if (running_ == kNoThread)
-        return;
-    activityPerQuantum_.sample(quantumRange_.span());
-    granularity_.sample(static_cast<double>(now - quantumStart_));
-}
-
-void
 BehaviorTracker::closePeriod()
 {
-    if (periodRanges_.empty())
+    if (touchedInPeriod_ == 0)
         return;
+    // Untouched entries contribute span() == 0, so the sum (in
+    // ascending-tid order) matches the old per-touched-thread one.
     double total = 0;
-    for (const auto &kv : periodRanges_)
-        total += kv.second.span();
+    for (const DepthRange &r : periodRanges_)
+        total += r.span();
     totalActivity_.sample(total);
-    concurrency_.sample(static_cast<double>(periodRanges_.size()));
-    periodRanges_.clear();
+    concurrency_.sample(static_cast<double>(touchedInPeriod_));
+    for (DepthRange &r : periodRanges_)
+        r = DepthRange{};
+    touchedInPeriod_ = 0;
     switchesInPeriod_ = 0;
-}
-
-void
-BehaviorTracker::onSwitch(ThreadId from, ThreadId to, int to_depth,
-                          Cycles begin, Cycles end)
-{
-    (void)from;
-    closeQuantum(begin);
-    running_ = to;
-    quantumRange_ = DepthRange{};
-    quantumStart_ = end;
-    // The scheduled thread's current window counts as used right away
-    // (its stack-top is demanded first, §3.1).
-    noteDepth(to, to_depth);
-    if (++switchesInPeriod_ >= periodSwitches_)
-        closePeriod();
 }
 
 void

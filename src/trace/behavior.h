@@ -32,7 +32,7 @@
 #ifndef CRW_TRACE_BEHAVIOR_H_
 #define CRW_TRACE_BEHAVIOR_H_
 
-#include <map>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
@@ -45,7 +45,7 @@ namespace crw {
  * WindowEngine::setObserver before running; read the distributions
  * afterwards (finish() flushes the final quantum/period).
  */
-class BehaviorTracker : public EngineObserver
+class BehaviorTracker final : public EngineObserver
 {
   public:
     /**
@@ -55,6 +55,10 @@ class BehaviorTracker : public EngineObserver
      */
     explicit BehaviorTracker(int period_switches = 64);
 
+    // The per-event hooks are defined inline below: the replay driver
+    // calls them directly on the concrete (final) tracker, so they
+    // flatten into its dispatch loop instead of going through the
+    // virtual observer boundary.
     void onSave(ThreadId tid, int depth) override;
     void onRestore(ThreadId tid, int depth) override;
     void onSwitch(ThreadId from, ThreadId to, int to_depth,
@@ -125,15 +129,69 @@ class BehaviorTracker : public EngineObserver
     DepthRange quantumRange_;
     Cycles quantumStart_ = 0;
 
-    // Current period.
+    // Current period. periodRanges_ is indexed by ThreadId (grown on
+    // demand); touchedInPeriod_ counts entries with touched == true,
+    // i.e. the distinct threads scheduled this period.
     int switchesInPeriod_ = 0;
-    std::map<ThreadId, DepthRange> periodRanges_;
+    std::vector<DepthRange> periodRanges_;
+    int touchedInPeriod_ = 0;
 
     Distribution activityPerQuantum_;
     Distribution totalActivity_;
     Distribution concurrency_;
     Distribution granularity_;
 };
+
+inline void
+BehaviorTracker::noteDepth(ThreadId tid, int depth)
+{
+    quantumRange_.note(depth);
+    if (tid >= static_cast<ThreadId>(periodRanges_.size()))
+        periodRanges_.resize(static_cast<std::size_t>(tid) + 1);
+    DepthRange &r = periodRanges_[static_cast<std::size_t>(tid)];
+    if (!r.touched)
+        ++touchedInPeriod_;
+    r.note(depth);
+}
+
+inline void
+BehaviorTracker::onSave(ThreadId tid, int depth)
+{
+    crw_assert(tid == running_);
+    noteDepth(tid, depth);
+}
+
+inline void
+BehaviorTracker::onRestore(ThreadId tid, int depth)
+{
+    crw_assert(tid == running_);
+    noteDepth(tid, depth);
+}
+
+inline void
+BehaviorTracker::closeQuantum(Cycles now)
+{
+    if (running_ == kNoThread)
+        return;
+    activityPerQuantum_.sample(quantumRange_.span());
+    granularity_.sample(static_cast<double>(now - quantumStart_));
+}
+
+inline void
+BehaviorTracker::onSwitch(ThreadId from, ThreadId to, int to_depth,
+                          Cycles begin, Cycles end)
+{
+    (void)from;
+    closeQuantum(begin);
+    running_ = to;
+    quantumRange_ = DepthRange{};
+    quantumStart_ = end;
+    // The scheduled thread's current window counts as used right away
+    // (its stack-top is demanded first, §3.1).
+    noteDepth(to, to_depth);
+    if (++switchesInPeriod_ >= periodSwitches_)
+        closePeriod();
+}
 
 } // namespace crw
 

@@ -1,0 +1,440 @@
+#include "trace/event_trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+
+namespace crw {
+namespace {
+
+// Tag byte: kind in the high nibble, small operand in the low nibble.
+// Operand 0..14 is stored inline; 15 means an LEB128 varint follows.
+constexpr std::uint8_t kInlineMax = 14;
+constexpr std::uint8_t kSpill = 15;
+
+constexpr char kMagic[8] = {'C', 'R', 'W', 'T', 'R', 'A', 'C', 'E'};
+
+void
+appendVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t n)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+// --- flat byte-buffer writer/reader for the file payload ---
+
+struct Writer
+{
+    std::vector<std::uint8_t> bytes;
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        bytes.insert(bytes.end(), s.begin(), s.end());
+    }
+
+    void
+    blob(const std::vector<std::uint8_t> &b)
+    {
+        u64(b.size());
+        bytes.insert(bytes.end(), b.begin(), b.end());
+    }
+};
+
+struct Reader
+{
+    const std::uint8_t *p;
+    const std::uint8_t *end;
+    bool ok = true;
+
+    bool
+    need(std::size_t n)
+    {
+        if (static_cast<std::size_t>(end - p) < n) {
+            ok = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(*p++) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(*p++) << (8 * i);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (!need(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(p), n);
+        p += n;
+        return s;
+    }
+
+    std::vector<std::uint8_t>
+    blob()
+    {
+        const std::uint64_t n = u64();
+        if (!need(n))
+            return {};
+        std::vector<std::uint8_t> b(p, p + n);
+        p += n;
+        return b;
+    }
+};
+
+} // namespace
+
+std::uint64_t
+EventTrace::eventCount() const
+{
+    std::uint64_t n = 0;
+    for (const TraceThreadInfo &t : threads) {
+        TraceCursor cur(t.code);
+        std::uint64_t operand;
+        while (!cur.atEnd()) {
+            cur.peek(operand);
+            cur.advance();
+            ++n;
+        }
+    }
+    return n;
+}
+
+TraceOp
+TraceCursor::peek(std::uint64_t &operand) const
+{
+    crw_assert(pc_ != end_);
+    const std::uint8_t tag = *pc_;
+    const TraceOp op = static_cast<TraceOp>(tag >> 4);
+    const std::uint8_t low = tag & 0x0F;
+    const std::uint8_t *p = pc_ + 1;
+    if (low != kSpill) {
+        operand = low;
+    } else {
+        std::uint64_t v = 0;
+        int shift = 0;
+        while (true) {
+            crw_assert(p != end_);
+            const std::uint8_t b = *p++;
+            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if (!(b & 0x80))
+                break;
+            shift += 7;
+        }
+        operand = v;
+    }
+    next_ = p;
+    return op;
+}
+
+void
+TraceCursor::advance()
+{
+    crw_assert(next_ != nullptr);
+    pc_ = next_;
+    next_ = nullptr;
+}
+
+TraceRecorder::TraceRecorder(std::string key, std::uint64_t seed,
+                             std::uint64_t corpus_bytes)
+{
+    trace_.key = std::move(key);
+    trace_.seed = seed;
+    trace_.corpusBytes = corpus_bytes;
+}
+
+std::vector<std::uint8_t> &
+TraceRecorder::code(ThreadId tid)
+{
+    crw_assert(tid >= 0 &&
+               tid < static_cast<ThreadId>(trace_.threads.size()));
+    return trace_.threads[static_cast<std::size_t>(tid)].code;
+}
+
+void
+TraceRecorder::onThreadSpawn(ThreadId tid, const std::string &name)
+{
+    if (tid != static_cast<ThreadId>(trace_.threads.size()))
+        crw_fatal << "trace capture: thread ids must be dense spawn "
+                     "order, got "
+                  << tid;
+    trace_.threads.push_back(TraceThreadInfo{name, {}});
+    pendingCharge_.push_back(0);
+}
+
+int
+TraceRecorder::onStreamCreate(const std::string &name,
+                              std::size_t capacity, int num_writers)
+{
+    TraceStreamInfo info;
+    info.name = name;
+    info.capacity = static_cast<std::uint32_t>(capacity);
+    info.writers = static_cast<std::uint32_t>(num_writers);
+    trace_.streams.push_back(std::move(info));
+    return static_cast<int>(trace_.streams.size()) - 1;
+}
+
+void
+TraceRecorder::emit(ThreadId tid, TraceOp op, std::uint64_t operand)
+{
+    std::vector<std::uint8_t> &out = code(tid);
+    const std::uint8_t high = static_cast<std::uint8_t>(op) << 4;
+    if (operand <= kInlineMax) {
+        out.push_back(high | static_cast<std::uint8_t>(operand));
+    } else {
+        out.push_back(high | kSpill);
+        appendVarint(out, operand);
+    }
+}
+
+void
+TraceRecorder::flushCharge(ThreadId tid)
+{
+    std::uint64_t &pending =
+        pendingCharge_[static_cast<std::size_t>(tid)];
+    if (pending != 0) {
+        emit(tid, TraceOp::Charge, pending);
+        pending = 0;
+    }
+}
+
+void
+TraceRecorder::recordSave(ThreadId tid)
+{
+    flushCharge(tid);
+    emit(tid, TraceOp::Save, 0);
+}
+
+void
+TraceRecorder::recordRestore(ThreadId tid)
+{
+    flushCharge(tid);
+    emit(tid, TraceOp::Restore, 0);
+}
+
+void
+TraceRecorder::recordCharge(ThreadId tid, Cycles cycles)
+{
+    // Coalesce with an immediately preceding charge: the engine's
+    // clock and cycle counters cannot tell two back-to-back charges
+    // from their sum.
+    pendingCharge_[static_cast<std::size_t>(tid)] +=
+        static_cast<std::uint64_t>(cycles);
+}
+
+void
+TraceRecorder::recordPut(ThreadId tid, int stream_id)
+{
+    flushCharge(tid);
+    emit(tid, TraceOp::Put, static_cast<std::uint64_t>(stream_id));
+}
+
+void
+TraceRecorder::recordGet(ThreadId tid, int stream_id)
+{
+    flushCharge(tid);
+    emit(tid, TraceOp::Get, static_cast<std::uint64_t>(stream_id));
+}
+
+void
+TraceRecorder::recordClose(ThreadId tid, int stream_id)
+{
+    flushCharge(tid);
+    emit(tid, TraceOp::Close, static_cast<std::uint64_t>(stream_id));
+}
+
+void
+TraceRecorder::recordExit(ThreadId tid)
+{
+    flushCharge(tid);
+    emit(tid, TraceOp::Exit, 0);
+}
+
+EventTrace
+TraceRecorder::take(std::uint64_t misspelled,
+                    std::uint64_t words_from_delatex)
+{
+    for (ThreadId tid = 0;
+         tid < static_cast<ThreadId>(trace_.threads.size()); ++tid)
+        flushCharge(tid);
+    trace_.misspelled = misspelled;
+    trace_.wordsFromDelatex = words_from_delatex;
+    return std::move(trace_);
+}
+
+bool
+saveTraceFile(const EventTrace &trace, const std::string &path,
+              std::string *error)
+{
+    Writer payload;
+    payload.str(trace.key);
+    payload.u64(trace.seed);
+    payload.u64(trace.corpusBytes);
+    payload.u64(trace.misspelled);
+    payload.u64(trace.wordsFromDelatex);
+    payload.u32(static_cast<std::uint32_t>(trace.streams.size()));
+    for (const TraceStreamInfo &s : trace.streams) {
+        payload.str(s.name);
+        payload.u32(s.capacity);
+        payload.u32(s.writers);
+    }
+    payload.u32(static_cast<std::uint32_t>(trace.threads.size()));
+    for (const TraceThreadInfo &t : trace.threads) {
+        payload.str(t.name);
+        payload.blob(t.code);
+    }
+
+    Writer file;
+    file.bytes.insert(file.bytes.end(), kMagic, kMagic + 8);
+    file.u32(kTraceFormatVersion);
+    file.bytes.insert(file.bytes.end(), payload.bytes.begin(),
+                      payload.bytes.end());
+    file.u64(fnv1a(payload.bytes.data(), payload.bytes.size()));
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *fp = std::fopen(tmp.c_str(), "wb");
+    if (!fp) {
+        if (error)
+            *error = "cannot open " + tmp;
+        return false;
+    }
+    const bool wrote = std::fwrite(file.bytes.data(), 1,
+                                   file.bytes.size(),
+                                   fp) == file.bytes.size();
+    std::fclose(fp);
+    if (!wrote) {
+        if (error)
+            *error = "short write to " + tmp;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        if (error)
+            *error = "rename failed: " + ec.message();
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+loadTraceFile(const std::string &path, EventTrace &out,
+              std::string *error)
+{
+    auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (!fp)
+        return fail("cannot open " + path);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, fp)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(fp);
+
+    // 8 magic + 4 version + 8 trailing checksum.
+    if (bytes.size() < 20)
+        return fail("truncated header");
+    if (std::memcmp(bytes.data(), kMagic, 8) != 0)
+        return fail("bad magic (not a crw trace)");
+
+    Reader header{bytes.data() + 8, bytes.data() + bytes.size()};
+    const std::uint32_t version = header.u32();
+    if (version != kTraceFormatVersion)
+        return fail("unsupported trace version " +
+                    std::to_string(version));
+
+    const std::uint8_t *payload = bytes.data() + 12;
+    const std::size_t payload_size = bytes.size() - 20;
+    Reader csum{bytes.data() + bytes.size() - 8,
+                bytes.data() + bytes.size()};
+    if (fnv1a(payload, payload_size) != csum.u64())
+        return fail("checksum mismatch (corrupted trace)");
+
+    Reader r{payload, payload + payload_size};
+    EventTrace t;
+    t.key = r.str();
+    t.seed = r.u64();
+    t.corpusBytes = r.u64();
+    t.misspelled = r.u64();
+    t.wordsFromDelatex = r.u64();
+    const std::uint32_t num_streams = r.u32();
+    for (std::uint32_t i = 0; r.ok && i < num_streams; ++i) {
+        TraceStreamInfo s;
+        s.name = r.str();
+        s.capacity = r.u32();
+        s.writers = r.u32();
+        t.streams.push_back(std::move(s));
+    }
+    const std::uint32_t num_threads = r.u32();
+    for (std::uint32_t i = 0; r.ok && i < num_threads; ++i) {
+        TraceThreadInfo th;
+        th.name = r.str();
+        th.code = r.blob();
+        t.threads.push_back(std::move(th));
+    }
+    if (!r.ok || r.p != r.end)
+        return fail("malformed payload");
+    out = std::move(t);
+    return true;
+}
+
+} // namespace crw

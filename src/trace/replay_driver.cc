@@ -1,0 +1,171 @@
+#include "trace/replay_driver.h"
+
+#include "common/logging.h"
+
+namespace crw {
+
+ReplayDriver::ReplayDriver(const EventTrace &trace,
+                           const EngineConfig &engine_config,
+                           SchedPolicy policy)
+    : trace_(trace),
+      engine_(engine_config),
+      core_(policy),
+      tracker_(64)
+{
+    // The tracker is driven directly from the dispatch loop below (a
+    // devirtualized call on the final class) rather than through
+    // WindowEngine's observer hook; the callbacks and arguments are
+    // identical to what the engine would deliver.
+    streams_.reserve(trace.streams.size());
+    for (const TraceStreamInfo &s : trace.streams) {
+        RStream rs;
+        rs.capacity = s.capacity;
+        rs.openWriters = static_cast<int>(s.writers);
+        streams_.push_back(std::move(rs));
+    }
+    threads_.reserve(trace.threads.size());
+    // Spawn order: dense tids, ready queue back — as Scheduler::spawn.
+    for (std::size_t i = 0; i < trace.threads.size(); ++i) {
+        const ThreadId tid = static_cast<ThreadId>(i);
+        engine_.addThread(tid);
+        threads_.push_back(RThread{
+            TraceCursor(trace.threads[i].code), RState::Ready});
+        core_.enqueueBack(tid);
+    }
+}
+
+void
+ReplayDriver::wakeAll(std::vector<ThreadId> &waiters)
+{
+    // Mirror of Stream::wakeAll + Scheduler::wake: wake-all with a
+    // state re-check, queue placement decided by the policy against
+    // *this* engine's residency at wake time.
+    for (const ThreadId tid : waiters) {
+        RThread &t = threads_[static_cast<std::size_t>(tid)];
+        if (t.state != RState::Blocked)
+            continue;
+        t.state = RState::Ready;
+        core_.wake(tid, engine_.isResident(tid));
+    }
+    waiters.clear();
+}
+
+void
+ReplayDriver::runThread(ThreadId tid)
+{
+    RThread &t = threads_[static_cast<std::size_t>(tid)];
+    TraceCursor &cur = t.cursor;
+    std::uint64_t operand;
+
+    while (!cur.atEnd()) {
+        const TraceOp op = cur.peek(operand);
+        switch (op) {
+          case TraceOp::Save:
+            engine_.save();
+            tracker_.onSave(tid, engine_.depthOf(tid));
+            cur.advance();
+            break;
+          case TraceOp::Restore:
+            engine_.restore();
+            tracker_.onRestore(tid, engine_.depthOf(tid));
+            cur.advance();
+            break;
+          case TraceOp::Charge:
+            engine_.charge(static_cast<Cycles>(operand));
+            cur.advance();
+            break;
+          case TraceOp::Put: {
+            RStream &s = streams_[operand];
+            if (s.count == s.capacity) {
+                // Stream::rawPut's blocking loop: notify readers,
+                // park; re-entered (cursor unmoved) when re-run.
+                wakeAll(s.readWaiters);
+                s.writeWaiters.push_back(tid);
+                t.state = RState::Blocked;
+                return;
+            }
+            ++s.count;
+            wakeAll(s.readWaiters);
+            cur.advance();
+            break;
+          }
+          case TraceOp::Get: {
+            RStream &s = streams_[operand];
+            if (s.count == 0) {
+                if (s.openWriters == 0) {
+                    // EOF: rawGet returns without byte or block.
+                    cur.advance();
+                    break;
+                }
+                wakeAll(s.writeWaiters);
+                s.readWaiters.push_back(tid);
+                t.state = RState::Blocked;
+                return;
+            }
+            --s.count;
+            wakeAll(s.writeWaiters);
+            cur.advance();
+            break;
+          }
+          case TraceOp::Close: {
+            RStream &s = streams_[operand];
+            crw_assert(s.openWriters > 0);
+            if (--s.openWriters == 0)
+                wakeAll(s.readWaiters);
+            cur.advance();
+            break;
+          }
+          case TraceOp::Exit:
+            cur.advance();
+            if (!cur.atEnd())
+                crw_fatal << "replay: events after Exit in thread "
+                          << tid;
+            engine_.threadExit();
+            tracker_.onExit(tid);
+            t.state = RState::Finished;
+            return;
+        }
+    }
+    crw_fatal << "replay: script of thread " << tid
+              << " ended without Exit";
+}
+
+void
+ReplayDriver::run()
+{
+    crw_assert(!ran_);
+    ran_ = true;
+    while (!core_.idle()) {
+        const ThreadId tid = core_.dispatchNext();
+        RThread &t = threads_[static_cast<std::size_t>(tid)];
+        crw_assert(t.state == RState::Ready);
+        t.state = RState::Running;
+        if (engine_.current() != tid) {
+            const ThreadId from = engine_.current();
+            const Cycles begin = engine_.now();
+            engine_.contextSwitch(tid);
+            tracker_.onSwitch(from, tid, engine_.depthOf(tid), begin,
+                              engine_.now());
+        }
+        runThread(tid);
+    }
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        if (threads_[i].state != RState::Finished)
+            crw_fatal << "replay deadlock: thread " << i << " ("
+                      << trace_.threads[i].name
+                      << ") never finished — trace/config mismatch";
+    }
+    tracker_.finish(engine_.now());
+}
+
+RunMetrics
+ReplayDriver::metrics() const
+{
+    crw_assert(ran_);
+    return collectRunMetrics(engine_, tracker_, core_.slackness(),
+                             core_.policy(),
+                             static_cast<int>(threads_.size()),
+                             trace_.misspelled);
+}
+
+} // namespace crw

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ReplayDriver: re-runs a captured EventTrace against a WindowEngine
+ * without coroutines (DESIGN.md §8).
+ *
+ * The driver is an exact re-implementation of the live execution's
+ * state machine with the thread bodies replaced by their captured
+ * per-thread scripts: the SchedCore ready queue (identical policy
+ * code), the bounded-stream occupancy/waiter dynamics (identical to
+ * rt/stream.cc rawPut/rawGet/close), and the engine event points
+ * (identical call sites). Because the scripts are configuration-
+ * independent (see event_trace.h) and every other transition rule is
+ * shared, a replayed run produces *bit-identical* RunMetrics to a live
+ * run at the same (scheme, windows, policy) point — the property the
+ * replay-equivalence test enforces.
+ *
+ * Working-set scheduling works on replay because residency is asked of
+ * *this* driver's engine at the moment of each wake, not read from the
+ * trace; one trace therefore serves every scheme × windows × policy
+ * combination.
+ */
+
+#ifndef CRW_TRACE_REPLAY_DRIVER_H_
+#define CRW_TRACE_REPLAY_DRIVER_H_
+
+#include <vector>
+
+#include "rt/sched_core.h"
+#include "trace/behavior.h"
+#include "trace/event_trace.h"
+#include "trace/run_metrics.h"
+#include "win/engine.h"
+
+namespace crw {
+
+class ReplayDriver
+{
+  public:
+    /**
+     * @param trace The captured run (not owned; must outlive this).
+     * @param engine_config Full engine configuration of the replay
+     *        point (scheme, window count, cost model, PRW/allocation
+     *        variants...).
+     * @param policy Ready-queue policy to re-schedule with.
+     */
+    ReplayDriver(const EventTrace &trace,
+                 const EngineConfig &engine_config, SchedPolicy policy);
+
+    ReplayDriver(const ReplayDriver &) = delete;
+    ReplayDriver &operator=(const ReplayDriver &) = delete;
+
+    /** Replay the whole trace. Fatal on a stuck/mismatched trace. */
+    void run();
+
+    /** Metrics of the finished run (call after run()). */
+    RunMetrics metrics() const;
+
+    WindowEngine &engine() { return engine_; }
+    const WindowEngine &engine() const { return engine_; }
+    const SchedCore &core() const { return core_; }
+    const BehaviorTracker &tracker() const { return tracker_; }
+
+  private:
+    /** Replay image of one bounded stream (occupancy + waiters). */
+    struct RStream
+    {
+        std::uint32_t capacity = 0;
+        std::uint32_t count = 0;
+        int openWriters = 0;
+        std::vector<ThreadId> readWaiters;
+        std::vector<ThreadId> writeWaiters;
+    };
+
+    enum class RState : std::uint8_t {
+        Ready,
+        Running,
+        Blocked,
+        Finished
+    };
+
+    struct RThread
+    {
+        TraceCursor cursor;
+        RState state = RState::Ready;
+    };
+
+    /** Execute @p tid's script until it parks or exits. */
+    void runThread(ThreadId tid);
+    void wakeAll(std::vector<ThreadId> &waiters);
+
+    const EventTrace &trace_;
+    WindowEngine engine_;
+    SchedCore core_;
+    BehaviorTracker tracker_;
+    std::vector<RStream> streams_;
+    std::vector<RThread> threads_;
+    bool ran_ = false;
+};
+
+} // namespace crw
+
+#endif // CRW_TRACE_REPLAY_DRIVER_H_

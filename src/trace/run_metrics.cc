@@ -1,0 +1,42 @@
+#include "trace/run_metrics.h"
+
+namespace crw {
+
+RunMetrics
+collectRunMetrics(const WindowEngine &engine,
+                  const BehaviorTracker &tracker,
+                  const Distribution &slackness, SchedPolicy policy,
+                  int num_threads, std::size_t misspelled)
+{
+    const StatGroup &s = engine.stats();
+    RunMetrics m;
+    m.scheme = engine.scheme();
+    m.policy = policy;
+    m.windows = engine.numWindows();
+    m.totalCycles = engine.now();
+    m.switches = s.counterValue("switches");
+    m.saves = s.counterValue("saves");
+    m.restores = s.counterValue("restores");
+    m.overflowTraps = s.counterValue("overflow_traps");
+    m.underflowTraps = s.counterValue("underflow_traps");
+    m.switchWindowsSaved = s.counterValue("switch_windows_saved");
+    m.switchWindowsRestored =
+        s.counterValue("switch_windows_restored");
+    m.meanSwitchCost = s.distributions().at("switch_cost").mean();
+    const double ops = static_cast<double>(m.saves + m.restores);
+    m.trapProbability =
+        ops > 0 ? static_cast<double>(m.overflowTraps +
+                                      m.underflowTraps) /
+                      ops
+                : 0.0;
+    m.activityPerQuantum = tracker.activityPerQuantum().mean();
+    m.totalWindowActivity = tracker.totalWindowActivity().mean();
+    m.concurrency = tracker.concurrency().mean();
+    m.meanSlackness = slackness.mean();
+    m.misspelled = misspelled;
+    for (ThreadId tid = 0; tid < num_threads; ++tid)
+        m.perThread.push_back(engine.threadCounters(tid));
+    return m;
+}
+
+} // namespace crw

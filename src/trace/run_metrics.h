@@ -1,0 +1,66 @@
+/**
+ * @file
+ * RunMetrics: everything one spell-checker run produced — live
+ * (coroutines, bench/harness.h runSpell) or replayed
+ * (trace/replay_driver.h). Collected through one shared function so
+ * the two paths are field-for-field comparable; the replay-equivalence
+ * test (tests/win/test_replay_equivalence.cc) pins them equal.
+ */
+
+#ifndef CRW_TRACE_RUN_METRICS_H_
+#define CRW_TRACE_RUN_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "rt/sched_core.h"
+#include "trace/behavior.h"
+#include "win/engine.h"
+
+namespace crw {
+
+/** Everything one spell-checker run produced. */
+struct RunMetrics
+{
+    SchemeKind scheme{};
+    SchedPolicy policy{};
+    int windows = 0;
+
+    Cycles totalCycles = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t saves = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t overflowTraps = 0;
+    std::uint64_t underflowTraps = 0;
+    std::uint64_t switchWindowsSaved = 0;
+    std::uint64_t switchWindowsRestored = 0;
+    double meanSwitchCost = 0.0;
+
+    /** (overflow + underflow traps) / (saves + restores) — Fig. 13. */
+    double trapProbability = 0.0;
+
+    // §5 behavior metrics.
+    double activityPerQuantum = 0.0;
+    double totalWindowActivity = 0.0;
+    double concurrency = 0.0;
+    double meanSlackness = 0.0;
+
+    std::vector<ThreadCounters> perThread; ///< T1..T7
+    std::size_t misspelled = 0;
+};
+
+/**
+ * Read a finished run's metrics out of the engine, tracker and
+ * scheduler-core statistics. @p num_threads per-thread counters are
+ * collected for tids 0 .. num_threads-1 (= spawn order).
+ */
+RunMetrics collectRunMetrics(const WindowEngine &engine,
+                             const BehaviorTracker &tracker,
+                             const Distribution &slackness,
+                             SchedPolicy policy, int num_threads,
+                             std::size_t misspelled);
+
+} // namespace crw
+
+#endif // CRW_TRACE_RUN_METRICS_H_

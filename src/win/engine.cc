@@ -1,30 +1,46 @@
 #include "win/engine.h"
 
 #include "common/logging.h"
+#include "win/schemes_impl.h"
 
 namespace crw {
+
+namespace {
+
+/**
+ * Static dispatch over the concrete (final) scheme classes. The
+ * scheme kind is fixed at engine construction, so the per-event
+ * virtual calls — the hottest boundary in sweep profiles — reduce to
+ * one predictable switch with the handlers inlined behind it.
+ */
+template <typename F>
+inline auto
+withScheme(SchemeKind kind, Scheme &scheme, F &&f)
+{
+    switch (kind) {
+      case SchemeKind::NS:
+        return f(static_cast<detail::NsScheme &>(scheme));
+      case SchemeKind::SNP:
+        return f(static_cast<detail::SnpScheme &>(scheme));
+      case SchemeKind::SP:
+        return f(static_cast<detail::SpScheme &>(scheme));
+      case SchemeKind::Infinite:
+        return f(static_cast<detail::InfiniteScheme &>(scheme));
+    }
+    crw_unreachable("bad scheme kind");
+}
+
+} // namespace
 
 WindowEngine::WindowEngine(const EngineConfig &config)
     : file_(config.numWindows),
       scheme_(makeScheme(config.scheme, file_, config.prwReclaim,
                          config.allocPolicy)),
+      kind_(config.scheme),
       cost_(config.cost),
       checkInvariants_(config.checkInvariants),
       stats_(std::string("engine.") + schemeName(config.scheme))
 {
-    cSaves_ = &stats_.counter("saves");
-    cRestores_ = &stats_.counter("restores");
-    cOvfTraps_ = &stats_.counter("overflow_traps");
-    cUnfTraps_ = &stats_.counter("underflow_traps");
-    cOvfSpilled_ = &stats_.counter("ovf_windows_spilled");
-    cUnfRestored_ = &stats_.counter("unf_windows_restored");
-    cCyclesTrap_ = &stats_.counter("cycles_trap");
-    cCyclesCallret_ = &stats_.counter("cycles_callret");
-    cCyclesCompute_ = &stats_.counter("cycles_compute");
-    cCyclesSwitch_ = &stats_.counter("cycles_switch");
-    cSwitches_ = &stats_.counter("switches");
-    cSwitchSaved_ = &stats_.counter("switch_windows_saved");
-    cSwitchRestored_ = &stats_.counter("switch_windows_restored");
     dSwitchCost_ = &stats_.distribution("switch_cost");
 
     // A sharing scheme needs room for a stack-top window, the dead
@@ -52,19 +68,21 @@ void
 WindowEngine::save()
 {
     crw_assert(current_ != kNoThread);
-    const OpOutcome out = scheme_->onSave(current_);
+    const OpOutcome out = withScheme(
+        kind_, *scheme_,
+        [this](auto &s) { return s.onSave(current_); });
 
-    ++*cSaves_;
+    ++hot_.saves;
     ++threadCounters_[static_cast<std::size_t>(current_)].saves;
     Cycles cycles = cost_.plainSaveRestore;
     if (out.trapped) {
-        ++*cOvfTraps_;
-        *cOvfSpilled_ += static_cast<std::uint64_t>(out.windowsSaved);
+        ++hot_.ovfTraps;
+        hot_.ovfSpilled += static_cast<std::uint64_t>(out.windowsSaved);
         const Cycles trap = cost_.overflowTrapCost(out.windowsSaved);
-        *cCyclesTrap_ += trap;
+        hot_.cyclesTrap += trap;
         cycles += trap;
     }
-    *cCyclesCallret_ += cost_.plainSaveRestore;
+    hot_.cyclesCallret += cost_.plainSaveRestore;
     now_ += cycles;
     if (observer_)
         observer_->onSave(current_, file_.thread(current_).depth);
@@ -75,21 +93,23 @@ void
 WindowEngine::restore()
 {
     crw_assert(current_ != kNoThread);
-    const OpOutcome out = scheme_->onRestore(current_);
+    const OpOutcome out = withScheme(
+        kind_, *scheme_,
+        [this](auto &s) { return s.onRestore(current_); });
 
-    ++*cRestores_;
+    ++hot_.restores;
     ++threadCounters_[static_cast<std::size_t>(current_)].restores;
     Cycles cycles = cost_.plainSaveRestore;
     if (out.trapped) {
-        ++*cUnfTraps_;
-        *cUnfRestored_ += static_cast<std::uint64_t>(out.windowsRestored);
-        const Cycles trap = (scheme_->kind() == SchemeKind::NS)
+        ++hot_.unfTraps;
+        hot_.unfRestored += static_cast<std::uint64_t>(out.windowsRestored);
+        const Cycles trap = (kind_ == SchemeKind::NS)
                                 ? cost_.underflowConventionalCost()
                                 : cost_.underflowSharingCost();
-        *cCyclesTrap_ += trap;
+        hot_.cyclesTrap += trap;
         cycles += trap;
     }
-    *cCyclesCallret_ += cost_.plainSaveRestore;
+    hot_.cyclesCallret += cost_.plainSaveRestore;
     now_ += cycles;
     if (observer_)
         observer_->onRestore(current_, file_.thread(current_).depth);
@@ -102,18 +122,24 @@ WindowEngine::contextSwitch(ThreadId to)
     crw_assert(file_.hasThread(to));
     crw_assert(to != current_);
     const ThreadId from = current_;
-    const SwitchOutcome out = scheme_->onSwitchIn(from, to);
+    const SwitchOutcome out = withScheme(
+        kind_, *scheme_,
+        [&](auto &s) { return s.onSwitchIn(from, to); });
     current_ = to;
 
-    ++*cSwitches_;
+    ++hot_.switches;
     ++threadCounters_[static_cast<std::size_t>(to)].switchesIn;
-    *cSwitchSaved_ += static_cast<std::uint64_t>(out.windowsSaved);
-    *cSwitchRestored_ += static_cast<std::uint64_t>(out.windowsRestored);
-    ++switchCases_[{out.windowsSaved, out.windowsRestored}];
+    hot_.switchSaved += static_cast<std::uint64_t>(out.windowsSaved);
+    hot_.switchRestored += static_cast<std::uint64_t>(out.windowsRestored);
+    if (out.windowsSaved < kSmallSwitchCase &&
+        out.windowsRestored < kSmallSwitchCase)
+        ++switchCasesSmall_[out.windowsSaved][out.windowsRestored];
+    else
+        ++switchCasesLarge_[{out.windowsSaved, out.windowsRestored}];
 
     const Cycles cycles = cost_.switchCost(
-        scheme_->kind(), out.windowsSaved, out.windowsRestored);
-    *cCyclesSwitch_ += cycles;
+        kind_, out.windowsSaved, out.windowsRestored);
+    hot_.cyclesSwitch += cycles;
     dSwitchCost_->sample(static_cast<double>(cycles));
     now_ += cycles;
     if (observer_)
@@ -134,13 +160,6 @@ WindowEngine::threadExit()
     postEventCheck();
 }
 
-void
-WindowEngine::charge(Cycles cycles)
-{
-    *cCyclesCompute_ += cycles;
-    now_ += cycles;
-}
-
 bool
 WindowEngine::isResident(ThreadId tid) const
 {
@@ -149,12 +168,57 @@ WindowEngine::isResident(ThreadId tid) const
     return file_.thread(tid).isResident();
 }
 
+std::map<std::pair<int, int>, std::uint64_t>
+WindowEngine::switchCases() const
+{
+    std::map<std::pair<int, int>, std::uint64_t> cases =
+        switchCasesLarge_;
+    for (int s = 0; s < kSmallSwitchCase; ++s)
+        for (int r = 0; r < kSmallSwitchCase; ++r)
+            if (switchCasesSmall_[s][r] != 0)
+                cases[{s, r}] = switchCasesSmall_[s][r];
+    return cases;
+}
+
+std::uint64_t
+WindowEngine::switchCaseCount(int saved, int restored) const
+{
+    if (saved >= 0 && saved < kSmallSwitchCase && restored >= 0 &&
+        restored < kSmallSwitchCase)
+        return switchCasesSmall_[saved][restored];
+    const auto it = switchCasesLarge_.find({saved, restored});
+    return it == switchCasesLarge_.end() ? 0 : it->second;
+}
+
 const ThreadCounters &
 WindowEngine::threadCounters(ThreadId tid) const
 {
     crw_assert(tid >= 0 &&
                tid < static_cast<ThreadId>(threadCounters_.size()));
     return threadCounters_[static_cast<std::size_t>(tid)];
+}
+
+void
+WindowEngine::syncStats() const
+{
+    const auto set = [this](const char *name, std::uint64_t v) {
+        Counter &c = stats_.counter(name);
+        c.reset();
+        c += v;
+    };
+    set("saves", hot_.saves);
+    set("restores", hot_.restores);
+    set("overflow_traps", hot_.ovfTraps);
+    set("underflow_traps", hot_.unfTraps);
+    set("ovf_windows_spilled", hot_.ovfSpilled);
+    set("unf_windows_restored", hot_.unfRestored);
+    set("cycles_trap", hot_.cyclesTrap);
+    set("cycles_callret", hot_.cyclesCallret);
+    set("cycles_compute", hot_.cyclesCompute);
+    set("cycles_switch", hot_.cyclesSwitch);
+    set("switches", hot_.switches);
+    set("switch_windows_saved", hot_.switchSaved);
+    set("switch_windows_restored", hot_.switchRestored);
 }
 
 void

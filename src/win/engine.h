@@ -120,13 +120,18 @@ class WindowEngine
      */
     void threadExit();
 
-    /** Charge @p cycles of ordinary computation. */
-    void charge(Cycles cycles);
+    /** Charge @p cycles of ordinary computation (hot; kept inline). */
+    void
+    charge(Cycles cycles)
+    {
+        hot_.cyclesCompute += cycles;
+        now_ += cycles;
+    }
 
     ThreadId current() const { return current_; }
     Cycles now() const { return now_; }
     int numWindows() const { return file_.numWindows(); }
-    SchemeKind scheme() const { return scheme_->kind(); }
+    SchemeKind scheme() const { return kind_; }
 
     /** True if @p tid has at least one window in the file. */
     bool isResident(ThreadId tid) const;
@@ -137,8 +142,16 @@ class WindowEngine
     const WindowFile &file() const { return file_; }
     const CostModel &costModel() const { return cost_; }
 
-    StatGroup &stats() { return stats_; }
-    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats()
+    {
+        syncStats();
+        return stats_;
+    }
+    const StatGroup &stats() const
+    {
+        syncStats();
+        return stats_;
+    }
 
     const ThreadCounters &threadCounters(ThreadId tid) const;
 
@@ -147,19 +160,22 @@ class WindowEngine
 
     /**
      * Histogram of context switches by (windows saved, windows
-     * restored) — the shape of the paper's Table 2 usage.
+     * restored) — the shape of the paper's Table 2 usage. Materialized
+     * from the flat hot-path table; zero cells are omitted.
      */
-    const std::map<std::pair<int, int>, std::uint64_t> &
-    switchCases() const
-    {
-        return switchCases_;
-    }
+    std::map<std::pair<int, int>, std::uint64_t> switchCases() const;
+
+    /** Count of switches that saved/restored exactly that many. */
+    std::uint64_t switchCaseCount(int saved, int restored) const;
 
   private:
     void postEventCheck();
+    void syncStats() const;
 
     WindowFile file_;
     std::unique_ptr<Scheme> scheme_;
+    /** == scheme_->kind(); cached for the hot static dispatch. */
+    SchemeKind kind_;
     CostModel cost_;
     bool checkInvariants_;
 
@@ -167,25 +183,44 @@ class WindowEngine
     Cycles now_ = 0;
     EngineObserver *observer_ = nullptr;
 
-    StatGroup stats_;
+    /** Mutable: syncStats() publishes the hot counters on read. */
+    mutable StatGroup stats_;
     std::vector<ThreadCounters> threadCounters_;
-    std::map<std::pair<int, int>, std::uint64_t> switchCases_;
 
-    // Hot-path counters resolved once at construction (StatGroup name
-    // lookup is a map probe; save/restore fire millions of times).
-    Counter *cSaves_;
-    Counter *cRestores_;
-    Counter *cOvfTraps_;
-    Counter *cUnfTraps_;
-    Counter *cOvfSpilled_;
-    Counter *cUnfRestored_;
-    Counter *cCyclesTrap_;
-    Counter *cCyclesCallret_;
-    Counter *cCyclesCompute_;
-    Counter *cCyclesSwitch_;
-    Counter *cSwitches_;
-    Counter *cSwitchSaved_;
-    Counter *cSwitchRestored_;
+    /**
+     * Switch-case histogram, probed on *every* context switch. Nearly
+     * all switches move < kSmallSwitchCase windows each way, so the
+     * hot path is one flat-array increment; the rare large cases (NS
+     * flushing a deep thread) fall into the overflow map.
+     */
+    static constexpr int kSmallSwitchCase = 8;
+    std::uint64_t switchCasesSmall_[kSmallSwitchCase]
+                                   [kSmallSwitchCase] = {};
+    std::map<std::pair<int, int>, std::uint64_t> switchCasesLarge_;
+
+    /**
+     * Hot-path counters, bumped on every simulated event. Kept in one
+     * contiguous struct (one or two cache lines) rather than behind
+     * StatGroup's per-name map nodes; syncStats() publishes them into
+     * stats_ whenever the group is read.
+     */
+    struct HotCounters
+    {
+        std::uint64_t saves = 0;
+        std::uint64_t restores = 0;
+        std::uint64_t ovfTraps = 0;
+        std::uint64_t unfTraps = 0;
+        std::uint64_t ovfSpilled = 0;
+        std::uint64_t unfRestored = 0;
+        std::uint64_t cyclesTrap = 0;
+        std::uint64_t cyclesCallret = 0;
+        std::uint64_t cyclesCompute = 0;
+        std::uint64_t cyclesSwitch = 0;
+        std::uint64_t switches = 0;
+        std::uint64_t switchSaved = 0;
+        std::uint64_t switchRestored = 0;
+    };
+    HotCounters hot_;
     Distribution *dSwitchCost_;
 };
 

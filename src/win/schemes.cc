@@ -1,509 +1,15 @@
 /**
  * @file
- * Implementations of the NS, SNP, SP and Infinite window schemes.
+ * Factory for the NS, SNP, SP and Infinite window schemes. The class
+ * definitions live in schemes_impl.h so the engine can devirtualize
+ * the per-event calls.
  */
 
 #include "win/scheme.h"
 
-#include "common/logging.h"
+#include "win/schemes_impl.h"
 
 namespace crw {
-
-namespace {
-
-/**
- * Oracle with unbounded windows: never traps, never transfers. Used by
- * property tests as the ground truth for depth bookkeeping, and as the
- * "no window cost at all" baseline in ablation benches.
- *
- * It still keeps WindowFile depth counters so the trace module can
- * compute window-activity metrics on oracle runs.
- */
-class InfiniteScheme : public Scheme
-{
-  public:
-    using Scheme::Scheme;
-
-    SchemeKind kind() const override { return SchemeKind::Infinite; }
-
-    OpOutcome
-    onSave(ThreadId tid) override
-    {
-        file_.pushFrame(tid);
-        return {};
-    }
-
-    OpOutcome
-    onRestore(ThreadId tid) override
-    {
-        file_.popFrame(tid);
-        return {};
-    }
-
-    SwitchOutcome
-    onSwitchIn(ThreadId from, ThreadId to) override
-    {
-        (void)from;
-        if (file_.thread(to).depth == 0)
-            file_.pushFrame(to); // the root frame of a fresh thread
-        return {};
-    }
-
-    void
-    onExit(ThreadId tid) override
-    {
-        file_.thread(tid).depth = 0;
-    }
-};
-
-/**
- * NS: the conventional scheme. Only the current thread ever has
- * resident windows; every context switch flushes all of them and
- * restores the scheduled thread's stack-top window. Deeper frames
- * come back one at a time through conventional underflow traps (the
- * "hidden overhead" the paper notes in §6.2).
- */
-class NsScheme : public Scheme
-{
-  public:
-    using Scheme::Scheme;
-
-    SchemeKind kind() const override { return SchemeKind::NS; }
-
-    OpOutcome
-    onSave(ThreadId tid) override
-    {
-        OpOutcome out;
-        ThreadWindows &tw = file_.thread(tid);
-        crw_assert(tw.isResident());
-        file_.pushFrame(tid);
-        const WindowIndex nt = file_.space().above(tw.top);
-        // One window must stay dead above the stack-top for the out
-        // registers' overlap, so at most N-1 windows are usable.
-        if (tw.resident == file_.numWindows() - 1) {
-            out.trapped = true;
-            out.windowsSaved = 1;
-            file_.spillBottom(tid);
-        }
-        crw_assert(file_.isFree(nt));
-        file_.claimAsTop(tid, nt);
-        return out;
-    }
-
-    OpOutcome
-    onRestore(ThreadId tid) override
-    {
-        OpOutcome out;
-        ThreadWindows &tw = file_.thread(tid);
-        crw_assert(tw.isResident());
-        file_.popFrame(tid);
-        if (tw.depth == 0) {
-            // The root frame returned; the thread is about to exit.
-            file_.dropAll(tid);
-            return out;
-        }
-        if (tw.resident >= 2) {
-            file_.releaseTop(tid);
-            return out;
-        }
-        // Conventional underflow: the caller's window is restored
-        // *below* the current one, where it lived before being spilled.
-        out.trapped = true;
-        out.windowsRestored = 1;
-        file_.refillBelow(tid);
-        return out;
-    }
-
-    SwitchOutcome
-    onSwitchIn(ThreadId from, ThreadId to) override
-    {
-        SwitchOutcome out;
-        if (from != kNoThread) {
-            ThreadWindows &ftw = file_.thread(from);
-            out.windowsSaved = ftw.resident;
-            // Flush: every resident frame goes to the memory stack.
-            while (ftw.isResident())
-                file_.spillBottom(from);
-        }
-        ThreadWindows &ttw = file_.thread(to);
-        crw_assert(!ttw.isResident());
-        if (ttw.depth > 0) {
-            file_.fillAsTop(to, 0);
-            out.windowsRestored = 1;
-        } else {
-            file_.pushFrame(to);
-            file_.claimAsTop(to, 0);
-        }
-        return out;
-    }
-
-    void
-    onExit(ThreadId tid) override
-    {
-        file_.dropAll(tid);
-        file_.thread(tid).depth = 0;
-    }
-};
-
-/**
- * Common machinery of the two sharing schemes.
- */
-class SharingSchemeBase : public Scheme
-{
-  public:
-    SharingSchemeBase(WindowFile &file, PrwReclaim reclaim,
-                      AllocPolicy alloc)
-        : Scheme(file),
-          reclaim_(reclaim),
-          alloc_(alloc)
-    {}
-
-  protected:
-    /**
-     * Make window @p w dead so it can be claimed. If it is owned, the
-     * occupant is always a stack-bottom window or an orphaned PRW
-     * (paper §3.1: overflow spillage is always from the stack-bottom);
-     * spill it. Returns the number of windows transferred to memory.
-     */
-    int
-    evict(WindowIndex w)
-    {
-        switch (file_.state(w)) {
-          case WinState::Free:
-            return 0;
-          case WinState::Owned: {
-            const ThreadId victim = file_.owner(w);
-            crw_assert(file_.bottomOf(victim) == w);
-            file_.spillBottom(victim);
-            ThreadWindows &vt = file_.thread(victim);
-            if (!vt.isResident() && vt.prw != kNoWindow &&
-                reclaim_ != PrwReclaim::Lazy) {
-                // The victim lost its whole run: write its PRW state
-                // (outs, PCs) out with it and free the slot too.
-                file_.clearPrw(victim);
-                return reclaim_ == PrwReclaim::Eager ? 2 : 1;
-            }
-            return 1;
-          }
-          case WinState::Prw: {
-            // An orphaned PRW of a suspended thread: it preserves that
-            // thread's stack-top out registers and PCs, so evicting it
-            // writes them to the thread's TCB — one transfer. Growth
-            // geometry guarantees a PRW is only reached after its
-            // owner's whole run was spilled.
-            const ThreadId victim = file_.owner(w);
-            crw_assert(!file_.thread(victim).isResident());
-            file_.clearPrw(victim);
-            return 1;
-          }
-        }
-        crw_unreachable("bad window state");
-    }
-
-    /**
-     * Shared restore logic: plain release, restore-in-place underflow,
-     * or root-frame return.
-     *
-     * @return outcome, with `trapped` set on the underflow-trap path.
-     */
-    OpOutcome
-    sharedRestore(ThreadId tid)
-    {
-        OpOutcome out;
-        ThreadWindows &tw = file_.thread(tid);
-        crw_assert(tw.isResident());
-        file_.popFrame(tid);
-        if (tw.depth == 0) {
-            file_.dropAll(tid);
-            return out;
-        }
-        if (tw.resident >= 2) {
-            releaseTopHook(tid);
-            return out;
-        }
-        // Underflow trap, the paper's key idea: restore the caller's
-        // frame into the same window (after copying live ins to outs).
-        // No spillage of anybody's window can occur here.
-        out.trapped = true;
-        out.windowsRestored = 1;
-        file_.refillInPlace(tid);
-        return out;
-    }
-
-    /** Scheme-specific handling of a plain (non-trapping) restore. */
-    virtual void releaseTopHook(ThreadId tid) = 0;
-
-    PrwReclaim reclaim_;
-    AllocPolicy alloc_;
-
-    /** Find a Free window, preferring slots near @p hint. */
-    WindowIndex
-    findFree(WindowIndex hint) const
-    {
-        const int n = file_.numWindows();
-        const WindowIndex start = (hint == kNoWindow) ? 0 : hint;
-        for (int k = 0; k < n; ++k) {
-            const WindowIndex w = file_.space().wrap(start + k);
-            if (file_.isFree(w))
-                return w;
-        }
-        crw_unreachable("no free window available for allocation");
-    }
-
-    /** True if evict(w) is legal: free, orphan PRW, or a bottom. */
-    bool
-    evictable(WindowIndex w) const
-    {
-        switch (file_.state(w)) {
-          case WinState::Free:
-            return true;
-          case WinState::Prw:
-            return !file_.thread(file_.owner(w)).isResident();
-          case WinState::Owned:
-            return file_.bottomOf(file_.owner(w)) == w;
-        }
-        return false;
-    }
-
-    /**
-     * Pick the slot for a scheduled thread's new stack-top window.
-     * Simple: the hint (directly above the suspended thread), as
-     * evaluated in the paper. FreeSearch (§4.2 improvement): prefer a
-     * free slot with a free neighbour above, then any free slot whose
-     * neighbour is evictable, then fall back to the hint.
-     */
-    WindowIndex
-    allocSlot(WindowIndex hint) const
-    {
-        const WindowIndex fallback =
-            (hint != kNoWindow) ? hint : findFree(0);
-        if (alloc_ == AllocPolicy::Simple)
-            return fallback;
-        const int n = file_.numWindows();
-        const WindowIndex start = (hint == kNoWindow) ? 0 : hint;
-        WindowIndex second_choice = kNoWindow;
-        for (int k = 0; k < n; ++k) {
-            const WindowIndex w = file_.space().wrap(start + k);
-            if (!file_.isFree(w))
-                continue;
-            const WindowIndex up = file_.space().above(w);
-            if (file_.isFree(up))
-                return w;
-            if (second_choice == kNoWindow && evictable(up))
-                second_choice = w;
-        }
-        return second_choice != kNoWindow ? second_choice : fallback;
-    }
-};
-
-/**
- * SNP: sharing without private reserved windows. The single reserved
- * (dead) window always sits immediately above the *current* thread's
- * stack-top; the suspended thread's stack-top out registers are saved
- * to / restored from its TCB on every switch (folded into the base
- * switch cost, per Table 2).
- */
-class SnpScheme : public SharingSchemeBase
-{
-  public:
-    SnpScheme(WindowFile &file, AllocPolicy alloc)
-        : SharingSchemeBase(file, PrwReclaim::Lazy, alloc)
-    {}
-
-    SchemeKind kind() const override { return SchemeKind::SNP; }
-
-    OpOutcome
-    onSave(ThreadId tid) override
-    {
-        OpOutcome out;
-        ThreadWindows &tw = file_.thread(tid);
-        crw_assert(tw.isResident());
-        file_.pushFrame(tid);
-        const WindowIndex nt = file_.space().above(tw.top);
-        crw_assert(file_.isFree(nt)); // the reserved window
-        const WindowIndex w2 = file_.space().above(nt);
-        const int spilled = evict(w2);
-        if (spilled) {
-            out.trapped = true;
-            out.windowsSaved = spilled;
-        }
-        file_.claimAsTop(tid, nt);
-        return out;
-    }
-
-    OpOutcome
-    onRestore(ThreadId tid) override
-    {
-        return sharedRestore(tid);
-    }
-
-    SwitchOutcome
-    onSwitchIn(ThreadId from, ThreadId to) override
-    {
-        SwitchOutcome out;
-        if (from != kNoThread && file_.thread(from).isResident())
-            allocHint_ = file_.space().above(file_.thread(from).top);
-
-        ThreadWindows &ttw = file_.thread(to);
-        if (ttw.isResident()) {
-            // Only re-reserve the window above the scheduled thread's
-            // stack-top; no window of `to` itself moves.
-            out.windowsSaved += evict(file_.space().above(ttw.top));
-            return out;
-        }
-
-        // "If the newly-scheduled thread has no windows, the window
-        // above the suspended thread's is allocated" (§4.5) — that is
-        // exactly the old reserved window, so it is free already.
-        WindowIndex w = allocSlot(allocHint_);
-        if (!file_.isFree(w))
-            w = findFree(allocHint_);
-        if (ttw.depth > 0) {
-            file_.fillAsTop(to, w);
-            out.windowsRestored += 1;
-        } else {
-            file_.pushFrame(to);
-            file_.claimAsTop(to, w);
-        }
-        out.windowsSaved += evict(file_.space().above(w));
-        return out;
-    }
-
-    void
-    onExit(ThreadId tid) override
-    {
-        allocHint_ = file_.thread(tid).top;
-        file_.dropAll(tid);
-        file_.thread(tid).depth = 0;
-    }
-
-  private:
-    void
-    releaseTopHook(ThreadId tid) override
-    {
-        // The vacated window becomes the new reserved window above the
-        // (lowered) stack-top; the old reserved window becomes plain
-        // free. Both are just Free slots in this model.
-        file_.releaseTop(tid);
-    }
-
-    WindowIndex allocHint_ = kNoWindow;
-};
-
-/**
- * SP: sharing with a private reserved window per thread. While a
- * thread runs, its PRW is only a boundary marker; when it suspends,
- * the PRW physically preserves the stack-top out registers and the
- * PCs, which is why switching to a resident thread moves nothing at
- * all (Table 2's 93–98-cycle best case).
- */
-class SpScheme : public SharingSchemeBase
-{
-  public:
-    SpScheme(WindowFile &file, PrwReclaim reclaim, AllocPolicy alloc)
-        : SharingSchemeBase(file, reclaim, alloc)
-    {}
-
-    SchemeKind kind() const override { return SchemeKind::SP; }
-    bool usesPrw() const override { return true; }
-
-    OpOutcome
-    onSave(ThreadId tid) override
-    {
-        OpOutcome out;
-        ThreadWindows &tw = file_.thread(tid);
-        crw_assert(tw.isResident());
-        crw_assert(tw.prw != kNoWindow);
-        file_.pushFrame(tid);
-        // The stack-top advances into the PRW slot (whose ins already
-        // alias the old top's outs); the PRW moves one window up.
-        const WindowIndex nt = tw.prw;
-        const WindowIndex p2 = file_.space().above(nt);
-        file_.clearPrw(tid);
-        const int spilled = evict(p2);
-        if (spilled) {
-            out.trapped = true;
-            out.windowsSaved = spilled;
-        }
-        file_.claimAsTop(tid, nt);
-        file_.setPrw(tid, p2);
-        return out;
-    }
-
-    OpOutcome
-    onRestore(ThreadId tid) override
-    {
-        return sharedRestore(tid);
-    }
-
-    SwitchOutcome
-    onSwitchIn(ThreadId from, ThreadId to) override
-    {
-        SwitchOutcome out;
-        if (from != kNoThread && file_.thread(from).isResident())
-            allocHint_ =
-                file_.space().above(file_.thread(from).prw);
-
-        ThreadWindows &ttw = file_.thread(to);
-        if (ttw.isResident()) {
-            // Best case: everything — windows, outs, PCs — is already
-            // in place. Nothing moves.
-            crw_assert(ttw.prw != kNoWindow);
-            return out;
-        }
-
-        // The scheduled thread has no windows: allocate a new stack-top
-        // window and a new PRW "above the private reserved window of
-        // the suspended thread" (§4.5). Either slot may require a
-        // spill — the paper's two-saves worst case (Table 2's SP 2/1).
-        if (ttw.prw != kNoWindow) {
-            // Orphaned PRW from before this thread was fully spilled;
-            // its preserved state is carried over to the new PRW
-            // (register-to-register, no memory traffic).
-            file_.clearPrw(to);
-        }
-        const WindowIndex w = allocSlot(allocHint_);
-        out.windowsSaved += evict(w);
-        out.windowsSaved += evict(file_.space().above(w));
-        if (ttw.depth > 0) {
-            file_.fillAsTop(to, w);
-            out.windowsRestored += 1;
-        } else {
-            file_.pushFrame(to);
-            file_.claimAsTop(to, w);
-        }
-        const WindowIndex p = file_.space().above(w);
-        crw_assert(file_.isFree(p));
-        file_.setPrw(to, p);
-        return out;
-    }
-
-    void
-    onExit(ThreadId tid) override
-    {
-        allocHint_ = file_.thread(tid).top;
-        file_.dropAll(tid);
-        file_.thread(tid).depth = 0;
-    }
-
-  private:
-    void
-    releaseTopHook(ThreadId tid) override
-    {
-        // The vacated top slot already holds the new top's outs (they
-        // were the callee's ins), so it becomes the PRW with no copy;
-        // the old PRW becomes free (§4.1).
-        file_.clearPrw(tid);
-        ThreadWindows &tw = file_.thread(tid);
-        const WindowIndex vacated = tw.top;
-        file_.releaseTop(tid);
-        file_.setPrw(tid, vacated);
-    }
-
-    WindowIndex allocHint_ = kNoWindow;
-};
-
-} // namespace
 
 std::unique_ptr<Scheme>
 makeScheme(SchemeKind kind, WindowFile &file, PrwReclaim reclaim,
@@ -511,13 +17,13 @@ makeScheme(SchemeKind kind, WindowFile &file, PrwReclaim reclaim,
 {
     switch (kind) {
       case SchemeKind::NS:
-        return std::make_unique<NsScheme>(file);
+        return std::make_unique<detail::NsScheme>(file);
       case SchemeKind::SNP:
-        return std::make_unique<SnpScheme>(file, alloc);
+        return std::make_unique<detail::SnpScheme>(file, alloc);
       case SchemeKind::SP:
-        return std::make_unique<SpScheme>(file, reclaim, alloc);
+        return std::make_unique<detail::SpScheme>(file, reclaim, alloc);
       case SchemeKind::Infinite:
-        return std::make_unique<InfiniteScheme>(file);
+        return std::make_unique<detail::InfiniteScheme>(file);
     }
     crw_unreachable("bad scheme kind");
 }

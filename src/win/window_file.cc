@@ -11,13 +11,6 @@ WindowFile::WindowFile(int num_windows)
                   << num_windows;
 }
 
-const WindowSlot &
-WindowFile::slot(WindowIndex w) const
-{
-    crw_assert(w >= 0 && w < space_.size());
-    return slots_[static_cast<std::size_t>(w)];
-}
-
 void
 WindowFile::addThread(ThreadId tid)
 {
@@ -26,77 +19,6 @@ WindowFile::addThread(ThreadId tid)
         threads_.resize(static_cast<std::size_t>(tid) + 1);
     // Re-registration of a finished id is allowed (ids may be reused).
     threads_[static_cast<std::size_t>(tid)] = ThreadWindows{};
-}
-
-bool
-WindowFile::hasThread(ThreadId tid) const
-{
-    return tid >= 0 && tid < static_cast<ThreadId>(threads_.size());
-}
-
-ThreadWindows &
-WindowFile::thread(ThreadId tid)
-{
-    crw_assert(hasThread(tid));
-    return threads_[static_cast<std::size_t>(tid)];
-}
-
-const ThreadWindows &
-WindowFile::thread(ThreadId tid) const
-{
-    crw_assert(hasThread(tid));
-    return threads_[static_cast<std::size_t>(tid)];
-}
-
-WindowIndex
-WindowFile::bottomOf(ThreadId tid) const
-{
-    const ThreadWindows &tw = thread(tid);
-    crw_assert(tw.isResident());
-    return space_.belowBy(tw.top, tw.resident - 1);
-}
-
-bool
-WindowFile::inRunOf(ThreadId tid, WindowIndex w) const
-{
-    const ThreadWindows &tw = thread(tid);
-    if (!tw.isResident())
-        return false;
-    return space_.inRunBelow(tw.top, tw.resident, w);
-}
-
-void
-WindowFile::claimAsTop(ThreadId tid, WindowIndex w)
-{
-    ThreadWindows &tw = thread(tid);
-    crw_assert(isFree(w));
-    if (tw.isResident())
-        crw_assert(w == space_.above(tw.top));
-    slots_[static_cast<std::size_t>(w)] = {WinState::Owned, tid};
-    tw.top = w;
-    ++tw.resident;
-}
-
-void
-WindowFile::releaseTop(ThreadId tid)
-{
-    ThreadWindows &tw = thread(tid);
-    crw_assert(tw.resident >= 2); // plain restore needs a caller below
-    slots_[static_cast<std::size_t>(tw.top)] = {WinState::Free, kNoThread};
-    tw.top = space_.below(tw.top);
-    --tw.resident;
-}
-
-void
-WindowFile::spillBottom(ThreadId tid)
-{
-    ThreadWindows &tw = thread(tid);
-    crw_assert(tw.isResident());
-    const WindowIndex b = bottomOf(tid);
-    slots_[static_cast<std::size_t>(b)] = {WinState::Free, kNoThread};
-    --tw.resident;
-    if (tw.resident == 0)
-        tw.top = kNoWindow;
 }
 
 void
@@ -135,18 +57,6 @@ WindowFile::refillBelow(ThreadId tid)
 }
 
 void
-WindowFile::setPrw(ThreadId tid, WindowIndex w)
-{
-    ThreadWindows &tw = thread(tid);
-    crw_assert(isFree(w));
-    if (tw.prw != kNoWindow)
-        slots_[static_cast<std::size_t>(tw.prw)] =
-            {WinState::Free, kNoThread};
-    slots_[static_cast<std::size_t>(w)] = {WinState::Prw, tid};
-    tw.prw = w;
-}
-
-void
 WindowFile::clearPrw(ThreadId tid)
 {
     ThreadWindows &tw = thread(tid);
@@ -167,20 +77,6 @@ WindowFile::dropAll(ThreadId tid)
     }
     tw.top = kNoWindow;
     clearPrw(tid);
-}
-
-void
-WindowFile::pushFrame(ThreadId tid)
-{
-    ++thread(tid).depth;
-}
-
-void
-WindowFile::popFrame(ThreadId tid)
-{
-    ThreadWindows &tw = thread(tid);
-    crw_assert(tw.depth >= 1);
-    --tw.depth;
 }
 
 int

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/cyclic.h"
+#include "common/logging.h"
 #include "common/types.h"
 
 namespace crw {
@@ -149,6 +150,115 @@ class WindowFile
     std::vector<WindowSlot> slots_;
     std::vector<ThreadWindows> threads_; // indexed by ThreadId
 };
+
+// The primitives below run on every simulated save/restore/switch
+// (hundreds of millions of times per sweep); they are defined inline
+// so the scheme implementations can flatten them.
+
+inline const WindowSlot &
+WindowFile::slot(WindowIndex w) const
+{
+    crw_assert(w >= 0 && w < space_.size());
+    return slots_[static_cast<std::size_t>(w)];
+}
+
+inline bool
+WindowFile::hasThread(ThreadId tid) const
+{
+    return tid >= 0 && tid < static_cast<ThreadId>(threads_.size());
+}
+
+inline ThreadWindows &
+WindowFile::thread(ThreadId tid)
+{
+    crw_assert(hasThread(tid));
+    return threads_[static_cast<std::size_t>(tid)];
+}
+
+inline const ThreadWindows &
+WindowFile::thread(ThreadId tid) const
+{
+    crw_assert(hasThread(tid));
+    return threads_[static_cast<std::size_t>(tid)];
+}
+
+inline WindowIndex
+WindowFile::bottomOf(ThreadId tid) const
+{
+    const ThreadWindows &tw = thread(tid);
+    crw_assert(tw.isResident());
+    return space_.belowBy(tw.top, tw.resident - 1);
+}
+
+inline bool
+WindowFile::inRunOf(ThreadId tid, WindowIndex w) const
+{
+    const ThreadWindows &tw = thread(tid);
+    if (!tw.isResident())
+        return false;
+    return space_.inRunBelow(tw.top, tw.resident, w);
+}
+
+inline void
+WindowFile::claimAsTop(ThreadId tid, WindowIndex w)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(isFree(w));
+    if (tw.isResident())
+        crw_assert(w == space_.above(tw.top));
+    slots_[static_cast<std::size_t>(w)] = {WinState::Owned, tid};
+    tw.top = w;
+    ++tw.resident;
+}
+
+inline void
+WindowFile::releaseTop(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(tw.resident >= 2); // plain restore needs a caller below
+    slots_[static_cast<std::size_t>(tw.top)] = {WinState::Free,
+                                                kNoThread};
+    tw.top = space_.below(tw.top);
+    --tw.resident;
+}
+
+inline void
+WindowFile::spillBottom(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(tw.isResident());
+    const WindowIndex b = bottomOf(tid);
+    slots_[static_cast<std::size_t>(b)] = {WinState::Free, kNoThread};
+    --tw.resident;
+    if (tw.resident == 0)
+        tw.top = kNoWindow;
+}
+
+inline void
+WindowFile::setPrw(ThreadId tid, WindowIndex w)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(isFree(w));
+    if (tw.prw != kNoWindow)
+        slots_[static_cast<std::size_t>(tw.prw)] = {WinState::Free,
+                                                    kNoThread};
+    slots_[static_cast<std::size_t>(w)] = {WinState::Prw, tid};
+    tw.prw = w;
+}
+
+inline void
+WindowFile::pushFrame(ThreadId tid)
+{
+    ++thread(tid).depth;
+}
+
+inline void
+WindowFile::popFrame(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(tw.depth >= 1);
+    --tw.depth;
+}
 
 } // namespace crw
 

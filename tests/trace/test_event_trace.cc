@@ -1,0 +1,206 @@
+/**
+ * @file
+ * EventTrace binary serialization: round-trip equality, and rejection
+ * of every corruption the cache loader must survive — wrong magic,
+ * unknown version, truncation, and payload/checksum damage. A stale or
+ * damaged cache file must never be replayed.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/event_trace.h"
+
+namespace crw {
+namespace {
+
+/** A small but representative trace touching every field. */
+EventTrace
+sampleTrace()
+{
+    TraceRecorder rec("m1-n1-d4000-v500", 1993, 3000);
+    rec.onThreadSpawn(0, "T1:delatex");
+    rec.onThreadSpawn(1, "T2:words");
+    const int s1 = rec.onStreamCreate("S1", 1, 1);
+    const int s2 = rec.onStreamCreate("S2", 4, 2);
+
+    rec.recordSave(0);
+    rec.recordCharge(0, 17);
+    rec.recordCharge(0, 3); // coalesces with the previous charge
+    rec.recordPut(0, s1);
+    rec.recordSave(0);
+    rec.recordRestore(0);
+    rec.recordCharge(0, 1000000); // forces the varint spill
+    rec.recordClose(0, s1);
+    rec.recordExit(0);
+
+    rec.recordGet(1, s1);
+    rec.recordPut(1, s2);
+    rec.recordClose(1, s2);
+    rec.recordExit(1);
+
+    return rec.take(42, 567);
+}
+
+class EventTraceFile : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 "crw_test_event_trace.trace")
+                    .string();
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::vector<char>
+    readAll() const
+    {
+        std::ifstream in(path_, std::ios::binary);
+        return std::vector<char>(std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>());
+    }
+
+    void
+    writeAll(const std::vector<char> &bytes) const
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    std::string path_;
+};
+
+TEST_F(EventTraceFile, RoundTripIsIdentity)
+{
+    const EventTrace trace = sampleTrace();
+    std::string err;
+    ASSERT_TRUE(saveTraceFile(trace, path_, &err)) << err;
+
+    EventTrace loaded;
+    ASSERT_TRUE(loadTraceFile(path_, loaded, &err)) << err;
+    EXPECT_TRUE(trace == loaded);
+
+    // Spot-check the identity fields survived.
+    EXPECT_EQ(loaded.key, "m1-n1-d4000-v500");
+    EXPECT_EQ(loaded.seed, 1993u);
+    EXPECT_EQ(loaded.corpusBytes, 3000u);
+    EXPECT_EQ(loaded.misspelled, 42u);
+    EXPECT_EQ(loaded.wordsFromDelatex, 567u);
+    ASSERT_EQ(loaded.streams.size(), 2u);
+    EXPECT_EQ(loaded.streams[1].capacity, 4u);
+    EXPECT_EQ(loaded.streams[1].writers, 2u);
+    ASSERT_EQ(loaded.threads.size(), 2u);
+    EXPECT_EQ(loaded.threads[0].name, "T1:delatex");
+    EXPECT_EQ(loaded.eventCount(), trace.eventCount());
+}
+
+TEST_F(EventTraceFile, MissingFileFails)
+{
+    EventTrace out;
+    std::string err;
+    EXPECT_FALSE(
+        loadTraceFile("/nonexistent/dir/none.trace", out, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST_F(EventTraceFile, BadMagicRejected)
+{
+    std::string err;
+    ASSERT_TRUE(saveTraceFile(sampleTrace(), path_, &err)) << err;
+    std::vector<char> bytes = readAll();
+    ASSERT_GE(bytes.size(), 8u);
+    bytes[0] = 'X';
+    writeAll(bytes);
+
+    EventTrace out;
+    EXPECT_FALSE(loadTraceFile(path_, out, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST_F(EventTraceFile, UnknownVersionRejected)
+{
+    std::string err;
+    ASSERT_TRUE(saveTraceFile(sampleTrace(), path_, &err)) << err;
+    std::vector<char> bytes = readAll();
+    // Version is the little-endian u32 right after the 8-byte magic.
+    ASSERT_GE(bytes.size(), 12u);
+    bytes[8] = static_cast<char>(0xEE);
+    bytes[9] = static_cast<char>(0xFF);
+    writeAll(bytes);
+
+    EventTrace out;
+    EXPECT_FALSE(loadTraceFile(path_, out, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST_F(EventTraceFile, TruncationRejected)
+{
+    std::string err;
+    ASSERT_TRUE(saveTraceFile(sampleTrace(), path_, &err)) << err;
+    std::vector<char> bytes = readAll();
+    ASSERT_GT(bytes.size(), 20u);
+    bytes.resize(bytes.size() - 9); // clips checksum + payload tail
+    writeAll(bytes);
+
+    EventTrace out;
+    EXPECT_FALSE(loadTraceFile(path_, out, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST_F(EventTraceFile, PayloadCorruptionRejected)
+{
+    std::string err;
+    ASSERT_TRUE(saveTraceFile(sampleTrace(), path_, &err)) << err;
+    std::vector<char> bytes = readAll();
+    // Flip one payload byte mid-file: the checksum must catch it.
+    const std::size_t mid = bytes.size() / 2;
+    bytes[mid] = static_cast<char>(bytes[mid] ^ 0x5A);
+    writeAll(bytes);
+
+    EventTrace out;
+    EXPECT_FALSE(loadTraceFile(path_, out, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(TraceCursor, DecodesWhatTheRecorderEmits)
+{
+    const EventTrace trace = sampleTrace();
+    ASSERT_EQ(trace.threads.size(), 2u);
+
+    TraceCursor cur(trace.threads[0].code);
+    std::uint64_t operand = 0;
+
+    ASSERT_FALSE(cur.atEnd());
+    EXPECT_EQ(cur.peek(operand), TraceOp::Save);
+    cur.advance();
+    EXPECT_EQ(cur.peek(operand), TraceOp::Charge);
+    EXPECT_EQ(operand, 20u); // 17 + 3 coalesced
+    cur.advance();
+    EXPECT_EQ(cur.peek(operand), TraceOp::Put);
+    EXPECT_EQ(operand, 0u);
+    cur.advance();
+    EXPECT_EQ(cur.peek(operand), TraceOp::Save);
+    cur.advance();
+    EXPECT_EQ(cur.peek(operand), TraceOp::Restore);
+    cur.advance();
+    EXPECT_EQ(cur.peek(operand), TraceOp::Charge);
+    EXPECT_EQ(operand, 1000000u); // needed the varint spill
+    cur.advance();
+    EXPECT_EQ(cur.peek(operand), TraceOp::Close);
+    cur.advance();
+    EXPECT_EQ(cur.peek(operand), TraceOp::Exit);
+    cur.advance();
+    EXPECT_TRUE(cur.atEnd());
+}
+
+} // namespace
+} // namespace crw

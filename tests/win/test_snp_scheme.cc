@@ -53,9 +53,7 @@ TEST(SnpScheme, SwitchToResidentThreadKeepsItsWindows)
     EXPECT_EQ(e.depthOf(0), 2);
     EXPECT_EQ(e.file().thread(0).resident, 2);
     EXPECT_EQ(e.file().thread(1).resident, 1);
-    auto evicting = e.switchCases().find({1, 0});
-    ASSERT_NE(evicting, e.switchCases().end());
-    EXPECT_EQ(evicting->second, 1u);
+    EXPECT_EQ(e.switchCaseCount(1, 0), 1u);
 
     // Switching back to t1 (whose above-top slot is now free) is the
     // zero-transfer case.
