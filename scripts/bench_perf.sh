@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Host-performance gate for the instruction-level layer: configure a
+# Release build, run bench_sparc_interp (predecoded block dispatch vs
+# legacy stepping) and bench_fig11 (the event-level headline sweep),
+# and record a machine-readable summary in BENCH_sparc_interp.json at
+# the repo root — {mips, speedup, wall_s, git_sha, per-workload rows}.
+#
+# Run from the repo root. The Release tree lives in build-perf/ so it
+# never disturbs an existing default (often Debug) build/ tree.
+#
+# Usage: scripts/bench_perf.sh [build-dir] [reps]
+#   build-dir  CMake Release build tree (default: build-perf)
+#   reps       wall-time samples per mode for bench_sparc_interp;
+#              each mode reports its fastest sample (default: 5)
+set -eu
+
+build_dir=${1:-build-perf}
+reps=${2:-5}
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo_root"
+
+git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+
+echo "== configure + build ($build_dir, Release)"
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j"$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1 gate (ctest -L tier1)"
+ctest --test-dir "$build_dir" -L tier1 \
+    -j"$(nproc 2>/dev/null || echo 2)" --output-on-failure
+
+echo "== bench_sparc_interp (reps=$reps)"
+"$build_dir/bench/bench_sparc_interp" \
+    --reps "$reps" \
+    --json "$repo_root/BENCH_sparc_interp.json" \
+    --git-sha "$git_sha"
+
+echo "== bench_fig11"
+"$build_dir/bench/bench_fig11"
+
+echo "== summary: BENCH_sparc_interp.json"
+cat "$repo_root/BENCH_sparc_interp.json"

@@ -1,9 +1,16 @@
 #!/usr/bin/env sh
-# Verify the parallel sweep runner is deterministic: run bench_fig11
-# serially (--jobs 1) and in parallel (--jobs N), then require every
-# emitted CSV to be byte-for-byte identical. A cached trace is shared
-# between the two runs, so any difference is a scheduling bug in
-# ParallelSweep, not workload noise.
+# Verify two independence properties of the bench pipeline:
+#
+#  1. The parallel sweep runner is deterministic: run bench_fig11
+#     serially (--jobs 1) and in parallel (--jobs N), then require
+#     every emitted CSV to be byte-for-byte identical. A cached trace
+#     is shared between the two runs, so any difference is a
+#     scheduling bug in ParallelSweep, not workload noise.
+#
+#  2. The predecoded block interpreter is architecturally invisible:
+#     run bench_table2 with CRW_SPARC_BLOCK_CACHE=1 and =0 and require
+#     byte-identical CSVs. The block cache may only change host wall
+#     time, never a simulated result.
 #
 # Usage: scripts/check_determinism.sh [build-dir] [jobs]
 #   build-dir  CMake build tree containing bench/ (default: build)
@@ -66,9 +73,54 @@ if ! cmp -s "$workdir/serial/stdout.txt" \
     status=1
 fi
 
+# Part 2: the block cache must be architecturally invisible. Every
+# bench_table2 number comes from the instruction-level core, so a
+# single divergent cycle or trap count changes a CSV byte.
+table2="$build_dir/bench/bench_table2"
+if [ ! -x "$table2" ]; then
+    echo "error: $table2 not found or not executable." >&2
+    exit 2
+fi
+table2_abs=$(cd "$(dirname "$table2")" && pwd)/$(basename "$table2")
+
+run_table2() {
+    # $1: subdir, $2: CRW_SPARC_BLOCK_CACHE value
+    mkdir -p "$workdir/$1"
+    (cd "$workdir/$1" &&
+     CRW_SPARC_BLOCK_CACHE="$2" "$table2_abs" > stdout.txt)
+}
+
+echo "== bench_table2 CRW_SPARC_BLOCK_CACHE=0"
+run_table2 cache_off 0
+echo "== bench_table2 CRW_SPARC_BLOCK_CACHE=1"
+run_table2 cache_on 1
+
+found=0
+for off_csv in "$workdir"/cache_off/bench_out/*.csv; do
+    [ -e "$off_csv" ] || break
+    found=1
+    name=$(basename "$off_csv")
+    on_csv="$workdir/cache_on/bench_out/$name"
+    if cmp -s "$off_csv" "$on_csv"; then
+        echo "  ok   $name"
+    else
+        echo "  FAIL $name differs with the block cache on vs off"
+        status=1
+    fi
+done
+if [ "$found" -eq 0 ]; then
+    echo "error: the cache-off run produced no CSVs" >&2
+    exit 2
+fi
+if ! cmp -s "$workdir/cache_off/stdout.txt" \
+            "$workdir/cache_on/stdout.txt"; then
+    echo "  FAIL stdout differs with the block cache on vs off"
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
     echo "determinism check passed: identical output at --jobs 1 and" \
-         "--jobs $jobs"
+         "--jobs $jobs, and with the block cache on and off"
 else
     echo "determinism check FAILED" >&2
 fi

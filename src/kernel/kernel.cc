@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "sparc/regfile.h"
 
 namespace crw {
 namespace kernel {
@@ -17,9 +18,7 @@ prologue(int num_windows)
     os << "    .set NWIN, " << num_windows << "\n"
        << "    .set NWIN_M1, " << (num_windows - 1) << "\n"
        << "    .set WMASK, "
-       << (num_windows >= 32 ? 0xFFFFFFFFull
-                             : ((1ull << num_windows) - 1))
-       << "\n"
+       << sparc::RegFile::windowMask(num_windows) << "\n"
        << "    .set TCB_PSR, " << kTcbPsr << "\n"
        << "    .set TCB_RESUME, " << kTcbResume << "\n"
        << "    .set TCB_MASK, " << kTcbMask << "\n"

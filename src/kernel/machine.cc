@@ -29,8 +29,7 @@ Machine::Machine(KernelFlavor flavor, int num_windows,
     } else {
         // Resident mask in %g7, WIM = ~mask, everything else free.
         const Word mask = 1u;
-        const Word all =
-            num_windows >= 32 ? ~0u : ((1u << num_windows) - 1);
+        const Word all = RegFile::windowMask(num_windows);
         cpu.regFile().set(0, 7, mask);
         cpu.setWim(~mask);
         mem.writeWord(kScratchBase + 152, all & ~mask);

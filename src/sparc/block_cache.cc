@@ -1,0 +1,157 @@
+#include "sparc/block_cache.h"
+
+#include <algorithm>
+
+#include "sparc/isa.h"
+
+namespace crw {
+namespace sparc {
+
+namespace {
+
+/** Block enders that have a delay slot worth predecoding. The
+ *  Illegal* kinds end blocks too but trap before any slot runs. */
+bool
+wantsSlot(ExecKind k)
+{
+    switch (k) {
+      case ExecKind::Bicc:
+      case ExecKind::Call:
+      case ExecKind::Jmpl:
+      case ExecKind::Rett:
+      case ExecKind::Ticc: // not delayed, but continues sequentially
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+const DecodedBlock *
+BlockCache::lookupSlow(Word pc, const Memory &mem)
+{
+    auto it = blocks_.find(pc);
+    if (it == blocks_.end())
+        return nullptr;
+    if (!validate(it->second, mem)) {
+        if (direct_[directIndex(pc)] == &it->second)
+            direct_[directIndex(pc)] = nullptr;
+        blocks_.erase(it);
+        ++invalidations_;
+        return nullptr;
+    }
+    direct_[directIndex(pc)] = &it->second;
+    return &it->second;
+}
+
+const DecodedBlock *
+BlockCache::fill(Word pc, const Memory &mem)
+{
+    if ((pc & 3) || !mem.inBounds(pc, 4))
+        return nullptr;
+    if (blocks_.size() >= kMaxBlocks)
+        flush();
+
+    DecodedBlock b;
+    b.startPc = pc;
+    b.insns.reserve(8);
+    Word lo = pc;
+    Word hi = pc;
+    Word p = pc;
+
+    // Record the page a word is decoded from; false when the fixed
+    // stamp capacity is exhausted (the trace then ends early).
+    auto stamp = [&b, &mem](Word addr) {
+        const auto page =
+            static_cast<std::uint32_t>(addr >> Memory::kPageShift);
+        for (std::uint32_t i = 0; i < b.numStamps; ++i)
+            if (b.stamps[i].page == page)
+                return true;
+        if (b.numStamps == b.stamps.size())
+            return false;
+        b.stamps[b.numStamps++] = {page, mem.pageGen(page)};
+        return true;
+    };
+
+    while (b.insns.size() < kMaxBlockInsns && mem.inBounds(p, 4)) {
+        if (!stamp(p))
+            break;
+        DecodedInsn d = decodeInsn(mem.readWord(p));
+        d.cost = static_cast<std::uint32_t>(baseCost(d.kind, cost_));
+        b.insns.push_back(d);
+        const Word ip = p; // this instruction's address
+        p += 4;
+        if (p < ip) // address wrap
+            break;
+        lo = std::min(lo, ip);
+        hi = std::max(hi, p);
+        if (!endsBlock(d.kind))
+            continue;
+
+        // Predecode the CTI's delay slot. The slot may itself be a
+        // CTI (a DCTI couple, e.g. the handlers' jmpl/rett return):
+        // the executor's uniform PC/nPC advance reproduces the
+        // legacy couple semantics entry by entry.
+        if (!wantsSlot(d.kind) || !mem.inBounds(p, 4) ||
+            b.insns.size() >= kMaxBlockInsns || !stamp(p))
+            break;
+        DecodedInsn s = decodeInsn(mem.readWord(p));
+        s.cost = static_cast<std::uint32_t>(baseCost(s.kind, cost_));
+        b.insns.push_back(s);
+        p += 4;
+        if (p < ip)
+            break;
+        hi = std::max(hi, p);
+
+        // A dynamic target (register-indirect jmpl, rett) can't be
+        // followed at fill time, and there is no fall-through either:
+        // the trace ends here.
+        if (d.kind == ExecKind::Jmpl || d.kind == ExecKind::Rett)
+            break;
+
+        // call and ba transfer unconditionally to a pc-relative
+        // target known now: mark the CTI entry linked and keep
+        // decoding at the target — the executor is guaranteed to
+        // follow (an annulled ba,a slot consumes one predecoded
+        // entry either way). A *backward* conditional branch is a
+        // loop edge, taken far more often than not, so it is linked
+        // the same way (BTFN static prediction); the executor exits
+        // after the slot on the unpredicted outcome.
+        const bool predictTaken =
+            d.kind == ExecKind::Call ||
+            (d.kind == ExecKind::Bicc &&
+             (d.cond == static_cast<std::uint8_t>(Cond::A) ||
+              (d.cond != static_cast<std::uint8_t>(Cond::N) &&
+               static_cast<std::int32_t>(d.imm) < 0)));
+        if (predictTaken) {
+            const Word target = ip + d.imm;
+            if ((target & 3) || !mem.inBounds(target, 4))
+                break;
+            b.insns[b.insns.size() - 2].linked = true;
+            p = target;
+        }
+        // Forward conditional bicc / ticc: predict not-taken and
+        // keep decoding the fall-through (p already points there).
+        // When the transfer *is* taken, the executor leaves the
+        // trace right after the delay slot.
+    }
+    b.coverLo = lo;
+    b.endPc = hi;
+
+    auto result = blocks_.insert_or_assign(pc, std::move(b));
+    const DecodedBlock *node = &result.first->second;
+    direct_[directIndex(pc)] = node;
+    return node;
+}
+
+void
+BlockCache::flush()
+{
+    blocks_.clear();
+    direct_.fill(nullptr);
+    ++flushes_;
+}
+
+} // namespace sparc
+} // namespace crw

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * A cache of predecoded instruction traces ("blocks").
+ *
+ * A block starts at its key PC and extends through consecutive
+ * fetchable words until the first control-transfer / trap-guaranteed
+ * instruction (decode.h endsBlock()) or the size cap. A CTI's delay
+ * slot is predecoded into the block too — even when the slot is
+ * itself a CTI (a DCTI couple, e.g. the kernel handlers' jmpl/rett
+ * return): the executor's uniform PC/nPC advance reproduces the
+ * couple's legacy npc chain entry by entry — so taken transfers
+ * never leave the fast path. For *unconditional*
+ * pc-relative transfers — call and ba — decoding then continues at
+ * the transfer target (the CTI entry is marked linked), because the
+ * executor is guaranteed to go there: a block is really a trace that
+ * can span whole call chains (deep recursion predecodes many frames
+ * into one trace). Conditional branches are predicted BTFN (backward
+ * taken — a loop edge — decoding continues at the target; forward
+ * not-taken — decoding continues on the fall-through), and ticc is
+ * predicted not-trapping; the executor leaves the trace right after
+ * the delay slot whenever the unpredicted outcome happens. Only
+ * dynamic targets (jmpl/rett), guaranteed traps, and the size cap
+ * end a trace. Per-instruction cycle costs
+ * are pre-resolved against the
+ * owning CPU's CycleModel at fill time, so block dispatch never
+ * consults the cost table.
+ *
+ * Invalidation is lazy and exact: a block records the write
+ * generation (Memory::pageGen) of every page it covers; lookup()
+ * re-validates the stamps and evicts the block if any covered page
+ * has been written since — by a CPU store, by the assembler loader,
+ * or by a host poke. The CPU additionally aborts the *currently
+ * executing* block when one of its own stores lands inside its
+ * covered byte range, so same-block self-modifying code is re-decoded
+ * before the patched word is reached.
+ */
+
+#ifndef CRW_SPARC_BLOCK_CACHE_H_
+#define CRW_SPARC_BLOCK_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sparc/cycles.h"
+#include "sparc/decode.h"
+#include "sparc/memory.h"
+
+namespace crw {
+namespace sparc {
+
+/** One predecoded trace. */
+struct DecodedBlock
+{
+    Word startPc = 0; ///< entry PC (the cache key)
+    /**
+     * Bounding box of every byte the trace decoded from. A trace
+     * that follows a call/ba can cover disjoint ranges; the box is a
+     * conservative superset used for the in-flight store-clash check
+     * (a false hit only costs an early re-dispatch).
+     */
+    Word coverLo = 0;
+    Word endPc = 0; ///< first byte past the highest decoded word
+    std::vector<DecodedInsn> insns;
+
+    /** Write-generation stamp of one covered page at fill time. */
+    struct PageStamp
+    {
+        std::uint32_t page;
+        std::uint32_t gen;
+    };
+    /**
+     * Covered-page stamps, inline so validation never chases a heap
+     * pointer. Pages are deduplicated (recursive traces revisit the
+     * same code pages); a trace that would need more than the fixed
+     * capacity simply ends early.
+     */
+    std::array<PageStamp, 8> stamps{};
+    std::uint32_t numStamps = 0;
+
+    /** Does a write of @p len bytes at @p addr overlap this trace? */
+    bool
+    covers(Addr addr, std::size_t len) const
+    {
+        return addr < endPc &&
+               static_cast<std::size_t>(addr) + len > coverLo;
+    }
+};
+
+/** PC-keyed cache of DecodedBlocks with generation validation. */
+class BlockCache
+{
+  public:
+    /** Longest trace predecoded into one block. */
+    static constexpr std::size_t kMaxBlockInsns = 128;
+    /** Whole-cache flush threshold (runaway SMC safety valve). */
+    static constexpr std::size_t kMaxBlocks = 4096;
+
+    explicit BlockCache(const CycleModel &cost)
+        : cost_(cost)
+    {}
+
+    /**
+     * The still-valid cached block starting at @p pc, or nullptr.
+     * A block whose page stamps no longer match @p mem is evicted
+     * (counted as an invalidation) and reported as a miss. Inline:
+     * this runs once per dispatched block, and blocks average only a
+     * handful of instructions.
+     */
+    const DecodedBlock *
+    lookup(Word pc, const Memory &mem)
+    {
+        const DecodedBlock *fast = direct_[directIndex(pc)];
+        if (fast && fast->startPc == pc && validate(*fast, mem))
+            return fast;
+        return lookupSlow(pc, mem);
+    }
+
+    /**
+     * Predecode and cache the block at @p pc. Returns nullptr when
+     * not even one instruction is fetchable (misaligned PC or out of
+     * bounds) — the caller falls back to the stepping path, which
+     * raises the architectural fetch trap.
+     */
+    const DecodedBlock *fill(Word pc, const Memory &mem);
+
+    /** Drop every cached block. */
+    void flush();
+
+    std::size_t blockCount() const { return blocks_.size(); }
+    std::uint64_t invalidations() const { return invalidations_; }
+    std::uint64_t flushes() const { return flushes_; }
+
+  private:
+    /** Direct-mapped front table size (power of two). */
+    static constexpr std::size_t kDirectSlots = 2048;
+
+    bool
+    validate(const DecodedBlock &b, const Memory &mem) const
+    {
+        for (std::uint32_t i = 0; i < b.numStamps; ++i)
+            if (mem.pageGen(b.stamps[i].page) != b.stamps[i].gen)
+                return false;
+        return true;
+    }
+
+    /** Map probe + stale eviction behind the direct-table miss. */
+    const DecodedBlock *lookupSlow(Word pc, const Memory &mem);
+
+    static std::size_t
+    directIndex(Word pc)
+    {
+        return (pc >> 2) & (kDirectSlots - 1);
+    }
+
+    CycleModel cost_;
+    std::unordered_map<Word, DecodedBlock> blocks_;
+    /**
+     * PC-indexed fast path in front of the map; entries point at map
+     * nodes (stable: unordered_map never moves elements). Cleared on
+     * eviction and flush.
+     */
+    std::array<const DecodedBlock *, kDirectSlots> direct_{};
+    std::uint64_t invalidations_ = 0;
+    std::uint64_t flushes_ = 0;
+};
+
+} // namespace sparc
+} // namespace crw
+
+#endif // CRW_SPARC_BLOCK_CACHE_H_

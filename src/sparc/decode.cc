@@ -1,0 +1,350 @@
+#include "sparc/decode.h"
+
+#include "sparc/isa.h"
+
+namespace crw {
+namespace sparc {
+
+namespace {
+
+ExecKind
+arithKind(std::uint32_t op3)
+{
+    switch (static_cast<Op3A>(op3)) {
+      case Op3A::Add:     return ExecKind::Add;
+      case Op3A::AddCc:   return ExecKind::AddCc;
+      case Op3A::Sub:     return ExecKind::Sub;
+      case Op3A::SubCc:   return ExecKind::SubCc;
+      case Op3A::Addx:    return ExecKind::Addx;
+      case Op3A::AddxCc:  return ExecKind::AddxCc;
+      case Op3A::Subx:    return ExecKind::Subx;
+      case Op3A::SubxCc:  return ExecKind::SubxCc;
+      case Op3A::And:     return ExecKind::And;
+      case Op3A::Or:      return ExecKind::Or;
+      case Op3A::Xor:     return ExecKind::Xor;
+      case Op3A::Andn:    return ExecKind::Andn;
+      case Op3A::Orn:     return ExecKind::Orn;
+      case Op3A::Xnor:    return ExecKind::Xnor;
+      case Op3A::AndCc:   return ExecKind::AndCc;
+      case Op3A::OrCc:    return ExecKind::OrCc;
+      case Op3A::XorCc:   return ExecKind::XorCc;
+      case Op3A::AndnCc:  return ExecKind::AndnCc;
+      case Op3A::OrnCc:   return ExecKind::OrnCc;
+      case Op3A::XnorCc:  return ExecKind::XnorCc;
+      case Op3A::Sll:     return ExecKind::Sll;
+      case Op3A::Srl:     return ExecKind::Srl;
+      case Op3A::Sra:     return ExecKind::Sra;
+      case Op3A::Umul:    return ExecKind::Umul;
+      case Op3A::UmulCc:  return ExecKind::UmulCc;
+      case Op3A::Smul:    return ExecKind::Smul;
+      case Op3A::SmulCc:  return ExecKind::SmulCc;
+      case Op3A::Udiv:    return ExecKind::Udiv;
+      case Op3A::Sdiv:    return ExecKind::Sdiv;
+      case Op3A::RdY:     return ExecKind::RdY;
+      case Op3A::RdPsr:   return ExecKind::RdPsr;
+      case Op3A::RdWim:   return ExecKind::RdWim;
+      case Op3A::RdTbr:   return ExecKind::RdTbr;
+      case Op3A::WrY:     return ExecKind::WrY;
+      case Op3A::WrPsr:   return ExecKind::WrPsr;
+      case Op3A::WrWim:   return ExecKind::WrWim;
+      case Op3A::WrTbr:   return ExecKind::WrTbr;
+      case Op3A::Jmpl:    return ExecKind::Jmpl;
+      case Op3A::Rett:    return ExecKind::Rett;
+      case Op3A::Ticc:    return ExecKind::Ticc;
+      case Op3A::Save:    return ExecKind::Save;
+      case Op3A::Restore: return ExecKind::Restore;
+    }
+    return ExecKind::IllegalArith;
+}
+
+ExecKind
+memKind(std::uint32_t op3)
+{
+    switch (static_cast<Op3M>(op3)) {
+      case Op3M::Ld:   return ExecKind::Ld;
+      case Op3M::Ldub: return ExecKind::Ldub;
+      case Op3M::Ldsb: return ExecKind::Ldsb;
+      case Op3M::Lduh: return ExecKind::Lduh;
+      case Op3M::Ldsh: return ExecKind::Ldsh;
+      case Op3M::Ldd:  return ExecKind::Ldd;
+      case Op3M::St:   return ExecKind::St;
+      case Op3M::Stb:  return ExecKind::Stb;
+      case Op3M::Sth:  return ExecKind::Sth;
+      case Op3M::Std:  return ExecKind::Std;
+    }
+    return ExecKind::IllegalMem;
+}
+
+} // namespace
+
+DecodedInsn
+decodeInsn(Word raw)
+{
+    DecodedInsn d;
+    d.rd = static_cast<std::uint8_t>(rdOf(raw));
+    d.rs1 = static_cast<std::uint8_t>(rs1Of(raw));
+    d.rs2 = static_cast<std::uint8_t>(rs2Of(raw));
+    d.cond = static_cast<std::uint8_t>(condOf(raw));
+    d.useImm = iBitOf(raw);
+    d.annul = annulOf(raw);
+    d.imm = static_cast<Word>(simm13Of(raw));
+
+    switch (opOf(raw)) {
+      case Op::Branch:
+        switch (op2Of(raw)) {
+          case static_cast<std::uint32_t>(Op2::Sethi):
+            d.kind = ExecKind::Sethi;
+            d.imm = imm22Of(raw) << 10;
+            break;
+          case static_cast<std::uint32_t>(Op2::Bicc):
+            d.kind = ExecKind::Bicc;
+            d.imm = static_cast<Word>(disp22Of(raw)) << 2;
+            break;
+          default:
+            d.kind = ExecKind::IllegalOp2;
+            break;
+        }
+        break;
+      case Op::Call:
+        d.kind = ExecKind::Call;
+        d.imm = static_cast<Word>(disp30Of(raw)) << 2;
+        break;
+      case Op::Arith:
+        d.kind = arithKind(op3Of(raw));
+        break;
+      case Op::Mem:
+        d.kind = memKind(op3Of(raw));
+        break;
+    }
+    d.simple = isSimple(d.kind);
+    d.mem = isMem(d.kind);
+    return d;
+}
+
+bool
+isSimple(ExecKind k)
+{
+    switch (k) {
+      case ExecKind::Sethi:
+      case ExecKind::Add:
+      case ExecKind::AddCc:
+      case ExecKind::Sub:
+      case ExecKind::SubCc:
+      case ExecKind::Addx:
+      case ExecKind::AddxCc:
+      case ExecKind::Subx:
+      case ExecKind::SubxCc:
+      case ExecKind::And:
+      case ExecKind::Or:
+      case ExecKind::Xor:
+      case ExecKind::Andn:
+      case ExecKind::Orn:
+      case ExecKind::Xnor:
+      case ExecKind::AndCc:
+      case ExecKind::OrCc:
+      case ExecKind::XorCc:
+      case ExecKind::AndnCc:
+      case ExecKind::OrnCc:
+      case ExecKind::XnorCc:
+      case ExecKind::Sll:
+      case ExecKind::Srl:
+      case ExecKind::Sra:
+      case ExecKind::Umul:
+      case ExecKind::UmulCc:
+      case ExecKind::Smul:
+      case ExecKind::SmulCc:
+      case ExecKind::RdY:
+      case ExecKind::WrY:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMem(ExecKind k)
+{
+    switch (k) {
+      case ExecKind::Ld:
+      case ExecKind::Ldub:
+      case ExecKind::Ldsb:
+      case ExecKind::Lduh:
+      case ExecKind::Ldsh:
+      case ExecKind::Ldd:
+      case ExecKind::St:
+      case ExecKind::Stb:
+      case ExecKind::Sth:
+      case ExecKind::Std:
+      case ExecKind::IllegalMem:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+endsBlock(ExecKind k)
+{
+    switch (k) {
+      case ExecKind::Bicc:
+      case ExecKind::Call:
+      case ExecKind::Jmpl:
+      case ExecKind::Rett:
+      case ExecKind::Ticc:
+      case ExecKind::IllegalOp2:
+      case ExecKind::IllegalArith:
+      case ExecKind::IllegalMem:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Cycles
+baseCost(ExecKind k, const CycleModel &m)
+{
+    switch (k) {
+      case ExecKind::Sethi:
+      case ExecKind::Add:
+      case ExecKind::AddCc:
+      case ExecKind::Sub:
+      case ExecKind::SubCc:
+      case ExecKind::Addx:
+      case ExecKind::AddxCc:
+      case ExecKind::Subx:
+      case ExecKind::SubxCc:
+      case ExecKind::And:
+      case ExecKind::Or:
+      case ExecKind::Xor:
+      case ExecKind::Andn:
+      case ExecKind::Orn:
+      case ExecKind::Xnor:
+      case ExecKind::AndCc:
+      case ExecKind::OrCc:
+      case ExecKind::XorCc:
+      case ExecKind::AndnCc:
+      case ExecKind::OrnCc:
+      case ExecKind::XnorCc:
+      case ExecKind::Sll:
+      case ExecKind::Srl:
+      case ExecKind::Sra:
+      case ExecKind::Ticc:
+        return m.alu;
+      case ExecKind::Bicc:
+        return m.branch;
+      case ExecKind::Call:
+      case ExecKind::Jmpl:
+        return m.callJmpl;
+      case ExecKind::Umul:
+      case ExecKind::UmulCc:
+      case ExecKind::Smul:
+      case ExecKind::SmulCc:
+        return m.mul;
+      case ExecKind::Udiv:
+      case ExecKind::Sdiv:
+        return m.div;
+      case ExecKind::RdY:
+      case ExecKind::RdPsr:
+      case ExecKind::RdWim:
+      case ExecKind::RdTbr:
+        return m.readState;
+      case ExecKind::WrY:
+      case ExecKind::WrPsr:
+      case ExecKind::WrWim:
+      case ExecKind::WrTbr:
+        return m.writeState;
+      case ExecKind::Rett:
+        return m.rett;
+      case ExecKind::Save:
+      case ExecKind::Restore:
+        return m.saveRestore;
+      case ExecKind::Ld:
+      case ExecKind::Ldub:
+      case ExecKind::Ldsb:
+      case ExecKind::Lduh:
+      case ExecKind::Ldsh:
+        return m.load;
+      case ExecKind::Ldd:
+        return m.loadDouble;
+      case ExecKind::St:
+      case ExecKind::Stb:
+      case ExecKind::Sth:
+        return m.store;
+      case ExecKind::Std:
+        return m.storeDouble;
+      case ExecKind::IllegalOp2:
+      case ExecKind::IllegalArith:
+      case ExecKind::IllegalMem:
+        return 0; // the legacy path charges nothing before trapping
+    }
+    return 0;
+}
+
+const char *
+execKindName(ExecKind k)
+{
+    switch (k) {
+      case ExecKind::Sethi:        return "sethi";
+      case ExecKind::Bicc:         return "bicc";
+      case ExecKind::Call:         return "call";
+      case ExecKind::Add:          return "add";
+      case ExecKind::AddCc:        return "addcc";
+      case ExecKind::Sub:          return "sub";
+      case ExecKind::SubCc:        return "subcc";
+      case ExecKind::Addx:         return "addx";
+      case ExecKind::AddxCc:       return "addxcc";
+      case ExecKind::Subx:         return "subx";
+      case ExecKind::SubxCc:       return "subxcc";
+      case ExecKind::And:          return "and";
+      case ExecKind::Or:           return "or";
+      case ExecKind::Xor:          return "xor";
+      case ExecKind::Andn:         return "andn";
+      case ExecKind::Orn:          return "orn";
+      case ExecKind::Xnor:         return "xnor";
+      case ExecKind::AndCc:        return "andcc";
+      case ExecKind::OrCc:         return "orcc";
+      case ExecKind::XorCc:        return "xorcc";
+      case ExecKind::AndnCc:       return "andncc";
+      case ExecKind::OrnCc:        return "orncc";
+      case ExecKind::XnorCc:       return "xnorcc";
+      case ExecKind::Sll:          return "sll";
+      case ExecKind::Srl:          return "srl";
+      case ExecKind::Sra:          return "sra";
+      case ExecKind::Umul:         return "umul";
+      case ExecKind::UmulCc:       return "umulcc";
+      case ExecKind::Smul:         return "smul";
+      case ExecKind::SmulCc:       return "smulcc";
+      case ExecKind::Udiv:         return "udiv";
+      case ExecKind::Sdiv:         return "sdiv";
+      case ExecKind::RdY:          return "rd %y";
+      case ExecKind::RdPsr:        return "rd %psr";
+      case ExecKind::RdWim:        return "rd %wim";
+      case ExecKind::RdTbr:        return "rd %tbr";
+      case ExecKind::WrY:          return "wr %y";
+      case ExecKind::WrPsr:        return "wr %psr";
+      case ExecKind::WrWim:        return "wr %wim";
+      case ExecKind::WrTbr:        return "wr %tbr";
+      case ExecKind::Jmpl:         return "jmpl";
+      case ExecKind::Rett:         return "rett";
+      case ExecKind::Ticc:         return "ticc";
+      case ExecKind::Save:         return "save";
+      case ExecKind::Restore:      return "restore";
+      case ExecKind::Ld:           return "ld";
+      case ExecKind::Ldub:         return "ldub";
+      case ExecKind::Ldsb:         return "ldsb";
+      case ExecKind::Lduh:         return "lduh";
+      case ExecKind::Ldsh:         return "ldsh";
+      case ExecKind::Ldd:          return "ldd";
+      case ExecKind::St:           return "st";
+      case ExecKind::Stb:          return "stb";
+      case ExecKind::Sth:          return "sth";
+      case ExecKind::Std:          return "std";
+      case ExecKind::IllegalOp2:   return "illegal-op2";
+      case ExecKind::IllegalArith: return "illegal-arith";
+      case ExecKind::IllegalMem:   return "illegal-mem";
+    }
+    return "?";
+}
+
+} // namespace sparc
+} // namespace crw

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Binary -> DecodedInsn lowering for the predecoded interpreter.
+ *
+ * decodeInsn() flattens the V8 instruction formats once: every field
+ * the executors need (rd/rs1/rs2, the sign-extended immediate, the
+ * branch condition, the annul bit) is pre-extracted, and the nested
+ * op/op2/op3 switches collapse into a single ExecKind enum that the
+ * block executor dispatches on directly. The per-class cycle cost is
+ * resolved separately (baseCost) so decoded blocks can be specialized
+ * to the CPU's CycleModel at fill time.
+ *
+ * Decoding is pure: a DecodedInsn depends only on the raw word (plus
+ * the cost table), never on machine state, which is what makes cached
+ * blocks reusable across executions.
+ */
+
+#ifndef CRW_SPARC_DECODE_H_
+#define CRW_SPARC_DECODE_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "sparc/cycles.h"
+
+namespace crw {
+namespace sparc {
+
+/**
+ * What the executor must do for one instruction: one value per
+ * execute-switch case of the legacy interpreter. The Illegal* kinds
+ * reproduce the exact trap the legacy nested switches would raise
+ * (including the mem path's alignment/bounds checks running *before*
+ * the illegal-op3 trap).
+ */
+enum class ExecKind : std::uint8_t {
+    // format 2
+    Sethi,
+    Bicc,
+    // format 1
+    Call,
+    // format 3, op = 2 (arithmetic / control)
+    Add,
+    AddCc,
+    Sub,
+    SubCc,
+    Addx,
+    AddxCc,
+    Subx,
+    SubxCc,
+    And,
+    Or,
+    Xor,
+    Andn,
+    Orn,
+    Xnor,
+    AndCc,
+    OrCc,
+    XorCc,
+    AndnCc,
+    OrnCc,
+    XnorCc,
+    Sll,
+    Srl,
+    Sra,
+    Umul,
+    UmulCc,
+    Smul,
+    SmulCc,
+    Udiv,
+    Sdiv,
+    RdY,
+    RdPsr,
+    RdWim,
+    RdTbr,
+    WrY,
+    WrPsr,
+    WrWim,
+    WrTbr,
+    Jmpl,
+    Rett,
+    Ticc,
+    Save,
+    Restore,
+    // format 3, op = 3 (memory)
+    Ld,
+    Ldub,
+    Ldsb,
+    Lduh,
+    Ldsh,
+    Ldd,
+    St,
+    Stb,
+    Sth,
+    Std,
+    // guaranteed traps
+    IllegalOp2,   ///< unknown op2 (incl. unimp)
+    IllegalArith, ///< unknown arith op3
+    IllegalMem,   ///< unknown mem op3 (align/bounds still checked)
+};
+
+/**
+ * One pre-decoded instruction. @c imm holds the operand the kind
+ * needs: the sign-extended simm13 for format-3 immediates, the
+ * already-shifted imm22 for sethi, and the *byte* displacement for
+ * bicc/call (target = pc + imm, so the value is position-independent
+ * and blocks stay cacheable).
+ */
+struct DecodedInsn
+{
+    Word imm = 0;
+    std::uint32_t cost = 0; ///< base cycle cost (see baseCost())
+    ExecKind kind = ExecKind::IllegalOp2;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::uint8_t cond = 0;
+    bool useImm = false;
+    bool annul = false;
+    bool simple = false; ///< see isSimple()
+    bool mem = false;    ///< see isMem()
+    /**
+     * Fill-time trace-linking mark on a CTI entry: the entries after
+     * this CTI's delay slot were decoded at its (unconditional,
+     * pc-relative) transfer target, so the executor keeps walking the
+     * trace across the transfer. On an unmarked CTI the entries after
+     * the slot are the fall-through path and a *taken* transfer must
+     * leave the trace after the slot.
+     */
+    bool linked = false;
+};
+
+/**
+ * True for kinds that can never trap, transfer control, touch
+ * memory, or change CWP: plain ALU/shift/mul ops, sethi, and the
+ * unprivileged %y accesses. The block executor runs these on a fast
+ * lane with no per-instruction trap/transfer/clash bookkeeping.
+ */
+bool isSimple(ExecKind k);
+
+/**
+ * True for the memory kinds (the loads, the stores, and IllegalMem).
+ * They can trap
+ * and stores can clash with the dispatching block, but they never
+ * transfer control, annul, or change CWP, so the block executor runs
+ * them on a lane without the CTI scratch state.
+ */
+bool isMem(ExecKind k);
+
+/** Lower one raw word. Pure; does not fill @c cost. */
+DecodedInsn decodeInsn(Word raw);
+
+/**
+ * True if @p k must terminate a predecoded straight-line block: CTIs
+ * (bicc/call/jmpl/rett), ticc (hypercalls / conditional traps), and
+ * the guaranteed-illegal kinds.
+ */
+bool endsBlock(ExecKind k);
+
+/**
+ * The cycle cost the legacy interpreter charges at the top of the
+ * matching execute case (0 for kinds that only charge on their trap
+ * path). Variable extras — taken-branch penalty, trap entry — are
+ * still charged at execute time.
+ */
+Cycles baseCost(ExecKind k, const CycleModel &m);
+
+/** Mnemonic-ish name for diagnostics and tests. */
+const char *execKindName(ExecKind k);
+
+} // namespace sparc
+} // namespace crw
+
+#endif // CRW_SPARC_DECODE_H_

@@ -8,41 +8,12 @@ namespace crw {
 namespace sparc {
 
 Memory::Memory(std::size_t size_bytes)
-    : bytes_(size_bytes)
+    : bytes_(size_bytes),
+      pageGen_((size_bytes + (std::size_t{1} << kPageShift) - 1) >>
+                   kPageShift,
+               0)
 {
     crw_assert(size_bytes >= 4096);
-}
-
-std::uint16_t
-Memory::readHalf(Addr addr) const
-{
-    return static_cast<std::uint16_t>((bytes_[addr] << 8) |
-                                      bytes_[addr + 1]);
-}
-
-void
-Memory::writeHalf(Addr addr, std::uint16_t v)
-{
-    bytes_[addr] = static_cast<std::uint8_t>(v >> 8);
-    bytes_[addr + 1] = static_cast<std::uint8_t>(v);
-}
-
-std::uint32_t
-Memory::readWord(Addr addr) const
-{
-    return (static_cast<std::uint32_t>(bytes_[addr]) << 24) |
-           (static_cast<std::uint32_t>(bytes_[addr + 1]) << 16) |
-           (static_cast<std::uint32_t>(bytes_[addr + 2]) << 8) |
-           static_cast<std::uint32_t>(bytes_[addr + 3]);
-}
-
-void
-Memory::writeWord(Addr addr, std::uint32_t v)
-{
-    bytes_[addr] = static_cast<std::uint8_t>(v >> 24);
-    bytes_[addr + 1] = static_cast<std::uint8_t>(v >> 16);
-    bytes_[addr + 2] = static_cast<std::uint8_t>(v >> 8);
-    bytes_[addr + 3] = static_cast<std::uint8_t>(v);
 }
 
 void
@@ -51,12 +22,14 @@ Memory::loadBlock(Addr addr, const void *data, std::size_t len)
     if (!inBounds(addr, len))
         crw_fatal << "program image does not fit memory: addr=" << addr
                   << " len=" << len;
+    touchRange(addr, len);
     std::memcpy(bytes_.data() + addr, data, len);
 }
 
 void
 Memory::clear()
 {
+    touchRange(0, bytes_.size());
     std::fill(bytes_.begin(), bytes_.end(), 0);
 }
 

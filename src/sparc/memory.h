@@ -19,10 +19,19 @@ namespace sparc {
  * A flat, zero-based big-endian memory (SPARC is big-endian). Accesses
  * outside the configured size or with bad alignment are reported to
  * the caller (the CPU turns them into traps).
+ *
+ * Every write — CPU store, program load, host poke — bumps a per-page
+ * generation counter. The block cache (block_cache.h) stamps the
+ * generations of the pages a predecoded block covers and re-validates
+ * them on dispatch, so code modified by any route is lazily
+ * re-decoded instead of executed stale.
  */
 class Memory
 {
   public:
+    /** log2 of the generation-tracking page size (256 bytes). */
+    static constexpr int kPageShift = 8;
+
     explicit Memory(std::size_t size_bytes = 1 << 20);
 
     std::size_t size() const { return bytes_.size(); }
@@ -34,12 +43,38 @@ class Memory
 
     // Unchecked fast accessors; the CPU validates first.
     std::uint8_t readByte(Addr addr) const { return bytes_[addr]; }
-    void writeByte(Addr addr, std::uint8_t v) { bytes_[addr] = v; }
+    void writeByte(Addr addr, std::uint8_t v)
+    {
+        touch(addr);
+        bytes_[addr] = v;
+    }
 
-    std::uint16_t readHalf(Addr addr) const;
-    void writeHalf(Addr addr, std::uint16_t v);
-    std::uint32_t readWord(Addr addr) const;
-    void writeWord(Addr addr, std::uint32_t v);
+    std::uint16_t readHalf(Addr addr) const
+    {
+        return static_cast<std::uint16_t>((bytes_[addr] << 8) |
+                                          bytes_[addr + 1]);
+    }
+    void writeHalf(Addr addr, std::uint16_t v)
+    {
+        touchRange(addr, 2);
+        bytes_[addr] = static_cast<std::uint8_t>(v >> 8);
+        bytes_[addr + 1] = static_cast<std::uint8_t>(v);
+    }
+    std::uint32_t readWord(Addr addr) const
+    {
+        return (static_cast<std::uint32_t>(bytes_[addr]) << 24) |
+               (static_cast<std::uint32_t>(bytes_[addr + 1]) << 16) |
+               (static_cast<std::uint32_t>(bytes_[addr + 2]) << 8) |
+               static_cast<std::uint32_t>(bytes_[addr + 3]);
+    }
+    void writeWord(Addr addr, std::uint32_t v)
+    {
+        touchRange(addr, 4);
+        bytes_[addr] = static_cast<std::uint8_t>(v >> 24);
+        bytes_[addr + 1] = static_cast<std::uint8_t>(v >> 16);
+        bytes_[addr + 2] = static_cast<std::uint8_t>(v >> 8);
+        bytes_[addr + 3] = static_cast<std::uint8_t>(v);
+    }
 
     /** Bulk load (program images). */
     void loadBlock(Addr addr, const void *data, std::size_t len);
@@ -47,8 +82,33 @@ class Memory
     /** Convenience for tests: zero everything. */
     void clear();
 
+    /** Write generation of the page containing @p addr. */
+    std::uint32_t pageGenAt(Addr addr) const
+    {
+        return pageGen_[addr >> kPageShift];
+    }
+
+    std::uint32_t pageGen(std::size_t page) const
+    {
+        return pageGen_[page];
+    }
+
+    std::size_t numPages() const { return pageGen_.size(); }
+
   private:
+    void touch(Addr addr) { ++pageGen_[addr >> kPageShift]; }
+    void touchRange(Addr addr, std::size_t len)
+    {
+        if (len == 0)
+            return;
+        const std::size_t first = addr >> kPageShift;
+        const std::size_t last = (addr + len - 1) >> kPageShift;
+        for (std::size_t p = first; p <= last; ++p)
+            ++pageGen_[p];
+    }
+
     std::vector<std::uint8_t> bytes_;
+    std::vector<std::uint32_t> pageGen_;
 };
 
 } // namespace sparc

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Unit tests for the predecoder and the basic-block cache: field
+ * extraction, block boundaries, cached dispatch, self-modifying-code
+ * invalidation (same-block and cross-block), and watchpoints forcing
+ * the stepping path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "sparc/block_cache.h"
+#include "sparc/cpu.h"
+#include "sparc/decode.h"
+#include "sparc/isa.h"
+#include "tests/sparc/sparc_test_util.h"
+
+namespace crw {
+namespace sparc {
+namespace {
+
+TEST(Decode, ArithFields)
+{
+    const DecodedInsn d =
+        decodeInsn(encodeArithImm(Op3A::Add, 9, 10, -5));
+    EXPECT_EQ(d.kind, ExecKind::Add);
+    EXPECT_EQ(d.rd, 9);
+    EXPECT_EQ(d.rs1, 10);
+    EXPECT_TRUE(d.useImm);
+    EXPECT_EQ(d.imm, static_cast<Word>(-5));
+
+    const DecodedInsn r =
+        decodeInsn(encodeArithReg(Op3A::Subx, 1, 2, 3));
+    EXPECT_EQ(r.kind, ExecKind::Subx);
+    EXPECT_FALSE(r.useImm);
+    EXPECT_EQ(r.rs2, 3);
+}
+
+TEST(Decode, SethiImmediatePreshifted)
+{
+    const DecodedInsn d = decodeInsn(encodeSethi(4, 0x3FFFFF));
+    EXPECT_EQ(d.kind, ExecKind::Sethi);
+    EXPECT_EQ(d.rd, 4);
+    EXPECT_EQ(d.imm, 0x3FFFFFu << 10);
+}
+
+TEST(Decode, BranchDisplacementsAreByteOffsets)
+{
+    const DecodedInsn fwd = decodeInsn(encodeBicc(Cond::A, true, 8));
+    EXPECT_EQ(fwd.kind, ExecKind::Bicc);
+    EXPECT_TRUE(fwd.annul);
+    EXPECT_EQ(fwd.cond, static_cast<std::uint8_t>(Cond::A));
+    EXPECT_EQ(fwd.imm, 32u); // disp22 is in words
+
+    const DecodedInsn back = decodeInsn(encodeBicc(Cond::Ne, false, -2));
+    EXPECT_EQ(back.imm, static_cast<Word>(-8));
+
+    const DecodedInsn call = decodeInsn(encodeCall(100));
+    EXPECT_EQ(call.kind, ExecKind::Call);
+    EXPECT_EQ(call.imm, 400u);
+}
+
+TEST(Decode, IllegalWordsClassified)
+{
+    EXPECT_EQ(decodeInsn(0).kind, ExecKind::IllegalOp2); // unimp 0
+    // op=Arith with an undefined op3.
+    const Word bad_arith = (2u << 30) | (0x3Fu << 19);
+    EXPECT_EQ(decodeInsn(bad_arith).kind, ExecKind::IllegalArith);
+    const Word bad_mem = (3u << 30) | (0x3Fu << 19);
+    EXPECT_EQ(decodeInsn(bad_mem).kind, ExecKind::IllegalMem);
+    EXPECT_TRUE(endsBlock(ExecKind::IllegalOp2));
+}
+
+TEST(Decode, BlockEnders)
+{
+    EXPECT_TRUE(endsBlock(ExecKind::Bicc));
+    EXPECT_TRUE(endsBlock(ExecKind::Call));
+    EXPECT_TRUE(endsBlock(ExecKind::Jmpl));
+    EXPECT_TRUE(endsBlock(ExecKind::Rett));
+    EXPECT_TRUE(endsBlock(ExecKind::Ticc));
+    EXPECT_FALSE(endsBlock(ExecKind::Add));
+    EXPECT_FALSE(endsBlock(ExecKind::Save));
+    EXPECT_FALSE(endsBlock(ExecKind::Ld));
+}
+
+TEST(Decode, CostsMatchCycleModel)
+{
+    const CycleModel m;
+    EXPECT_EQ(baseCost(ExecKind::Add, m), m.alu);
+    EXPECT_EQ(baseCost(ExecKind::Ld, m), m.load);
+    EXPECT_EQ(baseCost(ExecKind::Ldd, m), m.loadDouble);
+    EXPECT_EQ(baseCost(ExecKind::Std, m), m.storeDouble);
+    EXPECT_EQ(baseCost(ExecKind::Udiv, m), m.div);
+    EXPECT_EQ(baseCost(ExecKind::Save, m), m.saveRestore);
+    EXPECT_EQ(baseCost(ExecKind::Rett, m), m.rett);
+    EXPECT_EQ(baseCost(ExecKind::IllegalArith, m), 0u);
+}
+
+TEST(BlockCache, ConditionalBranchesPredictNotTaken)
+{
+    Memory mem(1 << 16);
+    const Addr base = 0x100;
+    // add; bne +16 (forward, conditional); sub (delay slot); or
+    // (fall-through); jmpl (ends the trace); xor (its delay slot)
+    mem.writeWord(base + 0, encodeArithImm(Op3A::Add, 1, 1, 1));
+    mem.writeWord(base + 4, encodeBicc(Cond::Ne, false, 16));
+    mem.writeWord(base + 8, encodeArithImm(Op3A::Sub, 2, 2, 1));
+    mem.writeWord(base + 12, encodeArithImm(Op3A::Or, 3, 0, 7));
+    mem.writeWord(base + 16, encodeArithReg(Op3A::Jmpl, 0, 1, 0));
+    mem.writeWord(base + 20, encodeArithImm(Op3A::Xor, 4, 4, 1));
+
+    BlockCache cache((CycleModel()));
+    const DecodedBlock *b = cache.lookup(base, mem);
+    EXPECT_EQ(b, nullptr) << "empty cache must miss";
+    b = cache.fill(base, mem);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->startPc, base);
+    // The forward conditional branch does NOT end the trace: decoding
+    // predicts not-taken and continues on the fall-through (the
+    // executor bails after the delay slot when it is taken). The
+    // register-indirect jmpl does end it, after its own slot.
+    EXPECT_EQ(b->endPc, base + 24);
+    ASSERT_EQ(b->insns.size(), 6u);
+    EXPECT_EQ(b->insns[1].kind, ExecKind::Bicc);
+    EXPECT_FALSE(b->insns[1].linked)
+        << "forward conditionals are fall-through entries, not links";
+    EXPECT_EQ(b->insns[2].kind, ExecKind::Sub);
+    EXPECT_EQ(b->insns[4].kind, ExecKind::Jmpl);
+    EXPECT_EQ(b->insns[5].kind, ExecKind::Xor);
+    EXPECT_EQ(cache.blockCount(), 1u);
+    EXPECT_EQ(cache.lookup(base, mem), b);
+}
+
+TEST(BlockCache, BackwardConditionalBranchesPredictTaken)
+{
+    Memory mem(1 << 16);
+    const Addr base = 0x100;
+    // Loop: add; bne -1 (back to the add); or (delay slot). The loop
+    // edge is predicted taken (BTFN) and linked, so the body unrolls
+    // into the trace until the size cap.
+    mem.writeWord(base + 0, encodeArithImm(Op3A::Add, 1, 1, 1));
+    mem.writeWord(base + 4, encodeBicc(Cond::Ne, false, -1));
+    mem.writeWord(base + 8, encodeArithImm(Op3A::Or, 3, 0, 7));
+
+    BlockCache cache((CycleModel()));
+    const DecodedBlock *b = cache.fill(base, mem);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->insns.size(), BlockCache::kMaxBlockInsns);
+    EXPECT_EQ(b->insns[1].kind, ExecKind::Bicc);
+    EXPECT_TRUE(b->insns[1].linked)
+        << "the backward loop edge must carry the trace-link mark";
+    EXPECT_EQ(b->insns[3].kind, ExecKind::Add) << "unrolled iteration";
+}
+
+TEST(BlockCache, TracesFollowUnconditionalTransfers)
+{
+    Memory mem(1 << 16);
+    const Addr base = 0x100;
+    // add; ba +4 (to "target"); or (delay slot); <gap>; target: sub;
+    // jmpl %g1 (ends the trace); xor (its delay slot)
+    mem.writeWord(base + 0, encodeArithImm(Op3A::Add, 1, 1, 1));
+    mem.writeWord(base + 4, encodeBicc(Cond::A, false, 4));
+    mem.writeWord(base + 8, encodeArithImm(Op3A::Or, 3, 0, 7));
+    const Addr target = base + 4 + 16;
+    mem.writeWord(target + 0, encodeArithImm(Op3A::Sub, 2, 2, 1));
+    mem.writeWord(target + 4, encodeArithReg(Op3A::Jmpl, 0, 1, 0));
+    mem.writeWord(target + 8, encodeArithImm(Op3A::Xor, 4, 4, 1));
+
+    BlockCache cache((CycleModel()));
+    const DecodedBlock *b = cache.fill(base, mem);
+    ASSERT_NE(b, nullptr);
+    // The trace runs through the ba into its target: add, ba, or
+    // (slot), sub, jmpl, xor (slot) — one block, two code ranges.
+    ASSERT_EQ(b->insns.size(), 6u);
+    EXPECT_EQ(b->insns[1].kind, ExecKind::Bicc);
+    EXPECT_TRUE(b->insns[1].linked)
+        << "the followed ba must carry the trace-link mark";
+    EXPECT_EQ(b->insns[3].kind, ExecKind::Sub);
+    EXPECT_EQ(b->insns[4].kind, ExecKind::Jmpl);
+    EXPECT_EQ(b->coverLo, base);
+    EXPECT_EQ(b->endPc, target + 12);
+}
+
+TEST(BlockCache, RecursiveTraceStopsAtTheInsnCap)
+{
+    Memory mem(1 << 16);
+    const Addr base = 0x100;
+    // x: ba x; nop — an unconditional self-loop unrolls into the
+    // trace until the size cap; every revisited page is stamped once.
+    mem.writeWord(base + 0, encodeBicc(Cond::A, false, 0));
+    mem.writeWord(base + 4, encodeArithImm(Op3A::Or, 0, 0, 0));
+
+    BlockCache cache((CycleModel()));
+    const DecodedBlock *b = cache.fill(base, mem);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->insns.size(), BlockCache::kMaxBlockInsns);
+    EXPECT_EQ(b->numStamps, 1u);
+}
+
+TEST(BlockCache, WriteIntoBlockInvalidatesOnLookup)
+{
+    Memory mem(1 << 16);
+    const Addr base = 0x200;
+    mem.writeWord(base, encodeArithImm(Op3A::Add, 1, 1, 1));
+    mem.writeWord(base + 4, encodeBicc(Cond::A, false, 4));
+
+    BlockCache cache((CycleModel()));
+    ASSERT_NE(cache.fill(base, mem), nullptr);
+    ASSERT_NE(cache.lookup(base, mem), nullptr);
+
+    mem.writeWord(base, encodeArithImm(Op3A::Add, 1, 1, 2));
+    EXPECT_EQ(cache.lookup(base, mem), nullptr)
+        << "stale block must be evicted";
+    EXPECT_EQ(cache.invalidations(), 1u);
+    EXPECT_EQ(cache.blockCount(), 0u);
+}
+
+TEST(BlockCache, FillRefusesUnfetchablePc)
+{
+    Memory mem(1 << 16);
+    BlockCache cache((CycleModel()));
+    EXPECT_EQ(cache.fill(0x101, mem), nullptr); // misaligned
+    EXPECT_EQ(cache.fill(1 << 16, mem), nullptr); // out of bounds
+}
+
+TEST(CpuBlockDispatch, CountersShowCachedDispatch)
+{
+    TestMachine t("start:\n"
+                  "    mov 100, %l0\n"
+                  "loop:\n"
+                  "    subcc %l0, 1, %l0\n"
+                  "    bne loop\n"
+                  "    nop\n"
+                  "    mov 7, %o0\n"
+                  "    ta 0\n");
+    ASSERT_TRUE(t.cpu.blockCacheEnabled());
+    EXPECT_EQ(t.runToHalt(), 7u);
+    // The whole loop runs from predecoded traces. The BTFN-linked
+    // loop edge unrolls ~40 iterations into each trace, so the
+    // dispatch count is far below the iteration count.
+    EXPECT_GT(t.cpu.stats().counterValue("block.dispatch"), 0u)
+        << "the loop body must be dispatched from the cache";
+    EXPECT_GT(t.cpu.stats().counterValue("block.fill"), 0u);
+    EXPECT_GT(t.cpu.blockCacheBlockCount(), 0u);
+    t.cpu.flushBlockCache();
+    EXPECT_EQ(t.cpu.blockCacheBlockCount(), 0u);
+}
+
+TEST(CpuBlockDispatch, SameBlockSelfModifyingCode)
+{
+    // The store patches an instruction a few words ahead *inside the
+    // currently executing block*; the executor must abandon the block
+    // so the patched word (mov 22 instead of mov 11) is fetched.
+    const Word patched = encodeArithImm(Op3A::Or, 8, 0, 22); // %o0=22
+    std::ostringstream src;
+    src << "start:\n"
+           "    set "
+        << patched
+        << ", %l0\n"
+           "    set patchme, %l1\n"
+           "    st %l0, [%l1]\n"
+           "    add %g0, %g0, %g0\n" // padding: still the same block
+           "patchme:\n"
+           "    mov 11, %o0\n"
+           "    ta 0\n";
+
+    TestMachine cached(src.str());
+    EXPECT_EQ(cached.runToHalt(), 22u);
+
+    TestMachine legacy(src.str());
+    legacy.cpu.setBlockCacheEnabled(false);
+    EXPECT_EQ(legacy.runToHalt(), 22u) << "oracle disagrees";
+    EXPECT_EQ(cached.cpu.cycles(), legacy.cpu.cycles());
+    EXPECT_EQ(cached.cpu.instructions(), legacy.cpu.instructions());
+}
+
+TEST(CpuBlockDispatch, CrossBlockSelfModifyingCode)
+{
+    // First pass executes the victim block (caching it), then patches
+    // it from a different block and jumps back: the lookup must see
+    // the stale page generation and re-decode. The jumps use jmpl,
+    // not ba, because fill() traces *through* ba — the patching code
+    // would then share a trace with the victim and be caught by the
+    // in-flight store-clash abort instead of the stamp check this
+    // test pins down.
+    const Word patched = encodeArithImm(Op3A::Or, 8, 0, 22);
+    std::ostringstream src;
+    src << "start:\n"
+           "    mov 0, %g2\n"
+           "    set patchme, %l1\n"
+           "    jmpl %l1, %g0\n" // make patchme a block start (cache key)
+           "    nop\n"
+           "patchme:\n"
+           "    mov 11, %o0\n"
+           "    cmp %g2, 0\n"
+           "    bne done\n"
+           "    nop\n"
+           "    set "
+        << patched
+        << ", %l0\n"
+           "    st %l0, [%l1]\n"
+           "    mov 1, %g2\n"
+           "    jmpl %l1, %g0\n"
+           "    nop\n"
+           "done:\n"
+           "    ta 0\n";
+
+    TestMachine t(src.str());
+    EXPECT_EQ(t.runToHalt(), 22u);
+    EXPECT_GE(t.cpu.blockCacheInvalidations(), 1u);
+
+    TestMachine legacy(src.str());
+    legacy.cpu.setBlockCacheEnabled(false);
+    EXPECT_EQ(legacy.runToHalt(), 22u) << "oracle disagrees";
+    EXPECT_EQ(t.cpu.cycles(), legacy.cpu.cycles());
+}
+
+TEST(CpuBlockDispatch, WatchpointsForceSteppingAndCount)
+{
+    const char *src = "start:\n"
+                      "    set 0x9000, %l0\n"
+                      "    mov 3, %l1\n"
+                      "loop:\n"
+                      "    st %l1, [%l0]\n"
+                      "    subcc %l1, 1, %l1\n"
+                      "    bne loop\n"
+                      "    nop\n"
+                      "    ta 0\n";
+    TestMachine t(src);
+    t.cpu.addWatchpoint(0x9000);
+    EXPECT_EQ(t.cpu.watchpointCount(), 1u);
+    t.runToHalt();
+    EXPECT_EQ(t.cpu.stats().counterValue("watchpoint.hit"), 3u);
+    EXPECT_EQ(t.cpu.stats().counterValue("block.dispatch"), 0u)
+        << "watchpoints must pin execution to the stepping path";
+
+    // Byte stores overlapping the watched word count too.
+    TestMachine u("start:\n"
+                  "    set 0x9002, %l0\n"
+                  "    stb %l1, [%l0]\n"
+                  "    ta 0\n");
+    u.cpu.addWatchpoint(0x9002);
+    u.runToHalt();
+    EXPECT_EQ(u.cpu.stats().counterValue("watchpoint.hit"), 1u);
+
+    // Clearing the watchpoints re-enables block dispatch.
+    TestMachine v(src);
+    v.cpu.addWatchpoint(0x9000);
+    v.cpu.clearWatchpoints();
+    v.runToHalt();
+    EXPECT_GT(v.cpu.stats().counterValue("block.dispatch"), 0u);
+}
+
+TEST(CpuBlockDispatch, EnvVarDisablesCache)
+{
+    ::setenv("CRW_SPARC_BLOCK_CACHE", "0", 1);
+    {
+        Memory mem(1 << 16);
+        Cpu cpu(mem, 8);
+        EXPECT_FALSE(cpu.blockCacheEnabled());
+    }
+    ::setenv("CRW_SPARC_BLOCK_CACHE", "1", 1);
+    {
+        Memory mem(1 << 16);
+        Cpu cpu(mem, 8);
+        EXPECT_TRUE(cpu.blockCacheEnabled());
+    }
+    ::unsetenv("CRW_SPARC_BLOCK_CACHE");
+}
+
+TEST(CpuBlockDispatch, ToggleMidRunKeepsResults)
+{
+    TestMachine t("start:\n"
+                  "    mov 200, %l0\n"
+                  "loop:\n"
+                  "    subcc %l0, 1, %l0\n"
+                  "    bne loop\n"
+                  "    add %g1, 1, %g1\n"
+                  "    mov %g1, %o0\n"
+                  "    ta 0\n");
+    t.cpu.run(100);
+    t.cpu.setBlockCacheEnabled(false);
+    t.cpu.run(100);
+    t.cpu.setBlockCacheEnabled(true);
+    EXPECT_EQ(t.runToHalt(), 200u);
+}
+
+TEST(MemoryPages, GenerationsBumpOnEveryWriteKind)
+{
+    Memory mem(1 << 16);
+    const Addr a = 0x300;
+    const std::uint32_t g0 = mem.pageGenAt(a);
+    mem.writeByte(a, 1);
+    mem.writeHalf(a, 2);
+    mem.writeWord(a, 3);
+    EXPECT_GT(mem.pageGenAt(a), g0);
+
+    // A write spanning a page boundary bumps both pages.
+    const Addr edge = (1 << Memory::kPageShift) - 2;
+    const std::uint32_t p0 = mem.pageGenAt(edge);
+    const std::uint32_t p1 = mem.pageGenAt(edge + 2);
+    mem.writeWord(edge, 0xDEADBEEF);
+    EXPECT_GT(mem.pageGenAt(edge), p0);
+    EXPECT_GT(mem.pageGenAt(edge + 2), p1);
+}
+
+} // namespace
+} // namespace sparc
+} // namespace crw
