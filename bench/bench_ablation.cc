@@ -121,5 +121,7 @@ main(int argc, char **argv)
 {
     if (!crw::bench::benchInit(argc, argv))
         return 0;
-    return crw::bench::runAblation();
+    const int rc = crw::bench::runAblation();
+    crw::bench::benchFinish();
+    return rc;
 }

@@ -121,5 +121,7 @@ main(int argc, char **argv)
 {
     if (!crw::bench::benchInit(argc, argv))
         return 0;
-    return crw::bench::runFig11();
+    const int rc = crw::bench::runFig11();
+    crw::bench::benchFinish();
+    return rc;
 }

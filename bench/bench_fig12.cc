@@ -89,5 +89,7 @@ main(int argc, char **argv)
 {
     if (!crw::bench::benchInit(argc, argv))
         return 0;
-    return crw::bench::runFig12();
+    const int rc = crw::bench::runFig12();
+    crw::bench::benchFinish();
+    return rc;
 }

@@ -79,5 +79,7 @@ main(int argc, char **argv)
 {
     if (!crw::bench::benchInit(argc, argv))
         return 0;
-    return crw::bench::runFig13();
+    const int rc = crw::bench::runFig13();
+    crw::bench::benchFinish();
+    return rc;
 }

@@ -102,5 +102,7 @@ main(int argc, char **argv)
 {
     if (!crw::bench::benchInit(argc, argv))
         return 0;
-    return crw::bench::runFig14();
+    const int rc = crw::bench::runFig14();
+    crw::bench::benchFinish();
+    return rc;
 }

@@ -87,5 +87,7 @@ main(int argc, char **argv)
 {
     if (!crw::bench::benchInit(argc, argv))
         return 0;
-    return crw::bench::runFig15();
+    const int rc = crw::bench::runFig15();
+    crw::bench::benchFinish();
+    return rc;
 }

@@ -156,5 +156,7 @@ main(int argc, char **argv)
 {
     if (!crw::bench::benchInit(argc, argv))
         return 0;
-    return crw::bench::runMicrotrace();
+    const int rc = crw::bench::runMicrotrace();
+    crw::bench::benchFinish();
+    return rc;
 }

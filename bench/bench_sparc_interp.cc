@@ -31,6 +31,7 @@
 #include "common/flags.h"
 #include "common/logging.h"
 #include "kernel/machine.h"
+#include "obs/publish.h"
 
 namespace crw {
 namespace bench {
@@ -139,6 +140,18 @@ timedRun(const Workload &w, bool block_cache)
                    ? static_cast<double>(res.instructions) /
                          res.wall_s / 1e6
                    : 0;
+    if (obsEnabled()) {
+        // Each rep is deterministic, so per-rep counters merged by
+        // addition stay deterministic across runs and job counts.
+        obs::PointRecord rec;
+        obs::publishCpu(m.cpu, rec);
+        metrics().mergePoint(
+            "sparc/" + w.name +
+                (block_cache ? "/cached" : "/legacy"),
+            rec);
+        metrics().sample("host.run_wall_s", res.wall_s);
+        manifestNote("workloads", w.name);
+    }
     return res;
 }
 
@@ -156,8 +169,10 @@ runBench(int argc, char **argv)
                        "also write a JSON summary to this path");
     flags.defineString("git-sha", "unknown",
                        "recorded in the JSON summary");
-    if (!flags.parse(argc, argv))
+    if (!benchInit(argc, argv, flags))
         return 0;
+    if (obsEnabled() && flags.getString("git-sha") != "unknown")
+        manifestSet("git_rev", flags.getString("git-sha"));
 
     const int windows = static_cast<int>(flags.getInt("windows"));
     const int depth = static_cast<int>(flags.getInt("rsum-depth"));
@@ -262,6 +277,9 @@ runBench(int argc, char **argv)
         os << "  ]\n}\n";
         std::cout << "  json: " << json_path << "\n";
     }
+    if (obsEnabled())
+        manifestNote("windows", std::to_string(windows));
+    benchFinish();
     return ok ? 0 : 1;
 }
 

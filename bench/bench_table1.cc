@@ -160,5 +160,7 @@ main(int argc, char **argv)
 {
     if (!crw::bench::benchInit(argc, argv))
         return 0;
-    return crw::bench::runTable1();
+    const int rc = crw::bench::runTable1();
+    crw::bench::benchFinish();
+    return rc;
 }

@@ -128,5 +128,7 @@ main(int argc, char **argv)
 {
     if (!crw::bench::benchInit(argc, argv))
         return 0;
-    return crw::bench::runTable2();
+    const int rc = crw::bench::runTable2();
+    crw::bench::benchFinish();
+    return rc;
 }

@@ -1,14 +1,17 @@
 #include "bench/harness.h"
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <thread>
 #include <utility>
 
-#include "common/flags.h"
+#include "obs/publish.h"
 
 namespace crw {
 namespace bench {
@@ -17,32 +20,101 @@ namespace {
 
 int g_jobs = 0; // 0 = benchInit() not called / flag not given
 
+// Observability session (tentpole, DESIGN.md §10). Empty output
+// paths mean "off": the only cost on that path is one branch per
+// replay point.
+std::string g_metricsOut;
+std::string g_traceOut;
+std::uint64_t g_traceLimit = 50000;
+std::mutex g_manifestMu;
+obs::RunManifest g_manifest;
+std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
+std::int64_t
+hostMicros()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - g_epoch)
+        .count();
+}
+
 int
 resolveJobs(std::int64_t flag_jobs)
 {
     if (flag_jobs > 0)
         return static_cast<int>(flag_jobs);
-    if (const char *env = std::getenv("CRW_JOBS")) {
-        const int v = std::atoi(env);
-        if (v > 0)
-            return v;
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? static_cast<int>(hw) : 1;
+    const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+    return parseJobs(std::getenv("CRW_JOBS"), fallback);
 }
 
 } // namespace
+
+int
+parseJobs(const char *text, int fallback)
+{
+    if (!text)
+        return fallback;
+    errno = 0;
+    char *rest = nullptr;
+    const long v = std::strtol(text, &rest, 10);
+    if (rest == text || *rest != '\0' || errno == ERANGE || v < 1) {
+        std::cerr << "warning: invalid job count \"" << text
+                  << "\"; using " << fallback << '\n';
+        return fallback;
+    }
+    if (v > kMaxJobs) {
+        std::cerr << "warning: job count " << v << " clamped to "
+                  << kMaxJobs << '\n';
+        return kMaxJobs;
+    }
+    return static_cast<int>(v);
+}
 
 bool
 benchInit(int argc, const char *const *argv)
 {
     FlagSet flags;
+    return benchInit(argc, argv, flags);
+}
+
+bool
+benchInit(int argc, const char *const *argv, FlagSet &flags)
+{
     flags.defineInt("jobs", 0,
                     "parallel sweep workers (0 = $CRW_JOBS, else "
                     "hardware concurrency)");
+    flags.defineString("metrics-out", "",
+                       "write the metrics registry as JSON to this "
+                       "file at exit");
+    flags.defineString("trace-out", "",
+                       "write a Chrome trace-event JSON timeline to "
+                       "this file at exit");
+    flags.defineInt("trace-limit", 50000,
+                    "max recorded spans per timeline track");
     if (!flags.parse(argc, argv))
         return false;
     g_jobs = resolveJobs(flags.getInt("jobs"));
+    g_metricsOut = flags.getString("metrics-out");
+    g_traceOut = flags.getString("trace-out");
+    if (flags.getInt("trace-limit") > 0)
+        g_traceLimit =
+            static_cast<std::uint64_t>(flags.getInt("trace-limit"));
+    g_epoch = std::chrono::steady_clock::now();
+
+    if (obsEnabled()) {
+        std::string bench = argc > 0 ? argv[0] : "unknown";
+        const std::size_t slash = bench.find_last_of('/');
+        if (slash != std::string::npos)
+            bench = bench.substr(slash + 1);
+        const char *rev = std::getenv("CRW_GIT_SHA");
+        manifestSet("bench", bench);
+        manifestSet("git_rev", rev && *rev ? rev : "unknown");
+        // Host-dependent by nature; the determinism gates normalize
+        // this one manifest line (check_determinism.sh part 3).
+        manifestSet("jobs", std::to_string(g_jobs));
+    }
     return true;
 }
 
@@ -50,6 +122,67 @@ int
 sweepJobs()
 {
     return g_jobs > 0 ? g_jobs : resolveJobs(0);
+}
+
+bool
+obsEnabled()
+{
+    return !g_metricsOut.empty() || !g_traceOut.empty();
+}
+
+obs::MetricsRegistry &
+metrics()
+{
+    static obs::MetricsRegistry registry;
+    return registry;
+}
+
+obs::TraceJsonWriter &
+traceWriter()
+{
+    static obs::TraceJsonWriter writer;
+    return writer;
+}
+
+void
+manifestSet(const std::string &key, const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(g_manifestMu);
+    g_manifest.set(key, value);
+}
+
+void
+manifestNote(const std::string &key, const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(g_manifestMu);
+    g_manifest.noteValue(key, value);
+}
+
+void
+benchFinish()
+{
+    if (!obsEnabled())
+        return;
+    obs::RunManifest manifest;
+    {
+        std::lock_guard<std::mutex> lock(g_manifestMu);
+        manifest = g_manifest;
+    }
+    std::string err;
+    if (!g_metricsOut.empty()) {
+        if (metrics().writeJsonFile(g_metricsOut, manifest, &err))
+            std::cerr << "metrics written to " << g_metricsOut << '\n';
+        else
+            std::cerr << "warning: " << err << '\n';
+    }
+    if (!g_traceOut.empty()) {
+        if (traceWriter().writeFile(g_traceOut, &err))
+            std::cerr << "trace written to " << g_traceOut << " ("
+                      << traceWriter().totalSpans() << " spans, "
+                      << traceWriter().trackCount() << " tracks)\n";
+        else
+            std::cerr << "warning: " << err << '\n';
+    }
 }
 
 RunMetrics
@@ -65,12 +198,17 @@ cachedTrace(ConcurrencyLevel conc, GranularityLevel gran)
     static std::map<std::pair<int, int>, EventTrace> cache;
     const auto behavior =
         std::make_pair(static_cast<int>(conc), static_cast<int>(gran));
-    const auto hit = cache.find(behavior);
-    if (hit != cache.end())
-        return hit->second;
 
     const SpellConfig cfg = behaviorConfig(conc, gran);
     const std::string key = spellTraceKey(cfg);
+    if (obsEnabled()) {
+        manifestNote("behaviors", key);
+        manifestNote("seed", std::to_string(cfg.seed));
+    }
+
+    const auto hit = cache.find(behavior);
+    if (hit != cache.end())
+        return hit->second;
     const std::string path = outputPath(
         "traces/" + key + "-s" + std::to_string(cfg.seed) + "-c" +
         std::to_string(cfg.corpusBytes) + ".trace");
@@ -99,7 +237,35 @@ replayPoint(const EventTrace &trace, const EngineConfig &engine,
             SchedPolicy policy)
 {
     ReplayDriver driver(trace, engine, policy);
+    if (!obsEnabled()) {
+        driver.run();
+        return driver.metrics();
+    }
+
+    const std::string label =
+        trace.key + "/" + schemeName(engine.scheme) + "/w" +
+        std::to_string(engine.numWindows) + "/" + policyName(policy);
+
+    // Timeline recording is bounded to the paper's headline window
+    // count so a full sweep doesn't emit one track per point. The
+    // replay hot loop drives the tracker directly, so installing an
+    // engine observer costs nothing at the other points.
+    obs::EngineTimeline timeline(label, g_traceLimit);
+    const bool record = !g_traceOut.empty() && engine.numWindows == 8;
+    if (record)
+        driver.engine().setObserver(&timeline);
     driver.run();
+    if (record) {
+        driver.engine().setObserver(nullptr);
+        traceWriter().addTrack(timeline.take());
+    }
+
+    obs::PointRecord rec = obs::pointFromEngine(driver.engine());
+    obs::publishSchedCore(driver.core(), rec);
+    metrics().mergePoint(label, rec);
+    manifestNote("schemes", schemeName(engine.scheme));
+    manifestNote("windows", std::to_string(engine.numWindows));
+    manifestNote("policies", policyName(policy));
     return driver.metrics();
 }
 
@@ -124,20 +290,61 @@ ParallelSweep::run(std::size_t count,
 {
     const std::size_t workers =
         std::min<std::size_t>(static_cast<std::size_t>(jobs_), count);
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
+    const bool obs = obsEnabled();
+    const bool spans = obs && !g_traceOut.empty();
+
+    // One worker body shared by the inline and pooled paths. All the
+    // host-side instrumentation publishes under "host." names: wall
+    // clock valued, so excluded from the determinism contract.
+    const auto worker = [&](std::size_t w,
+                            std::atomic<std::size_t> *next) {
+        obs::SpanCollector sc("host", g_traceLimit);
+        if (spans)
+            sc.nameThread(static_cast<std::uint32_t>(w),
+                          "worker " + std::to_string(w));
+        double busy = 0.0;
+        const auto step = [&](std::size_t i) {
+            if (!obs) {
+                task(i);
+                return;
+            }
+            metrics().sample("host.queue_depth",
+                             static_cast<double>(count - i));
+            const std::int64_t t0 = hostMicros();
             task(i);
+            const std::int64_t t1 = hostMicros();
+            metrics().sample("host.point_wall_s",
+                             static_cast<double>(t1 - t0) * 1e-6);
+            busy += static_cast<double>(t1 - t0) * 1e-6;
+            if (spans) {
+                const std::string name = "point " + std::to_string(i);
+                sc.complete(static_cast<std::uint32_t>(w),
+                            name.c_str(), "host", t0, t1 - t0);
+            }
+        };
+        if (next) {
+            for (std::size_t i = next->fetch_add(1); i < count;
+                 i = next->fetch_add(1))
+                step(i);
+        } else {
+            for (std::size_t i = 0; i < count; ++i)
+                step(i);
+        }
+        if (obs)
+            metrics().sample("host.worker_busy_s", busy);
+        if (spans)
+            traceWriter().addTrack(sc.take());
+    };
+
+    if (workers <= 1) {
+        worker(0, nullptr);
         return;
     }
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w)
-        pool.emplace_back([&next, count, &task] {
-            for (std::size_t i = next.fetch_add(1); i < count;
-                 i = next.fetch_add(1))
-                task(i);
-        });
+        pool.emplace_back([&worker, w, &next] { worker(w, &next); });
     for (std::thread &t : pool)
         t.join();
 }

@@ -26,7 +26,10 @@
 #include <vector>
 
 #include "common/chart.h"
+#include "common/flags.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/trace_json.h"
 #include "spell/app.h"
 #include "spell/capture.h"
 #include "trace/behavior.h"
@@ -38,10 +41,37 @@ namespace crw {
 namespace bench {
 
 /**
- * Parse the common bench command line (--jobs, --help). Returns false
- * if the process should exit immediately (--help was printed).
+ * Parse the common bench command line (--jobs, --metrics-out,
+ * --trace-out, --trace-limit, --help). Returns false if the process
+ * should exit immediately (--help was printed).
  */
 bool benchInit(int argc, const char *const *argv);
+
+/**
+ * As above, but parsing with the caller's FlagSet so a bench can add
+ * its own flags next to the common ones (bench_sparc_interp).
+ */
+bool benchInit(int argc, const char *const *argv, FlagSet &flags);
+
+/**
+ * Write the observability outputs requested on the command line
+ * (--metrics-out / --trace-out), stamping the run manifest into each.
+ * Call once at the end of main; a no-op when neither flag was given.
+ * All notes go to stderr (stdout is byte-compared by the determinism
+ * gates).
+ */
+void benchFinish();
+
+/** Upper bound enforced on --jobs / $CRW_JOBS. */
+inline constexpr int kMaxJobs = 512;
+
+/**
+ * Strictly parse a worker count: the whole string must be a decimal
+ * integer in [1, kMaxJobs]. Returns @p fallback (warning on stderr)
+ * on anything else — unlike atoi, "8x" and "" do not silently become
+ * a number. Null @p text quietly returns @p fallback (unset env var).
+ */
+int parseJobs(const char *text, int fallback);
 
 /**
  * Worker count for ParallelSweep: the --jobs flag if given, else the
@@ -49,6 +79,21 @@ bool benchInit(int argc, const char *const *argv);
  * (always at least 1).
  */
 int sweepJobs();
+
+/** True when --metrics-out or --trace-out was given. */
+bool obsEnabled();
+
+/** The process-wide metric store (dumped by benchFinish()). */
+obs::MetricsRegistry &metrics();
+
+/** The process-wide trace collector (dumped by benchFinish()). */
+obs::TraceJsonWriter &traceWriter();
+
+/** Thread-safe run-manifest stamping (RunManifest::set). */
+void manifestSet(const std::string &key, const std::string &value);
+
+/** Thread-safe set-valued stamping (RunManifest::noteValue). */
+void manifestNote(const std::string &key, const std::string &value);
 
 /**
  * One full *live* (coroutine) spell-checker simulation — the oracle

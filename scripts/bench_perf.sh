@@ -21,6 +21,9 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 cd "$repo_root"
 
 git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+# Stamped into every --metrics-out manifest by the bench harness.
+CRW_GIT_SHA=$git_sha
+export CRW_GIT_SHA
 
 echo "== configure + build ($build_dir, Release)"
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
@@ -38,6 +41,48 @@ echo "== bench_sparc_interp (reps=$reps)"
 
 echo "== bench_fig11"
 "$build_dir/bench/bench_fig11"
+
+echo "== determinism gate (incl. observability contract)"
+"$repo_root/scripts/check_determinism.sh" "$build_dir"
+
+# Observability overhead gate: a fully instrumented bench_fig11 run
+# (--metrics-out + --trace-out) must stay within a few percent of the
+# plain run. Best-of-3 per mode to shed scheduler noise; timing in ms
+# via date +%s%N where available (falls back to whole seconds).
+now_ms() {
+    t=$(date +%s%N 2>/dev/null)
+    case "$t" in
+        *N|'') echo "$(( $(date +%s) * 1000 ))" ;;
+        *) echo "$(( t / 1000000 ))" ;;
+    esac
+}
+best_ms() {
+    # $@: command; runs it 3 times in a scratch dir, prints best ms
+    best=
+    for _i in 1 2 3; do
+        d=$(mktemp -d)
+        t0=$(now_ms)
+        (cd "$d" && "$@" > /dev/null)
+        t1=$(now_ms)
+        rm -rf "$d"
+        dt=$((t1 - t0))
+        if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then
+            best=$dt
+        fi
+    done
+    echo "$best"
+}
+echo "== observability overhead (bench_fig11, best of 3)"
+fig11_abs="$repo_root/$build_dir/bench/bench_fig11"
+[ -x "$fig11_abs" ] || fig11_abs="$build_dir/bench/bench_fig11"
+off_ms=$(best_ms "$fig11_abs")
+on_ms=$(best_ms "$fig11_abs" --metrics-out metrics.json \
+                --trace-out trace.json)
+echo "  obs off: ${off_ms} ms   obs on: ${on_ms} ms"
+if [ "$off_ms" -gt 0 ] && \
+   [ $((on_ms * 100)) -gt $((off_ms * 105)) ]; then
+    echo "  WARN observability overhead exceeds 5% of wall time" >&2
+fi
 
 echo "== summary: BENCH_sparc_interp.json"
 cat "$repo_root/BENCH_sparc_interp.json"

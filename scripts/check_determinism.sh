@@ -12,6 +12,15 @@
 #     byte-identical CSVs. The block cache may only change host wall
 #     time, never a simulated result.
 #
+#  3. The observability layer honors its determinism contract
+#     (DESIGN.md section 10): bench_fig11 --metrics-out output is
+#     byte-identical across repeated runs and across --jobs 1 vs
+#     --jobs N, once the wall-clock-valued "host" section and the
+#     "jobs" manifest line (the two documented exceptions) are
+#     stripped. And turning the flag on must not perturb the primary
+#     outputs: CSVs and stdout stay identical to the obs-off runs of
+#     part 1.
+#
 # Usage: scripts/check_determinism.sh [build-dir] [jobs]
 #   build-dir  CMake build tree containing bench/ (default: build)
 #   jobs       parallel worker count for the second run
@@ -118,9 +127,79 @@ if ! cmp -s "$workdir/cache_off/stdout.txt" \
     status=1
 fi
 
+# Part 3: the observability layer's determinism contract. Everything
+# outside the "host" JSON section must be byte-identical across
+# repeated runs and across worker counts; the "jobs" manifest field
+# legitimately records the worker count, so it is normalized before
+# comparing. The CSVs and stdout of an obs-on run must also match the
+# obs-off runs from part 1 exactly — observing a run may never change
+# its result.
+run_metrics() {
+    # $1: subdir, $2: --jobs value
+    mkdir -p "$workdir/$1"
+    (cd "$workdir/$1" &&
+     "$bench_abs" --jobs "$2" --metrics-out metrics.json > stdout.txt)
+}
+
+# The deterministic view: host section dropped (it is the last JSON
+# object, so delete from its opening line to EOF), jobs normalized.
+metrics_view() {
+    sed -e '/^  "host": {/,$d' \
+        -e 's/^    "jobs": "[0-9]*"/    "jobs": "N"/' "$1"
+}
+
+echo "== bench_fig11 --jobs 1 --metrics-out (run A)"
+run_metrics obs_a 1
+echo "== bench_fig11 --jobs 1 --metrics-out (run B)"
+run_metrics obs_b 1
+echo "== bench_fig11 --jobs $jobs --metrics-out"
+run_metrics obs_par "$jobs"
+
+for m in obs_a obs_b obs_par; do
+    if [ ! -s "$workdir/$m/metrics.json" ]; then
+        echo "error: $m produced no metrics.json" >&2
+        exit 2
+    fi
+done
+
+metrics_view "$workdir/obs_a/metrics.json" > "$workdir/a.view"
+metrics_view "$workdir/obs_b/metrics.json" > "$workdir/b.view"
+metrics_view "$workdir/obs_par/metrics.json" > "$workdir/p.view"
+
+if cmp -s "$workdir/a.view" "$workdir/b.view"; then
+    echo "  ok   metrics.json identical across repeated runs"
+else
+    echo "  FAIL metrics.json differs between two --jobs 1 runs"
+    status=1
+fi
+if cmp -s "$workdir/a.view" "$workdir/p.view"; then
+    echo "  ok   metrics.json identical at --jobs 1 and --jobs $jobs"
+else
+    echo "  FAIL metrics.json differs between --jobs 1 and --jobs $jobs"
+    status=1
+fi
+
+for serial_csv in "$workdir"/serial/bench_out/*.csv; do
+    [ -e "$serial_csv" ] || break
+    name=$(basename "$serial_csv")
+    if cmp -s "$serial_csv" "$workdir/obs_a/bench_out/$name"; then
+        echo "  ok   $name unchanged by --metrics-out"
+    else
+        echo "  FAIL $name changed when --metrics-out was given"
+        status=1
+    fi
+done
+if cmp -s "$workdir/serial/stdout.txt" "$workdir/obs_a/stdout.txt"; then
+    echo "  ok   stdout unchanged by --metrics-out"
+else
+    echo "  FAIL stdout changed when --metrics-out was given"
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
     echo "determinism check passed: identical output at --jobs 1 and" \
-         "--jobs $jobs, and with the block cache on and off"
+         "--jobs $jobs, with the block cache on and off, and with" \
+         "observability on and off"
 else
     echo "determinism check FAILED" >&2
 fi

@@ -1,0 +1,132 @@
+#include "obs/trace_json.h"
+
+#include <algorithm>
+#include <fstream>
+#include <tuple>
+
+#include "obs/metrics.h"
+
+namespace crw {
+namespace obs {
+
+void
+TraceJsonWriter::addTrack(TraceTrack track)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TraceTrack &dst = tracks_[track.process];
+    if (dst.process.empty()) {
+        dst = std::move(track);
+        return;
+    }
+    for (auto &kv : track.threads)
+        dst.threads[kv.first] = std::move(kv.second);
+    dst.spans.insert(dst.spans.end(), track.spans.begin(),
+                     track.spans.end());
+    dst.dropped += track.dropped;
+}
+
+std::size_t
+TraceJsonWriter::trackCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tracks_.size();
+}
+
+std::uint64_t
+TraceJsonWriter::totalSpans() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto &kv : tracks_)
+        n += kv.second.spans.size();
+    return n;
+}
+
+std::uint64_t
+TraceJsonWriter::totalDropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto &kv : tracks_)
+        n += kv.second.dropped;
+    return n;
+}
+
+void
+TraceJsonWriter::write(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    const auto emit = [&os, &first](const std::string &line) {
+        os << (first ? "" : ",\n") << line;
+        first = false;
+    };
+
+    // tracks_ is keyed by process name, so pids are already assigned
+    // in sorted-name order regardless of publication order.
+    int pid = 0;
+    for (const auto &kv : tracks_) {
+        ++pid;
+        const TraceTrack &t = kv.second;
+        emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+             std::to_string(pid) + ", \"tid\": 0, \"args\": {\"name\": "
+             "\"" + escapeJson(t.process) + "\"}}");
+        for (const auto &th : t.threads)
+            emit("{\"name\": \"thread_name\", \"ph\": \"M\", "
+                 "\"pid\": " + std::to_string(pid) + ", \"tid\": " +
+                 std::to_string(th.first) + ", \"args\": {\"name\": "
+                 "\"" + escapeJson(th.second) + "\"}}");
+
+        std::vector<TraceSpan> spans = t.spans;
+        std::sort(spans.begin(), spans.end(),
+                  [](const TraceSpan &a, const TraceSpan &b) {
+                      return std::tie(a.tid, a.ts, a.dur, a.name) <
+                             std::tie(b.tid, b.ts, b.dur, b.name);
+                  });
+        for (const TraceSpan &s : spans) {
+            std::string line =
+                "{\"name\": \"" + escapeJson(s.name) +
+                "\", \"cat\": \"" + escapeJson(s.cat) +
+                "\", \"pid\": " + std::to_string(pid) +
+                ", \"tid\": " + std::to_string(s.tid) +
+                ", \"ts\": " + std::to_string(s.ts);
+            if (s.dur >= 0)
+                line += ", \"ph\": \"X\", \"dur\": " +
+                        std::to_string(s.dur) + "}";
+            else
+                line += ", \"ph\": \"i\", \"s\": \"t\"}";
+            emit(line);
+        }
+        if (t.dropped > 0)
+            emit("{\"name\": \"truncated\", \"ph\": \"M\", \"pid\": " +
+                 std::to_string(pid) + ", \"tid\": 0, \"args\": "
+                 "{\"dropped_spans\": " + std::to_string(t.dropped) +
+                 "}}");
+    }
+    os << "\n]}\n";
+}
+
+bool
+TraceJsonWriter::writeFile(const std::string &path,
+                           std::string *error) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    write(os);
+    os.flush();
+    if (!os) {
+        if (error)
+            *error = "short write to " + path;
+        return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace crw

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Chrome trace-event JSON emitter (chrome://tracing / Perfetto).
+ *
+ * The software analogue of the paper's logic analyzer screenshots:
+ * per-thread timelines of save/restore/trap/switch spans in simulated
+ * cycles, plus host-time spans for the sweep worker pool. The output
+ * is the Trace Event Format "JSON object" flavor —
+ * {"traceEvents": [...]} — which both chrome://tracing and Perfetto
+ * load directly.
+ *
+ * Timestamp convention: the format's `ts`/`dur` unit is microseconds;
+ * simulated tracks map 1 cycle == 1 us (the viewer's time axis then
+ * reads directly in cycles), host tracks use real microseconds since
+ * the session started. The two never share a process, so the mixed
+ * units cannot collide on one timeline row.
+ *
+ * Determinism: processes are sorted by name and renumbered at write
+ * time, and events are sorted by (process, thread, ts, duration,
+ * name), so a file's bytes depend only on the recorded spans — not on
+ * which sweep worker happened to publish first. Host tracks are of
+ * course wall-clock valued; only the *sim* tracks are byte-stable.
+ *
+ * Bounded: each collector caps its span count (--trace-limit); spans
+ * past the cap are counted, reported in a "truncated" metadata
+ * counter, and dropped — a logic analyzer has finite memory too.
+ */
+
+#ifndef CRW_OBS_TRACE_JSON_H_
+#define CRW_OBS_TRACE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crw {
+namespace obs {
+
+/** One trace event (complete span or instant). */
+struct TraceSpan
+{
+    std::int64_t ts = 0;  ///< start, in track time units (us)
+    std::int64_t dur = 0; ///< duration; < 0 means an instant event
+    std::uint32_t tid = 0;
+    /** Short static name ("save", "ovf", "switch", "task 3"...). */
+    std::string name;
+    /** Event category ("callret", "trap", "switch", "host"...). */
+    std::string cat;
+};
+
+/** One process track: a named group of threads full of spans. */
+struct TraceTrack
+{
+    std::string process;                        ///< process_name
+    std::map<std::uint32_t, std::string> threads; ///< tid -> name
+    std::vector<TraceSpan> spans;
+    std::uint64_t dropped = 0; ///< spans lost to the cap
+};
+
+/**
+ * Collects whole tracks (each produced single-threaded by one span
+ * collector) and writes one sorted Trace Event Format file.
+ */
+class TraceJsonWriter
+{
+  public:
+    TraceJsonWriter() = default;
+
+    TraceJsonWriter(const TraceJsonWriter &) = delete;
+    TraceJsonWriter &operator=(const TraceJsonWriter &) = delete;
+
+    /**
+     * Merge one finished track. Tracks with the same process name
+     * merge their threads and spans (the host pool publishes one
+     * track per run() call).
+     */
+    void addTrack(TraceTrack track);
+
+    std::size_t trackCount() const;
+    std::uint64_t totalSpans() const;
+    std::uint64_t totalDropped() const;
+
+    /** Write the whole trace; deterministic given identical tracks. */
+    void write(std::ostream &os) const;
+
+    /** write() to @p path; false (and *error) on I/O failure. */
+    bool writeFile(const std::string &path,
+                   std::string *error = nullptr) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, TraceTrack> tracks_; ///< keyed by process
+};
+
+/**
+ * Span accumulator for one track, used single-threaded by one
+ * collector (an engine observer, a worker pool); hand the result to
+ * TraceJsonWriter::addTrack() when the run point finishes.
+ */
+class SpanCollector
+{
+  public:
+    explicit SpanCollector(std::string process,
+                           std::uint64_t max_spans = 200000)
+        : maxSpans_(max_spans)
+    {
+        track_.process = std::move(process);
+    }
+
+    void
+    nameThread(std::uint32_t tid, std::string name)
+    {
+        track_.threads[tid] = std::move(name);
+    }
+
+    void
+    complete(std::uint32_t tid, const char *name, const char *cat,
+             std::int64_t ts, std::int64_t dur)
+    {
+        if (track_.spans.size() >= maxSpans_) {
+            ++track_.dropped;
+            return;
+        }
+        track_.spans.push_back(TraceSpan{ts, dur, tid, name, cat});
+    }
+
+    void
+    instant(std::uint32_t tid, const char *name, const char *cat,
+            std::int64_t ts)
+    {
+        complete(tid, name, cat, ts, -1);
+    }
+
+    const TraceTrack &track() const { return track_; }
+
+    /** Move the track out (the collector is spent). */
+    TraceTrack take() { return std::move(track_); }
+
+  private:
+    std::uint64_t maxSpans_;
+    TraceTrack track_;
+};
+
+} // namespace obs
+} // namespace crw
+
+#endif // CRW_OBS_TRACE_JSON_H_

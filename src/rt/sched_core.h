@@ -48,7 +48,12 @@ class SchedCore
     SchedPolicy policy() const { return policy_; }
 
     /** Enqueue a newly spawned thread (always at the back). */
-    void enqueueBack(ThreadId tid) { ready_.push_back(tid); }
+    void
+    enqueueBack(ThreadId tid)
+    {
+        ready_.push_back(tid);
+        notePeak();
+    }
 
     /**
      * Enqueue an awoken thread. §4.6: under the working-set policy a
@@ -66,6 +71,7 @@ class SchedCore
             ready_.push_front(tid);
         else
             ready_.push_back(tid);
+        notePeak();
     }
 
     bool idle() const { return ready_.empty(); }
@@ -91,11 +97,22 @@ class SchedCore
     /** Dispatch count (= context switches + same-thread skips). */
     std::uint64_t dispatches() const { return dispatches_; }
 
+    /** High-water mark of the ready queue over the whole run. */
+    std::size_t peakReady() const { return peakReady_; }
+
   private:
+    void
+    notePeak()
+    {
+        if (ready_.size() > peakReady_)
+            peakReady_ = ready_.size();
+    }
+
     SchedPolicy policy_;
     std::deque<ThreadId> ready_;
     Distribution slackness_;
     std::uint64_t dispatches_ = 0;
+    std::size_t peakReady_ = 0;
 };
 
 } // namespace crw

@@ -67,6 +67,7 @@ Cpu::Cpu(Memory &memory, int num_windows, const CycleModel &cycles)
       blockCacheEnabled_(blockCacheDefault()),
       blockHits_(stats_.counter("block.dispatch")),
       blockFills_(stats_.counter("block.fill")),
+      blockAborts_(stats_.counter("block.abort")),
       watchpointHits_(stats_.counter("watchpoint.hit")),
       annulledSlots_(stats_.counter("annulled_slots"))
 {
@@ -1438,6 +1439,8 @@ Cpu::runBlock(const DecodedBlock &b, std::uint64_t &executed,
         first + std::min<std::uint64_t>(b.insns.size(),
                                         max_steps - executed);
     std::uint64_t annulled = 0;
+    std::uint64_t nSimple = 0;
+    std::uint64_t nMem = 0;
     for (; d != end; ++d) {
         // A CTI's delay slot is predecoded as the following entry, so
         // an annul request is consumed right here (mirroring step()'s
@@ -1455,17 +1458,20 @@ Cpu::runBlock(const DecodedBlock &b, std::uint64_t &executed,
             // No trap, transfer, store, or CWP change is possible:
             // skip the scratch state and every post-check.
             executeSimple(*d);
+            ++nSimple;
             pc_ = npc_;
             npc_ += 4;
             continue;
         }
         if (d->mem) {
+            ++nMem;
             // Never transfers or annuls: skip the CTI scratch state;
             // traps and store clashes surface through blockExit_.
             executeMemDecoded(*d);
             if (blockExit_) {
                 blockExit_ = false;
                 if (blockStoreClash_) {
+                    ++blockAborts_;
                     pc_ = npc_;
                     npc_ += 4;
                 }
@@ -1485,6 +1491,7 @@ Cpu::runBlock(const DecodedBlock &b, std::uint64_t &executed,
             // (advance past the store, then abandon the stale copy).
             blockExit_ = false;
             if (blockStoreClash_) {
+                ++blockAborts_;
                 pc_ = npc_;
                 npc_ += 4;
             }
@@ -1516,6 +1523,9 @@ Cpu::runBlock(const DecodedBlock &b, std::uint64_t &executed,
     const std::uint64_t steps = static_cast<std::uint64_t>(d - first);
     executed += steps;
     instructions_ += steps - annulled;
+    laneSimple_ += nSimple;
+    laneMem_ += nMem;
+    laneComplex_ += steps - annulled - nSimple - nMem;
 }
 
 StopReason

@@ -140,6 +140,31 @@ class Cpu
     /** Executed instruction count (annulled slots excluded). */
     std::uint64_t instructions() const { return instructions_; }
 
+    /**
+     * Dispatch-lane mix of the executed instructions (crw::obs):
+     * how many went through the block loop's simple / mem / complex
+     * lanes versus the one-at-a-time step() path.
+     */
+    struct LaneMix
+    {
+        std::uint64_t simple = 0;
+        std::uint64_t mem = 0;
+        std::uint64_t complex = 0;
+        std::uint64_t stepped = 0;
+    };
+
+    LaneMix
+    laneMix() const
+    {
+        LaneMix m;
+        m.simple = laneSimple_;
+        m.mem = laneMem_;
+        m.complex = laneComplex_;
+        m.stepped =
+            instructions_ - laneSimple_ - laneMem_ - laneComplex_;
+        return m;
+    }
+
     /** Bytes written via `ta 1`. */
     const std::string &console() const { return console_; }
 
@@ -229,6 +254,12 @@ class Cpu
 
     Cycles cycles_ = 0;
     std::uint64_t instructions_ = 0;
+    // Lane totals, flushed from runBlock()-local counters at each
+    // block exit (the hot loop itself never touches members for
+    // these). stepped = instructions_ - (sum of the three lanes).
+    std::uint64_t laneSimple_ = 0;
+    std::uint64_t laneMem_ = 0;
+    std::uint64_t laneComplex_ = 0;
     StatGroup stats_;
 
     // --- block-dispatch state ---
@@ -264,6 +295,7 @@ class Cpu
 
     Counter &blockHits_;
     Counter &blockFills_;
+    Counter &blockAborts_;
     Counter &watchpointHits_;
     Counter &annulledSlots_;
 

@@ -371,6 +371,56 @@ saveTraceFile(const EventTrace &trace, const std::string &path,
 }
 
 bool
+validateTraceCode(const std::vector<std::uint8_t> &code,
+                  std::size_t num_streams, std::string *error)
+{
+    auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
+    const std::uint8_t *p = code.data();
+    const std::uint8_t *const end = p + code.size();
+    while (p != end) {
+        const std::size_t at =
+            static_cast<std::size_t>(p - code.data());
+        const std::uint8_t tag = *p++;
+        const std::uint8_t high = tag >> 4;
+        if (high > static_cast<std::uint8_t>(TraceOp::Exit))
+            return fail("unknown event op " + std::to_string(high) +
+                        " at offset " + std::to_string(at));
+        const TraceOp op = static_cast<TraceOp>(high);
+        std::uint64_t operand = tag & 0x0F;
+        if (operand == kSpill) {
+            std::uint64_t v = 0;
+            int shift = 0;
+            while (true) {
+                if (p == end)
+                    return fail("truncated varint at offset " +
+                                std::to_string(at));
+                if (shift > 63)
+                    return fail("oversized varint at offset " +
+                                std::to_string(at));
+                const std::uint8_t b = *p++;
+                v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+                if (!(b & 0x80))
+                    break;
+                shift += 7;
+            }
+            operand = v;
+        }
+        if ((op == TraceOp::Put || op == TraceOp::Get ||
+             op == TraceOp::Close) &&
+            operand >= num_streams)
+            return fail("stream id " + std::to_string(operand) +
+                        " out of range at offset " +
+                        std::to_string(at));
+    }
+    return true;
+}
+
+bool
 loadTraceFile(const std::string &path, EventTrace &out,
               std::string *error)
 {
@@ -433,6 +483,17 @@ loadTraceFile(const std::string &path, EventTrace &out,
     }
     if (!r.ok || r.p != r.end)
         return fail("malformed payload");
+    // The checksum catches accidental corruption, but a trace could
+    // still carry scripts the check-free TraceCursor must never see
+    // (e.g. written by a buggy or adversarial producer).
+    for (std::size_t i = 0; i < t.threads.size(); ++i) {
+        std::string why;
+        if (!validateTraceCode(t.threads[i].code, t.streams.size(),
+                               &why))
+            return fail("invalid event script in thread " +
+                        std::to_string(i) + " (" + t.threads[i].name +
+                        "): " + why);
+    }
     out = std::move(t);
     return true;
 }

@@ -197,8 +197,25 @@ bool saveTraceFile(const EventTrace &trace, const std::string &path,
                    std::string *error = nullptr);
 
 /**
+ * Structural validation of one thread's encoded event script: every
+ * tag must carry a known op, every spilled varint must terminate
+ * inside the blob without overflowing 64 bits, and every stream
+ * operand must name one of the trace's @p num_streams streams.
+ *
+ * TraceCursor::peek() assumes (crw_assert) a well-formed script — it
+ * runs tens of millions of times per sweep and must stay check-free —
+ * so everything that enters a replay MUST pass through this gate
+ * first. loadTraceFile() applies it to every thread; a trace built by
+ * TraceRecorder is well-formed by construction.
+ */
+bool validateTraceCode(const std::vector<std::uint8_t> &code,
+                       std::size_t num_streams,
+                       std::string *error = nullptr);
+
+/**
  * Read a trace back. Returns false (with a reason in @p error) on a
- * bad magic, unknown version, truncation, or checksum mismatch.
+ * bad magic, unknown version, truncation, checksum mismatch, or a
+ * thread event script that fails validateTraceCode().
  */
 bool loadTraceFile(const std::string &path, EventTrace &out,
                    std::string *error = nullptr);

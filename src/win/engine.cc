@@ -30,10 +30,48 @@ withScheme(SchemeKind kind, Scheme &scheme, F &&f)
     crw_unreachable("bad scheme kind");
 }
 
+/**
+ * Per-scheme minimum-window validation, run *before* the WindowFile
+ * member is constructed so every undersized configuration is rejected
+ * with a scheme-specific diagnosis instead of the file's generic one.
+ */
+int
+validatedWindows(const EngineConfig &config)
+{
+    const int n = config.numWindows;
+    switch (config.scheme) {
+      case SchemeKind::SNP:
+      case SchemeKind::SP:
+        // A sharing scheme needs room for a stack-top window, the
+        // dead window above it (reserved/PRW), and the window being
+        // grown into.
+        if (n < 3)
+            crw_fatal << "sharing scheme "
+                      << schemeName(config.scheme)
+                      << " needs at least 3 windows, got " << n;
+        break;
+      case SchemeKind::NS:
+        // NS keeps one window reserved for the overflow handler (the
+        // paper's WIM-marked invalid window) next to the current
+        // window; below 2 the scheme runs degenerate.
+        if (n < 2)
+            crw_fatal << "conventional scheme NS needs at least 2 "
+                         "windows (reserved + current), got "
+                      << n;
+        break;
+      case SchemeKind::Infinite:
+        if (n < 2) // WindowFile's own structural minimum
+            crw_fatal << "scheme " << schemeName(config.scheme)
+                      << " needs at least 2 windows, got " << n;
+        break;
+    }
+    return n;
+}
+
 } // namespace
 
 WindowEngine::WindowEngine(const EngineConfig &config)
-    : file_(config.numWindows),
+    : file_(validatedWindows(config)),
       scheme_(makeScheme(config.scheme, file_, config.prwReclaim,
                          config.allocPolicy)),
       kind_(config.scheme),
@@ -42,15 +80,6 @@ WindowEngine::WindowEngine(const EngineConfig &config)
       stats_(std::string("engine.") + schemeName(config.scheme))
 {
     dSwitchCost_ = &stats_.distribution("switch_cost");
-
-    // A sharing scheme needs room for a stack-top window, the dead
-    // window above it (reserved/PRW), and the window being grown into.
-    if (config.scheme == SchemeKind::SNP ||
-        config.scheme == SchemeKind::SP) {
-        if (config.numWindows < 3)
-            crw_fatal << "sharing schemes need at least 3 windows, got "
-                      << config.numWindows;
-    }
 }
 
 WindowEngine::~WindowEngine() = default;
@@ -58,10 +87,19 @@ WindowEngine::~WindowEngine() = default;
 void
 WindowEngine::addThread(ThreadId tid)
 {
+    // Re-registering would silently wipe the thread's counters (and,
+    // had it any live windows, corrupt the file's residency model).
+    if (tid < static_cast<ThreadId>(registered_.size()) &&
+        registered_[static_cast<std::size_t>(tid)])
+        crw_fatal << "thread " << tid
+                  << " is already registered with the engine";
     file_.addThread(tid);
-    if (tid >= static_cast<ThreadId>(threadCounters_.size()))
+    if (tid >= static_cast<ThreadId>(threadCounters_.size())) {
         threadCounters_.resize(static_cast<std::size_t>(tid) + 1);
+        registered_.resize(static_cast<std::size_t>(tid) + 1, 0);
+    }
     threadCounters_[static_cast<std::size_t>(tid)] = ThreadCounters{};
+    registered_[static_cast<std::size_t>(tid)] = 1;
 }
 
 void
@@ -75,17 +113,24 @@ WindowEngine::save()
     ++hot_.saves;
     ++threadCounters_[static_cast<std::size_t>(current_)].saves;
     Cycles cycles = cost_.plainSaveRestore;
+    Cycles trap = 0;
     if (out.trapped) {
         ++hot_.ovfTraps;
         hot_.ovfSpilled += static_cast<std::uint64_t>(out.windowsSaved);
-        const Cycles trap = cost_.overflowTrapCost(out.windowsSaved);
+        trap = cost_.overflowTrapCost(out.windowsSaved);
         hot_.cyclesTrap += trap;
         cycles += trap;
     }
     hot_.cyclesCallret += cost_.plainSaveRestore;
     now_ += cycles;
-    if (observer_)
-        observer_->onSave(current_, file_.thread(current_).depth);
+    if (observer_) {
+        const int depth = file_.thread(current_).depth;
+        observer_->onSave(current_, depth);
+        if (out.trapped)
+            observer_->onTrap(current_, true, out.windowsSaved,
+                              now_ - trap, now_);
+        observer_->onSaveTimed(current_, depth, now_ - cycles, now_);
+    }
     postEventCheck();
 }
 
@@ -100,19 +145,26 @@ WindowEngine::restore()
     ++hot_.restores;
     ++threadCounters_[static_cast<std::size_t>(current_)].restores;
     Cycles cycles = cost_.plainSaveRestore;
+    Cycles trap = 0;
     if (out.trapped) {
         ++hot_.unfTraps;
         hot_.unfRestored += static_cast<std::uint64_t>(out.windowsRestored);
-        const Cycles trap = (kind_ == SchemeKind::NS)
-                                ? cost_.underflowConventionalCost()
-                                : cost_.underflowSharingCost();
+        trap = (kind_ == SchemeKind::NS)
+                   ? cost_.underflowConventionalCost()
+                   : cost_.underflowSharingCost();
         hot_.cyclesTrap += trap;
         cycles += trap;
     }
     hot_.cyclesCallret += cost_.plainSaveRestore;
     now_ += cycles;
-    if (observer_)
-        observer_->onRestore(current_, file_.thread(current_).depth);
+    if (observer_) {
+        const int depth = file_.thread(current_).depth;
+        observer_->onRestore(current_, depth);
+        if (out.trapped)
+            observer_->onTrap(current_, false, out.windowsRestored,
+                              now_ - trap, now_);
+        observer_->onRestoreTimed(current_, depth, now_ - cycles, now_);
+    }
     postEventCheck();
 }
 

@@ -72,6 +72,45 @@ class EngineObserver
         (void)end;
     }
     virtual void onExit(ThreadId tid) { (void)tid; }
+
+    // Timed variants for cycle-attribution collectors (crw::obs):
+    // the same events, with the exact simulated-time span the engine
+    // charged. Default no-ops so existing observers are unaffected.
+
+    /** Save span: [begin, end] includes any overflow handling. */
+    virtual void onSaveTimed(ThreadId tid, int depth, Cycles begin,
+                             Cycles end)
+    {
+        (void)tid;
+        (void)depth;
+        (void)begin;
+        (void)end;
+    }
+    /** Restore span: [begin, end] includes any underflow handling. */
+    virtual void onRestoreTimed(ThreadId tid, int depth, Cycles begin,
+                                Cycles end)
+    {
+        (void)tid;
+        (void)depth;
+        (void)begin;
+        (void)end;
+    }
+    /**
+     * Window trap handler span, nested inside the triggering
+     * save/restore span (fires before the matching on*Timed hook).
+     * @param overflow true for overflow, false for underflow.
+     * @param windows_moved Windows spilled (overflow) or restored
+     *        (underflow) by the handler.
+     */
+    virtual void onTrap(ThreadId tid, bool overflow, int windows_moved,
+                        Cycles begin, Cycles end)
+    {
+        (void)tid;
+        (void)overflow;
+        (void)windows_moved;
+        (void)begin;
+        (void)end;
+    }
 };
 
 /** Per-thread counters the benches report (paper Table 1). */
@@ -186,6 +225,12 @@ class WindowEngine
     /** Mutable: syncStats() publishes the hot counters on read. */
     mutable StatGroup stats_;
     std::vector<ThreadCounters> threadCounters_;
+    /**
+     * Which tids have been addThread()ed. Parallel to threadCounters_
+     * (which resize() zero-fills for id gaps, so its size alone
+     * cannot distinguish "never registered" from "registered").
+     */
+    std::vector<std::uint8_t> registered_;
 
     /**
      * Switch-case histogram, probed on *every* context switch. Nearly

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bench harness hardening: strict $CRW_JOBS / --jobs parsing. The old
+ * atoi-based path silently turned "8x" into 8 and "" into 0 workers;
+ * parseJobs() must reject every malformed spelling, fall back, and
+ * clamp runaway values to kMaxJobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace crw {
+namespace bench {
+namespace {
+
+TEST(ParseJobs, UnsetReturnsFallbackSilently)
+{
+    EXPECT_EQ(parseJobs(nullptr, 3), 3);
+}
+
+TEST(ParseJobs, AcceptsPlainDecimals)
+{
+    EXPECT_EQ(parseJobs("1", 7), 1);
+    EXPECT_EQ(parseJobs("4", 7), 4);
+    EXPECT_EQ(parseJobs("16", 7), 16);
+    EXPECT_EQ(parseJobs("512", 7), 512); // kMaxJobs itself is legal
+}
+
+TEST(ParseJobs, RejectsNonPositive)
+{
+    EXPECT_EQ(parseJobs("0", 5), 5);
+    EXPECT_EQ(parseJobs("-3", 5), 5);
+}
+
+TEST(ParseJobs, RejectsTrailingGarbageAndEmpty)
+{
+    // atoi would have accepted all of these.
+    EXPECT_EQ(parseJobs("8x", 5), 5);
+    EXPECT_EQ(parseJobs("4 ", 5), 5);
+    EXPECT_EQ(parseJobs("", 5), 5);
+    EXPECT_EQ(parseJobs("jobs", 5), 5);
+    EXPECT_EQ(parseJobs("0x10", 5), 5);
+    EXPECT_EQ(parseJobs("3.5", 5), 5);
+}
+
+TEST(ParseJobs, ClampsOversizedCounts)
+{
+    EXPECT_EQ(parseJobs("513", 1), kMaxJobs);
+    EXPECT_EQ(parseJobs("99999", 1), kMaxJobs);
+    // Past the strtol range entirely: ERANGE, same clamp-free
+    // fallback path as any other unusable spelling is fine, but the
+    // implementation clamps values it could parse — this one it
+    // cannot, so it falls back.
+    EXPECT_EQ(parseJobs("99999999999999999999", 2), 2);
+}
+
+} // namespace
+} // namespace bench
+} // namespace crw

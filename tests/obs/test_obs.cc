@@ -1,0 +1,313 @@
+/**
+ * @file
+ * crw::obs tests: metric-store semantics, the determinism contract
+ * (byte-identical JSON regardless of publication order), the Chrome
+ * trace emitter against a golden document, and the EngineTimeline
+ * observer's exact cycle attribution.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/publish.h"
+#include "obs/trace_json.h"
+#include "win/engine.h"
+
+namespace crw {
+namespace {
+
+TEST(CycleAccount, BalancedAndAdditive)
+{
+    obs::CycleAccount a{10, 5, 3, 2, 20};
+    EXPECT_TRUE(a.balanced());
+    obs::CycleAccount b{1, 1, 1, 1, 4};
+    a += b;
+    EXPECT_TRUE(a.balanced());
+    EXPECT_EQ(a.total, 24u);
+    a.total = 25;
+    EXPECT_FALSE(a.balanced());
+}
+
+TEST(FormatJsonDouble, ShortestRoundTrip)
+{
+    EXPECT_EQ(obs::formatJsonDouble(0.0), "0");
+    EXPECT_EQ(obs::formatJsonDouble(2.0), "2");
+    EXPECT_EQ(obs::formatJsonDouble(0.25), "0.25");
+    EXPECT_EQ(obs::formatJsonDouble(0.5), "0.5");
+    // A value needing full precision survives the round trip.
+    const double v = 0.787625119017124;
+    double back = 0.0;
+    std::istringstream(obs::formatJsonDouble(v)) >> back;
+    EXPECT_EQ(back, v);
+}
+
+TEST(MetricsRegistry, CountersAndPoints)
+{
+    obs::MetricsRegistry reg;
+    reg.add("hits", 3);
+    reg.counter("hits").fetch_add(2, std::memory_order_relaxed);
+    EXPECT_EQ(reg.counterValue("hits"), 5u);
+    EXPECT_EQ(reg.counterValue("never"), 0u);
+
+    obs::PointRecord rec;
+    rec.cycles = obs::CycleAccount{10, 5, 3, 2, 20};
+    rec.counters["saves"] = 4;
+    rec.values["mean"] = 0.5;
+    reg.mergePoint("p", rec);
+    reg.mergePoint("p", rec); // counters and cycles add
+
+    const obs::PointRecord got = reg.point("p");
+    EXPECT_EQ(got.cycles.total, 40u);
+    EXPECT_TRUE(got.cycles.balanced());
+    EXPECT_EQ(got.counters.at("saves"), 8u);
+    EXPECT_EQ(got.values.at("mean"), 0.5);
+    EXPECT_EQ(reg.pointCount(), 1u);
+}
+
+TEST(MetricsRegistry, GoldenJson)
+{
+    obs::MetricsRegistry reg;
+    obs::PointRecord rec;
+    rec.cycles = obs::CycleAccount{10, 5, 3, 2, 20};
+    rec.counters["saves"] = 4;
+    rec.values["mean"] = 0.5;
+    reg.mergePoint("demo/NS/w8", rec);
+    reg.add("cache.hits", 7);
+    reg.add("host.wall_us", 1);
+    reg.sample("lat", 2.0);
+    reg.sample("host.t_s", 0.25);
+
+    obs::RunManifest manifest;
+    manifest.set("bench", "unit");
+
+    std::ostringstream os;
+    reg.writeJson(os, manifest);
+    const std::string expected = R"({
+  "manifest": {
+    "bench": "unit"
+  },
+  "points": {
+    "demo/NS/w8": {
+      "cycles": {"compute": 10, "callret": 5, "trap": 3, "switch": 2, "total": 20},
+      "saves": 4,
+      "mean": 0.5
+    }
+  },
+  "counters": {
+    "cache.hits": 7
+  },
+  "samples": {
+    "lat": {"count": 1, "sum": 2, "min": 2, "max": 2, "mean": 2}
+  },
+  "host": {
+    "host.wall_us": 1,
+    "host.t_s": {"count": 1, "sum": 0.25, "min": 0.25, "max": 0.25, "mean": 0.25}
+  }
+}
+)";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(MetricsRegistry, JsonBytesIndependentOfPublicationOrder)
+{
+    // The determinism contract: two registries fed the same data in
+    // different (worker-schedule dependent) orders must serialize to
+    // identical bytes. Host samples are the one legitimate exception
+    // and live in their own section.
+    obs::PointRecord a;
+    a.cycles = obs::CycleAccount{1, 2, 3, 4, 10};
+    a.counters["saves"] = 1;
+    obs::PointRecord b;
+    b.cycles = obs::CycleAccount{5, 6, 7, 8, 26};
+    b.counters["restores"] = 2;
+    b.values["v"] = 1.5;
+
+    obs::MetricsRegistry first;
+    first.mergePoint("alpha", a);
+    first.mergePoint("beta", b);
+    first.add("n", 1);
+    first.add("m", 2);
+
+    obs::MetricsRegistry second;
+    second.add("m", 2);
+    second.mergePoint("beta", b);
+    second.add("n", 1);
+    second.mergePoint("alpha", a);
+
+    obs::RunManifest manifest;
+    manifest.noteValue("schemes", "SP");
+    manifest.noteValue("schemes", "NS");
+    obs::RunManifest manifest2;
+    manifest2.noteValue("schemes", "NS");
+    manifest2.noteValue("schemes", "SP");
+    manifest2.noteValue("schemes", "NS"); // dedup
+
+    std::ostringstream o1, o2;
+    first.writeJson(o1, manifest);
+    second.writeJson(o2, manifest2);
+    EXPECT_EQ(o1.str(), o2.str());
+    EXPECT_NE(o1.str().find("\"schemes\": \"NS,SP\""),
+              std::string::npos);
+}
+
+TEST(TraceJsonWriter, GoldenDocument)
+{
+    obs::TraceJsonWriter w;
+    obs::TraceTrack t;
+    t.process = "demo";
+    t.threads[0] = "thread 0";
+    t.spans.push_back(obs::TraceSpan{0, 4, 0, "save", "callret"});
+    t.spans.push_back(obs::TraceSpan{10, -1, 0, "exit", "sched"});
+    w.addTrack(std::move(t));
+
+    std::ostringstream os;
+    w.write(os);
+    const std::string expected = R"({"traceEvents": [
+{"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "demo"}},
+{"name": "thread_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "thread 0"}},
+{"name": "save", "cat": "callret", "pid": 1, "tid": 0, "ts": 0, "ph": "X", "dur": 4},
+{"name": "exit", "cat": "sched", "pid": 1, "tid": 0, "ts": 10, "ph": "i", "s": "t"}
+]}
+)";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TraceJsonWriter, BytesIndependentOfTrackOrder)
+{
+    const auto track = [](const char *process, std::int64_t ts) {
+        obs::TraceTrack t;
+        t.process = process;
+        t.spans.push_back(
+            obs::TraceSpan{ts, 1, 0, "save", "callret"});
+        return t;
+    };
+
+    obs::TraceJsonWriter w1;
+    w1.addTrack(track("a", 1));
+    w1.addTrack(track("b", 2));
+    obs::TraceJsonWriter w2;
+    w2.addTrack(track("b", 2));
+    w2.addTrack(track("a", 1));
+
+    std::ostringstream o1, o2;
+    w1.write(o1);
+    w2.write(o2);
+    EXPECT_EQ(o1.str(), o2.str());
+}
+
+TEST(SpanCollector, CapCountsDroppedSpans)
+{
+    obs::SpanCollector sc("small", 2);
+    sc.complete(0, "a", "c", 0, 1);
+    sc.complete(0, "b", "c", 1, 1);
+    sc.complete(0, "c", "c", 2, 1);
+    const obs::TraceTrack t = sc.track();
+    EXPECT_EQ(t.spans.size(), 2u);
+    EXPECT_EQ(t.dropped, 1u);
+
+    obs::TraceJsonWriter w;
+    obs::SpanCollector sc2("small2", 2);
+    sc2.complete(0, "a", "c", 0, 1);
+    sc2.complete(0, "b", "c", 1, 1);
+    sc2.complete(0, "c", "c", 2, 1);
+    w.addTrack(sc2.take());
+    std::ostringstream os;
+    w.write(os);
+    EXPECT_NE(os.str().find("truncated"), std::string::npos);
+    EXPECT_NE(os.str().find("\"dropped_spans\": 1"),
+              std::string::npos);
+}
+
+/** Drive an engine through traps and switches with a timeline on. */
+TEST(EngineTimeline, SpansAccountForEveryManagementCycle)
+{
+    EngineConfig cfg;
+    cfg.numWindows = 3;
+    cfg.scheme = SchemeKind::SP;
+    WindowEngine e(cfg);
+    obs::EngineTimeline timeline("unit");
+    e.setObserver(&timeline);
+
+    e.addThread(0);
+    e.addThread(1);
+    e.contextSwitch(0);
+    for (int i = 0; i < 8; ++i) // deep: forces overflow traps
+        e.save();
+    e.charge(100);
+    e.contextSwitch(1);
+    e.save();
+    e.contextSwitch(0);
+    for (int i = 0; i < 8; ++i) // forces underflow traps
+        e.restore();
+    e.threadExit();
+    e.setObserver(nullptr);
+
+    const StatGroup &s = e.stats();
+    ASSERT_GT(s.counterValue("overflow_traps"), 0u);
+    ASSERT_GT(s.counterValue("underflow_traps"), 0u);
+
+    std::uint64_t callret = 0, trap = 0, switches = 0;
+    const obs::TraceTrack &t = timeline.track();
+    for (const obs::TraceSpan &span : t.spans) {
+        if (span.cat == "callret")
+            callret += static_cast<std::uint64_t>(span.dur);
+        else if (span.cat == "trap")
+            trap += static_cast<std::uint64_t>(span.dur);
+        else if (span.cat == "switch")
+            switches += static_cast<std::uint64_t>(span.dur);
+    }
+    // A save/restore span covers its trap handler, so the callret
+    // category sums to plain call/return plus trap time; the nested
+    // trap spans alone sum to the engine's trap account.
+    EXPECT_EQ(trap, s.counterValue("cycles_trap"));
+    EXPECT_EQ(callret, s.counterValue("cycles_callret") +
+                           s.counterValue("cycles_trap"));
+    EXPECT_EQ(switches, s.counterValue("cycles_switch"));
+
+    // Trap spans nest inside the covering save/restore span.
+    for (std::size_t i = 0; i < t.spans.size(); ++i) {
+        const obs::TraceSpan &span = t.spans[i];
+        if (span.cat != "trap")
+            continue;
+        ASSERT_LT(i + 1, t.spans.size());
+        const obs::TraceSpan &outer = t.spans[i + 1];
+        EXPECT_EQ(outer.cat, "callret");
+        EXPECT_LE(outer.ts, span.ts);
+        EXPECT_EQ(outer.ts + outer.dur, span.ts + span.dur);
+    }
+
+    // And the registry-facing record is exact: the account components
+    // sum to the engine clock.
+    const obs::PointRecord rec = obs::pointFromEngine(e);
+    EXPECT_TRUE(rec.cycles.balanced());
+    EXPECT_EQ(rec.cycles.total, e.now());
+    EXPECT_EQ(rec.cycles.compute, 100u);
+}
+
+TEST(EngineTimeline, ExitIsAnInstantAtTheLatestTime)
+{
+    EngineConfig cfg;
+    cfg.numWindows = 8;
+    WindowEngine e(cfg);
+    obs::EngineTimeline timeline("unit");
+    e.setObserver(&timeline);
+    e.addThread(0);
+    e.contextSwitch(0);
+    e.save();
+    e.threadExit();
+    e.setObserver(nullptr);
+
+    const obs::TraceTrack &t = timeline.track();
+    ASSERT_FALSE(t.spans.empty());
+    const obs::TraceSpan &last = t.spans.back();
+    EXPECT_EQ(last.name, "exit");
+    EXPECT_LT(last.dur, 0); // instant event
+    EXPECT_EQ(last.ts, static_cast<std::int64_t>(e.now()));
+}
+
+} // namespace
+} // namespace crw

@@ -171,6 +171,127 @@ TEST_F(EventTraceFile, PayloadCorruptionRejected)
     EXPECT_FALSE(err.empty());
 }
 
+// --- event-script validation (the gate in front of TraceCursor) ---
+
+TEST(ValidateTraceCode, AcceptsEveryRecorderScript)
+{
+    const EventTrace trace = sampleTrace();
+    for (const TraceThreadInfo &t : trace.threads) {
+        std::string why;
+        EXPECT_TRUE(
+            validateTraceCode(t.code, trace.streams.size(), &why))
+            << why;
+    }
+}
+
+TEST(ValidateTraceCode, RejectsUnknownOp)
+{
+    // High nibble 7 is one past TraceOp::Exit.
+    const std::vector<std::uint8_t> code = {0x70};
+    std::string why;
+    EXPECT_FALSE(validateTraceCode(code, 0, &why));
+    EXPECT_NE(why.find("unknown event op"), std::string::npos) << why;
+}
+
+TEST(ValidateTraceCode, RejectsTruncatedVarint)
+{
+    // Charge (2) with the spill marker, then a continuation byte
+    // that promises more bytes the blob does not have.
+    const std::vector<std::uint8_t> code = {0x2F, 0x80};
+    std::string why;
+    EXPECT_FALSE(validateTraceCode(code, 0, &why));
+    EXPECT_NE(why.find("truncated varint"), std::string::npos) << why;
+}
+
+TEST(ValidateTraceCode, RejectsSpillWithNoBytesAtAll)
+{
+    const std::vector<std::uint8_t> code = {0x2F};
+    std::string why;
+    EXPECT_FALSE(validateTraceCode(code, 0, &why));
+}
+
+TEST(ValidateTraceCode, RejectsOversizedVarint)
+{
+    // Eleven continuation bytes shift past 64 bits.
+    std::vector<std::uint8_t> code = {0x2F};
+    for (int i = 0; i < 11; ++i)
+        code.push_back(0x80);
+    code.push_back(0x01);
+    std::string why;
+    EXPECT_FALSE(validateTraceCode(code, 0, &why));
+    EXPECT_NE(why.find("oversized varint"), std::string::npos) << why;
+}
+
+TEST(ValidateTraceCode, RejectsOutOfRangeStreamId)
+{
+    // Put (3) naming stream 5 when only 2 streams exist.
+    const std::vector<std::uint8_t> code = {0x35};
+    std::string why;
+    EXPECT_FALSE(validateTraceCode(code, 2, &why));
+    EXPECT_NE(why.find("stream id"), std::string::npos) << why;
+    // The same byte is fine when the stream exists.
+    EXPECT_TRUE(validateTraceCode(code, 6, &why)) << why;
+}
+
+TEST_F(EventTraceFile, ValidChecksumButCorruptScriptRejected)
+{
+    // A well-formed container around a malformed event script: the
+    // checksum is honest, so only load-time script validation can
+    // catch it. Pre-fix, loadTraceFile returned true and the panic
+    // surfaced later, mid-replay, inside TraceCursor::peek.
+    EventTrace trace = sampleTrace();
+    trace.threads[1].code = {0x2F, 0x80}; // truncated varint
+    std::string err;
+    ASSERT_TRUE(saveTraceFile(trace, path_, &err)) << err;
+
+    EventTrace out;
+    EXPECT_FALSE(loadTraceFile(path_, out, &err));
+    EXPECT_NE(err.find("invalid event script"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("thread 1"), std::string::npos) << err;
+}
+
+TEST_F(EventTraceFile, FuzzedFilesNeverCrashTheLoader)
+{
+    // Deterministic corruption fuzz: random single-bit flips and
+    // random truncations of a valid file. Every mutation must either
+    // load cleanly (a flip the format legitimately tolerates — there
+    // are none today, but that is the checksum's business) or fail
+    // gracefully with an error; never assert, throw, or crash.
+    std::string err;
+    ASSERT_TRUE(saveTraceFile(sampleTrace(), path_, &err)) << err;
+    const std::vector<char> original = readAll();
+    ASSERT_GT(original.size(), 24u);
+
+    std::uint64_t rng = 0x1993ull;
+    const auto next = [&rng]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+
+    for (int i = 0; i < 200; ++i) {
+        std::vector<char> bytes = original;
+        if (i % 2 == 0) {
+            const std::size_t at = next() % bytes.size();
+            bytes[at] = static_cast<char>(
+                bytes[at] ^ (1u << (next() % 8)));
+        } else {
+            bytes.resize(next() % bytes.size());
+        }
+        writeAll(bytes);
+        EventTrace out;
+        std::string why;
+        if (loadTraceFile(path_, out, &why)) {
+            // The rare survivable mutation must decode end to end.
+            EXPECT_NO_THROW(out.eventCount());
+        } else {
+            EXPECT_FALSE(why.empty());
+        }
+    }
+}
+
 TEST(TraceCursor, DecodesWhatTheRecorderEmits)
 {
     const EventTrace trace = sampleTrace();

@@ -124,6 +124,66 @@ TEST(Engine, SharingNeedsThreeWindows)
     EXPECT_NO_THROW(WindowEngine{cfg});
 }
 
+TEST(Engine, ConventionalNeedsTwoWindows)
+{
+    // NS (and Infinite) below two windows run degenerate: no room for
+    // the reserved window next to the current one. The constructor
+    // must reject them with a scheme-naming message, not fall through
+    // to the window file's generic minimum.
+    EngineConfig cfg;
+    cfg.numWindows = 1;
+    cfg.scheme = SchemeKind::NS;
+    try {
+        WindowEngine e(cfg);
+        FAIL() << "NS with 1 window must be rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("NS"),
+                  std::string::npos)
+            << err.what();
+    }
+    cfg.numWindows = 2;
+    EXPECT_NO_THROW(WindowEngine{cfg}); // the NS boundary
+
+    cfg.scheme = SchemeKind::Infinite;
+    cfg.numWindows = 1;
+    EXPECT_THROW(WindowEngine{cfg}, FatalError);
+    cfg.numWindows = 2;
+    EXPECT_NO_THROW(WindowEngine{cfg});
+}
+
+TEST(Engine, SharingBoundaryIsThreeWindows)
+{
+    EngineConfig cfg;
+    cfg.numWindows = 3;
+    cfg.scheme = SchemeKind::SNP;
+    EXPECT_NO_THROW(WindowEngine{cfg});
+    cfg.scheme = SchemeKind::SP;
+    EXPECT_NO_THROW(WindowEngine{cfg});
+}
+
+TEST(Engine, DuplicateAddThreadIsFatal)
+{
+    EngineConfig cfg;
+    cfg.numWindows = 8;
+    WindowEngine e(cfg);
+    e.addThread(0);
+    e.addThread(2); // leaves tid 1 as an unregistered gap
+    e.contextSwitch(0);
+    e.save();
+    ASSERT_EQ(e.threadCounters(0).saves, 1u);
+
+    // Re-registration used to silently zero the thread's counters;
+    // now it is a hard error, for a live thread and an idle one.
+    EXPECT_THROW(e.addThread(0), FatalError);
+    EXPECT_THROW(e.addThread(2), FatalError);
+
+    // The gap id was never registered, so it is still available, and
+    // the failed duplicate registrations left no damage behind.
+    EXPECT_NO_THROW(e.addThread(1));
+    EXPECT_EQ(e.threadCounters(0).saves, 1u);
+    EXPECT_EQ(e.current(), 0);
+}
+
 TEST(Engine, InfiniteSchemeNeverTrapsOrTransfers)
 {
     EngineConfig cfg;
