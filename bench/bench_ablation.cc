@@ -1,127 +1,14 @@
 /**
  * @file
- * Ablation studies for the design choices the paper leaves open:
- *
- *  1. PRW reclamation (DESIGN.md): what happens to a fully-spilled
- *     thread's private reserved window — Lazy / Eager / EagerFolded.
- *  2. Window allocation (paper §4.2): the evaluated "simple" scheme
- *     (allocate directly above the suspended thread, evicting as
- *     needed) versus searching for a free window first.
- *  3. The infinite-window oracle as the lower bound, quantifying how
- *     much of the remaining time is window management at all.
+ * Legacy entry point for the ablation exhibit; equivalent to
+ * `crw-bench ablation`. The plan and report live in
+ * bench/exhibit_ablation.cc.
  */
 
-#include <iostream>
-
-#include "bench/harness.h"
-
-namespace crw {
-namespace bench {
-namespace {
-
-double
-runVariant(SchemeKind scheme, int windows, PrwReclaim reclaim,
-           AllocPolicy alloc, const EventTrace &trace)
-{
-    EngineConfig ec;
-    ec.numWindows = windows;
-    ec.scheme = scheme;
-    ec.prwReclaim = reclaim;
-    ec.allocPolicy = alloc;
-    return static_cast<double>(
-               replayPoint(trace, ec, SchedPolicy::Fifo).totalCycles) /
-           1e6;
-}
-
-int
-runAblation()
-{
-    banner("Ablation: PRW reclamation and §4.2 allocation policy "
-           "(spell checker, high concurrency, fine granularity)");
-
-    const EventTrace &trace = cachedTrace(ConcurrencyLevel::High,
-                                          GranularityLevel::Fine);
-
-    Table table({"windows", "INF", "SNP", "SNP+search", "SP(lazy)",
-                 "SP(eager)", "SP(folded)", "SP+search"});
-    for (const int w : {6, 8, 10, 12, 16, 24, 32}) {
-        table.addRowOf(
-            w,
-            formatDouble(runVariant(SchemeKind::Infinite, w,
-                                    PrwReclaim::Eager,
-                                    AllocPolicy::Simple, trace),
-                         1),
-            formatDouble(runVariant(SchemeKind::SNP, w,
-                                    PrwReclaim::Eager,
-                                    AllocPolicy::Simple, trace),
-                         1),
-            formatDouble(runVariant(SchemeKind::SNP, w,
-                                    PrwReclaim::Eager,
-                                    AllocPolicy::FreeSearch, trace),
-                         1),
-            formatDouble(runVariant(SchemeKind::SP, w,
-                                    PrwReclaim::Lazy,
-                                    AllocPolicy::Simple, trace),
-                         1),
-            formatDouble(runVariant(SchemeKind::SP, w,
-                                    PrwReclaim::Eager,
-                                    AllocPolicy::Simple, trace),
-                         1),
-            formatDouble(runVariant(SchemeKind::SP, w,
-                                    PrwReclaim::EagerFolded,
-                                    AllocPolicy::Simple, trace),
-                         1),
-            formatDouble(runVariant(SchemeKind::SP, w,
-                                    PrwReclaim::Eager,
-                                    AllocPolicy::FreeSearch, trace),
-                         1));
-    }
-    std::cout << "\nExecution time [Mcycles]:\n\n";
-    table.printText(std::cout);
-    table.writeCsvFile(outputPath("ablation.csv"));
-
-    std::cout << "\nReading: the INF column is pure compute+switch "
-                 "floor (no window cost). PRW reclamation matters in "
-                 "the mid-range (8-12 windows) where SP is space-"
-                 "constrained; allocation search shaves switch-time "
-                 "spills; with ample windows every variant "
-                 "converges.\n";
-
-    bool ok = true;
-    auto check = [&ok](bool cond, const std::string &what) {
-        std::cout << "  [" << (cond ? "ok" : "FAIL") << "] " << what
-                  << '\n';
-        ok = ok && cond;
-    };
-    // The oracle lower-bounds everything.
-    const double inf32 = runVariant(SchemeKind::Infinite, 32,
-                                    PrwReclaim::Eager,
-                                    AllocPolicy::Simple, trace);
-    const double sp32 = runVariant(SchemeKind::SP, 32,
-                                   PrwReclaim::Eager,
-                                   AllocPolicy::Simple, trace);
-    check(inf32 < sp32, "infinite-window oracle lower-bounds SP");
-    const double lazy10 = runVariant(SchemeKind::SP, 10,
-                                     PrwReclaim::Lazy,
-                                     AllocPolicy::Simple, trace);
-    const double eager10 = runVariant(SchemeKind::SP, 10,
-                                      PrwReclaim::Eager,
-                                      AllocPolicy::Simple, trace);
-    check(eager10 <= lazy10 * 1.02,
-          "eager PRW reclamation is not worse in the tight range");
-    return ok ? 0 : 1;
-}
-
-} // namespace
-} // namespace bench
-} // namespace crw
+#include "bench/registry.h"
 
 int
 main(int argc, char **argv)
 {
-    if (!crw::bench::benchInit(argc, argv))
-        return 0;
-    const int rc = crw::bench::runAblation();
-    crw::bench::benchFinish();
-    return rc;
+    return crw::bench::exhibitMain("ablation", argc, argv);
 }

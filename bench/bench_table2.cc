@@ -1,134 +1,13 @@
 /**
  * @file
- * Reproduces Table 2: the number of cycles for a context switch under
- * each scheme and window-transfer case.
- *
- * Unlike the figure benches (event-level model), these numbers come
- * from the instruction-level layer: the actual ns_switch/snp_switch/
- * sp_switch assembly routines execute on the crw SPARC core (7
- * windows, like the paper's Fujitsu S-20), with each (saves, restores)
- * case staged exactly — the same static measurement the paper made
- * with its bus-monitoring logic analyzer. The trap-handler costs and
- * the derived "measured" cost model for the event layer are also
- * reported.
+ * Legacy entry point for the table2 exhibit; equivalent to
+ * `crw-bench table2`. The report lives in bench/exhibit_table2.cc.
  */
 
-#include <iostream>
-
-#include "bench/harness.h"
-#include "kernel/machine.h"
-
-namespace crw {
-namespace bench {
-namespace {
-
-struct Case
-{
-    const char *scheme;
-    int saves;
-    int restores;
-    Cycles lo;
-    Cycles hi;
-    Cycles measured;
-};
-
-int
-runTable2()
-{
-    banner("Table 2: number of cycles for a context switch "
-           "(instruction-level measurement, 7 windows)");
-
-    kernel::Table2Harness h(7);
-    std::vector<Case> cases = {
-        {"NS", 1, 1, 145, 149, h.measureNs(1)},
-        {"NS", 2, 1, 181, 185, h.measureNs(2)},
-        {"NS", 3, 1, 217, 221, h.measureNs(3)},
-        {"NS", 4, 1, 253, 257, h.measureNs(4)},
-        {"NS", 5, 1, 289, 293, h.measureNs(5)},
-        {"NS", 6, 1, 325, 329, h.measureNs(6)},
-        {"SNP", 0, 0, 113, 118, h.measureSnp(false, false)},
-        {"SNP", 0, 1, 142, 147, h.measureSnp(false, true)},
-        {"SNP", 1, 0, 162, 171, h.measureSnp(true, false)},
-        {"SNP", 1, 1, 187, 196, h.measureSnp(true, true)},
-        {"SP", 0, 0, 93, 98, h.measureSp(0, false)},
-        {"SP", 0, 1, 136, 141, h.measureSp(0, true)},
-        {"SP", 1, 1, 180, 197, h.measureSp(1, true)},
-        {"SP", 2, 1, 220, 237, h.measureSp(2, true)},
-    };
-
-    Table table({"scheme", "saves", "restores", "measured [cyc]",
-                 "paper band", "in band"});
-    bool ok = true;
-    for (const Case &c : cases) {
-        const bool in_band = c.measured >= c.lo && c.measured <= c.hi;
-        ok = ok && in_band;
-        table.addRowOf(std::string(c.scheme), c.saves, c.restores,
-                       c.measured,
-                       std::to_string(c.lo) + " - " +
-                           std::to_string(c.hi),
-                       std::string(in_band ? "yes" : "NO"));
-    }
-    table.printText(std::cout);
-    table.writeCsvFile(outputPath("table2.csv"));
-
-    std::cout << "\nWindow-trap handler costs (cycles, including trap "
-                 "entry and rett):\n\n";
-    Table traps({"handler", "cycles"});
-    traps.addRowOf(std::string("conventional overflow (1 spill)"),
-                   h.measureConventionalOverflow());
-    traps.addRowOf(std::string("conventional underflow (1 refill)"),
-                   h.measureConventionalUnderflow());
-    traps.addRowOf(std::string("sharing overflow (bottom spill)"),
-                   h.measureSharingOverflow());
-    traps.addRowOf(
-        std::string("sharing underflow (in-place + emulation)"),
-        h.measureSharingUnderflow());
-    traps.printText(std::cout);
-    traps.writeCsvFile(outputPath("table2_traps.csv"));
-
-    std::cout << "\nDerived event-level cost model "
-                 "(measured preset vs paperTable2 preset):\n\n";
-    const CostModel measured = h.measuredCostModel();
-    const CostModel paper = CostModel::paperTable2();
-    Table model({"parameter", "measured", "paper preset"});
-    auto row = [&](const char *name, Cycles a, Cycles b) {
-        model.addRowOf(std::string(name), a, b);
-    };
-    row("ns.base", measured.ns.base, paper.ns.base);
-    row("ns.perSave", measured.ns.perSave, paper.ns.perSave);
-    row("ns.perRestore", measured.ns.perRestore, paper.ns.perRestore);
-    row("snp.base", measured.snp.base, paper.snp.base);
-    row("snp.perSave", measured.snp.perSave, paper.snp.perSave);
-    row("snp.perRestore", measured.snp.perRestore,
-        paper.snp.perRestore);
-    row("sp.base", measured.sp.base, paper.sp.base);
-    row("sp.perSave", measured.sp.perSave, paper.sp.perSave);
-    row("sp.perRestore", measured.sp.perRestore, paper.sp.perRestore);
-    row("overflowBase", measured.overflowBase, paper.overflowBase);
-    row("underflowSharingBase", measured.underflowSharingBase,
-        paper.underflowSharingBase);
-    row("underflowConventionalBase",
-        measured.underflowConventionalBase,
-        paper.underflowConventionalBase);
-    model.printText(std::cout);
-    model.writeCsvFile(outputPath("table2_costmodel.csv"));
-
-    std::cout << "\n  [" << (ok ? "ok" : "FAIL")
-              << "] every measured case inside the paper's Table 2 "
-                 "band\n";
-    return ok ? 0 : 1;
-}
-
-} // namespace
-} // namespace bench
-} // namespace crw
+#include "bench/registry.h"
 
 int
 main(int argc, char **argv)
 {
-    if (!crw::bench::benchInit(argc, argv))
-        return 0;
-    const int rc = crw::bench::runTable2();
-    crw::bench::benchFinish();
-    return rc;
+    return crw::bench::exhibitMain("table2", argc, argv);
 }

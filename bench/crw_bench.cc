@@ -1,0 +1,15 @@
+/**
+ * @file
+ * The unified bench driver: `crw-bench <exhibit>... | all`. Selected
+ * exhibits contribute their replay points to one experiment plan; the
+ * union executes exactly once (cache-backed), then each report prints
+ * in command-line order. See bench/registry.h.
+ */
+
+#include "bench/registry.h"
+
+int
+main(int argc, char **argv)
+{
+    return crw::bench::crwBenchMain(argc, argv);
+}

@@ -1,0 +1,340 @@
+#include "bench/executor.h"
+
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "bench/harness.h"
+#include "bench/result_cache.h"
+#include "common/chart.h"
+#include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/publish.h"
+#include "obs/trace_json.h"
+#include "spell/capture.h"
+#include "trace/replay_driver.h"
+
+namespace crw {
+namespace bench {
+
+namespace {
+
+bool g_cacheEnabled = true;
+
+// Result store: pointConfigKey -> RunMetrics. std::map references
+// stay valid across inserts, so pointResult() can hand out stable
+// references while the executor keeps filling the store.
+std::mutex g_storeMu;
+std::map<std::string, RunMetrics> g_store;
+
+const RunMetrics *
+storeFind(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(g_storeMu);
+    const auto it = g_store.find(key);
+    return it == g_store.end() ? nullptr : &it->second;
+}
+
+const RunMetrics &
+storeInsert(const std::string &key, RunMetrics metrics)
+{
+    std::lock_guard<std::mutex> lock(g_storeMu);
+    return g_store.emplace(key, std::move(metrics)).first->second;
+}
+
+/**
+ * Run every @p points entry not already in the store: capture the
+ * traces (serially — cachedTrace mutates its memo), probe the result
+ * cache, replay the misses on the worker pool, persist fresh results.
+ */
+void
+executePoints(const std::vector<PlanPoint> &points)
+{
+    // Deduplicate against the store and within the batch, preserving
+    // plan order so work claiming is deterministic.
+    std::vector<PlanPoint> todo;
+    std::vector<std::string> todoKeys;
+    {
+        std::set<std::string> batch;
+        for (const PlanPoint &p : points) {
+            const std::string key = pointConfigKey(p);
+            if (!batch.insert(key).second)
+                continue;
+            if (storeFind(key))
+                continue;
+            todo.push_back(p);
+            todoKeys.push_back(key);
+        }
+    }
+
+    // Manifest coverage for every requested point, replayed or not:
+    // a warm-cache run performs zero replays, and replayPoint() — the
+    // seed's only stamping site — never fires.
+    if (obsEnabled()) {
+        for (const PlanPoint &p : points) {
+            manifestNote("schemes", schemeName(p.engine.scheme));
+            manifestNote("windows",
+                         std::to_string(p.engine.numWindows));
+            manifestNote("policies", policyName(p.policy));
+        }
+    }
+    if (todo.empty())
+        return;
+
+    for (const PlanPoint &p : todo)
+        cachedTrace(p.conc, p.gran);
+
+    const bool use_cache = g_cacheEnabled;
+    std::vector<PlanPoint> misses;
+    std::vector<std::string> missKeys;
+    std::vector<std::string> missCacheKeys;
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+        const PlanPoint &p = todo[i];
+        const std::string cache_key = resultCacheKey(
+            todoKeys[i], cachedTraceChecksum(p.conc, p.gran));
+        RunMetrics m;
+        if (use_cache && loadCachedResult(cache_key, m)) {
+            storeInsert(todoKeys[i], std::move(m));
+            metrics().add("cache.hit", 1);
+            continue;
+        }
+        metrics().add("cache.miss", 1);
+        misses.push_back(p);
+        missKeys.push_back(todoKeys[i]);
+        missCacheKeys.push_back(cache_key);
+    }
+    if (misses.empty())
+        return;
+
+    std::vector<RunMetrics> results(misses.size());
+    const ParallelSweep pool(sweepJobs());
+    pool.run(misses.size(), [&](std::size_t i) {
+        const PlanPoint &p = misses[i];
+        results[i] =
+            replayPoint(cachedTrace(p.conc, p.gran), p.engine,
+                        p.policy);
+    });
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+        storeInsert(missKeys[i], std::move(results[i]));
+        if (use_cache) {
+            std::lock_guard<std::mutex> lock(g_storeMu);
+            if (storeCachedResult(missCacheKeys[i],
+                                  g_store.at(missKeys[i])))
+                metrics().add("cache.store", 1);
+        }
+    }
+}
+
+} // namespace
+
+void
+setResultCacheEnabled(bool enabled)
+{
+    g_cacheEnabled = enabled;
+}
+
+bool
+resultCacheEnabled()
+{
+    return g_cacheEnabled;
+}
+
+void
+executePlan(const ExperimentPlan &plan)
+{
+    executePoints(plan.points());
+}
+
+const RunMetrics &
+pointResult(const PlanPoint &point)
+{
+    const std::string key = pointConfigKey(point);
+    if (const RunMetrics *hit = storeFind(key))
+        return *hit;
+    executePoints({point});
+    std::lock_guard<std::mutex> lock(g_storeMu);
+    return g_store.at(key);
+}
+
+const EventTrace &
+cachedTrace(ConcurrencyLevel conc, GranularityLevel gran)
+{
+    static std::map<std::pair<int, int>, EventTrace> cache;
+    const auto behavior =
+        std::make_pair(static_cast<int>(conc), static_cast<int>(gran));
+
+    const SpellConfig cfg = behaviorConfig(conc, gran);
+    const std::string key = spellTraceKey(cfg);
+    if (obsEnabled()) {
+        manifestNote("behaviors", key);
+        manifestNote("seed", std::to_string(cfg.seed));
+    }
+
+    const auto hit = cache.find(behavior);
+    if (hit != cache.end())
+        return hit->second;
+    const std::string path = outputPath(
+        "traces/" + key + "-s" + std::to_string(cfg.seed) + "-c" +
+        std::to_string(cfg.corpusBytes) + ".trace");
+
+    EventTrace trace;
+    std::string err;
+    if (loadTraceFile(path, trace, &err)) {
+        if (trace.key == key && trace.seed == cfg.seed &&
+            trace.corpusBytes == cfg.corpusBytes)
+            return cache.emplace(behavior, std::move(trace))
+                .first->second;
+        std::cerr << "note: " << path
+                  << " is for a different workload; re-capturing\n";
+    }
+
+    const SpellWorkload wl = SpellWorkload::make(cfg);
+    trace = captureSpellTrace(wl, cfg);
+    if (!saveTraceFile(trace, path, &err))
+        std::cerr << "warning: could not cache trace at " << path
+                  << ": " << err << '\n';
+    return cache.emplace(behavior, std::move(trace)).first->second;
+}
+
+std::uint64_t
+cachedTraceChecksum(ConcurrencyLevel conc, GranularityLevel gran)
+{
+    static std::map<std::pair<int, int>, std::uint64_t> memo;
+    const auto behavior =
+        std::make_pair(static_cast<int>(conc), static_cast<int>(gran));
+    const auto hit = memo.find(behavior);
+    if (hit != memo.end())
+        return hit->second;
+    const std::uint64_t sum = traceChecksum(cachedTrace(conc, gran));
+    return memo.emplace(behavior, sum).first->second;
+}
+
+RunMetrics
+replayPoint(const EventTrace &trace, const EngineConfig &engine,
+            SchedPolicy policy)
+{
+    metrics().add("replay.points", 1);
+    ReplayDriver driver(trace, engine, policy);
+    if (!obsEnabled()) {
+        driver.run();
+        return driver.metrics();
+    }
+
+    const std::string label =
+        trace.key + "/" + schemeName(engine.scheme) + "/w" +
+        std::to_string(engine.numWindows) + "/" + policyName(policy);
+
+    // Timeline recording is bounded to the paper's headline window
+    // count so a full sweep doesn't emit one track per point. The
+    // replay hot loop drives the tracker directly, so installing an
+    // engine observer costs nothing at the other points.
+    obs::EngineTimeline timeline(label, traceSpanLimit());
+    const bool record = traceRequested() && engine.numWindows == 8;
+    if (record)
+        driver.engine().setObserver(&timeline);
+    driver.run();
+    if (record) {
+        driver.engine().setObserver(nullptr);
+        traceWriter().addTrack(timeline.take());
+    }
+
+    obs::PointRecord rec = obs::pointFromEngine(driver.engine());
+    obs::publishSchedCore(driver.core(), rec);
+    metrics().mergePoint(label, rec);
+    manifestNote("schemes", schemeName(engine.scheme));
+    manifestNote("windows", std::to_string(engine.numWindows));
+    manifestNote("policies", policyName(policy));
+    return driver.metrics();
+}
+
+RunMetrics
+replayPoint(const EventTrace &trace, SchemeKind scheme, int windows,
+            SchedPolicy policy)
+{
+    EngineConfig ec;
+    ec.scheme = scheme;
+    ec.numWindows = windows;
+    ec.checkInvariants = false;
+    return replayPoint(trace, ec, policy);
+}
+
+const std::vector<int> &
+defaultWindowSweep()
+{
+    static const std::vector<int> kSweep = {4,  5,  6,  7,  8,  10, 12,
+                                            16, 20, 24, 28, 32};
+    return kSweep;
+}
+
+const std::vector<SchemeKind> &
+evaluatedSchemes()
+{
+    static const std::vector<SchemeKind> kSchemes = {
+        SchemeKind::NS, SchemeKind::SNP, SchemeKind::SP};
+    return kSchemes;
+}
+
+SchemeSweep
+sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
+             SchedPolicy policy, const std::vector<int> &windows)
+{
+    const std::vector<SchemeKind> &schemes = evaluatedSchemes();
+
+    std::vector<PlanPoint> pts;
+    pts.reserve(schemes.size() * windows.size());
+    for (const SchemeKind scheme : schemes)
+        for (const int w : windows)
+            pts.push_back(
+                makePlanPoint(conc, gran, scheme, w, policy));
+    executePoints(pts);
+
+    SchemeSweep sweep;
+    sweep.windows = windows;
+    sweep.bySchemeByWindow.assign(
+        schemes.size(), std::vector<RunMetrics>(windows.size()));
+    for (std::size_t si = 0; si < schemes.size(); ++si)
+        for (std::size_t wi = 0; wi < windows.size(); ++wi)
+            sweep.bySchemeByWindow[si][wi] = pointResult(
+                makePlanPoint(conc, gran, schemes[si], windows[wi],
+                              policy));
+    return sweep;
+}
+
+void
+emitSweepPanel(const std::string &title, const std::string &yLabel,
+               const SchemeSweep &sweep,
+               double (*metric)(const RunMetrics &),
+               const std::string &csvName)
+{
+    std::vector<std::string> headers{"windows"};
+    for (const SchemeKind s : evaluatedSchemes())
+        headers.emplace_back(schemeName(s));
+    Table table(std::move(headers));
+
+    AsciiChart chart(title, "number of windows", yLabel);
+    chart.setYFromZero(true);
+
+    for (std::size_t si = 0; si < evaluatedSchemes().size(); ++si) {
+        ChartSeries series;
+        series.name = schemeName(evaluatedSchemes()[si]);
+        for (std::size_t wi = 0; wi < sweep.windows.size(); ++wi) {
+            series.xs.push_back(sweep.windows[wi]);
+            series.ys.push_back(metric(sweep.at(si, wi)));
+        }
+        chart.addSeries(std::move(series));
+    }
+    for (std::size_t wi = 0; wi < sweep.windows.size(); ++wi) {
+        std::vector<std::string> row{
+            std::to_string(sweep.windows[wi])};
+        for (std::size_t si = 0; si < evaluatedSchemes().size(); ++si)
+            row.push_back(formatDouble(metric(sweep.at(si, wi)), 4));
+        table.addRow(std::move(row));
+    }
+    emitFigure(title, "number of windows", yLabel, table, chart,
+               csvName);
+}
+
+} // namespace bench
+} // namespace crw

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Synthetic microtraces: random call-depth walks driven straight into
+ * the window engine, independent of the spell checker. They give a
+ * second workload family for the paper's claims:
+ *
+ *  - the sharing schemes' execution time saturates once the total
+ *    window activity fits the file (paper §6.3);
+ *  - window activity per thread is the knob: deeper walks move every
+ *    curve's saturation point right;
+ *  - with one thread and no switches, all three schemes behave like
+ *    the conventional single-thread algorithm (sanity: the relative
+ *    overhead of traps stays small when depth locality is high, the
+ *    regime in which Tamir & Sequin showed one-window transfers are
+ *    best — the only transfer size all crw handlers use).
+ *
+ * Drives WindowEngine directly (no EventTrace, no replay), so it has
+ * no plan contribution and bypasses the result cache.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/executor.h"
+#include "bench/exhibits.h"
+#include "bench/harness.h"
+#include "common/chart.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace crw {
+namespace bench {
+namespace {
+
+/** Random-walk workload: @p threads round-robin, depth walks +-1. */
+Cycles
+runWalk(SchemeKind scheme, int windows, int threads, int max_depth,
+        int steps_per_quantum, int quanta, std::uint64_t seed)
+{
+    EngineConfig cfg;
+    cfg.numWindows = windows;
+    cfg.scheme = scheme;
+    WindowEngine engine(cfg);
+    Rng rng(seed);
+
+    std::vector<int> depth(static_cast<std::size_t>(threads), 1);
+    for (ThreadId t = 0; t < threads; ++t)
+        engine.addThread(t);
+
+    ThreadId current = 0;
+    engine.contextSwitch(current);
+    for (int q = 0; q < quanta; ++q) {
+        int &d = depth[static_cast<std::size_t>(current)];
+        for (int s = 0; s < steps_per_quantum; ++s) {
+            const bool up =
+                d <= 1 || (d < max_depth && rng.nextBool(0.5));
+            if (up) {
+                engine.save();
+                ++d;
+            } else {
+                engine.restore();
+                --d;
+            }
+            engine.charge(20);
+        }
+        const ThreadId next =
+            static_cast<ThreadId>((current + 1) % threads);
+        engine.contextSwitch(next);
+        current = next;
+    }
+    return engine.now();
+}
+
+} // namespace
+
+int
+runMicrotrace(const FlagSet &)
+{
+    banner("Microtraces: random call-depth walks (4 threads, "
+           "200-step quanta)");
+
+    bool ok = true;
+    auto check = [&ok](bool cond, const std::string &what) {
+        std::cout << "  [" << (cond ? "ok" : "FAIL") << "] " << what
+                  << '\n';
+        ok = ok && cond;
+    };
+
+    for (const int max_depth : {4, 8}) {
+        Table table({"windows", "NS", "SNP", "SP"});
+        AsciiChart chart("Microtrace: walk depth <= " +
+                             std::to_string(max_depth),
+                         "number of windows", "Mcycles");
+        chart.setYFromZero(true);
+        std::vector<ChartSeries> series(3);
+        const char *names[] = {"NS", "SNP", "SP"};
+        const SchemeKind schemes[] = {SchemeKind::NS, SchemeKind::SNP,
+                                      SchemeKind::SP};
+        for (int i = 0; i < 3; ++i)
+            series[static_cast<std::size_t>(i)].name = names[i];
+
+        for (const int w : defaultWindowSweep()) {
+            std::vector<std::string> row{std::to_string(w)};
+            for (int i = 0; i < 3; ++i) {
+                const Cycles c = runWalk(schemes[i], w, 4, max_depth,
+                                         200, 3000, 99);
+                row.push_back(formatDouble(c / 1e6, 3));
+                series[static_cast<std::size_t>(i)].xs.push_back(w);
+                series[static_cast<std::size_t>(i)].ys.push_back(
+                    static_cast<double>(c) / 1e6);
+            }
+            table.addRow(std::move(row));
+        }
+        for (auto &s : series)
+            chart.addSeries(std::move(s));
+        emitFigure("Microtrace sweep, max depth " +
+                       std::to_string(max_depth),
+                   "windows", "Mcycles", table, chart,
+                   "microtrace_d" + std::to_string(max_depth) +
+                       ".csv");
+
+        // Saturation scales with total window activity (~threads x
+        // depth): the deep walk needs more windows than the shallow
+        // one before SP matches its asymptote.
+        const Cycles sp_small =
+            runWalk(SchemeKind::SP, 8, 4, max_depth, 200, 3000, 99);
+        const Cycles sp_large =
+            runWalk(SchemeKind::SP, 32, 4, max_depth, 200, 3000, 99);
+        check(sp_large <= sp_small,
+              "more windows never hurt SP (depth " +
+                  std::to_string(max_depth) + ")");
+        const Cycles ns_large =
+            runWalk(SchemeKind::NS, 32, 4, max_depth, 200, 3000, 99);
+        check(sp_large < ns_large,
+              "SP beats NS with ample windows (depth " +
+                  std::to_string(max_depth) + ")");
+    }
+
+    // Depth scaling: the deeper walk saturates later.
+    auto saturation = [&](int max_depth) {
+        const Cycles best =
+            runWalk(SchemeKind::SP, 32, 4, max_depth, 200, 3000, 99);
+        for (const int w : defaultWindowSweep()) {
+            const Cycles c =
+                runWalk(SchemeKind::SP, w, 4, max_depth, 200, 3000,
+                        99);
+            if (c <= best + best / 33)
+                return w;
+        }
+        return 32;
+    };
+    const int sat4 = saturation(4);
+    const int sat8 = saturation(8);
+    check(sat8 >= sat4,
+          "deeper walks saturate at more windows (activity knob): " +
+              std::to_string(sat4) + " -> " + std::to_string(sat8));
+    return ok ? 0 : 1;
+}
+
+} // namespace bench
+} // namespace crw

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Host-side throughput of the SPARC instruction-level layer: simulated
+ * MIPS of the predecoded basic-block interpreter (DESIGN.md §9)
+ * against the legacy fetch-decode-execute step loop, on the
+ * window-trap-heavy workloads the kernel experiments use.
+ *
+ * Each workload boots a full kernel::Machine (vectors + handlers +
+ * user program) and runs to halt — block cache off, then on — from a
+ * fresh machine each time. The two runs must agree exactly on
+ * instructions, cycles, and exit code (the architectural results are
+ * the point of the differential fuzz suite; here it doubles as a
+ * sanity gate), so the only thing that may differ is host wall time.
+ * The mode pair is sampled --reps times, interleaved, and each mode
+ * reports its fastest sample: the minimum is the standard estimator
+ * for the noise-free run time on a shared machine.
+ *
+ * Output: an aligned table (MIPS legacy / MIPS cached / speedup), a
+ * CSV under bench_out/, and optionally a machine-readable JSON summary
+ * (--json=PATH, --git-sha=SHA) for scripts/bench_perf.sh.
+ *
+ * Host-perf, not a paper result: registered so `crw-bench
+ * sparc_interp` works, but excluded from `crw-bench all` and from the
+ * experiment plan (wall time cannot be cached).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/exhibits.h"
+#include "bench/harness.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "kernel/machine.h"
+#include "obs/metrics.h"
+#include "obs/publish.h"
+
+namespace crw {
+namespace bench {
+namespace {
+
+using kernel::KernelFlavor;
+using kernel::Machine;
+using sparc::StopReason;
+
+/** sum(n) = n + sum(n-1), one window per activation, repeated. */
+std::string
+rsumSource(int depth, int repeats)
+{
+    return
+        "start:\n"
+        "    set " + std::to_string(repeats) + ", %g4\n"
+        "again:\n"
+        "    set " + std::to_string(depth) + ", %o0\n"
+        "    call rsum\n"
+        "    nop\n"
+        "    subcc %g4, 1, %g4\n"
+        "    bne again\n"
+        "    nop\n"
+        "    ta 0\n"
+        "rsum:\n"
+        "    save %sp, -96, %sp\n"
+        "    cmp %i0, 1\n"
+        "    ble rbase\n"
+        "    nop\n"
+        "    call rsum\n"
+        "    sub %i0, 1, %o0\n"
+        "    add %o0, %i0, %i0\n"
+        "    ret\n"
+        "    restore %i0, 0, %o0\n"
+        "rbase:\n"
+        "    mov 1, %i0\n"
+        "    ret\n"
+        "    restore %i0, 0, %o0\n";
+}
+
+/** Towers of Hanoi: 2^n - 1 moves counted in %g1, returned in %o0. */
+std::string
+hanoiSource(int discs)
+{
+    return
+        "start:\n"
+        "    set " + std::to_string(discs) + ", %o0\n"
+        "    call hanoi\n"
+        "    nop\n"
+        "    mov %g1, %o0\n"
+        "    ta 0\n"
+        "hanoi:\n"
+        "    save %sp, -96, %sp\n"
+        "    cmp %i0, 1\n"
+        "    ble hbase\n"
+        "    nop\n"
+        "    call hanoi\n"
+        "    sub %i0, 1, %o0\n"
+        "    add %g1, 1, %g1\n"
+        "    call hanoi\n"
+        "    sub %i0, 1, %o0\n"
+        "    ret\n"
+        "    restore\n"
+        "hbase:\n"
+        "    add %g1, 1, %g1\n"
+        "    ret\n"
+        "    restore\n";
+}
+
+struct Workload
+{
+    std::string name;
+    KernelFlavor flavor;
+    int windows;
+    std::string source;
+};
+
+struct RunResult
+{
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    Word exitCode = 0;
+    double wall_s = 0;
+    double mips = 0;
+};
+
+RunResult
+timedRun(const Workload &w, bool block_cache)
+{
+    Machine m(w.flavor, w.windows, w.source);
+    m.cpu.setBlockCacheEnabled(block_cache);
+    const auto t0 = std::chrono::steady_clock::now();
+    const StopReason r = m.cpu.run(2'000'000'000ull);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (r != StopReason::Halted)
+        crw_fatal << w.name << ": stopped with "
+                  << sparc::stopReasonName(r) << " ("
+                  << m.cpu.errorMessage() << ")";
+    RunResult res;
+    res.instructions = m.cpu.instructions();
+    res.cycles = m.cpu.cycles();
+    res.exitCode = m.cpu.exitCode();
+    res.wall_s =
+        std::chrono::duration<double>(t1 - t0).count();
+    res.mips = res.wall_s > 0
+                   ? static_cast<double>(res.instructions) /
+                         res.wall_s / 1e6
+                   : 0;
+    if (obsEnabled()) {
+        // Each rep is deterministic, so per-rep counters merged by
+        // addition stay deterministic across runs and job counts.
+        obs::PointRecord rec;
+        obs::publishCpu(m.cpu, rec);
+        metrics().mergePoint(
+            "sparc/" + w.name +
+                (block_cache ? "/cached" : "/legacy"),
+            rec);
+        metrics().sample("host.run_wall_s", res.wall_s);
+        manifestNote("workloads", w.name);
+    }
+    return res;
+}
+
+} // namespace
+
+void
+addSparcInterpFlags(FlagSet &flags)
+{
+    flags.defineInt("rsum-depth", 500, "recursion depth per pass");
+    flags.defineInt("rsum-repeats", 400, "rsum passes per run");
+    flags.defineInt("hanoi-discs", 19, "Towers of Hanoi size");
+    flags.defineInt("windows", 7, "register windows (3-32)");
+    flags.defineInt("reps", 3,
+                    "wall-time samples per mode (fastest wins)");
+    flags.defineString("json", "",
+                       "also write a JSON summary to this path");
+    flags.defineString("git-sha", "unknown",
+                       "recorded in the JSON summary");
+}
+
+int
+runSparcInterp(const FlagSet &flags)
+{
+    if (obsEnabled() && flags.getString("git-sha") != "unknown")
+        manifestSet("git_rev", flags.getString("git-sha"));
+
+    const int windows = static_cast<int>(flags.getInt("windows"));
+    const int depth = static_cast<int>(flags.getInt("rsum-depth"));
+    const int repeats =
+        static_cast<int>(flags.getInt("rsum-repeats"));
+    const int discs = static_cast<int>(flags.getInt("hanoi-discs"));
+    const int reps =
+        std::max(1, static_cast<int>(flags.getInt("reps")));
+
+    const std::vector<Workload> workloads = {
+        {"rsum/conventional", KernelFlavor::Conventional, windows,
+         rsumSource(depth, repeats)},
+        {"rsum/sharing", KernelFlavor::Sharing, windows,
+         rsumSource(depth, repeats)},
+        {"hanoi/sharing", KernelFlavor::Sharing, windows,
+         hanoiSource(discs)},
+    };
+
+    banner("SPARC interpreter throughput: predecoded block dispatch "
+           "vs legacy stepping");
+
+    Table table({"workload", "insns", "MIPS legacy", "MIPS cached",
+                 "speedup"});
+    double total_insns = 0, total_wall_legacy = 0,
+           total_wall_cached = 0;
+    bool ok = true;
+    std::vector<std::string> json_rows;
+    for (const Workload &w : workloads) {
+        RunResult legacy, cached;
+        for (int rep = 0; rep < reps; ++rep) {
+            const RunResult l = timedRun(w, false);
+            const RunResult c = timedRun(w, true);
+            if (l.instructions != c.instructions ||
+                l.cycles != c.cycles || l.exitCode != c.exitCode) {
+                ok = false;
+                std::cout
+                    << "  [FAIL] " << w.name
+                    << ": cached run diverged from legacy run\n";
+            }
+            if (rep == 0 || l.wall_s < legacy.wall_s)
+                legacy = l;
+            if (rep == 0 || c.wall_s < cached.wall_s)
+                cached = c;
+        }
+        const double speedup =
+            legacy.wall_s > 0 && cached.wall_s > 0
+                ? legacy.wall_s / cached.wall_s
+                : 0;
+        total_insns += static_cast<double>(cached.instructions);
+        total_wall_legacy += legacy.wall_s;
+        total_wall_cached += cached.wall_s;
+        char legacy_mips[32], cached_mips[32], speedup_s[32];
+        std::snprintf(legacy_mips, sizeof legacy_mips, "%.1f",
+                      legacy.mips);
+        std::snprintf(cached_mips, sizeof cached_mips, "%.1f",
+                      cached.mips);
+        std::snprintf(speedup_s, sizeof speedup_s, "%.2fx", speedup);
+        table.addRowOf(w.name, cached.instructions,
+                       std::string(legacy_mips),
+                       std::string(cached_mips),
+                       std::string(speedup_s));
+        json_rows.push_back(
+            "    {\"workload\": \"" + w.name +
+            "\", \"instructions\": " +
+            std::to_string(cached.instructions) +
+            ", \"mips_legacy\": " + std::string(legacy_mips) +
+            ", \"mips_cached\": " + std::string(cached_mips) +
+            ", \"speedup\": " +
+            std::to_string(speedup) + "}");
+    }
+    table.printText(std::cout);
+    table.writeCsvFile(outputPath("sparc_interp.csv"));
+
+    const double mips =
+        total_wall_cached > 0 ? total_insns / total_wall_cached / 1e6
+                              : 0;
+    const double overall =
+        total_wall_cached > 0 ? total_wall_legacy / total_wall_cached
+                              : 0;
+    std::cout << "\n  overall: " << static_cast<long>(total_insns)
+              << " simulated insns, "
+              << static_cast<long>(mips) << " MIPS cached, "
+              << overall << "x vs legacy\n";
+    std::cout << "  [" << (ok ? "ok" : "FAIL")
+              << "] cached and legacy runs architecturally "
+                 "identical\n";
+
+    const std::string json_path = flags.getString("json");
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        os << "{\n"
+           << "  \"bench\": \"sparc_interp\",\n"
+           << "  \"git_sha\": \"" << flags.getString("git-sha")
+           << "\",\n"
+           << "  \"mips\": " << mips << ",\n"
+           << "  \"speedup\": " << overall << ",\n"
+           << "  \"wall_s\": " << total_wall_cached << ",\n"
+           << "  \"workloads\": [\n";
+        for (std::size_t i = 0; i < json_rows.size(); ++i)
+            os << json_rows[i]
+               << (i + 1 < json_rows.size() ? ",\n" : "\n");
+        os << "  ]\n}\n";
+        std::cout << "  json: " << json_path << "\n";
+    }
+    if (obsEnabled())
+        manifestNote("windows", std::to_string(windows));
+    return ok ? 0 : 1;
+}
+
+} // namespace bench
+} // namespace crw

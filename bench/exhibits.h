@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-exhibit plan and report functions, one TU each
+ * (bench/exhibit_<name>.cc), wired into the table in registry.cc.
+ * Plans declare the replay points a report reads; reports must only
+ * read points their plan declared (an undeclared read still works —
+ * the executor falls back to on-demand execution — but forfeits the
+ * sharing and warm-cache guarantees).
+ */
+
+#ifndef CRW_BENCH_EXHIBITS_H_
+#define CRW_BENCH_EXHIBITS_H_
+
+namespace crw {
+
+class FlagSet;
+
+namespace bench {
+
+class ExperimentPlan;
+
+void planTable1(ExperimentPlan &plan);
+int runTable1(const FlagSet &flags);
+
+int runTable2(const FlagSet &flags);
+
+void planFig11(ExperimentPlan &plan);
+int runFig11(const FlagSet &flags);
+
+void planFig12(ExperimentPlan &plan);
+int runFig12(const FlagSet &flags);
+
+void planFig13(ExperimentPlan &plan);
+int runFig13(const FlagSet &flags);
+
+void planFig14(ExperimentPlan &plan);
+int runFig14(const FlagSet &flags);
+
+void planFig15(ExperimentPlan &plan);
+int runFig15(const FlagSet &flags);
+
+void planAblation(ExperimentPlan &plan);
+int runAblation(const FlagSet &flags);
+
+int runMicrotrace(const FlagSet &flags);
+
+void addSparcInterpFlags(FlagSet &flags);
+int runSparcInterp(const FlagSet &flags);
+
+} // namespace bench
+} // namespace crw
+
+#endif // CRW_BENCH_EXHIBITS_H_

@@ -6,12 +6,17 @@
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
-#include <map>
 #include <mutex>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "common/chart.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "obs/metrics.h"
 #include "obs/publish.h"
+#include "obs/trace_json.h"
 
 namespace crw {
 namespace bench {
@@ -130,6 +135,18 @@ obsEnabled()
     return !g_metricsOut.empty() || !g_traceOut.empty();
 }
 
+bool
+traceRequested()
+{
+    return !g_traceOut.empty();
+}
+
+std::uint64_t
+traceSpanLimit()
+{
+    return g_traceLimit;
+}
+
 obs::MetricsRegistry &
 metrics()
 {
@@ -183,101 +200,6 @@ benchFinish()
         else
             std::cerr << "warning: " << err << '\n';
     }
-}
-
-RunMetrics
-runSpell(SchemeKind scheme, int windows, SchedPolicy policy,
-         const SpellWorkload &workload, const SpellConfig &config)
-{
-    return runSpellLive(scheme, windows, policy, workload, config);
-}
-
-const EventTrace &
-cachedTrace(ConcurrencyLevel conc, GranularityLevel gran)
-{
-    static std::map<std::pair<int, int>, EventTrace> cache;
-    const auto behavior =
-        std::make_pair(static_cast<int>(conc), static_cast<int>(gran));
-
-    const SpellConfig cfg = behaviorConfig(conc, gran);
-    const std::string key = spellTraceKey(cfg);
-    if (obsEnabled()) {
-        manifestNote("behaviors", key);
-        manifestNote("seed", std::to_string(cfg.seed));
-    }
-
-    const auto hit = cache.find(behavior);
-    if (hit != cache.end())
-        return hit->second;
-    const std::string path = outputPath(
-        "traces/" + key + "-s" + std::to_string(cfg.seed) + "-c" +
-        std::to_string(cfg.corpusBytes) + ".trace");
-
-    EventTrace trace;
-    std::string err;
-    if (loadTraceFile(path, trace, &err)) {
-        if (trace.key == key && trace.seed == cfg.seed &&
-            trace.corpusBytes == cfg.corpusBytes)
-            return cache.emplace(behavior, std::move(trace))
-                .first->second;
-        std::cerr << "note: " << path
-                  << " is for a different workload; re-capturing\n";
-    }
-
-    const SpellWorkload wl = SpellWorkload::make(cfg);
-    trace = captureSpellTrace(wl, cfg);
-    if (!saveTraceFile(trace, path, &err))
-        std::cerr << "warning: could not cache trace at " << path
-                  << ": " << err << '\n';
-    return cache.emplace(behavior, std::move(trace)).first->second;
-}
-
-RunMetrics
-replayPoint(const EventTrace &trace, const EngineConfig &engine,
-            SchedPolicy policy)
-{
-    ReplayDriver driver(trace, engine, policy);
-    if (!obsEnabled()) {
-        driver.run();
-        return driver.metrics();
-    }
-
-    const std::string label =
-        trace.key + "/" + schemeName(engine.scheme) + "/w" +
-        std::to_string(engine.numWindows) + "/" + policyName(policy);
-
-    // Timeline recording is bounded to the paper's headline window
-    // count so a full sweep doesn't emit one track per point. The
-    // replay hot loop drives the tracker directly, so installing an
-    // engine observer costs nothing at the other points.
-    obs::EngineTimeline timeline(label, g_traceLimit);
-    const bool record = !g_traceOut.empty() && engine.numWindows == 8;
-    if (record)
-        driver.engine().setObserver(&timeline);
-    driver.run();
-    if (record) {
-        driver.engine().setObserver(nullptr);
-        traceWriter().addTrack(timeline.take());
-    }
-
-    obs::PointRecord rec = obs::pointFromEngine(driver.engine());
-    obs::publishSchedCore(driver.core(), rec);
-    metrics().mergePoint(label, rec);
-    manifestNote("schemes", schemeName(engine.scheme));
-    manifestNote("windows", std::to_string(engine.numWindows));
-    manifestNote("policies", policyName(policy));
-    return driver.metrics();
-}
-
-RunMetrics
-replayPoint(const EventTrace &trace, SchemeKind scheme, int windows,
-            SchedPolicy policy)
-{
-    EngineConfig ec;
-    ec.scheme = scheme;
-    ec.numWindows = windows;
-    ec.checkInvariants = false;
-    return replayPoint(trace, ec, policy);
 }
 
 ParallelSweep::ParallelSweep(int jobs)
@@ -349,22 +271,6 @@ ParallelSweep::run(std::size_t count,
         t.join();
 }
 
-const std::vector<int> &
-defaultWindowSweep()
-{
-    static const std::vector<int> kSweep = {4,  5,  6,  7,  8,  10, 12,
-                                            16, 20, 24, 28, 32};
-    return kSweep;
-}
-
-const std::vector<SchemeKind> &
-evaluatedSchemes()
-{
-    static const std::vector<SchemeKind> kSchemes = {
-        SchemeKind::NS, SchemeKind::SNP, SchemeKind::SP};
-    return kSchemes;
-}
-
 std::string
 outputPath(const std::string &name)
 {
@@ -382,64 +288,6 @@ banner(const std::string &title)
               << std::string(72, '=') << '\n'
               << title << '\n'
               << std::string(72, '=') << '\n';
-}
-
-SchemeSweep
-sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
-             SchedPolicy policy, const std::vector<int> &windows)
-{
-    const EventTrace &trace = cachedTrace(conc, gran);
-    const std::vector<SchemeKind> &schemes = evaluatedSchemes();
-
-    SchemeSweep sweep;
-    sweep.windows = windows;
-    sweep.bySchemeByWindow.assign(
-        schemes.size(), std::vector<RunMetrics>(windows.size()));
-
-    // One replay per (scheme, windows) point; every point is
-    // independent, results land in their fixed slots.
-    const ParallelSweep pool(sweepJobs());
-    pool.run(schemes.size() * windows.size(), [&](std::size_t i) {
-        const std::size_t si = i / windows.size();
-        const std::size_t wi = i % windows.size();
-        sweep.bySchemeByWindow[si][wi] =
-            replayPoint(trace, schemes[si], windows[wi], policy);
-    });
-    return sweep;
-}
-
-void
-emitSweepPanel(const std::string &title, const std::string &yLabel,
-               const SchemeSweep &sweep,
-               double (*metric)(const RunMetrics &),
-               const std::string &csvName)
-{
-    std::vector<std::string> headers{"windows"};
-    for (const SchemeKind s : evaluatedSchemes())
-        headers.emplace_back(schemeName(s));
-    Table table(std::move(headers));
-
-    AsciiChart chart(title, "number of windows", yLabel);
-    chart.setYFromZero(true);
-
-    for (std::size_t si = 0; si < evaluatedSchemes().size(); ++si) {
-        ChartSeries series;
-        series.name = schemeName(evaluatedSchemes()[si]);
-        for (std::size_t wi = 0; wi < sweep.windows.size(); ++wi) {
-            series.xs.push_back(sweep.windows[wi]);
-            series.ys.push_back(metric(sweep.at(si, wi)));
-        }
-        chart.addSeries(std::move(series));
-    }
-    for (std::size_t wi = 0; wi < sweep.windows.size(); ++wi) {
-        std::vector<std::string> row{
-            std::to_string(sweep.windows[wi])};
-        for (std::size_t si = 0; si < evaluatedSchemes().size(); ++si)
-            row.push_back(formatDouble(metric(sweep.at(si, wi)), 4));
-        table.addRow(std::move(row));
-    }
-    emitFigure(title, "number of windows", yLabel, table, chart,
-               csvName);
 }
 
 void

@@ -1,43 +1,44 @@
 /**
  * @file
- * Shared experiment harness for the exhibit-reproduction benches.
+ * Shared infrastructure of the exhibit-reproduction benches: common
+ * command line, observability session, worker pool and report
+ * emission. The experiment layers sit on top:
  *
- * Since the capture/replay refactor (DESIGN.md §8) the harness is
- * built on the capture-once / replay-many architecture: each behavior
- * is executed live (coroutines) exactly once to capture an EventTrace
- * — cached on disk under bench_out/traces/ — and every point of a
- * scheme × windows sweep is a cheap replay of that trace. Replays are
- * independent (one engine per point), so sweepSchemes() fans them out
- * over a ParallelSweep worker pool (--jobs N / CRW_JOBS).
+ *   plan     bench/plan.h      declarative point sets per exhibit
+ *   execute  bench/executor.h  shared sweep runner + result cache
+ *   report   bench/exhibits.h  per-exhibit tables/charts/CSVs
+ *   driver   bench/registry.h  crw-bench + the thin legacy wrappers
  *
- * Conventions: each binary runs standalone with sensible defaults
- * (call benchInit() first to parse the common flags), prints an
- * aligned table plus an ASCII chart of the figure's series, and
- * writes a CSV next to the working directory (bench_out/). Results
- * are deterministic and independent of the worker count.
+ * This header is deliberately light — everything heavyweight (spell,
+ * replay, obs implementation types) is forward-declared — so the
+ * wrapper binaries and report TUs compile against the layer they use.
+ *
+ * Conventions: each exhibit runs standalone with sensible defaults,
+ * prints an aligned table plus an ASCII chart of the figure's series,
+ * and writes a CSV next to the working directory (bench_out/).
+ * Results are deterministic and independent of the worker count and
+ * of the result-cache state.
  */
 
 #ifndef CRW_BENCH_HARNESS_H_
 #define CRW_BENCH_HARNESS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
-#include <vector>
-
-#include "common/chart.h"
-#include "common/flags.h"
-#include "common/table.h"
-#include "obs/metrics.h"
-#include "obs/trace_json.h"
-#include "spell/app.h"
-#include "spell/capture.h"
-#include "trace/behavior.h"
-#include "trace/event_trace.h"
-#include "trace/replay_driver.h"
-#include "trace/run_metrics.h"
 
 namespace crw {
+
+class AsciiChart;
+class FlagSet;
+class Table;
+
+namespace obs {
+class MetricsRegistry;
+class TraceJsonWriter;
+} // namespace obs
+
 namespace bench {
 
 /**
@@ -49,7 +50,8 @@ bool benchInit(int argc, const char *const *argv);
 
 /**
  * As above, but parsing with the caller's FlagSet so a bench can add
- * its own flags next to the common ones (bench_sparc_interp).
+ * its own flags next to the common ones (the exhibit registry does
+ * this for --no-cache and sparc_interp's workload knobs).
  */
 bool benchInit(int argc, const char *const *argv, FlagSet &flags);
 
@@ -83,6 +85,12 @@ int sweepJobs();
 /** True when --metrics-out or --trace-out was given. */
 bool obsEnabled();
 
+/** True when --trace-out was given (timelines need live replays). */
+bool traceRequested();
+
+/** The --trace-limit cap on recorded spans per timeline track. */
+std::uint64_t traceSpanLimit();
+
 /** The process-wide metric store (dumped by benchFinish()). */
 obs::MetricsRegistry &metrics();
 
@@ -94,29 +102,6 @@ void manifestSet(const std::string &key, const std::string &value);
 
 /** Thread-safe set-valued stamping (RunManifest::noteValue). */
 void manifestNote(const std::string &key, const std::string &value);
-
-/**
- * One full *live* (coroutine) spell-checker simulation — the oracle
- * the replay path is pinned against. Sweeps should use cachedTrace()
- * + replayPoint() instead.
- */
-RunMetrics runSpell(SchemeKind scheme, int windows, SchedPolicy policy,
-                    const SpellWorkload &workload,
-                    const SpellConfig &config);
-
-/**
- * The captured trace of one behavior. In-memory cache first, then the
- * disk cache bench_out/traces/<key>-s<seed>-c<bytes>.trace (stale or
- * corrupted files are re-captured), else one live capture run.
- */
-const EventTrace &cachedTrace(ConcurrencyLevel conc,
-                              GranularityLevel gran);
-
-/** Replay @p trace at one configuration point. */
-RunMetrics replayPoint(const EventTrace &trace,
-                       const EngineConfig &engine, SchedPolicy policy);
-RunMetrics replayPoint(const EventTrace &trace, SchemeKind scheme,
-                       int windows, SchedPolicy policy);
 
 /**
  * Fixed-size fan-out over a pool of std::threads. run() executes
@@ -141,12 +126,6 @@ class ParallelSweep
     int jobs_;
 };
 
-/** The window counts swept by the figure benches (paper: 4..32). */
-const std::vector<int> &defaultWindowSweep();
-
-/** The three schemes in the paper's legend order. */
-const std::vector<SchemeKind> &evaluatedSchemes();
-
 /** Ensure the parent directory exists, return "bench_out/<name>". */
 std::string outputPath(const std::string &name);
 
@@ -160,37 +139,6 @@ void banner(const std::string &title);
 void emitFigure(const std::string &title, const std::string &xLabel,
                 const std::string &yLabel, Table &table,
                 AsciiChart &chart, const std::string &csvName);
-
-/** All runs of one scheme x window-count sweep at a fixed behavior. */
-struct SchemeSweep
-{
-    std::vector<int> windows;
-    /** Indexed parallel to evaluatedSchemes() then to windows. */
-    std::vector<std::vector<RunMetrics>> bySchemeByWindow;
-
-    const RunMetrics &
-    at(std::size_t scheme_idx, std::size_t window_idx) const
-    {
-        return bySchemeByWindow[scheme_idx][window_idx];
-    }
-};
-
-/**
- * Run the NS/SNP/SP x windows matrix for one behavior: one trace
- * capture (or cache hit), then sweepJobs() parallel replays.
- */
-SchemeSweep sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
-                         SchedPolicy policy,
-                         const std::vector<int> &windows);
-
-/**
- * Emit one figure panel: the given metric as a function of the window
- * count, one series per scheme, for one behavior.
- */
-void emitSweepPanel(const std::string &title,
-                    const std::string &yLabel, const SchemeSweep &sweep,
-                    double (*metric)(const RunMetrics &),
-                    const std::string &csvName);
 
 } // namespace bench
 } // namespace crw

@@ -1,0 +1,71 @@
+#include "bench/plan.h"
+
+#include <algorithm>
+
+#include "common/byteio.h"
+#include "spell/capture.h"
+
+namespace crw {
+namespace bench {
+
+PlanPoint
+makePlanPoint(ConcurrencyLevel conc, GranularityLevel gran,
+              SchemeKind scheme, int windows, SchedPolicy policy)
+{
+    PlanPoint p;
+    p.conc = conc;
+    p.gran = gran;
+    p.engine.scheme = scheme;
+    p.engine.numWindows = windows;
+    p.policy = policy;
+    return p;
+}
+
+std::string
+pointConfigKey(const PlanPoint &point)
+{
+    return spellTraceKey(behaviorConfig(point.conc, point.gran)) + "|" +
+           engineConfigKey(point.engine) + "|" +
+           policyName(point.policy);
+}
+
+void
+ExperimentPlan::add(const PlanPoint &point)
+{
+    if (keys_.insert(pointConfigKey(point)).second)
+        points_.push_back(point);
+}
+
+void
+ExperimentPlan::addSweep(ConcurrencyLevel conc, GranularityLevel gran,
+                         SchedPolicy policy,
+                         const std::vector<SchemeKind> &schemes,
+                         const std::vector<int> &windows)
+{
+    for (const SchemeKind scheme : schemes)
+        for (const int w : windows)
+            add(makePlanPoint(conc, gran, scheme, w, policy));
+}
+
+std::string
+ExperimentPlan::digest() const
+{
+    // keys_ is already sorted (std::set); hash each key plus a
+    // separator so concatenation ambiguity cannot collide two plans.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::string &key : keys_) {
+        h = fnv1a64(key, h);
+        h = (h ^ static_cast<std::uint64_t>('\n')) *
+            1099511628211ull;
+    }
+    static const char *kHex = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kHex[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+} // namespace bench
+} // namespace crw

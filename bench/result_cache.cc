@@ -1,0 +1,60 @@
+#include "bench/result_cache.h"
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "common/byteio.h"
+#include "trace/run_metrics.h"
+
+namespace crw {
+namespace bench {
+
+std::string
+resultCacheKey(const std::string &point_key,
+               std::uint64_t trace_checksum)
+{
+    static const char *kHex = "0123456789abcdef";
+    std::string sum(16, '0');
+    std::uint64_t h = trace_checksum;
+    for (int i = 15; i >= 0; --i) {
+        sum[static_cast<std::size_t>(i)] = kHex[h & 0xf];
+        h >>= 4;
+    }
+    return point_key + "|trace=" + sum + "|v" +
+           std::to_string(kRunMetricsFormatVersion);
+}
+
+std::string
+resultCachePath(const std::string &cache_key)
+{
+    static const char *kHex = "0123456789abcdef";
+    std::uint64_t h = fnv1a64(cache_key);
+    std::string name(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        name[static_cast<std::size_t>(i)] = kHex[h & 0xf];
+        h >>= 4;
+    }
+    return outputPath("results/" + name + ".metrics");
+}
+
+bool
+loadCachedResult(const std::string &cache_key, RunMetrics &out)
+{
+    return loadMetricsFile(resultCachePath(cache_key), cache_key, out);
+}
+
+bool
+storeCachedResult(const std::string &cache_key,
+                  const RunMetrics &metrics)
+{
+    std::string err;
+    if (saveMetricsFile(metrics, cache_key,
+                        resultCachePath(cache_key), &err))
+        return true;
+    std::cerr << "warning: could not cache result for " << cache_key
+              << ": " << err << '\n';
+    return false;
+}
+
+} // namespace bench
+} // namespace crw

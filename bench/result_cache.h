@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Content-addressed on-disk cache of replay results (DESIGN.md §11).
+ *
+ * One entry per executed plan point, stored under
+ * bench_out/results/<fnv1a64(cache key) hex>.metrics in the versioned
+ * CRWMETRS format (trace/run_metrics.h). The cache key names the full
+ * identity of a result:
+ *
+ *   <pointConfigKey>|trace=<checksum hex>|v<kRunMetricsFormatVersion>
+ *
+ * so an entry is invalidated — by key change, hence by file-name
+ * change — when the captured trace changes (checksum), when any
+ * result-affecting EngineConfig field, the policy or the cost model
+ * changes (pointConfigKey), or when the serialized format is bumped.
+ * The key is also stored inside the entry and verified on load, so a
+ * hash collision in the file naming degrades to a miss, never to an
+ * aliased result. A corrupted or truncated entry fails its checksum
+ * and is silently re-replayed (and overwritten).
+ */
+
+#ifndef CRW_BENCH_RESULT_CACHE_H_
+#define CRW_BENCH_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crw {
+
+struct RunMetrics;
+
+namespace bench {
+
+/** Full identity of one cached result (see file comment). */
+std::string resultCacheKey(const std::string &point_key,
+                           std::uint64_t trace_checksum);
+
+/** bench_out/results/<fnv1a64(cache_key) hex>.metrics */
+std::string resultCachePath(const std::string &cache_key);
+
+/**
+ * Load the entry for @p cache_key. False on any mismatch or damage
+ * (missing file, bad magic/version/checksum, foreign key) — callers
+ * re-replay; a miss is never an error.
+ */
+bool loadCachedResult(const std::string &cache_key, RunMetrics &out);
+
+/** Persist one result (temp file + rename). False on I/O failure. */
+bool storeCachedResult(const std::string &cache_key,
+                       const RunMetrics &metrics);
+
+} // namespace bench
+} // namespace crw
+
+#endif // CRW_BENCH_RESULT_CACHE_H_

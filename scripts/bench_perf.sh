@@ -42,8 +42,40 @@ echo "== bench_sparc_interp (reps=$reps)"
 echo "== bench_fig11"
 "$build_dir/bench/bench_fig11"
 
-echo "== determinism gate (incl. observability contract)"
+echo "== determinism gate (incl. observability + result cache)"
 "$repo_root/scripts/check_determinism.sh" "$build_dir"
+
+# Result-cache gate: a warm `crw-bench fig11 fig12 fig13` rerun must
+# serve the whole shared sweep from bench_out/results/ — zero replays,
+# one cache hit per stored point — proven by the cache.*/replay.points
+# counters in --metrics-out.
+echo "== result-cache gate (warm crw-bench rerun replays nothing)"
+crwbench_abs=$(cd "$build_dir/bench" && pwd)/crw-bench
+cache_dir=$(mktemp -d)
+(cd "$cache_dir" &&
+ "$crwbench_abs" fig11 fig12 fig13 --metrics-out cold.json \
+     > /dev/null)
+(cd "$cache_dir" &&
+ "$crwbench_abs" fig11 fig12 fig13 --metrics-out warm.json \
+     > /dev/null)
+counter() {
+    v=$(grep -o "\"$2\": [0-9]*" "$1" | head -n1 | sed 's/.*: //' \
+        || true)
+    echo "${v:-0}"
+}
+cold_replays=$(counter "$cache_dir/cold.json" "replay.points")
+cold_stores=$(counter "$cache_dir/cold.json" "cache.store")
+warm_replays=$(counter "$cache_dir/warm.json" "replay.points")
+warm_hits=$(counter "$cache_dir/warm.json" "cache.hit")
+rm -rf "$cache_dir"
+echo "  cold: $cold_replays replays, $cold_stores stores;" \
+     "warm: $warm_replays replays, $warm_hits hits"
+if [ "$cold_replays" -eq 0 ] || [ "$warm_replays" -ne 0 ] ||
+   [ "$warm_hits" -ne "$cold_stores" ]; then
+    echo "error: warm-cache rerun did not serve every point from" \
+         "the result cache" >&2
+    exit 1
+fi
 
 # Observability overhead gate: a fully instrumented bench_fig11 run
 # (--metrics-out + --trace-out) must stay within a few percent of the

@@ -21,6 +21,16 @@
 #     outputs: CSVs and stdout stay identical to the obs-off runs of
 #     part 1.
 #
+#  4. The point-result cache is invisible in every output byte: a
+#     cold-cache run, a warm-cache rerun and a --no-cache run of
+#     `crw-bench fig11` produce byte-identical stdout and CSVs — and
+#     identical to the legacy bench_fig11 wrapper — while the
+#     cache.*/replay.points counters prove the warm run replayed
+#     nothing. A combined `crw-bench fig11 fig12 fig13` run shares
+#     one sweep: its CSVs match three standalone runs byte-for-byte
+#     and its replay count equals fig11's alone (fig12 and fig13
+#     contribute no new points).
+#
 # Usage: scripts/check_determinism.sh [build-dir] [jobs]
 #   build-dir  CMake build tree containing bench/ (default: build)
 #   jobs       parallel worker count for the second run
@@ -196,10 +206,114 @@ else
     status=1
 fi
 
+# Part 4: the point-result cache. The cached sweep must be invisible
+# in every output byte — cold, warm and --no-cache runs identical to
+# each other and to the legacy wrapper — and the cache/replay obs
+# counters must prove the warm run replayed nothing and a combined
+# run shared its sweep.
+crwbench="$build_dir/bench/crw-bench"
+if [ ! -x "$crwbench" ]; then
+    echo "error: $crwbench not found or not executable." >&2
+    exit 2
+fi
+crwbench_abs=$(cd "$(dirname "$crwbench")" && pwd)/$(basename "$crwbench")
+
+# "name": N in a metrics.json, 0 when the counter never fired.
+counter() {
+    v=$(grep -o "\"$2\": [0-9]*" "$1" | head -n1 | sed 's/.*: //' \
+        || true)
+    echo "${v:-0}"
+}
+
+echo "== crw-bench fig11 (cold cache)"
+mkdir -p "$workdir/cache"
+(cd "$workdir/cache" &&
+ "$crwbench_abs" fig11 --metrics-out cold.json > stdout_cold.txt)
+echo "== crw-bench fig11 (warm cache)"
+(cd "$workdir/cache" &&
+ "$crwbench_abs" fig11 --metrics-out warm.json > stdout_warm.txt)
+echo "== crw-bench fig11 --no-cache"
+mkdir -p "$workdir/nocache"
+(cd "$workdir/nocache" &&
+ "$crwbench_abs" fig11 --no-cache > stdout.txt)
+
+for pair in "cache/stdout_cold.txt cold-cache" \
+            "cache/stdout_warm.txt warm-cache" \
+            "nocache/stdout.txt no-cache"; do
+    f=${pair%% *}
+    label=${pair#* }
+    if cmp -s "$workdir/serial/stdout.txt" "$workdir/$f"; then
+        echo "  ok   $label stdout matches the legacy wrapper"
+    else
+        echo "  FAIL $label stdout differs from the legacy wrapper"
+        status=1
+    fi
+done
+for serial_csv in "$workdir"/serial/bench_out/*.csv; do
+    [ -e "$serial_csv" ] || break
+    name=$(basename "$serial_csv")
+    if cmp -s "$serial_csv" "$workdir/cache/bench_out/$name" &&
+       cmp -s "$serial_csv" "$workdir/nocache/bench_out/$name"; then
+        echo "  ok   $name identical cold, warm and --no-cache"
+    else
+        echo "  FAIL $name differs across cache states"
+        status=1
+    fi
+done
+
+cold_replays=$(counter "$workdir/cache/cold.json" "replay.points")
+warm_replays=$(counter "$workdir/cache/warm.json" "replay.points")
+cold_stores=$(counter "$workdir/cache/cold.json" "cache.store")
+warm_hits=$(counter "$workdir/cache/warm.json" "cache.hit")
+if [ "$cold_replays" -gt 0 ] && [ "$warm_replays" -eq 0 ] &&
+   [ "$warm_hits" -eq "$cold_stores" ]; then
+    echo "  ok   warm cache: 0 replays, $warm_hits hits" \
+         "(cold: $cold_replays replays)"
+else
+    echo "  FAIL cache counters: cold replays=$cold_replays" \
+         "stores=$cold_stores, warm replays=$warm_replays" \
+         "hits=$warm_hits"
+    status=1
+fi
+
+echo "== crw-bench fig11 fig12 fig13 (one shared sweep)"
+mkdir -p "$workdir/combo" "$workdir/f12" "$workdir/f13"
+(cd "$workdir/combo" &&
+ "$crwbench_abs" fig11 fig12 fig13 --metrics-out combo.json \
+     > stdout.txt)
+(cd "$workdir/f12" && "$crwbench_abs" fig12 > stdout.txt)
+(cd "$workdir/f13" && "$crwbench_abs" fig13 > stdout.txt)
+
+for spec in "fig11 serial" "fig12 f12" "fig13 f13"; do
+    fig=${spec%% *}
+    dir=${spec#* }
+    for combo_csv in "$workdir/combo/bench_out/$fig"_*.csv; do
+        [ -e "$combo_csv" ] || break
+        name=$(basename "$combo_csv")
+        if cmp -s "$combo_csv" "$workdir/$dir/bench_out/$name"; then
+            echo "  ok   $name matches the standalone run"
+        else
+            echo "  FAIL $name differs from the standalone run"
+            status=1
+        fi
+    done
+done
+
+combo_replays=$(counter "$workdir/combo/combo.json" "replay.points")
+if [ "$combo_replays" -eq "$cold_replays" ]; then
+    echo "  ok   combined run replayed $combo_replays points —" \
+         "exactly fig11's own sweep, shared three ways"
+else
+    echo "  FAIL combined run replayed $combo_replays points," \
+         "fig11 alone replayed $cold_replays"
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
     echo "determinism check passed: identical output at --jobs 1 and" \
-         "--jobs $jobs, with the block cache on and off, and with" \
-         "observability on and off"
+         "--jobs $jobs, with the block cache on and off, with" \
+         "observability on and off, and with the result cache cold," \
+         "warm, shared and disabled"
 else
     echo "determinism check FAILED" >&2
 fi

@@ -1,0 +1,58 @@
+#include "common/byteio.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace crw {
+
+bool
+writeFileAtomic(const std::vector<std::uint8_t> &bytes,
+                const std::string &path, std::string *error)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *fp = std::fopen(tmp.c_str(), "wb");
+    if (!fp) {
+        if (error)
+            *error = "cannot open " + tmp;
+        return false;
+    }
+    const bool wrote =
+        std::fwrite(bytes.data(), 1, bytes.size(), fp) == bytes.size();
+    std::fclose(fp);
+    if (!wrote) {
+        if (error)
+            *error = "short write to " + tmp;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        if (error)
+            *error = "rename failed: " + ec.message();
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFileBytes(const std::string &path, std::vector<std::uint8_t> &out,
+              std::string *error)
+{
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (!fp) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    out.clear();
+    std::uint8_t buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, fp)) > 0)
+        out.insert(out.end(), buf, buf + n);
+    std::fclose(fp);
+    return true;
+}
+
+} // namespace crw

@@ -1,9 +1,8 @@
 #include "trace/event_trace.h"
 
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
 
+#include "common/byteio.h"
 #include "common/logging.h"
 
 namespace crw {
@@ -26,112 +25,29 @@ appendVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
     out.push_back(static_cast<std::uint8_t>(v));
 }
 
-std::uint64_t
-fnv1a(const std::uint8_t *data, std::size_t n)
+// The exact byte sequence saveTraceFile() checksums and writes between
+// the version word and the trailing checksum; traceChecksum() hashes
+// the same bytes so an in-memory trace and its file agree on identity.
+void
+encodeTracePayload(const EventTrace &trace, ByteWriter &payload)
 {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (std::size_t i = 0; i < n; ++i) {
-        h ^= data[i];
-        h *= 0x100000001b3ull;
+    payload.str(trace.key);
+    payload.u64(trace.seed);
+    payload.u64(trace.corpusBytes);
+    payload.u64(trace.misspelled);
+    payload.u64(trace.wordsFromDelatex);
+    payload.u32(static_cast<std::uint32_t>(trace.streams.size()));
+    for (const TraceStreamInfo &s : trace.streams) {
+        payload.str(s.name);
+        payload.u32(s.capacity);
+        payload.u32(s.writers);
     }
-    return h;
+    payload.u32(static_cast<std::uint32_t>(trace.threads.size()));
+    for (const TraceThreadInfo &t : trace.threads) {
+        payload.str(t.name);
+        payload.blob(t.code);
+    }
 }
-
-// --- flat byte-buffer writer/reader for the file payload ---
-
-struct Writer
-{
-    std::vector<std::uint8_t> bytes;
-
-    void
-    u32(std::uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u32(static_cast<std::uint32_t>(s.size()));
-        bytes.insert(bytes.end(), s.begin(), s.end());
-    }
-
-    void
-    blob(const std::vector<std::uint8_t> &b)
-    {
-        u64(b.size());
-        bytes.insert(bytes.end(), b.begin(), b.end());
-    }
-};
-
-struct Reader
-{
-    const std::uint8_t *p;
-    const std::uint8_t *end;
-    bool ok = true;
-
-    bool
-    need(std::size_t n)
-    {
-        if (static_cast<std::size_t>(end - p) < n) {
-            ok = false;
-            return false;
-        }
-        return true;
-    }
-
-    std::uint32_t
-    u32()
-    {
-        if (!need(4))
-            return 0;
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(*p++) << (8 * i);
-        return v;
-    }
-
-    std::uint64_t
-    u64()
-    {
-        if (!need(8))
-            return 0;
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(*p++) << (8 * i);
-        return v;
-    }
-
-    std::string
-    str()
-    {
-        const std::uint32_t n = u32();
-        if (!need(n))
-            return {};
-        std::string s(reinterpret_cast<const char *>(p), n);
-        p += n;
-        return s;
-    }
-
-    std::vector<std::uint8_t>
-    blob()
-    {
-        const std::uint64_t n = u64();
-        if (!need(n))
-            return {};
-        std::vector<std::uint8_t> b(p, p + n);
-        p += n;
-        return b;
-    }
-};
 
 } // namespace
 
@@ -313,61 +229,29 @@ TraceRecorder::take(std::uint64_t misspelled,
     return std::move(trace_);
 }
 
+std::uint64_t
+traceChecksum(const EventTrace &trace)
+{
+    ByteWriter payload;
+    encodeTracePayload(trace, payload);
+    return fnv1a64(payload.bytes.data(), payload.bytes.size());
+}
+
 bool
 saveTraceFile(const EventTrace &trace, const std::string &path,
               std::string *error)
 {
-    Writer payload;
-    payload.str(trace.key);
-    payload.u64(trace.seed);
-    payload.u64(trace.corpusBytes);
-    payload.u64(trace.misspelled);
-    payload.u64(trace.wordsFromDelatex);
-    payload.u32(static_cast<std::uint32_t>(trace.streams.size()));
-    for (const TraceStreamInfo &s : trace.streams) {
-        payload.str(s.name);
-        payload.u32(s.capacity);
-        payload.u32(s.writers);
-    }
-    payload.u32(static_cast<std::uint32_t>(trace.threads.size()));
-    for (const TraceThreadInfo &t : trace.threads) {
-        payload.str(t.name);
-        payload.blob(t.code);
-    }
+    ByteWriter payload;
+    encodeTracePayload(trace, payload);
 
-    Writer file;
+    ByteWriter file;
     file.bytes.insert(file.bytes.end(), kMagic, kMagic + 8);
     file.u32(kTraceFormatVersion);
     file.bytes.insert(file.bytes.end(), payload.bytes.begin(),
                       payload.bytes.end());
-    file.u64(fnv1a(payload.bytes.data(), payload.bytes.size()));
+    file.u64(fnv1a64(payload.bytes.data(), payload.bytes.size()));
 
-    const std::string tmp = path + ".tmp";
-    std::FILE *fp = std::fopen(tmp.c_str(), "wb");
-    if (!fp) {
-        if (error)
-            *error = "cannot open " + tmp;
-        return false;
-    }
-    const bool wrote = std::fwrite(file.bytes.data(), 1,
-                                   file.bytes.size(),
-                                   fp) == file.bytes.size();
-    std::fclose(fp);
-    if (!wrote) {
-        if (error)
-            *error = "short write to " + tmp;
-        std::remove(tmp.c_str());
-        return false;
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        if (error)
-            *error = "rename failed: " + ec.message();
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    return writeFileAtomic(file.bytes, path, error);
 }
 
 bool
@@ -430,15 +314,10 @@ loadTraceFile(const std::string &path, EventTrace &out,
         return false;
     };
 
-    std::FILE *fp = std::fopen(path.c_str(), "rb");
-    if (!fp)
-        return fail("cannot open " + path);
     std::vector<std::uint8_t> bytes;
-    std::uint8_t buf[1 << 16];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof buf, fp)) > 0)
-        bytes.insert(bytes.end(), buf, buf + n);
-    std::fclose(fp);
+    std::string io_err;
+    if (!readFileBytes(path, bytes, &io_err))
+        return fail(io_err);
 
     // 8 magic + 4 version + 8 trailing checksum.
     if (bytes.size() < 20)
@@ -446,7 +325,7 @@ loadTraceFile(const std::string &path, EventTrace &out,
     if (std::memcmp(bytes.data(), kMagic, 8) != 0)
         return fail("bad magic (not a crw trace)");
 
-    Reader header{bytes.data() + 8, bytes.data() + bytes.size()};
+    ByteReader header{bytes.data() + 8, bytes.data() + bytes.size()};
     const std::uint32_t version = header.u32();
     if (version != kTraceFormatVersion)
         return fail("unsupported trace version " +
@@ -454,12 +333,12 @@ loadTraceFile(const std::string &path, EventTrace &out,
 
     const std::uint8_t *payload = bytes.data() + 12;
     const std::size_t payload_size = bytes.size() - 20;
-    Reader csum{bytes.data() + bytes.size() - 8,
+    ByteReader csum{bytes.data() + bytes.size() - 8,
                 bytes.data() + bytes.size()};
-    if (fnv1a(payload, payload_size) != csum.u64())
+    if (fnv1a64(payload, payload_size) != csum.u64())
         return fail("checksum mismatch (corrupted trace)");
 
-    Reader r{payload, payload + payload_size};
+    ByteReader r{payload, payload + payload_size};
     EventTrace t;
     t.key = r.str();
     t.seed = r.u64();

@@ -192,6 +192,15 @@ class TraceRecorder : public TraceSink
  */
 inline constexpr std::uint32_t kTraceFormatVersion = 1;
 
+/**
+ * FNV-1a of the trace's serialized payload — exactly the bytes
+ * saveTraceFile() checksums, so an in-memory trace and its cache file
+ * agree on identity. This is the trace-identity component of the
+ * bench result-cache key (bench/result_cache.h): any change to the
+ * captured behavior invalidates every point result derived from it.
+ */
+std::uint64_t traceChecksum(const EventTrace &trace);
+
 /** Write @p trace to @p path (via a temp file + rename). */
 bool saveTraceFile(const EventTrace &trace, const std::string &path,
                    std::string *error = nullptr);

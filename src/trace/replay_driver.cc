@@ -1,8 +1,29 @@
 #include "trace/replay_driver.h"
 
+#include <string>
+
 #include "common/logging.h"
 
 namespace crw {
+namespace {
+
+/**
+ * Replay coordinate for fatal diagnostics: which behavior's trace was
+ * being replayed, and under which (scheme, windows, policy). A stuck
+ * or mismatched replay is almost always one bad point in a large
+ * sweep, so the bare thread id alone is undebuggable.
+ */
+std::string
+replayContext(const EventTrace &trace, const WindowEngine &engine,
+              SchedPolicy policy)
+{
+    return "behavior \"" + trace.key + "\", " +
+           schemeName(engine.scheme()) + "/w" +
+           std::to_string(engine.numWindows()) + "/" +
+           policyName(policy);
+}
+
+} // namespace
 
 ReplayDriver::ReplayDriver(const EventTrace &trace,
                            const EngineConfig &engine_config,
@@ -119,15 +140,23 @@ ReplayDriver::runThread(ThreadId tid)
             cur.advance();
             if (!cur.atEnd())
                 crw_fatal << "replay: events after Exit in thread "
-                          << tid;
+                          << tid << " ("
+                          << trace_.threads[static_cast<std::size_t>(
+                                                tid)]
+                                 .name
+                          << ") — "
+                          << replayContext(trace_, engine_,
+                                           core_.policy());
             engine_.threadExit();
             tracker_.onExit(tid);
             t.state = RState::Finished;
             return;
         }
     }
-    crw_fatal << "replay: script of thread " << tid
-              << " ended without Exit";
+    crw_fatal << "replay: script of thread " << tid << " ("
+              << trace_.threads[static_cast<std::size_t>(tid)].name
+              << ") ended without Exit — "
+              << replayContext(trace_, engine_, core_.policy());
 }
 
 void
@@ -153,7 +182,9 @@ ReplayDriver::run()
         if (threads_[i].state != RState::Finished)
             crw_fatal << "replay deadlock: thread " << i << " ("
                       << trace_.threads[i].name
-                      << ") never finished — trace/config mismatch";
+                      << ") never finished — trace/config mismatch, "
+                      << replayContext(trace_, engine_,
+                                       core_.policy());
     }
     tracker_.finish(engine_.now());
 }

@@ -1,7 +1,7 @@
 /**
  * @file
  * RunMetrics: everything one spell-checker run produced — live
- * (coroutines, bench/harness.h runSpell) or replayed
+ * (coroutines, spell/capture.h runSpellLive) or replayed
  * (trace/replay_driver.h). Collected through one shared function so
  * the two paths are field-for-field comparable; the replay-equivalence
  * test (tests/win/test_replay_equivalence.cc) pins them equal.
@@ -60,6 +60,46 @@ RunMetrics collectRunMetrics(const WindowEngine &engine,
                              const Distribution &slackness,
                              SchedPolicy policy, int num_threads,
                              std::size_t misspelled);
+
+/**
+ * Versioned binary serialization of one RunMetrics, mirroring
+ * event_trace's CRWTRACE framing: magic "CRWMETRS", u32 version,
+ * payload, trailing u64 FNV-1a checksum of the payload. Doubles are
+ * stored as their exact IEEE-754 bit patterns, so a loaded record is
+ * bit-identical to the stored one — the property the bench result
+ * cache relies on to keep cached sweeps byte-identical to fresh ones.
+ *
+ * The payload opens with a caller-supplied identity key (the
+ * result-cache key: trace checksum + canonical engine config + policy
+ * + cost model + this format version). loadMetricsFile() rejects a
+ * file whose stored key differs from the expected one, so a hash
+ * collision in the cache's file naming can never alias two points.
+ *
+ * Bump kRunMetricsFormatVersion whenever RunMetrics gains, loses or
+ * reinterprets a field: old cache entries are then rejected (version
+ * mismatch) and silently recomputed.
+ */
+inline constexpr std::uint32_t kRunMetricsFormatVersion = 1;
+
+/** Write @p metrics under identity @p key (temp file + rename). */
+bool saveMetricsFile(const RunMetrics &metrics, const std::string &key,
+                     const std::string &path,
+                     std::string *error = nullptr);
+
+/**
+ * Read a metrics record back. False (with a reason in @p error) on a
+ * bad magic, unknown version, truncation, checksum mismatch, or a
+ * stored identity key differing from @p expected_key.
+ */
+bool loadMetricsFile(const std::string &path,
+                     const std::string &expected_key, RunMetrics &out,
+                     std::string *error = nullptr);
+
+/**
+ * Field-for-field equality, doubles compared bit-exactly (the cache
+ * round-trip contract; NaN-safe unlike operator== on double).
+ */
+bool metricsBitIdentical(const RunMetrics &a, const RunMetrics &b);
 
 } // namespace crw
 

@@ -31,6 +31,24 @@ CostModel::paperTable2()
     return m;
 }
 
+std::string
+costModelKey(const CostModel &model)
+{
+    auto line = [](const SwitchCostLine &l) {
+        return std::to_string(l.base) + "+" +
+               std::to_string(l.perSave) + "s+" +
+               std::to_string(l.perRestore) + "r";
+    };
+    return "sr" + std::to_string(model.plainSaveRestore) + ",ts" +
+           std::to_string(model.transferSave) + ",tr" +
+           std::to_string(model.transferRestore) + ",ob" +
+           std::to_string(model.overflowBase) + ",us" +
+           std::to_string(model.underflowSharingBase) + ",uc" +
+           std::to_string(model.underflowConventionalBase) + ",ns" +
+           line(model.ns) + ",snp" + line(model.snp) + ",sp" +
+           line(model.sp);
+}
+
 Cycles
 CostModel::switchCost(SchemeKind kind, int saves, int restores) const
 {

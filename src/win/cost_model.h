@@ -18,6 +18,8 @@
 #ifndef CRW_WIN_COST_MODEL_H_
 #define CRW_WIN_COST_MODEL_H_
 
+#include <string>
+
 #include "common/types.h"
 
 namespace crw {
@@ -102,6 +104,15 @@ class CostModel
     SwitchCostLine snp;
     SwitchCostLine sp;
 };
+
+/**
+ * Canonical encoding of every cost knob, e.g.
+ * "sr1,ts19,tr21,ob46,us59,uc49,ns75+36s+36r,snp115+51s+29r,sp95+45s+43r".
+ * Two models with equal keys produce equal cycle counts for every
+ * operation, so the string is a safe cache-key component (see
+ * bench/result_cache.h). Any new knob must be added here.
+ */
+std::string costModelKey(const CostModel &model);
 
 } // namespace crw
 

@@ -280,4 +280,14 @@ WindowEngine::postEventCheck()
         file_.checkInvariants(scheme_->usesPrw());
 }
 
+std::string
+engineConfigKey(const EngineConfig &config)
+{
+    return std::string(schemeName(config.scheme)) + "|w" +
+           std::to_string(config.numWindows) +
+           "|prw=" + prwReclaimName(config.prwReclaim) +
+           "|alloc=" + allocPolicyName(config.allocPolicy) +
+           "|cm=" + costModelKey(config.cost);
+}
+
 } // namespace crw

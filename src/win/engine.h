@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -40,6 +41,15 @@ struct EngineConfig
     /** Run the full structural invariant check after every event. */
     bool checkInvariants = false;
 };
+
+/**
+ * Canonical encoding of every EngineConfig field that affects the
+ * simulated results, e.g. "SP|w8|prw=eager|alloc=simple|cm=<...>".
+ * checkInvariants is deliberately excluded: it can only abort a run,
+ * never change its numbers, so configs differing only in it are the
+ * same point for caching purposes (see bench/result_cache.h).
+ */
+std::string engineConfigKey(const EngineConfig &config);
 
 /**
  * Hook interface for trace/metric collectors. Callbacks fire after the

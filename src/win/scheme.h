@@ -65,6 +65,12 @@ enum class AllocPolicy {
     FreeSearch,
 };
 
+/** Canonical short name ("lazy" / "eager" / "eager-folded"). */
+const char *prwReclaimName(PrwReclaim reclaim);
+
+/** Canonical short name ("simple" / "free-search"). */
+const char *allocPolicyName(AllocPolicy alloc);
+
 /** What a save/restore instruction did, for cost/stat accounting. */
 struct OpOutcome
 {

@@ -11,6 +11,27 @@
 
 namespace crw {
 
+const char *
+prwReclaimName(PrwReclaim reclaim)
+{
+    switch (reclaim) {
+      case PrwReclaim::Lazy:        return "lazy";
+      case PrwReclaim::Eager:       return "eager";
+      case PrwReclaim::EagerFolded: return "eager-folded";
+    }
+    return "?";
+}
+
+const char *
+allocPolicyName(AllocPolicy alloc)
+{
+    switch (alloc) {
+      case AllocPolicy::Simple:     return "simple";
+      case AllocPolicy::FreeSearch: return "free-search";
+    }
+    return "?";
+}
+
 std::unique_ptr<Scheme>
 makeScheme(SchemeKind kind, WindowFile &file, PrwReclaim reclaim,
            AllocPolicy alloc)
