@@ -83,8 +83,25 @@ executePoints(const std::vector<PlanPoint> &points)
     if (todo.empty())
         return;
 
-    for (const PlanPoint &p : todo)
-        cachedTrace(p.conc, p.gran);
+    // Capture serially (cachedTrace mutates its memo), then predecode
+    // each distinct behavior's flat arena on the shared worker pool —
+    // the same pool the replay fan-out below uses.
+    std::vector<std::pair<ConcurrencyLevel, GranularityLevel>>
+        behaviors;
+    {
+        std::set<std::pair<int, int>> seen;
+        for (const PlanPoint &p : todo) {
+            cachedTrace(p.conc, p.gran);
+            if (seen.emplace(static_cast<int>(p.conc),
+                             static_cast<int>(p.gran))
+                    .second)
+                behaviors.emplace_back(p.conc, p.gran);
+        }
+    }
+    const ParallelSweep pool(sweepJobs());
+    pool.run(behaviors.size(), [&](std::size_t i) {
+        cachedFlatTrace(behaviors[i].first, behaviors[i].second);
+    });
 
     const bool use_cache = g_cacheEnabled;
     std::vector<PlanPoint> misses;
@@ -109,12 +126,11 @@ executePoints(const std::vector<PlanPoint> &points)
         return;
 
     std::vector<RunMetrics> results(misses.size());
-    const ParallelSweep pool(sweepJobs());
     pool.run(misses.size(), [&](std::size_t i) {
         const PlanPoint &p = misses[i];
         results[i] =
             replayPoint(cachedTrace(p.conc, p.gran), p.engine,
-                        p.policy);
+                        p.policy, &cachedFlatTrace(p.conc, p.gran));
     });
     for (std::size_t i = 0; i < misses.size(); ++i) {
         storeInsert(missKeys[i], std::move(results[i]));
@@ -198,6 +214,26 @@ cachedTrace(ConcurrencyLevel conc, GranularityLevel gran)
     return cache.emplace(behavior, std::move(trace)).first->second;
 }
 
+const FlatTrace &
+cachedFlatTrace(ConcurrencyLevel conc, GranularityLevel gran)
+{
+    // Unlike cachedTrace, this memo is probed from sweep workers, so
+    // it carries its own lock; std::map node references stay valid
+    // across inserts. The trace itself must already be captured —
+    // cachedTrace is called under the lock only for its memo lookup.
+    static std::mutex mu;
+    static std::map<std::pair<int, int>, FlatTrace> cache;
+    const auto behavior =
+        std::make_pair(static_cast<int>(conc), static_cast<int>(gran));
+    std::lock_guard<std::mutex> lock(mu);
+    const auto hit = cache.find(behavior);
+    if (hit != cache.end())
+        return hit->second;
+    return cache
+        .emplace(behavior, FlatTrace::build(cachedTrace(conc, gran)))
+        .first->second;
+}
+
 std::uint64_t
 cachedTraceChecksum(ConcurrencyLevel conc, GranularityLevel gran)
 {
@@ -213,10 +249,10 @@ cachedTraceChecksum(ConcurrencyLevel conc, GranularityLevel gran)
 
 RunMetrics
 replayPoint(const EventTrace &trace, const EngineConfig &engine,
-            SchedPolicy policy)
+            SchedPolicy policy, const FlatTrace *flat)
 {
     metrics().add("replay.points", 1);
-    ReplayDriver driver(trace, engine, policy);
+    ReplayDriver driver(trace, engine, policy, flat);
     if (!obsEnabled()) {
         driver.run();
         return driver.metrics();

@@ -31,6 +31,7 @@
 
 #include "bench/plan.h"
 #include "trace/event_trace.h"
+#include "trace/flat_trace.h"
 #include "trace/run_metrics.h"
 
 namespace crw {
@@ -68,12 +69,24 @@ std::uint64_t cachedTraceChecksum(ConcurrencyLevel conc,
                                   GranularityLevel gran);
 
 /**
+ * The predecoded flat image of the behavior's trace (flat_trace.h),
+ * built once per behavior and shared by every replay point of the
+ * sweep. Thread-safe (the executor predecodes on the worker pool);
+ * the underlying trace must already be captured (cachedTrace).
+ */
+const FlatTrace &cachedFlatTrace(ConcurrencyLevel conc,
+                                 GranularityLevel gran);
+
+/**
  * Replay @p trace at one configuration point — always a live replay,
  * bypassing the result store and cache. Publishes the point's obs
- * record and bumps replay.points.
+ * record and bumps replay.points. @p flat, when given, is the
+ * predecoded image of @p trace (otherwise a fast-path replay
+ * predecodes privately).
  */
 RunMetrics replayPoint(const EventTrace &trace,
-                       const EngineConfig &engine, SchedPolicy policy);
+                       const EngineConfig &engine, SchedPolicy policy,
+                       const FlatTrace *flat = nullptr);
 RunMetrics replayPoint(const EventTrace &trace, SchemeKind scheme,
                        int windows, SchedPolicy policy);
 

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Host-side throughput of the replay layer: events per second of the
+ * devirtualized flat-trace fast path (DESIGN.md §12) against the
+ * legacy cursor-walking virtual-dispatch loop, on the high/fine
+ * behavior the figure sweeps hammer hardest.
+ *
+ * One behavior trace is captured (or loaded from the disk cache) and
+ * predecoded once; each scheme point then replays it repeatedly on
+ * fresh drivers, legacy and fast interleaved, --reps samples per mode
+ * with the fastest kept (the minimum is the standard estimator for
+ * the noise-free run time on a shared machine). Every rep's
+ * RunMetrics must be bit-identical across the two paths — that is the
+ * oracle contract the differential suite enforces; here it doubles as
+ * a sanity gate — so the only thing allowed to differ is wall time.
+ *
+ * Output: an aligned table (Mev/s legacy / Mev/s fast / speedup), a
+ * CSV under bench_out/, and optionally a machine-readable JSON summary
+ * (--json=PATH, --git-sha=SHA) for scripts/bench_perf.sh.
+ *
+ * Host-perf, not a paper result: registered so `crw-bench
+ * replay-throughput` works, but excluded from `crw-bench all` and
+ * from the experiment plan (wall time cannot be cached).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/executor.h"
+#include "bench/exhibits.h"
+#include "bench/harness.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "spell/app.h"
+#include "trace/event_trace.h"
+#include "trace/flat_trace.h"
+#include "trace/replay_driver.h"
+#include "trace/run_metrics.h"
+#include "win/engine.h"
+
+namespace crw {
+namespace bench {
+namespace {
+
+struct ModeResult
+{
+    RunMetrics metrics;
+    double wall_s = 0;
+    double mevps = 0; // million replayed events per host second
+};
+
+ModeResult
+timedReplay(const EventTrace &trace, const FlatTrace &flat,
+            const EngineConfig &engine, ReplayPath path)
+{
+    ReplayDriver driver(trace, engine, SchedPolicy::Fifo, &flat);
+    driver.setPath(path);
+    const auto t0 = std::chrono::steady_clock::now();
+    driver.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    ModeResult res;
+    res.metrics = driver.metrics();
+    res.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    res.mevps = res.wall_s > 0
+                    ? static_cast<double>(trace.eventCount()) /
+                          res.wall_s / 1e6
+                    : 0;
+    if (path == ReplayPath::Fast)
+        crw_assert(driver.usedFastPath());
+    return res;
+}
+
+} // namespace
+
+void
+addReplayThroughputFlags(FlagSet &flags)
+{
+    flags.defineInt("rt-windows", 8,
+                    "register windows per replay point");
+    // crw-bench registers every exhibit's flags in one FlagSet;
+    // sparc_interp already owns the shared perf-summary knobs.
+    if (!flags.isDefined("reps"))
+        flags.defineInt("reps", 3,
+                        "wall-time samples per mode (fastest wins)");
+    if (!flags.isDefined("json"))
+        flags.defineString("json", "",
+                           "also write a JSON summary to this path");
+    if (!flags.isDefined("git-sha"))
+        flags.defineString("git-sha", "unknown",
+                           "recorded in the JSON summary");
+}
+
+int
+runReplayThroughput(const FlagSet &flags)
+{
+    if (obsEnabled() && flags.getString("git-sha") != "unknown")
+        manifestSet("git_rev", flags.getString("git-sha"));
+
+    const int windows =
+        static_cast<int>(flags.getInt("rt-windows"));
+    const int reps =
+        std::max(1, static_cast<int>(flags.getInt("reps")));
+
+    const EventTrace &trace =
+        cachedTrace(ConcurrencyLevel::High, GranularityLevel::Fine);
+    const FlatTrace &flat = cachedFlatTrace(ConcurrencyLevel::High,
+                                            GranularityLevel::Fine);
+    const std::vector<SchemeKind> schemes = {
+        SchemeKind::NS, SchemeKind::SNP, SchemeKind::SP};
+
+    banner("Replay throughput: devirtualized flat fast path vs "
+           "legacy virtual-dispatch loop");
+    std::cout << "  behavior high/fine, " << trace.eventCount()
+              << " events, w" << windows << ", fifo, best of "
+              << reps << "\n\n";
+
+    Table table({"scheme", "events", "Mev/s legacy", "Mev/s fast",
+                 "speedup"});
+    double total_events = 0, total_wall_legacy = 0,
+           total_wall_fast = 0;
+    bool ok = true;
+    std::vector<std::string> json_rows;
+    for (const SchemeKind scheme : schemes) {
+        EngineConfig engine;
+        engine.scheme = scheme;
+        engine.numWindows = windows;
+        ModeResult legacy, fast;
+        for (int rep = 0; rep < reps; ++rep) {
+            const ModeResult l =
+                timedReplay(trace, flat, engine, ReplayPath::Legacy);
+            const ModeResult f =
+                timedReplay(trace, flat, engine, ReplayPath::Fast);
+            if (!metricsBitIdentical(l.metrics, f.metrics)) {
+                ok = false;
+                std::cout << "  [FAIL] " << schemeName(scheme)
+                          << ": fast-path metrics diverged from "
+                             "the legacy oracle\n";
+            }
+            if (rep == 0 || l.wall_s < legacy.wall_s)
+                legacy = l;
+            if (rep == 0 || f.wall_s < fast.wall_s)
+                fast = f;
+        }
+        const double speedup = legacy.wall_s > 0 && fast.wall_s > 0
+                                   ? legacy.wall_s / fast.wall_s
+                                   : 0;
+        total_events += static_cast<double>(trace.eventCount());
+        total_wall_legacy += legacy.wall_s;
+        total_wall_fast += fast.wall_s;
+        char legacy_mevps[32], fast_mevps[32], speedup_s[32];
+        std::snprintf(legacy_mevps, sizeof legacy_mevps, "%.1f",
+                      legacy.mevps);
+        std::snprintf(fast_mevps, sizeof fast_mevps, "%.1f",
+                      fast.mevps);
+        std::snprintf(speedup_s, sizeof speedup_s, "%.2fx",
+                      speedup);
+        table.addRowOf(std::string(schemeName(scheme)),
+                       trace.eventCount(),
+                       std::string(legacy_mevps),
+                       std::string(fast_mevps),
+                       std::string(speedup_s));
+        json_rows.push_back(
+            std::string("    {\"scheme\": \"") + schemeName(scheme) +
+            "\", \"events\": " + std::to_string(trace.eventCount()) +
+            ", \"mevps_legacy\": " + std::string(legacy_mevps) +
+            ", \"mevps_fast\": " + std::string(fast_mevps) +
+            ", \"speedup\": " + std::to_string(speedup) + "}");
+    }
+    table.printText(std::cout);
+    table.writeCsvFile(outputPath("replay_throughput.csv"));
+
+    const double mevps =
+        total_wall_fast > 0 ? total_events / total_wall_fast / 1e6
+                            : 0;
+    const double overall =
+        total_wall_fast > 0 ? total_wall_legacy / total_wall_fast
+                            : 0;
+    std::cout << "\n  overall: "
+              << static_cast<long>(total_events)
+              << " replayed events, " << mevps << " Mev/s fast, "
+              << overall << "x vs legacy\n";
+    std::cout << "  [" << (ok ? "ok" : "FAIL")
+              << "] fast and legacy paths bit-identical\n";
+
+    const std::string json_path = flags.getString("json");
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        os << "{\n"
+           << "  \"bench\": \"replay_throughput\",\n"
+           << "  \"git_sha\": \"" << flags.getString("git-sha")
+           << "\",\n"
+           << "  \"mevps\": " << mevps << ",\n"
+           << "  \"speedup\": " << overall << ",\n"
+           << "  \"wall_s\": " << total_wall_fast << ",\n"
+           << "  \"points\": [\n";
+        for (std::size_t i = 0; i < json_rows.size(); ++i)
+            os << json_rows[i]
+               << (i + 1 < json_rows.size() ? ",\n" : "\n");
+        os << "  ]\n}\n";
+        std::cout << "  json: " << json_path << "\n";
+    }
+    if (obsEnabled())
+        manifestNote("windows", std::to_string(windows));
+    return ok ? 0 : 1;
+}
+
+} // namespace bench
+} // namespace crw

@@ -47,6 +47,9 @@ int runMicrotrace(const FlagSet &flags);
 void addSparcInterpFlags(FlagSet &flags);
 int runSparcInterp(const FlagSet &flags);
 
+void addReplayThroughputFlags(FlagSet &flags);
+int runReplayThroughput(const FlagSet &flags);
+
 } // namespace bench
 } // namespace crw
 

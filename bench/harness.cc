@@ -1,6 +1,6 @@
 #include "bench/harness.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -10,6 +10,8 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "rt/host_pool.h"
 
 #include "common/chart.h"
 #include "common/flags.h"
@@ -210,65 +212,75 @@ void
 ParallelSweep::run(std::size_t count,
                    const std::function<void(std::size_t)> &task) const
 {
-    const std::size_t workers =
-        std::min<std::size_t>(static_cast<std::size_t>(jobs_), count);
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(jobs_), count));
     const bool obs = obsEnabled();
     const bool spans = obs && !g_traceOut.empty();
 
-    // One worker body shared by the inline and pooled paths. All the
-    // host-side instrumentation publishes under "host." names: wall
-    // clock valued, so excluded from the determinism contract.
-    const auto worker = [&](std::size_t w,
-                            std::atomic<std::size_t> *next) {
-        obs::SpanCollector sc("host", g_traceLimit);
-        if (spans)
-            sc.nameThread(static_cast<std::uint32_t>(w),
-                          "worker " + std::to_string(w));
-        double busy = 0.0;
-        const auto step = [&](std::size_t i) {
-            if (!obs) {
-                task(i);
+    // Per-worker observability slots, indexed by the pool's worker id
+    // (0 = this caller). All the host-side instrumentation publishes
+    // under "host." names: wall-clock valued, so excluded from the
+    // determinism contract.
+    std::vector<obs::SpanCollector> collectors;
+    std::vector<double> busy(
+        static_cast<std::size_t>(std::max(workers, 1)), 0.0);
+    if (spans) {
+        collectors.reserve(busy.size());
+        for (std::size_t w = 0; w < busy.size(); ++w) {
+            collectors.emplace_back("host", g_traceLimit);
+            collectors.back().nameThread(
+                static_cast<std::uint32_t>(w),
+                "worker " + std::to_string(w));
+        }
+    }
+
+    // The pool takes a plain function pointer + context: the task
+    // body and slots live in this frame, which outlives the job, so
+    // nothing is heap-allocated per task. A task exception is
+    // rethrown here by HostPool::run (first failure wins).
+    struct SweepCtx
+    {
+        const std::function<void(std::size_t)> *task;
+        std::size_t count;
+        bool obs;
+        bool spans;
+        std::vector<obs::SpanCollector> *collectors;
+        std::vector<double> *busy;
+    };
+    SweepCtx ctx{&task, count, obs, spans, &collectors, &busy};
+
+    HostPool::instance().run(
+        count, jobs_,
+        [](void *p, std::size_t i, int w) {
+            SweepCtx &c = *static_cast<SweepCtx *>(p);
+            if (!c.obs) {
+                (*c.task)(i);
                 return;
             }
             metrics().sample("host.queue_depth",
-                             static_cast<double>(count - i));
+                             static_cast<double>(c.count - i));
             const std::int64_t t0 = hostMicros();
-            task(i);
+            (*c.task)(i);
             const std::int64_t t1 = hostMicros();
             metrics().sample("host.point_wall_s",
                              static_cast<double>(t1 - t0) * 1e-6);
-            busy += static_cast<double>(t1 - t0) * 1e-6;
-            if (spans) {
+            (*c.busy)[static_cast<std::size_t>(w)] +=
+                static_cast<double>(t1 - t0) * 1e-6;
+            if (c.spans) {
                 const std::string name = "point " + std::to_string(i);
-                sc.complete(static_cast<std::uint32_t>(w),
-                            name.c_str(), "host", t0, t1 - t0);
+                (*c.collectors)[static_cast<std::size_t>(w)].complete(
+                    static_cast<std::uint32_t>(w), name.c_str(),
+                    "host", t0, t1 - t0);
             }
-        };
-        if (next) {
-            for (std::size_t i = next->fetch_add(1); i < count;
-                 i = next->fetch_add(1))
-                step(i);
-        } else {
-            for (std::size_t i = 0; i < count; ++i)
-                step(i);
-        }
-        if (obs)
-            metrics().sample("host.worker_busy_s", busy);
-        if (spans)
-            traceWriter().addTrack(sc.take());
-    };
+        },
+        &ctx);
 
-    if (workers <= 1) {
-        worker(0, nullptr);
-        return;
-    }
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w)
-        pool.emplace_back([&worker, w, &next] { worker(w, &next); });
-    for (std::thread &t : pool)
-        t.join();
+    if (obs)
+        for (const double b : busy)
+            metrics().sample("host.worker_busy_s", b);
+    if (spans)
+        for (obs::SpanCollector &sc : collectors)
+            traceWriter().addTrack(sc.take());
 }
 
 std::string

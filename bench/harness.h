@@ -104,12 +104,16 @@ void manifestSet(const std::string &key, const std::string &value);
 void manifestNote(const std::string &key, const std::string &value);
 
 /**
- * Fixed-size fan-out over a pool of std::threads. run() executes
- * task(0..count-1), each exactly once, claims ordered by an atomic
- * counter. Tasks must be independent (replay points are: one engine
- * per point, no shared mutable state); each writes its result into
- * its own pre-allocated slot, so the output is deterministic and
- * independent of the worker count.
+ * Fan-out over the process-lifetime HostPool (rt/host_pool.h). run()
+ * executes task(0..count-1), each exactly once, claims ordered by a
+ * chunked atomic counter. Tasks must be independent (replay points
+ * are: one engine per point, no shared mutable state); each writes
+ * its result into its own pre-allocated slot, so the output is
+ * deterministic and independent of the worker count.
+ *
+ * If a task throws, the first exception is rethrown from run() on the
+ * caller once in-flight tasks drain (unclaimed tasks are abandoned);
+ * the sweep object stays reusable afterwards.
  */
 class ParallelSweep
 {

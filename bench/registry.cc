@@ -1,6 +1,7 @@
 #include "bench/registry.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <iostream>
 
 #include "bench/executor.h"
@@ -14,12 +15,13 @@ namespace bench {
 
 namespace {
 
-/** The registry name "all" expands to (everything but sparc_interp,
- *  which measures host throughput, not a paper result). */
+/** The registry name "all" expands to everything but the host-perf
+ *  exhibits (they measure host throughput, not a paper result). */
 bool
 inAll(const Exhibit &ex)
 {
-    return std::string(ex.name) != "sparc_interp";
+    const std::string name(ex.name);
+    return name != "sparc_interp" && name != "replay-throughput";
 }
 
 void
@@ -27,8 +29,12 @@ printUsage(std::ostream &os)
 {
     os << "usage: crw-bench [flags] <exhibit>... | all\n"
           "\nexhibits:\n";
+    std::size_t width = 0;
     for (const Exhibit &ex : exhibitRegistry())
-        os << "  " << ex.name << std::string(14 - std::string(ex.name).size(), ' ')
+        width = std::max(width, std::string(ex.name).size());
+    for (const Exhibit &ex : exhibitRegistry())
+        os << "  " << ex.name
+           << std::string(width + 2 - std::string(ex.name).size(), ' ')
            << ex.title << (inAll(ex) ? "" : "  [not part of 'all']")
            << '\n';
     os << "\nSelected exhibits share one experiment plan: the union "
@@ -94,6 +100,8 @@ exhibitRegistry()
          nullptr, runMicrotrace},
         {"sparc_interp", "SPARC interpreter host throughput",
          addSparcInterpFlags, nullptr, runSparcInterp},
+        {"replay-throughput", "replay engine host throughput",
+         addReplayThroughputFlags, nullptr, runReplayThroughput},
     };
     return kExhibits;
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# Host-performance gate for the instruction-level layer: configure a
-# Release build, run bench_sparc_interp (predecoded block dispatch vs
-# legacy stepping) and bench_fig11 (the event-level headline sweep),
-# and record a machine-readable summary in BENCH_sparc_interp.json at
-# the repo root — {mips, speedup, wall_s, git_sha, per-workload rows}.
+# Host-performance gate: configure a Release build, run
+# bench_sparc_interp (predecoded block dispatch vs legacy stepping),
+# crw-bench replay-throughput (devirtualized flat replay vs the legacy
+# virtual-dispatch loop) and bench_fig11 (the event-level headline
+# sweep), and record machine-readable summaries at the repo root —
+# BENCH_sparc_interp.json and BENCH_replay_throughput.json, each
+# {mips/mevps, speedup, wall_s, git_sha, per-row detail}.
 #
 # Run from the repo root. The Release tree lives in build-perf/ so it
 # never disturbs an existing default (often Debug) build/ tree.
@@ -42,7 +44,28 @@ echo "== bench_sparc_interp (reps=$reps)"
 echo "== bench_fig11"
 "$build_dir/bench/bench_fig11"
 
-echo "== determinism gate (incl. observability + result cache)"
+# Replay-throughput gate: time the devirtualized flat fast path
+# against the legacy virtual-dispatch loop (crw-bench
+# replay-throughput, DESIGN.md section 12). The exhibit itself fails
+# if the two paths' RunMetrics are not bit-identical; on top of that,
+# a fast path slower than the oracle it replaces is a regression.
+echo "== crw-bench replay-throughput (reps=$reps)"
+"$build_dir/bench/crw-bench" replay-throughput \
+    --reps "$reps" \
+    --json "$repo_root/BENCH_replay_throughput.json" \
+    --git-sha "$git_sha"
+replay_speedup=$(grep -o '"speedup": [0-9.]*' \
+    "$repo_root/BENCH_replay_throughput.json" | head -n1 |
+    sed 's/.*: //')
+echo "  fast-vs-legacy replay speedup: ${replay_speedup}x"
+if awk "BEGIN { exit !($replay_speedup < 1.0) }"; then
+    echo "error: fast replay path is slower than the legacy loop" \
+         "(speedup ${replay_speedup}x < 1.0x)" >&2
+    exit 1
+fi
+
+echo "== determinism gate (incl. observability + result cache +" \
+     "fast replay path)"
 "$repo_root/scripts/check_determinism.sh" "$build_dir"
 
 # Result-cache gate: a warm `crw-bench fig11 fig12 fig13` rerun must
@@ -118,3 +141,5 @@ fi
 
 echo "== summary: BENCH_sparc_interp.json"
 cat "$repo_root/BENCH_sparc_interp.json"
+echo "== summary: BENCH_replay_throughput.json"
+cat "$repo_root/BENCH_replay_throughput.json"

@@ -31,6 +31,12 @@
 #     and its replay count equals fig11's alone (fig12 and fig13
 #     contribute no new points).
 #
+#  5. The devirtualized fast replay path is semantically invisible:
+#     `crw-bench fig11 table2 --no-cache` with CRW_REPLAY_FAST=0
+#     (legacy oracle loop) and =1 (specialized FlatTrace loop)
+#     produces byte-identical CSVs, stdout and normalized metrics,
+#     and the fast path agrees with itself at --jobs 1 vs --jobs N.
+#
 # Usage: scripts/check_determinism.sh [build-dir] [jobs]
 #   build-dir  CMake build tree containing bench/ (default: build)
 #   jobs       parallel worker count for the second run
@@ -309,11 +315,91 @@ else
     status=1
 fi
 
+# Part 5: the devirtualized fast replay path is an implementation
+# detail. CRW_REPLAY_FAST=0 pins every replay to the legacy per-event
+# oracle loop; the default (=1) takes the statically specialized
+# FlatTrace loop. The two must agree on every output byte — CSVs,
+# stdout and the normalized metrics view — and the fast path must
+# itself stay deterministic across --jobs 1 vs --jobs N. --no-cache
+# forces real replays so the comparison can never be satisfied by the
+# result cache alone.
+run_replay() {
+    # $1: subdir, $2: CRW_REPLAY_FAST value, $3: --jobs value
+    mkdir -p "$workdir/$1"
+    (cd "$workdir/$1" &&
+     CRW_REPLAY_FAST="$2" "$crwbench_abs" fig11 table2 --no-cache \
+         --jobs "$3" --metrics-out metrics.json > stdout.txt)
+}
+
+echo "== crw-bench fig11 table2 --no-cache (CRW_REPLAY_FAST=0)"
+run_replay replay_legacy 0 1
+echo "== crw-bench fig11 table2 --no-cache (CRW_REPLAY_FAST=1)"
+run_replay replay_fast 1 1
+echo "== crw-bench fig11 table2 --no-cache (fast, --jobs $jobs)"
+run_replay replay_fast_par 1 "$jobs"
+
+found=0
+for legacy_csv in "$workdir"/replay_legacy/bench_out/*.csv; do
+    [ -e "$legacy_csv" ] || break
+    found=1
+    name=$(basename "$legacy_csv")
+    if cmp -s "$legacy_csv" "$workdir/replay_fast/bench_out/$name" &&
+       cmp -s "$legacy_csv" \
+              "$workdir/replay_fast_par/bench_out/$name"; then
+        echo "  ok   $name identical on the fast and legacy paths"
+    else
+        echo "  FAIL $name differs between replay paths or job counts"
+        status=1
+    fi
+done
+if [ "$found" -eq 0 ]; then
+    echo "error: the legacy-path run produced no CSVs" >&2
+    exit 2
+fi
+
+if cmp -s "$workdir/replay_legacy/stdout.txt" \
+          "$workdir/replay_fast/stdout.txt"; then
+    echo "  ok   stdout identical on the fast and legacy paths"
+else
+    echo "  FAIL stdout differs between CRW_REPLAY_FAST=0 and =1"
+    status=1
+fi
+if cmp -s "$workdir/replay_fast/stdout.txt" \
+          "$workdir/replay_fast_par/stdout.txt"; then
+    echo "  ok   fast-path stdout identical at --jobs 1 and --jobs $jobs"
+else
+    echo "  FAIL fast-path stdout differs between --jobs 1 and" \
+         "--jobs $jobs"
+    status=1
+fi
+
+metrics_view "$workdir/replay_legacy/metrics.json" \
+    > "$workdir/replay_legacy.view"
+metrics_view "$workdir/replay_fast/metrics.json" \
+    > "$workdir/replay_fast.view"
+metrics_view "$workdir/replay_fast_par/metrics.json" \
+    > "$workdir/replay_fast_par.view"
+if cmp -s "$workdir/replay_legacy.view" "$workdir/replay_fast.view"; then
+    echo "  ok   metrics.json identical on the fast and legacy paths"
+else
+    echo "  FAIL metrics.json differs between CRW_REPLAY_FAST=0 and =1"
+    status=1
+fi
+if cmp -s "$workdir/replay_fast.view" \
+          "$workdir/replay_fast_par.view"; then
+    echo "  ok   fast-path metrics.json identical across job counts"
+else
+    echo "  FAIL fast-path metrics.json differs between --jobs 1 and" \
+         "--jobs $jobs"
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
     echo "determinism check passed: identical output at --jobs 1 and" \
          "--jobs $jobs, with the block cache on and off, with" \
-         "observability on and off, and with the result cache cold," \
-         "warm, shared and disabled"
+         "observability on and off, with the result cache cold," \
+         "warm, shared and disabled, and with the fast replay path" \
+         "on and off"
 else
     echo "determinism check FAILED" >&2
 fi

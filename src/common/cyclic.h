@@ -32,19 +32,41 @@ class CyclicSpace
 
     int size() const { return n_; }
 
-    /** Normalize any (possibly negative) index into [0, n). */
+    /**
+     * Normalize any (possibly negative) index into [0, n). Window
+     * bookkeeping calls this on every simulated save/restore/switch,
+     * almost always with an index within one revolution of [0, n), so
+     * the single-correction path avoids the hardware divide; arbitrary
+     * indices still fall through to the modulo.
+     */
     int
     wrap(int i) const
     {
+        if (i < 0)
+            i += n_;
+        else if (i >= n_)
+            i -= n_;
+        if (static_cast<unsigned>(i) < static_cast<unsigned>(n_))
+            return i;
         int m = i % n_;
         return m < 0 ? m + n_ : m;
     }
 
     /** The window reached from @p i by one "save" (one step above). */
-    int above(int i) const { return wrap(i - 1); }
+    int
+    above(int i) const
+    {
+        crw_assert(i >= 0 && i < n_);
+        return i == 0 ? n_ - 1 : i - 1;
+    }
 
     /** The window reached from @p i by one "restore" (one step below). */
-    int below(int i) const { return wrap(i + 1); }
+    int
+    below(int i) const
+    {
+        crw_assert(i >= 0 && i < n_);
+        return i + 1 == n_ ? 0 : i + 1;
+    }
 
     /** @p i moved @p k steps in the "save" direction. */
     int aboveBy(int i, int k) const { return wrap(i - k); }

@@ -55,6 +55,15 @@ fatalUnreachable(const char *file, int line, const std::string &msg)
     throw FatalError(os.str());
 }
 
+void
+assertFailed(const char *file, int line, const char *cond)
+{
+    std::ostringstream os;
+    os << file << ':' << line << ": assertion failed: " << cond;
+    logMessage(LogLevel::Panic, os.str());
+    throw PanicError(os.str());
+}
+
 namespace detail {
 
 LogStream::LogStream(LogLevel level, const char *file, int line)

@@ -43,6 +43,10 @@ void logMessage(LogLevel level, const std::string &msg);
 [[noreturn]] void fatalUnreachable(const char *file, int line,
                                    const std::string &msg);
 
+/** Out-of-line failure path of crw_assert (logs, throws PanicError). */
+[[noreturn]] void assertFailed(const char *file, int line,
+                               const char *cond);
+
 namespace detail {
 
 /** Builds the message text, then dispatches on destruction. */
@@ -119,13 +123,16 @@ class PanicError : public std::logic_error
 
 /**
  * Internal invariant check: active in all build types (the simulator's
- * correctness claims rest on these).
+ * correctness claims rest on these). The failure path is one call to a
+ * cold [[noreturn]] helper, so the inline footprint of an assert is a
+ * compare and a predicted-not-taken branch — small enough that the
+ * window-file primitives asserting on every simulated event still
+ * inline into the replay loops.
  */
 #define crw_assert(cond)                                                  \
     do {                                                                  \
-        if (!(cond)) {                                                    \
-            crw_panic << "assertion failed: " #cond;                      \
-        }                                                                 \
+        if (!(cond))                                                      \
+            ::crw::assertFailed(__FILE__, __LINE__, #cond);               \
     } while (0)
 
 #endif // CRW_COMMON_LOGGING_H_

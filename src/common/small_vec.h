@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SmallVec: a vector with inline small-buffer storage.
+ *
+ * Purpose-built for the replay driver's stream waiter lists: a bounded
+ * stream can have at most one waiter per application thread (seven in
+ * the spell workload), so an inline capacity that covers the thread
+ * count makes every waiter push/clear allocation-free on the replay
+ * hot path. Beyond the inline capacity the elements spill to the heap
+ * transparently — correctness never depends on N.
+ *
+ * Only the operations the hot paths need are provided (push_back,
+ * clear, iteration, indexing); elements must be trivially copyable and
+ * trivially destructible, which keeps both the spill and the clear a
+ * memcpy/counter reset.
+ */
+
+#ifndef CRW_COMMON_SMALL_VEC_H_
+#define CRW_COMMON_SMALL_VEC_H_
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#include "common/logging.h"
+
+namespace crw {
+
+template <typename T, std::size_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "SmallVec spills by memcpy");
+    static_assert(std::is_trivially_destructible<T>::value,
+                  "SmallVec never runs element destructors");
+
+  public:
+    SmallVec() = default;
+
+    SmallVec(const SmallVec &) = delete;
+    SmallVec &operator=(const SmallVec &) = delete;
+
+    /** Move (for vector-of-SmallVec containers): steals any heap. */
+    SmallVec(SmallVec &&other) noexcept
+        : heap_(other.heap_),
+          size_(other.size_),
+          capacity_(other.capacity_)
+    {
+        if (heap_) {
+            data_ = heap_;
+        } else {
+            std::memcpy(inline_, other.inline_, size_ * sizeof(T));
+            data_ = inline_;
+        }
+        other.heap_ = nullptr;
+        other.data_ = other.inline_;
+        other.size_ = 0;
+        other.capacity_ = N;
+    }
+    SmallVec &operator=(SmallVec &&) = delete;
+
+    ~SmallVec() { delete[] heap_; }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == capacity_)
+            grow();
+        data_[size_++] = value;
+    }
+
+    void clear() { size_ = 0; }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    T
+    operator[](std::size_t i) const
+    {
+        crw_assert(i < size_);
+        return data_[i];
+    }
+
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+    /** True while no push has ever spilled to the heap. */
+    bool inlineStorage() const { return heap_ == nullptr; }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t cap = capacity_ * 2;
+        T *heap = new T[cap];
+        std::memcpy(heap, data_, size_ * sizeof(T));
+        delete[] heap_;
+        heap_ = heap;
+        data_ = heap;
+        capacity_ = cap;
+    }
+
+    T inline_[N];
+    T *heap_ = nullptr;
+    T *data_ = inline_;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = N;
+};
+
+} // namespace crw
+
+#endif // CRW_COMMON_SMALL_VEC_H_

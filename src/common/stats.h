@@ -11,6 +11,7 @@
 #define CRW_COMMON_STATS_H_
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <string>
@@ -53,10 +54,12 @@ class Distribution
     void
     sample(double v)
     {
-        if (count_ == 0 || v < min_)
-            min_ = v;
-        if (count_ == 0 || v > max_)
-            max_ = v;
+        // ±inf sentinels instead of a count_ == 0 test: both extreme
+        // updates compile to branch-free min/max instructions, which
+        // matters for the replay loops (several samples per context
+        // switch). The accessors below mask the sentinels.
+        min_ = v < min_ ? v : min_;
+        max_ = v > max_ ? v : max_;
         sum_ += v;
         sumSq_ += v * v;
         ++count_;
@@ -82,15 +85,22 @@ class Distribution
     reset()
     {
         count_ = 0;
-        sum_ = sumSq_ = min_ = max_ = 0.0;
+        sum_ = sumSq_ = 0.0;
+        min_ = kPlusInf;
+        max_ = kMinusInf;
     }
 
   private:
+    static constexpr double kPlusInf =
+        std::numeric_limits<double>::infinity();
+    static constexpr double kMinusInf =
+        -std::numeric_limits<double>::infinity();
+
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double sumSq_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
+    double min_ = kPlusInf;
+    double max_ = kMinusInf;
 };
 
 /**

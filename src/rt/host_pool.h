@@ -1,0 +1,109 @@
+/**
+ * @file
+ * HostPool: the process-lifetime worker pool behind every parallel
+ * sweep (bench/harness.h ParallelSweep) and capture fan-out.
+ *
+ * The previous design spawned fresh std::threads — and a heap-
+ * allocated std::function per worker — for every sweep; a bench run
+ * that executes many small sweeps paid thread creation and teardown
+ * each time. HostPool keeps one set of parked workers for the life of
+ * the process:
+ *
+ *  - run() publishes one job (a plain function pointer + context, no
+ *    allocation) and participates as worker 0 itself;
+ *  - workers claim indices in chunks off one atomic counter — the
+ *    classic work-stealing-by-counter schedule: a fast worker simply
+ *    claims more chunks, and the chunking amortizes the atomic to
+ *    O(count / chunk) operations;
+ *  - the first exception thrown by any task is captured and rethrown
+ *    on the caller after the job drains (remaining claimed chunks
+ *    finish; unclaimed chunks are abandoned), so a failing replay
+ *    point surfaces as an ordinary exception instead of
+ *    std::terminate;
+ *  - helper threads are spawned lazily, up to the largest
+ *    max_workers ever requested (bounded by the --jobs clamp), and
+ *    parked on a condition variable between jobs.
+ *
+ * Jobs must be issued one at a time (the bench executor and capture
+ * paths are serial at this level); run() is not reentrant and not
+ * thread-safe, which keeps the job hand-off a single seqlock-free
+ * generation bump.
+ */
+
+#ifndef CRW_RT_HOST_POOL_H_
+#define CRW_RT_HOST_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crw {
+
+class HostPool
+{
+  public:
+    /** The one pool of the process (lazily constructed, never torn
+     *  down until exit; workers park between jobs). */
+    static HostPool &instance();
+
+    /**
+     * One task: called once per index in [0, count), from worker
+     * @p worker (0 = the run() caller). @p ctx is the pointer given
+     * to run() — the caller's stack frame outlives the job, so plain
+     * pointer capture replaces per-task std::function allocation.
+     */
+    using TaskFn = void (*)(void *ctx, std::size_t index, int worker);
+
+    /**
+     * Execute @p fn for every index in [0, count) using at most
+     * @p max_workers workers (including the caller). Returns when
+     * every claimed index has run; rethrows the first task exception
+     * after the job drains. max_workers <= 1 runs inline.
+     */
+    void run(std::size_t count, int max_workers, TaskFn fn, void *ctx);
+
+    /** Helper threads currently parked/spawned (for tests). */
+    int spawnedHelpers() const;
+
+    HostPool(const HostPool &) = delete;
+    HostPool &operator=(const HostPool &) = delete;
+
+  private:
+    HostPool() = default;
+    ~HostPool();
+
+    void ensureHelpers(int helpers);
+    void helperMain(int helper_index);
+    void claimLoop(int worker);
+    void recordFailure() noexcept;
+
+    mutable std::mutex mu_;
+    std::condition_variable jobCv_;  ///< helpers wait for a job
+    std::condition_variable doneCv_; ///< caller waits for helpers
+    std::vector<std::thread> helpers_;
+    bool stop_ = false;
+
+    // Current job, published under mu_ by a generation bump. Helpers
+    // with index >= jobHelpers_ skip the generation without touching
+    // the pending count.
+    std::uint64_t jobSeq_ = 0;
+    int jobHelpers_ = 0;
+    int pending_ = 0;
+    TaskFn fn_ = nullptr;
+    void *ctx_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t chunk_ = 1;
+    std::atomic<std::size_t> next_{0};
+
+    std::atomic<bool> failed_{false};
+    std::exception_ptr firstError_;
+    std::mutex errMu_;
+};
+
+} // namespace crw
+
+#endif // CRW_RT_HOST_POOL_H_

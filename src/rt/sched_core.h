@@ -17,12 +17,81 @@
 #define CRW_RT_SCHED_CORE_H_
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/stats.h"
 #include "common/types.h"
 
 namespace crw {
+
+/**
+ * Fixed-policy double-ended ring buffer backing the ready queue. A
+ * std::deque spends the dispatch loop's time in block-map bookkeeping;
+ * the queue holds at most one entry per application thread, so a
+ * power-of-two ring that doubles on the rare overflow makes every
+ * push/pop a masked index bump. Operation order is exactly deque
+ * order — the scheduling policies depend on it.
+ */
+class ReadyRing
+{
+  public:
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    ThreadId
+    front() const
+    {
+        crw_assert(size_ > 0);
+        return buf_[head_];
+    }
+
+    void
+    push_back(ThreadId tid)
+    {
+        if (size_ > mask_)
+            grow();
+        buf_[(head_ + size_) & mask_] = tid;
+        ++size_;
+    }
+
+    void
+    push_front(ThreadId tid)
+    {
+        if (size_ > mask_)
+            grow();
+        head_ = (head_ - 1) & mask_;
+        buf_[head_] = tid;
+        ++size_;
+    }
+
+    ThreadId
+    pop_front()
+    {
+        crw_assert(size_ > 0);
+        const ThreadId tid = buf_[head_];
+        head_ = (head_ + 1) & mask_;
+        --size_;
+        return tid;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<ThreadId> next(buf_.size() * 2);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = buf_[(head_ + i) & mask_];
+        buf_ = std::move(next);
+        mask_ = buf_.size() - 1;
+        head_ = 0;
+    }
+
+    std::vector<ThreadId> buf_ = std::vector<ThreadId>(16);
+    std::size_t mask_ = 15; // buf_.size() - 1, cached off the hot loads
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
 
 /** Ready-queue policy, paper §4.6. */
 enum class SchedPolicy {
@@ -84,8 +153,7 @@ class SchedCore
     ThreadId
     dispatchNext()
     {
-        const ThreadId tid = ready_.front();
-        ready_.pop_front();
+        const ThreadId tid = ready_.pop_front();
         slackness_.sample(static_cast<double>(ready_.size()));
         ++dispatches_;
         return tid;
@@ -104,12 +172,14 @@ class SchedCore
     void
     notePeak()
     {
+        // Kept as a (rarely taken) branch: the peak settles within the
+        // first few dispatches, after which this predicts perfectly.
         if (ready_.size() > peakReady_)
             peakReady_ = ready_.size();
     }
 
     SchedPolicy policy_;
-    std::deque<ThreadId> ready_;
+    ReadyRing ready_;
     Distribution slackness_;
     std::uint64_t dispatches_ = 0;
     std::size_t peakReady_ = 0;

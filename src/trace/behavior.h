@@ -32,6 +32,7 @@
 #ifndef CRW_TRACE_BEHAVIOR_H_
 #define CRW_TRACE_BEHAVIOR_H_
 
+#include <limits>
 #include <vector>
 
 #include "common/stats.h"
@@ -101,25 +102,22 @@ class BehaviorTracker final : public EngineObserver
 
     struct DepthRange
     {
-        int minDepth = 0;
-        int maxDepth = 0;
-        bool touched = false;
+        // Empty is encoded as an inverted range so note() needs no
+        // touched flag: both extreme updates are branch-free min/max
+        // (noteDepth runs on every save/restore and switch).
+        int minDepth = std::numeric_limits<int>::max();
+        int maxDepth = std::numeric_limits<int>::min();
 
         void
         note(int depth)
         {
-            if (!touched) {
-                minDepth = maxDepth = depth;
-                touched = true;
-            } else {
-                if (depth < minDepth)
-                    minDepth = depth;
-                if (depth > maxDepth)
-                    maxDepth = depth;
-            }
+            minDepth = depth < minDepth ? depth : minDepth;
+            maxDepth = depth > maxDepth ? depth : maxDepth;
         }
 
-        int span() const { return touched ? maxDepth - minDepth + 1 : 0; }
+        bool touched() const { return minDepth <= maxDepth; }
+
+        int span() const { return touched() ? maxDepth - minDepth + 1 : 0; }
     };
 
     int periodSwitches_;
@@ -130,8 +128,8 @@ class BehaviorTracker final : public EngineObserver
     Cycles quantumStart_ = 0;
 
     // Current period. periodRanges_ is indexed by ThreadId (grown on
-    // demand); touchedInPeriod_ counts entries with touched == true,
-    // i.e. the distinct threads scheduled this period.
+    // demand); touchedInPeriod_ counts touched entries, i.e. the
+    // distinct threads scheduled this period.
     int switchesInPeriod_ = 0;
     std::vector<DepthRange> periodRanges_;
     int touchedInPeriod_ = 0;
@@ -149,8 +147,7 @@ BehaviorTracker::noteDepth(ThreadId tid, int depth)
     if (tid >= static_cast<ThreadId>(periodRanges_.size()))
         periodRanges_.resize(static_cast<std::size_t>(tid) + 1);
     DepthRange &r = periodRanges_[static_cast<std::size_t>(tid)];
-    if (!r.touched)
-        ++touchedInPeriod_;
+    touchedInPeriod_ += static_cast<int>(!r.touched());
     r.note(depth);
 }
 

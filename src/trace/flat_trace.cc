@@ -1,0 +1,36 @@
+#include "trace/flat_trace.h"
+
+#include "common/logging.h"
+
+namespace crw {
+
+FlatTrace
+FlatTrace::build(const EventTrace &trace)
+{
+    FlatTrace flat;
+    // eventCount() walks the same decode; reserving exactly avoids a
+    // second growth pass over multi-megabyte arenas.
+    const std::uint64_t total = trace.eventCount();
+    crw_assert(total <= UINT32_MAX);
+    flat.ops.reserve(total);
+    flat.operands.reserve(total);
+    flat.threads.reserve(trace.threads.size());
+
+    for (const TraceThreadInfo &t : trace.threads) {
+        Span span;
+        span.begin = static_cast<std::uint32_t>(flat.ops.size());
+        TraceCursor cur(t.code);
+        std::uint64_t operand;
+        while (!cur.atEnd()) {
+            const TraceOp op = cur.peek(operand);
+            cur.advance();
+            flat.ops.push_back(static_cast<std::uint8_t>(op));
+            flat.operands.push_back(operand);
+        }
+        span.end = static_cast<std::uint32_t>(flat.ops.size());
+        flat.threads.push_back(span);
+    }
+    return flat;
+}
+
+} // namespace crw

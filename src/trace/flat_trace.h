@@ -1,0 +1,55 @@
+/**
+ * @file
+ * FlatTrace: the predecoded, structure-of-arrays image of an
+ * EventTrace, built once per trace and shared by every replay point.
+ *
+ * EventTrace stores each thread's script as a compact tag/varint byte
+ * stream — right for the disk cache, wrong for the replay hot loop,
+ * which would re-decode every event at every (scheme, windows, policy)
+ * point of a sweep. FlatTrace pays the decode exactly once: two
+ * parallel arenas (one op byte, one 64-bit operand per event) plus a
+ * [begin, end) span per thread, so the replay driver's cursor is a
+ * plain index into contiguous memory — no varint, no peek/advance
+ * pair, no per-thread allocation.
+ *
+ * The flattening is a pure re-encoding: build() walks the exact
+ * TraceCursor decode the legacy path uses, so a flat walk and a cursor
+ * walk yield the same event sequence by construction
+ * (tests/trace/test_flat_trace.cc pins this).
+ */
+
+#ifndef CRW_TRACE_FLAT_TRACE_H_
+#define CRW_TRACE_FLAT_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event_trace.h"
+
+namespace crw {
+
+struct FlatTrace
+{
+    /** One thread's [begin, end) range in the event arenas. */
+    struct Span
+    {
+        std::uint32_t begin = 0;
+        std::uint32_t end = 0;
+    };
+
+    /** TraceOp per event, in thread-script order. */
+    std::vector<std::uint8_t> ops;
+    /** Charge cycles or stream id per event (0 for Save/.../Exit). */
+    std::vector<std::uint64_t> operands;
+    /** Arena span of each thread, indexed by ThreadId (spawn order). */
+    std::vector<Span> threads;
+
+    std::size_t eventCount() const { return ops.size(); }
+
+    /** Decode every thread script of @p trace into one flat arena. */
+    static FlatTrace build(const EventTrace &trace);
+};
+
+} // namespace crw
+
+#endif // CRW_TRACE_FLAT_TRACE_H_

@@ -1,8 +1,11 @@
 #include "trace/replay_driver.h"
 
+#include <cstdlib>
 #include <string>
+#include <type_traits>
 
 #include "common/logging.h"
+#include "win/engine_fast.h"
 
 namespace crw {
 namespace {
@@ -23,40 +26,50 @@ replayContext(const EventTrace &trace, const WindowEngine &engine,
            policyName(policy);
 }
 
+/** CRW_REPLAY_FAST=0 pins Auto-path drivers to the oracle loop. */
+bool
+fastEnabledByEnv()
+{
+    const char *v = std::getenv("CRW_REPLAY_FAST");
+    return !(v && v[0] == '0' && v[1] == '\0');
+}
+
 } // namespace
 
 ReplayDriver::ReplayDriver(const EventTrace &trace,
                            const EngineConfig &engine_config,
-                           SchedPolicy policy)
+                           SchedPolicy policy, const FlatTrace *flat)
     : trace_(trace),
+      flat_(flat),
       engine_(engine_config),
       core_(policy),
       tracker_(64)
 {
-    // The tracker is driven directly from the dispatch loop below (a
+    // The tracker is driven directly from the dispatch loops below (a
     // devirtualized call on the final class) rather than through
     // WindowEngine's observer hook; the callbacks and arguments are
     // identical to what the engine would deliver.
-    streams_.reserve(trace.streams.size());
-    for (const TraceStreamInfo &s : trace.streams) {
-        RStream rs;
-        rs.capacity = s.capacity;
-        rs.openWriters = static_cast<int>(s.writers);
-        streams_.push_back(std::move(rs));
+    streams_.resize(trace.streams.size());
+    for (std::size_t i = 0; i < trace.streams.size(); ++i) {
+        streams_[i].capacity = trace.streams[i].capacity;
+        streams_[i].openWriters =
+            static_cast<int>(trace.streams[i].writers);
     }
     threads_.reserve(trace.threads.size());
     // Spawn order: dense tids, ready queue back — as Scheduler::spawn.
     for (std::size_t i = 0; i < trace.threads.size(); ++i) {
         const ThreadId tid = static_cast<ThreadId>(i);
         engine_.addThread(tid);
-        threads_.push_back(RThread{
-            TraceCursor(trace.threads[i].code), RState::Ready});
+        threads_.push_back(
+            RThread{TraceCursor(trace.threads[i].code), 0,
+                    RState::Ready});
         core_.enqueueBack(tid);
     }
+    crw_assert(!flat_ || flat_->threads.size() == threads_.size());
 }
 
 void
-ReplayDriver::wakeAll(std::vector<ThreadId> &waiters)
+ReplayDriver::wakeAllSlow(SmallVec<ThreadId, 8> &waiters)
 {
     // Mirror of Stream::wakeAll + Scheduler::wake: wake-all with a
     // state re-check, queue placement decided by the policy against
@@ -69,6 +82,24 @@ ReplayDriver::wakeAll(std::vector<ThreadId> &waiters)
         core_.wake(tid, engine_.isResident(tid));
     }
     waiters.clear();
+}
+
+void
+ReplayDriver::fatalEventsAfterExit(ThreadId tid)
+{
+    crw_fatal << "replay: events after Exit in thread " << tid << " ("
+              << trace_.threads[static_cast<std::size_t>(tid)].name
+              << ") — "
+              << replayContext(trace_, engine_, core_.policy());
+}
+
+void
+ReplayDriver::fatalEndedWithoutExit(ThreadId tid)
+{
+    crw_fatal << "replay: script of thread " << tid << " ("
+              << trace_.threads[static_cast<std::size_t>(tid)].name
+              << ") ended without Exit — "
+              << replayContext(trace_, engine_, core_.policy());
 }
 
 void
@@ -139,31 +170,19 @@ ReplayDriver::runThread(ThreadId tid)
           case TraceOp::Exit:
             cur.advance();
             if (!cur.atEnd())
-                crw_fatal << "replay: events after Exit in thread "
-                          << tid << " ("
-                          << trace_.threads[static_cast<std::size_t>(
-                                                tid)]
-                                 .name
-                          << ") — "
-                          << replayContext(trace_, engine_,
-                                           core_.policy());
+                fatalEventsAfterExit(tid);
             engine_.threadExit();
             tracker_.onExit(tid);
             t.state = RState::Finished;
             return;
         }
     }
-    crw_fatal << "replay: script of thread " << tid << " ("
-              << trace_.threads[static_cast<std::size_t>(tid)].name
-              << ") ended without Exit — "
-              << replayContext(trace_, engine_, core_.policy());
+    fatalEndedWithoutExit(tid);
 }
 
 void
-ReplayDriver::run()
+ReplayDriver::runLegacy()
 {
-    crw_assert(!ran_);
-    ran_ = true;
     while (!core_.idle()) {
         const ThreadId tid = core_.dispatchNext();
         RThread &t = threads_[static_cast<std::size_t>(tid)];
@@ -178,6 +197,232 @@ ReplayDriver::run()
         }
         runThread(tid);
     }
+}
+
+/**
+ * The specialized dispatch loop: same state machine as runLegacy() +
+ * runThread(), with the script walk flattened to an index into the
+ * predecoded arena and every engine event inlined through the
+ * FastEngineView. The stream/waiter/scheduler transitions are the
+ * exact statements of the oracle loop — only the event decode and the
+ * engine dispatch differ.
+ */
+// flatten: the eight instantiations are each large enough that gcc's
+// unit-growth budget otherwise gives up on inlining the window-file
+// primitives (thread(), claimAsTop(), ...) precisely where they fire
+// hundreds of millions of times; forcing the full event path inline
+// here is the point of the specialized loop.
+template <typename SchemeT, typename ObserverPolicy>
+__attribute__((flatten)) void
+ReplayDriver::runFastLoop(const FlatTrace &flat,
+                          ObserverPolicy observer)
+{
+    FastEngineView<SchemeT, ObserverPolicy> fast(engine_, observer);
+    const std::uint8_t *const ops = flat.ops.data();
+    const std::uint64_t *const operands = flat.operands.data();
+
+    while (!core_.idle()) {
+        const ThreadId tid = core_.dispatchNext();
+        RThread &t = threads_[static_cast<std::size_t>(tid)];
+        crw_assert(t.state == RState::Ready);
+        t.state = RState::Running;
+        if (fast.current() != tid) {
+            const ThreadId from = fast.current();
+            const Cycles begin = fast.now();
+            fast.contextSwitch(tid);
+            tracker_.onSwitch(from, tid, engine_.depthOf(tid), begin,
+                              fast.now());
+        }
+
+        std::uint32_t pc = t.pc;
+        const std::uint32_t end =
+            flat.threads[static_cast<std::size_t>(tid)].end;
+        bool running = true;
+        while (running) {
+            if (pc == end)
+                fatalEndedWithoutExit(tid);
+            // After each handler, the dominant successor op (measured
+            // on the spell traces: every Save is followed by a Charge,
+            // most Restores by a Save, most Gets by a Restore) is
+            // peeked and handled inline — a predictable conditional
+            // branch instead of a round trip through the switch's
+            // indirect dispatch. The executed event sequence is
+            // exactly the oracle's.
+            switch (static_cast<TraceOp>(ops[pc])) {
+              case TraceOp::Save:
+              save_op:
+                fast.save();
+                tracker_.onSave(tid, engine_.depthOf(tid));
+                ++pc;
+                if (pc != end &&
+                    static_cast<TraceOp>(ops[pc]) == TraceOp::Charge)
+                    goto charge_op;
+                break;
+              case TraceOp::Restore:
+              restore_op:
+                fast.restore();
+                tracker_.onRestore(tid, engine_.depthOf(tid));
+                ++pc;
+                if (pc != end &&
+                    static_cast<TraceOp>(ops[pc]) == TraceOp::Save)
+                    goto save_op;
+                break;
+              case TraceOp::Charge:
+              charge_op:
+                fast.charge(static_cast<Cycles>(operands[pc]));
+                ++pc;
+                if (pc != end) {
+                    const TraceOp next = static_cast<TraceOp>(ops[pc]);
+                    if (next == TraceOp::Get)
+                        goto get_op;
+                    if (next == TraceOp::Put)
+                        goto put_op;
+                    if (next == TraceOp::Save)
+                        goto save_op;
+                }
+                break;
+              case TraceOp::Put:
+              put_op: {
+                RStream &s = streams_[operands[pc]];
+                if (s.count == s.capacity) {
+                    wakeAll(s.readWaiters);
+                    s.writeWaiters.push_back(tid);
+                    t.state = RState::Blocked;
+                    running = false;
+                    break;
+                }
+                ++s.count;
+                wakeAll(s.readWaiters);
+                ++pc;
+                if (pc != end) {
+                    const TraceOp next = static_cast<TraceOp>(ops[pc]);
+                    if (next == TraceOp::Restore)
+                        goto restore_op;
+                    if (next == TraceOp::Put)
+                        goto put_op;
+                }
+                break;
+              }
+              case TraceOp::Get:
+              get_op: {
+                RStream &s = streams_[operands[pc]];
+                if (s.count == 0) {
+                    if (s.openWriters == 0) {
+                        ++pc;
+                        break;
+                    }
+                    wakeAll(s.writeWaiters);
+                    s.readWaiters.push_back(tid);
+                    t.state = RState::Blocked;
+                    running = false;
+                    break;
+                }
+                --s.count;
+                wakeAll(s.writeWaiters);
+                ++pc;
+                if (pc != end &&
+                    static_cast<TraceOp>(ops[pc]) == TraceOp::Restore)
+                    goto restore_op;
+                break;
+              }
+              case TraceOp::Close: {
+                RStream &s = streams_[operands[pc]];
+                crw_assert(s.openWriters > 0);
+                if (--s.openWriters == 0)
+                    wakeAll(s.readWaiters);
+                ++pc;
+                break;
+              }
+              case TraceOp::Exit:
+                ++pc;
+                if (pc != end)
+                    fatalEventsAfterExit(tid);
+                fast.threadExit();
+                tracker_.onExit(tid);
+                t.state = RState::Finished;
+                running = false;
+                break;
+            }
+        }
+        t.pc = pc;
+    }
+}
+
+void
+ReplayDriver::runFast(const FlatTrace &flat)
+{
+    // One instantiation per (scheme, observer) pair; the observer
+    // branch compiles out entirely of the no-observer loops.
+    EngineObserver *const obs = engine_.observer();
+    const auto dispatch = [&](auto scheme_tag) {
+        using SchemeT = typename decltype(scheme_tag)::type;
+        if (obs)
+            runFastLoop<SchemeT>(flat, EngineObserverRef{obs});
+        else
+            runFastLoop<SchemeT>(flat, NoopEngineObserver{});
+    };
+    switch (engine_.scheme()) {
+      case SchemeKind::NS:
+        dispatch(std::type_identity<detail::NsScheme>{});
+        return;
+      case SchemeKind::SNP:
+        dispatch(std::type_identity<detail::SnpScheme>{});
+        return;
+      case SchemeKind::SP:
+        dispatch(std::type_identity<detail::SpScheme>{});
+        return;
+      case SchemeKind::Infinite:
+        dispatch(std::type_identity<detail::InfiniteScheme>{});
+        return;
+    }
+    crw_unreachable("bad scheme kind");
+}
+
+void
+ReplayDriver::run()
+{
+    if (ran_)
+        crw_fatal << "ReplayDriver::run() called twice — a driver is "
+                     "one run; rerunning would accumulate into the "
+                     "finished run's counters ("
+                  << replayContext(trace_, engine_, core_.policy())
+                  << ")";
+    ran_ = true;
+
+    bool fast = false;
+    switch (path_) {
+      case ReplayPath::Auto:
+        fast = !engine_.checkInvariants() && fastEnabledByEnv();
+        break;
+      case ReplayPath::Fast:
+        if (engine_.checkInvariants())
+            crw_fatal << "ReplayPath::Fast with checkInvariants: the "
+                         "post-event invariant walk only exists on "
+                         "the oracle path ("
+                      << replayContext(trace_, engine_,
+                                       core_.policy())
+                      << ")";
+        fast = true;
+        break;
+      case ReplayPath::Legacy:
+        fast = false;
+        break;
+    }
+
+    if (fast) {
+        if (!flat_) {
+            ownedFlat_ =
+                std::make_unique<FlatTrace>(FlatTrace::build(trace_));
+            flat_ = ownedFlat_.get();
+        }
+        for (std::size_t i = 0; i < threads_.size(); ++i)
+            threads_[i].pc = flat_->threads[i].begin;
+        runFast(*flat_);
+        usedFast_ = true;
+    } else {
+        runLegacy();
+    }
+
     for (std::size_t i = 0; i < threads_.size(); ++i) {
         if (threads_[i].state != RState::Finished)
             crw_fatal << "replay deadlock: thread " << i << " ("
@@ -192,7 +437,12 @@ ReplayDriver::run()
 RunMetrics
 ReplayDriver::metrics() const
 {
-    crw_assert(ran_);
+    if (!ran_)
+        crw_fatal << "ReplayDriver::metrics() called before run() — "
+                     "the engine and tracker are unpopulated and "
+                     "would yield an all-zero record ("
+                  << replayContext(trace_, engine_, core_.policy())
+                  << ")";
     return collectRunMetrics(engine_, tracker_, core_.slackness(),
                              core_.policy(),
                              static_cast<int>(threads_.size()),

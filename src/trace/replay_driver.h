@@ -1,7 +1,7 @@
 /**
  * @file
  * ReplayDriver: re-runs a captured EventTrace against a WindowEngine
- * without coroutines (DESIGN.md §8).
+ * without coroutines (DESIGN.md §8, §12).
  *
  * The driver is an exact re-implementation of the live execution's
  * state machine with the thread bodies replaced by their captured
@@ -18,20 +18,46 @@
  * *this* driver's engine at the moment of each wake, not read from the
  * trace; one trace therefore serves every scheme × windows × policy
  * combination.
+ *
+ * Two replay loops implement the same state machine (DESIGN.md §12):
+ *
+ *  - the *oracle* loop walks the encoded scripts through TraceCursor
+ *    and drives the engine's virtual-dispatch members;
+ *  - the *fast* loop walks a predecoded FlatTrace and drives a
+ *    FastEngineView specialized on the concrete scheme class and on
+ *    whether an observer is installed.
+ *
+ * Path selection (ReplayPath): Auto — the default — takes the fast
+ * loop unless the engine was configured with checkInvariants (the
+ * invariant walk only exists on the oracle path) or the environment
+ * variable CRW_REPLAY_FAST is set to "0" (the determinism gate's
+ * switch). Fast/Legacy force one loop for differential testing. Both
+ * loops must produce bit-identical RunMetrics; the fast-replay test
+ * sweeps that equivalence across every scheme and variant.
  */
 
 #ifndef CRW_TRACE_REPLAY_DRIVER_H_
 #define CRW_TRACE_REPLAY_DRIVER_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/small_vec.h"
 #include "rt/sched_core.h"
 #include "trace/behavior.h"
 #include "trace/event_trace.h"
+#include "trace/flat_trace.h"
 #include "trace/run_metrics.h"
 #include "win/engine.h"
 
 namespace crw {
+
+/** Which replay loop run() uses (see file comment). */
+enum class ReplayPath : std::uint8_t {
+    Auto,   ///< fast unless checkInvariants or CRW_REPLAY_FAST=0
+    Fast,   ///< force the specialized loop (fatal w/ checkInvariants)
+    Legacy, ///< force the virtual-dispatch oracle loop
+};
 
 class ReplayDriver
 {
@@ -42,17 +68,36 @@ class ReplayDriver
      *        point (scheme, window count, cost model, PRW/allocation
      *        variants...).
      * @param policy Ready-queue policy to re-schedule with.
+     * @param flat Optional predecoded image of @p trace (not owned;
+     *        must outlive this). The bench executor builds one per
+     *        trace and shares it across the sweep; when absent, a
+     *        fast-path run() predecodes privately.
      */
     ReplayDriver(const EventTrace &trace,
-                 const EngineConfig &engine_config, SchedPolicy policy);
+                 const EngineConfig &engine_config, SchedPolicy policy,
+                 const FlatTrace *flat = nullptr);
 
     ReplayDriver(const ReplayDriver &) = delete;
     ReplayDriver &operator=(const ReplayDriver &) = delete;
 
-    /** Replay the whole trace. Fatal on a stuck/mismatched trace. */
+    /** Select the replay loop; call before run(). Default: Auto. */
+    void setPath(ReplayPath path) { path_ = path; }
+
+    /**
+     * Replay the whole trace. Fatal on a stuck/mismatched trace, and
+     * on a second call — a driver is one run, and rerunning would
+     * silently accumulate into the first run's counters.
+     */
     void run();
 
-    /** Metrics of the finished run (call after run()). */
+    /** True once run() completed through the specialized loop. */
+    bool usedFastPath() const { return usedFast_; }
+
+    /**
+     * Metrics of the finished run. Fatal before run(): the engine and
+     * tracker hold a half-initialized state that would serialize as a
+     * plausible-looking all-zero record.
+     */
     RunMetrics metrics() const;
 
     WindowEngine &engine() { return engine_; }
@@ -61,14 +106,18 @@ class ReplayDriver
     const BehaviorTracker &tracker() const { return tracker_; }
 
   private:
-    /** Replay image of one bounded stream (occupancy + waiters). */
+    /**
+     * Replay image of one bounded stream (occupancy + waiters). The
+     * waiter lists hold at most one entry per application thread, so
+     * the inline capacity makes parking/waking allocation-free.
+     */
     struct RStream
     {
         std::uint32_t capacity = 0;
         std::uint32_t count = 0;
         int openWriters = 0;
-        std::vector<ThreadId> readWaiters;
-        std::vector<ThreadId> writeWaiters;
+        SmallVec<ThreadId, 8> readWaiters;
+        SmallVec<ThreadId, 8> writeWaiters;
     };
 
     enum class RState : std::uint8_t {
@@ -81,20 +130,45 @@ class ReplayDriver
     struct RThread
     {
         TraceCursor cursor;
+        /** Fast loop: index of the next event in the flat arena. */
+        std::uint32_t pc = 0;
         RState state = RState::Ready;
     };
 
-    /** Execute @p tid's script until it parks or exits. */
+    /** Oracle loop: execute @p tid's script until it parks or exits. */
     void runThread(ThreadId tid);
-    void wakeAll(std::vector<ThreadId> &waiters);
+    /** The oracle dispatch loop (virtual Scheme + TraceCursor). */
+    void runLegacy();
+    /** Instantiate and run the fast loop for the engine's scheme. */
+    void runFast(const FlatTrace &flat);
+    template <typename SchemeT, typename ObserverPolicy>
+    void runFastLoop(const FlatTrace &flat, ObserverPolicy observer);
+    /**
+     * Wake every parked waiter on @p waiters. Most stream operations
+     * find nobody parked (wakes happen on the full/empty edges only),
+     * so the empty case must cost one load in the replay loops.
+     */
+    void
+    wakeAll(SmallVec<ThreadId, 8> &waiters)
+    {
+        if (!waiters.empty())
+            wakeAllSlow(waiters);
+    }
+    void wakeAllSlow(SmallVec<ThreadId, 8> &waiters);
+    [[noreturn]] void fatalEventsAfterExit(ThreadId tid);
+    [[noreturn]] void fatalEndedWithoutExit(ThreadId tid);
 
     const EventTrace &trace_;
+    const FlatTrace *flat_;
+    std::unique_ptr<FlatTrace> ownedFlat_;
     WindowEngine engine_;
     SchedCore core_;
     BehaviorTracker tracker_;
     std::vector<RStream> streams_;
     std::vector<RThread> threads_;
+    ReplayPath path_ = ReplayPath::Auto;
     bool ran_ = false;
+    bool usedFast_ = false;
 };
 
 } // namespace crw

@@ -49,6 +49,29 @@ costModelKey(const CostModel &model)
            line(model.sp);
 }
 
+FlatCostTables::FlatCostTables(const CostModel &model, SchemeKind kind,
+                               int num_windows)
+    : plain_(model.plainSaveRestore),
+      underflow_(kind == SchemeKind::NS
+                     ? model.underflowConventionalCost()
+                     : model.underflowSharingCost()),
+      saveDim_(num_windows + 5)
+{
+    crw_assert(num_windows >= 2);
+    // An overflow trap moves the spilled bottom window plus, for SP's
+    // eager PRW reclaim, the evicted thread's preserved out registers
+    // — never more than 2 transfers. Sized with headroom regardless.
+    overflow_.resize(8);
+    for (std::size_t s = 0; s < overflow_.size(); ++s)
+        overflow_[s] = model.overflowTrapCost(static_cast<int>(s));
+    switch_.resize(static_cast<std::size_t>(saveDim_) * kRestoreDim);
+    for (int s = 0; s < saveDim_; ++s)
+        for (int r = 0; r < kRestoreDim; ++r)
+            switch_[static_cast<std::size_t>(s) * kRestoreDim +
+                    static_cast<std::size_t>(r)] =
+                model.switchCost(kind, s, r);
+}
+
 Cycles
 CostModel::switchCost(SchemeKind kind, int saves, int restores) const
 {

@@ -19,7 +19,9 @@
 #define CRW_WIN_COST_MODEL_H_
 
 #include <string>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
 
 namespace crw {
@@ -103,6 +105,61 @@ class CostModel
     SwitchCostLine ns;
     SwitchCostLine snp;
     SwitchCostLine sp;
+};
+
+/**
+ * Flat per-(scheme, windows) cost tables for the replay fast path
+ * (win/engine_fast.h): every CostModel lookup a specialized event loop
+ * performs, precomputed into dense arrays indexed by windows moved.
+ * One instance is built per replay point — the scheme kind and window
+ * count are fixed for the whole run, so the trap-cost formulae and the
+ * per-scheme switch-cost line collapse to loads.
+ *
+ * The table dimensions cover every outcome the schemes can produce
+ * (an overflow spills at most 2 windows — SP's eager PRW reclaim; a
+ * switch saves at most numWindows windows — NS's flush — and restores
+ * at most 1) with headroom; lookups assert their bounds, so a scheme
+ * change that widens an outcome fails loudly, not silently.
+ */
+class FlatCostTables
+{
+  public:
+    FlatCostTables() = default;
+    FlatCostTables(const CostModel &model, SchemeKind kind,
+                   int num_windows);
+
+    Cycles plainSaveRestore() const { return plain_; }
+
+    /** == CostModel::overflowTrapCost(spills). */
+    Cycles
+    overflowCost(int spills) const
+    {
+        crw_assert(spills >= 0 &&
+                   spills < static_cast<int>(overflow_.size()));
+        return overflow_[static_cast<std::size_t>(spills)];
+    }
+
+    /** The scheme's underflow-trap cost (conventional for NS). */
+    Cycles underflowCost() const { return underflow_; }
+
+    /** == CostModel::switchCost(kind, saves, restores). */
+    Cycles
+    switchCost(int saves, int restores) const
+    {
+        crw_assert(saves >= 0 && saves < saveDim_);
+        crw_assert(restores >= 0 && restores < kRestoreDim);
+        return switch_[static_cast<std::size_t>(saves) * kRestoreDim +
+                       static_cast<std::size_t>(restores)];
+    }
+
+  private:
+    static constexpr int kRestoreDim = 4;
+
+    Cycles plain_ = 0;
+    Cycles underflow_ = 0;
+    std::vector<Cycles> overflow_;
+    std::vector<Cycles> switch_;
+    int saveDim_ = 0;
 };
 
 /**

@@ -1,34 +1,10 @@
 #include "win/engine.h"
 
 #include "common/logging.h"
-#include "win/schemes_impl.h"
 
 namespace crw {
 
 namespace {
-
-/**
- * Static dispatch over the concrete (final) scheme classes. The
- * scheme kind is fixed at engine construction, so the per-event
- * virtual calls — the hottest boundary in sweep profiles — reduce to
- * one predictable switch with the handlers inlined behind it.
- */
-template <typename F>
-inline auto
-withScheme(SchemeKind kind, Scheme &scheme, F &&f)
-{
-    switch (kind) {
-      case SchemeKind::NS:
-        return f(static_cast<detail::NsScheme &>(scheme));
-      case SchemeKind::SNP:
-        return f(static_cast<detail::SnpScheme &>(scheme));
-      case SchemeKind::SP:
-        return f(static_cast<detail::SpScheme &>(scheme));
-      case SchemeKind::Infinite:
-        return f(static_cast<detail::InfiniteScheme &>(scheme));
-    }
-    crw_unreachable("bad scheme kind");
-}
 
 /**
  * Per-scheme minimum-window validation, run *before* the WindowFile
@@ -106,9 +82,7 @@ void
 WindowEngine::save()
 {
     crw_assert(current_ != kNoThread);
-    const OpOutcome out = withScheme(
-        kind_, *scheme_,
-        [this](auto &s) { return s.onSave(current_); });
+    const OpOutcome out = scheme_->onSave(current_);
 
     ++hot_.saves;
     ++threadCounters_[static_cast<std::size_t>(current_)].saves;
@@ -138,9 +112,7 @@ void
 WindowEngine::restore()
 {
     crw_assert(current_ != kNoThread);
-    const OpOutcome out = withScheme(
-        kind_, *scheme_,
-        [this](auto &s) { return s.onRestore(current_); });
+    const OpOutcome out = scheme_->onRestore(current_);
 
     ++hot_.restores;
     ++threadCounters_[static_cast<std::size_t>(current_)].restores;
@@ -174,9 +146,7 @@ WindowEngine::contextSwitch(ThreadId to)
     crw_assert(file_.hasThread(to));
     crw_assert(to != current_);
     const ThreadId from = current_;
-    const SwitchOutcome out = withScheme(
-        kind_, *scheme_,
-        [&](auto &s) { return s.onSwitchIn(from, to); });
+    const SwitchOutcome out = scheme_->onSwitchIn(from, to);
     current_ = to;
 
     ++hot_.switches;
@@ -210,14 +180,6 @@ WindowEngine::threadExit()
         observer_->onExit(current_);
     current_ = kNoThread;
     postEventCheck();
-}
-
-bool
-WindowEngine::isResident(ThreadId tid) const
-{
-    if (!file_.hasThread(tid))
-        return false;
-    return file_.thread(tid).isResident();
 }
 
 std::map<std::pair<int, int>, std::uint64_t>

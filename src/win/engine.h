@@ -131,12 +131,23 @@ struct ThreadCounters
     std::uint64_t switchesIn = 0;
 };
 
+template <typename SchemeT, typename ObserverPolicy>
+class FastEngineView;
+
 /**
  * The window-management simulator.
  *
  * Cycle accounting: now() advances by compute charges plus every
  * window-management cost. The decomposition (compute / call-return /
  * trap / switch cycles) is exact and is exposed through stats().
+ *
+ * Dispatch: the member event functions go through the virtual Scheme
+ * interface — this is the *oracle* path, the reference semantics every
+ * specialization is differentially tested against. The replay fast
+ * path (win/engine_fast.h) instantiates the same event bodies with the
+ * concrete scheme class resolved at compile time; it accesses the
+ * engine's internals through the FastEngineView friend below and must
+ * stay bit-identical to the oracle (tests/win/test_fast_replay.cc).
  */
 class WindowEngine
 {
@@ -183,7 +194,13 @@ class WindowEngine
     SchemeKind scheme() const { return kind_; }
 
     /** True if @p tid has at least one window in the file. */
-    bool isResident(ThreadId tid) const;
+    bool
+    isResident(ThreadId tid) const
+    {
+        // Inline: the replay wake path consults residency on every
+        // working-set queue-placement decision.
+        return file_.hasThread(tid) && file_.thread(tid).isResident();
+    }
 
     /** Current total call depth of @p tid. */
     int depthOf(ThreadId tid) const { return file_.thread(tid).depth; }
@@ -207,6 +224,12 @@ class WindowEngine
     /** Install a metrics observer (nullptr to remove). Not owned. */
     void setObserver(EngineObserver *observer) { observer_ = observer; }
 
+    /** The installed observer (nullptr when none). */
+    EngineObserver *observer() const { return observer_; }
+
+    /** Whether postEventCheck() runs the full invariant check. */
+    bool checkInvariants() const { return checkInvariants_; }
+
     /**
      * Histogram of context switches by (windows saved, windows
      * restored) — the shape of the paper's Table 2 usage. Materialized
@@ -218,6 +241,9 @@ class WindowEngine
     std::uint64_t switchCaseCount(int saved, int restored) const;
 
   private:
+    template <typename SchemeT, typename ObserverPolicy>
+    friend class FastEngineView;
+
     void postEventCheck();
     void syncStats() const;
 

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * FastEngineView: the statically-specialized engine event path used by
+ * the replay fast loop (trace/replay_driver.cc).
+ *
+ * Each method is the same event body as the corresponding
+ * WindowEngine member (engine.cc — the oracle), with three
+ * compile-time specializations applied:
+ *
+ *  - the Scheme handler is called on the concrete final class
+ *    (schemes_impl.h), so it devirtualizes and inlines into the
+ *    caller's event loop;
+ *  - CostModel lookups go through precomputed FlatCostTables
+ *    (cost_model.h), one dense array per cost family;
+ *  - the observer is a compile-time policy: NoopEngineObserver
+ *    removes every observer branch from the instantiation, while
+ *    EngineObserverRef forwards to the installed virtual observer
+ *    with exactly the oracle's call sequence.
+ *
+ * The view writes the engine's own counters and clock through
+ * friendship, so a run driven through it is indistinguishable —
+ * bit-for-bit, including the switch-cost Distribution's summation
+ * order — from one driven through the engine members. That invariant
+ * is enforced by tests/win/test_fast_replay.cc across every scheme,
+ * policy and PRW/allocation variant.
+ *
+ * postEventCheck() is deliberately absent: the full invariant walk is
+ * a debugging aid of the oracle path, so a view refuses engines
+ * configured with checkInvariants (the replay driver falls back to
+ * the oracle loop for those).
+ */
+
+#ifndef CRW_WIN_ENGINE_FAST_H_
+#define CRW_WIN_ENGINE_FAST_H_
+
+#include "common/logging.h"
+#include "win/engine.h"
+#include "win/schemes_impl.h"
+
+namespace crw {
+
+/** Observer policy: compile-time "no observer installed". */
+struct NoopEngineObserver
+{
+    static constexpr bool kEnabled = false;
+};
+
+/** Observer policy: forward to the engine's installed observer. */
+struct EngineObserverRef
+{
+    static constexpr bool kEnabled = true;
+    EngineObserver *obs;
+};
+
+template <typename SchemeT, typename ObserverPolicy>
+class FastEngineView
+{
+  public:
+    FastEngineView(WindowEngine &engine, ObserverPolicy observer)
+        : e_(engine),
+          s_(static_cast<SchemeT &>(*engine.scheme_)),
+          t_(engine.cost_, engine.kind_, engine.file_.numWindows()),
+          o_(observer)
+    {
+        // The concrete type must match the engine's runtime scheme,
+        // and the invariant-checking debug mode must use the oracle.
+        crw_assert(s_.kind() == engine.kind_);
+        crw_assert(!engine.checkInvariants_);
+    }
+
+    void
+    save()
+    {
+        crw_assert(e_.current_ != kNoThread);
+        const OpOutcome out = s_.onSave(e_.current_);
+
+        ++e_.hot_.saves;
+        ++e_.threadCounters_[static_cast<std::size_t>(e_.current_)]
+              .saves;
+        Cycles cycles = t_.plainSaveRestore();
+        Cycles trap = 0;
+        if (out.trapped) {
+            ++e_.hot_.ovfTraps;
+            e_.hot_.ovfSpilled +=
+                static_cast<std::uint64_t>(out.windowsSaved);
+            trap = t_.overflowCost(out.windowsSaved);
+            e_.hot_.cyclesTrap += trap;
+            cycles += trap;
+        }
+        e_.hot_.cyclesCallret += t_.plainSaveRestore();
+        e_.now_ += cycles;
+        if constexpr (ObserverPolicy::kEnabled) {
+            const int depth = e_.file_.thread(e_.current_).depth;
+            o_.obs->onSave(e_.current_, depth);
+            if (out.trapped)
+                o_.obs->onTrap(e_.current_, true, out.windowsSaved,
+                               e_.now_ - trap, e_.now_);
+            o_.obs->onSaveTimed(e_.current_, depth, e_.now_ - cycles,
+                                e_.now_);
+        }
+    }
+
+    void
+    restore()
+    {
+        crw_assert(e_.current_ != kNoThread);
+        const OpOutcome out = s_.onRestore(e_.current_);
+
+        ++e_.hot_.restores;
+        ++e_.threadCounters_[static_cast<std::size_t>(e_.current_)]
+              .restores;
+        Cycles cycles = t_.plainSaveRestore();
+        Cycles trap = 0;
+        if (out.trapped) {
+            ++e_.hot_.unfTraps;
+            e_.hot_.unfRestored +=
+                static_cast<std::uint64_t>(out.windowsRestored);
+            trap = t_.underflowCost();
+            e_.hot_.cyclesTrap += trap;
+            cycles += trap;
+        }
+        e_.hot_.cyclesCallret += t_.plainSaveRestore();
+        e_.now_ += cycles;
+        if constexpr (ObserverPolicy::kEnabled) {
+            const int depth = e_.file_.thread(e_.current_).depth;
+            o_.obs->onRestore(e_.current_, depth);
+            if (out.trapped)
+                o_.obs->onTrap(e_.current_, false, out.windowsRestored,
+                               e_.now_ - trap, e_.now_);
+            o_.obs->onRestoreTimed(e_.current_, depth,
+                                   e_.now_ - cycles, e_.now_);
+        }
+    }
+
+    void
+    contextSwitch(ThreadId to)
+    {
+        crw_assert(e_.file_.hasThread(to));
+        crw_assert(to != e_.current_);
+        const ThreadId from = e_.current_;
+        const SwitchOutcome out = s_.onSwitchIn(from, to);
+        e_.current_ = to;
+
+        ++e_.hot_.switches;
+        ++e_.threadCounters_[static_cast<std::size_t>(to)].switchesIn;
+        e_.hot_.switchSaved +=
+            static_cast<std::uint64_t>(out.windowsSaved);
+        e_.hot_.switchRestored +=
+            static_cast<std::uint64_t>(out.windowsRestored);
+        if (out.windowsSaved < WindowEngine::kSmallSwitchCase &&
+            out.windowsRestored < WindowEngine::kSmallSwitchCase)
+            ++e_.switchCasesSmall_[out.windowsSaved]
+                                  [out.windowsRestored];
+        else
+            ++e_.switchCasesLarge_[{out.windowsSaved,
+                                    out.windowsRestored}];
+
+        const Cycles cycles =
+            t_.switchCost(out.windowsSaved, out.windowsRestored);
+        e_.hot_.cyclesSwitch += cycles;
+        e_.dSwitchCost_->sample(static_cast<double>(cycles));
+        e_.now_ += cycles;
+        if constexpr (ObserverPolicy::kEnabled)
+            o_.obs->onSwitch(from, to, e_.file_.thread(to).depth,
+                             e_.now_ - cycles, e_.now_);
+    }
+
+    void
+    threadExit()
+    {
+        crw_assert(e_.current_ != kNoThread);
+        s_.onExit(e_.current_);
+        ++e_.stats_.counter("thread_exits");
+        if constexpr (ObserverPolicy::kEnabled)
+            o_.obs->onExit(e_.current_);
+        e_.current_ = kNoThread;
+    }
+
+    void
+    charge(Cycles cycles)
+    {
+        e_.hot_.cyclesCompute += cycles;
+        e_.now_ += cycles;
+    }
+
+    ThreadId current() const { return e_.current_; }
+    Cycles now() const { return e_.now_; }
+
+  private:
+    WindowEngine &e_;
+    SchemeT &s_;
+    const FlatCostTables t_;
+    ObserverPolicy o_;
+};
+
+} // namespace crw
+
+#endif // CRW_WIN_ENGINE_FAST_H_

@@ -1,12 +1,15 @@
 /**
  * @file
- * Concrete scheme implementations, in a header so the engine can
- * dispatch on the (fixed-at-construction) SchemeKind and inline the
- * per-event handlers — save/restore/switch fire tens of millions of
- * times per sweep, and the virtual-call boundary was the hottest
- * barrier in the replay profile. makeScheme() (schemes.cc) remains the
- * only way to construct them; everything here is an implementation
- * detail.
+ * Concrete scheme implementations, in a header so the replay fast
+ * path (win/engine_fast.h) can instantiate the engine event bodies
+ * over the concrete (final) classes and inline the per-event handlers
+ * — save/restore/switch fire tens of millions of times per sweep, and
+ * the dispatch boundary was the hottest barrier in the replay profile.
+ * The engine's own member functions keep calling through the virtual
+ * Scheme interface: that path is the differential oracle the
+ * specializations are tested against. makeScheme() (schemes.cc)
+ * remains the only way to construct them; everything here is an
+ * implementation detail.
  */
 
 #ifndef CRW_WIN_SCHEMES_IMPL_H_
@@ -130,8 +133,7 @@ class NsScheme final : public Scheme
             ThreadWindows &ftw = file_.thread(from);
             out.windowsSaved = ftw.resident;
             // Flush: every resident frame goes to the memory stack.
-            while (ftw.isResident())
-                file_.spillBottom(from);
+            file_.spillAllFrames(from);
         }
         ThreadWindows &ttw = file_.thread(to);
         crw_assert(!ttw.isResident());

@@ -22,60 +22,9 @@ WindowFile::addThread(ThreadId tid)
 }
 
 void
-WindowFile::fillAsTop(ThreadId tid, WindowIndex w)
-{
-    ThreadWindows &tw = thread(tid);
-    crw_assert(!tw.isResident());
-    crw_assert(tw.memFrames() >= 1);
-    crw_assert(isFree(w));
-    slots_[static_cast<std::size_t>(w)] = {WinState::Owned, tid};
-    tw.top = w;
-    tw.resident = 1;
-}
-
-void
-WindowFile::refillInPlace(ThreadId tid)
-{
-    ThreadWindows &tw = thread(tid);
-    crw_assert(tw.resident == 1);
-    crw_assert(tw.depth >= 1); // the caller's frame must exist
-    // The slot already belongs to tid; only the (unmodeled) contents
-    // change: the callee's dead frame is overwritten by the caller's.
-}
-
-void
-WindowFile::refillBelow(ThreadId tid)
-{
-    ThreadWindows &tw = thread(tid);
-    crw_assert(tw.resident == 1);
-    crw_assert(tw.depth >= 1);
-    const WindowIndex below = space_.below(tw.top);
-    crw_assert(isFree(below));
-    slots_[static_cast<std::size_t>(tw.top)] = {WinState::Free, kNoThread};
-    slots_[static_cast<std::size_t>(below)] = {WinState::Owned, tid};
-    tw.top = below;
-}
-
-void
-WindowFile::clearPrw(ThreadId tid)
-{
-    ThreadWindows &tw = thread(tid);
-    if (tw.prw == kNoWindow)
-        return;
-    slots_[static_cast<std::size_t>(tw.prw)] = {WinState::Free, kNoThread};
-    tw.prw = kNoWindow;
-}
-
-void
 WindowFile::dropAll(ThreadId tid)
 {
-    ThreadWindows &tw = thread(tid);
-    while (tw.isResident()) {
-        const WindowIndex b = bottomOf(tid);
-        slots_[static_cast<std::size_t>(b)] = {WinState::Free, kNoThread};
-        --tw.resident;
-    }
-    tw.top = kNoWindow;
+    spillAllFrames(tid);
     clearPrw(tid);
 }
 

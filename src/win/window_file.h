@@ -107,6 +107,14 @@ class WindowFile
     /** Spill @p tid's stack-bottom window: slot freed, frame to memory. */
     void spillBottom(ThreadId tid);
 
+    /**
+     * Spill every resident window of @p tid (frames to memory). State-
+     * identical to spillBottom repeated until nothing is resident, but
+     * one top-down walk instead of recomputing the bottom each time —
+     * this is NS's every-switch flush.
+     */
+    void spillAllFrames(ThreadId tid);
+
     /** Fill one frame from memory into the Free window @p w as new top. */
     void fillAsTop(ThreadId tid, WindowIndex w);
 
@@ -232,6 +240,67 @@ WindowFile::spillBottom(ThreadId tid)
     --tw.resident;
     if (tw.resident == 0)
         tw.top = kNoWindow;
+}
+
+inline void
+WindowFile::spillAllFrames(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    WindowIndex w = tw.top;
+    for (int k = tw.resident; k > 0; --k) {
+        slots_[static_cast<std::size_t>(w)] = {WinState::Free,
+                                               kNoThread};
+        w = space_.below(w);
+    }
+    tw.resident = 0;
+    tw.top = kNoWindow;
+}
+
+inline void
+WindowFile::fillAsTop(ThreadId tid, WindowIndex w)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(!tw.isResident());
+    crw_assert(tw.memFrames() >= 1);
+    crw_assert(isFree(w));
+    slots_[static_cast<std::size_t>(w)] = {WinState::Owned, tid};
+    tw.top = w;
+    tw.resident = 1;
+}
+
+inline void
+WindowFile::refillInPlace(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(tw.resident == 1);
+    crw_assert(tw.depth >= 1); // the caller's frame must exist
+    // The slot already belongs to tid; only the (unmodeled) contents
+    // change: the callee's dead frame is overwritten by the caller's.
+}
+
+inline void
+WindowFile::refillBelow(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    crw_assert(tw.resident == 1);
+    crw_assert(tw.depth >= 1);
+    const WindowIndex below = space_.below(tw.top);
+    crw_assert(isFree(below));
+    slots_[static_cast<std::size_t>(tw.top)] = {WinState::Free,
+                                                kNoThread};
+    slots_[static_cast<std::size_t>(below)] = {WinState::Owned, tid};
+    tw.top = below;
+}
+
+inline void
+WindowFile::clearPrw(ThreadId tid)
+{
+    ThreadWindows &tw = thread(tid);
+    if (tw.prw == kNoWindow)
+        return;
+    slots_[static_cast<std::size_t>(tw.prw)] = {WinState::Free,
+                                                kNoThread};
+    tw.prw = kNoWindow;
 }
 
 inline void

@@ -1,10 +1,16 @@
 /**
  * @file
- * Bench harness hardening: strict $CRW_JOBS / --jobs parsing. The old
- * atoi-based path silently turned "8x" into 8 and "" into 0 workers;
- * parseJobs() must reject every malformed spelling, fall back, and
- * clamp runaway values to kMaxJobs.
+ * Bench harness hardening: strict $CRW_JOBS / --jobs parsing (the old
+ * atoi-based path silently turned "8x" into 8 and "" into 0 workers),
+ * and ParallelSweep's exception contract — a throwing sweep task must
+ * surface on the caller as an ordinary exception (not std::terminate,
+ * as the detached-thread design did), leaving the sweep reusable.
  */
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -53,6 +59,40 @@ TEST(ParseJobs, ClampsOversizedCounts)
     // implementation clamps values it could parse — this one it
     // cannot, so it falls back.
     EXPECT_EQ(parseJobs("99999999999999999999", 2), 2);
+}
+
+TEST(ParallelSweep, RunsEveryIndexOnceAtAnyJobCount)
+{
+    for (const int jobs : {1, 3, 8}) {
+        const ParallelSweep sweep(jobs);
+        std::vector<std::atomic<int>> hits(41);
+        sweep.run(hits.size(), [&](std::size_t i) {
+            hits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1)
+                << "index " << i << " at jobs=" << jobs;
+    }
+}
+
+TEST(ParallelSweep, TaskExceptionRethrownAndSweepReusable)
+{
+    for (const int jobs : {1, 4}) {
+        const ParallelSweep sweep(jobs);
+        EXPECT_THROW(sweep.run(16,
+                               [](std::size_t i) {
+                                   if (i == 3)
+                                       throw std::runtime_error(
+                                           "point failed");
+                               }),
+                     std::runtime_error)
+            << "jobs=" << jobs;
+
+        // The first failure must not poison later sweeps.
+        std::atomic<int> ran{0};
+        sweep.run(8, [&](std::size_t) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), 8) << "jobs=" << jobs;
+    }
 }
 
 } // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * ReplayDriver lifecycle misuse is fatal, not silent: metrics() before
+ * run() would report an all-zero record, run() twice would accumulate
+ * into finished counters, and ReplayPath::Fast cannot honor
+ * checkInvariants (the post-event walk only exists on the oracle
+ * path). Each must throw with the replay coordinate in the message.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "trace/event_trace.h"
+#include "trace/replay_driver.h"
+
+namespace crw {
+namespace {
+
+/** Minimal completable script: one thread, a window pulse, exit. */
+EventTrace
+tinyTrace()
+{
+    TraceRecorder rec("m1-n1-d4000-v500", 1993, 3000);
+    rec.onThreadSpawn(0, "T1:solo");
+    rec.recordSave(0);
+    rec.recordCharge(0, 10);
+    rec.recordRestore(0);
+    rec.recordExit(0);
+    return rec.take(0, 0);
+}
+
+TEST(ReplayMisuse, MetricsBeforeRunIsFatal)
+{
+    const EventTrace trace = tinyTrace();
+    ReplayDriver driver(trace, EngineConfig{}, SchedPolicy::Fifo);
+    EXPECT_THROW(driver.metrics(), FatalError);
+    driver.run(); // still usable after the failed read
+    EXPECT_EQ(driver.metrics().saves, 1u);
+}
+
+TEST(ReplayMisuse, DoubleRunIsFatal)
+{
+    const EventTrace trace = tinyTrace();
+    ReplayDriver driver(trace, EngineConfig{}, SchedPolicy::Fifo);
+    driver.run();
+    EXPECT_THROW(driver.run(), FatalError);
+    // The completed run's results stay readable.
+    EXPECT_EQ(driver.metrics().saves, 1u);
+}
+
+TEST(ReplayMisuse, FastPathRefusesCheckInvariants)
+{
+    const EventTrace trace = tinyTrace();
+    EngineConfig ec;
+    ec.checkInvariants = true;
+    ReplayDriver driver(trace, ec, SchedPolicy::Fifo);
+    driver.setPath(ReplayPath::Fast);
+    EXPECT_THROW(driver.run(), FatalError);
+}
+
+TEST(ReplayMisuse, AutoWithInvariantsFallsBackToOracle)
+{
+    const EventTrace trace = tinyTrace();
+    EngineConfig ec;
+    ec.checkInvariants = true;
+    ReplayDriver driver(trace, ec, SchedPolicy::Fifo);
+    driver.run();
+    EXPECT_FALSE(driver.usedFastPath());
+}
+
+TEST(ReplayMisuse, ForcedPathsReportWhichLoopRan)
+{
+    const EventTrace trace = tinyTrace();
+    {
+        ReplayDriver driver(trace, EngineConfig{}, SchedPolicy::Fifo);
+        driver.setPath(ReplayPath::Fast);
+        driver.run();
+        EXPECT_TRUE(driver.usedFastPath());
+    }
+    {
+        ReplayDriver driver(trace, EngineConfig{}, SchedPolicy::Fifo);
+        driver.setPath(ReplayPath::Legacy);
+        driver.run();
+        EXPECT_FALSE(driver.usedFastPath());
+    }
+}
+
+} // namespace
+} // namespace crw
