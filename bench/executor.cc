@@ -12,8 +12,10 @@
 #include "common/table.h"
 #include "obs/metrics.h"
 #include "obs/publish.h"
+#include "obs/ring.h"
 #include "obs/trace_json.h"
 #include "spell/capture.h"
+#include "trace/flat_trace_io.h"
 #include "trace/replay_driver.h"
 
 namespace crw {
@@ -22,6 +24,7 @@ namespace bench {
 namespace {
 
 bool g_cacheEnabled = true;
+bool g_flatCacheEnabled = true;
 
 // Result store: pointConfigKey -> RunMetrics. std::map references
 // stay valid across inserts, so pointResult() can hand out stable
@@ -83,25 +86,12 @@ executePoints(const std::vector<PlanPoint> &points)
     if (todo.empty())
         return;
 
-    // Capture serially (cachedTrace mutates its memo), then predecode
-    // each distinct behavior's flat arena on the shared worker pool —
-    // the same pool the replay fan-out below uses.
-    std::vector<std::pair<ConcurrencyLevel, GranularityLevel>>
-        behaviors;
-    {
-        std::set<std::pair<int, int>> seen;
-        for (const PlanPoint &p : todo) {
-            cachedTrace(p.conc, p.gran);
-            if (seen.emplace(static_cast<int>(p.conc),
-                             static_cast<int>(p.gran))
-                    .second)
-                behaviors.emplace_back(p.conc, p.gran);
-        }
-    }
-    const ParallelSweep pool(sweepJobs());
-    pool.run(behaviors.size(), [&](std::size_t i) {
-        cachedFlatTrace(behaviors[i].first, behaviors[i].second);
-    });
+    // Capture serially (cachedTrace mutates its memo). The flat
+    // arenas are deliberately NOT touched yet: a fully warm run must
+    // resolve every point from the result store below without paying
+    // a predecode or even an attach.
+    for (const PlanPoint &p : todo)
+        cachedTrace(p.conc, p.gran);
 
     const bool use_cache = g_cacheEnabled;
     std::vector<PlanPoint> misses;
@@ -115,15 +105,35 @@ executePoints(const std::vector<PlanPoint> &points)
         if (use_cache && loadCachedResult(cache_key, m)) {
             storeInsert(todoKeys[i], std::move(m));
             metrics().add("cache.hit", 1);
+            ringPublish(obs::RingEventCode::CacheHit, 0, 0);
             continue;
         }
         metrics().add("cache.miss", 1);
+        ringPublish(obs::RingEventCode::CacheMiss, 0, 0);
         misses.push_back(p);
         missKeys.push_back(todoKeys[i]);
         missCacheKeys.push_back(cache_key);
     }
     if (misses.empty())
         return;
+
+    // Only behaviors that actually replay need their flat arenas —
+    // attach-or-predecode them on the shared worker pool, the same
+    // pool the replay fan-out below uses.
+    std::vector<std::pair<ConcurrencyLevel, GranularityLevel>>
+        behaviors;
+    {
+        std::set<std::pair<int, int>> seen;
+        for (const PlanPoint &p : misses)
+            if (seen.emplace(static_cast<int>(p.conc),
+                             static_cast<int>(p.gran))
+                    .second)
+                behaviors.emplace_back(p.conc, p.gran);
+    }
+    const ParallelSweep pool(sweepJobs());
+    pool.run(behaviors.size(), [&](std::size_t i) {
+        cachedFlatTrace(behaviors[i].first, behaviors[i].second);
+    });
 
     std::vector<RunMetrics> results(misses.size());
     pool.run(misses.size(), [&](std::size_t i) {
@@ -137,8 +147,10 @@ executePoints(const std::vector<PlanPoint> &points)
         if (use_cache) {
             std::lock_guard<std::mutex> lock(g_storeMu);
             if (storeCachedResult(missCacheKeys[i],
-                                  g_store.at(missKeys[i])))
+                                  g_store.at(missKeys[i]))) {
                 metrics().add("cache.store", 1);
+                ringPublish(obs::RingEventCode::CacheStore, 0, 0);
+            }
         }
     }
 }
@@ -155,6 +167,18 @@ bool
 resultCacheEnabled()
 {
     return g_cacheEnabled;
+}
+
+void
+setFlatCacheEnabled(bool enabled)
+{
+    g_flatCacheEnabled = enabled;
+}
+
+bool
+flatCacheEnabled()
+{
+    return g_flatCacheEnabled;
 }
 
 void
@@ -229,6 +253,37 @@ cachedFlatTrace(ConcurrencyLevel conc, GranularityLevel gran)
     const auto hit = cache.find(behavior);
     if (hit != cache.end())
         return hit->second;
+
+    const std::uint64_t checksum = cachedTraceChecksum(conc, gran);
+    if (g_flatCacheEnabled) {
+        // Warm path: attach the predecoded arenas straight off disk.
+        // Any validation failure (absent file, stale version, damage)
+        // silently falls through to an in-memory rebuild.
+        const std::string path =
+            outputPath("flat/" + flatTraceFileName(checksum));
+        FlatTrace attached;
+        if (loadFlatTrace(path, checksum, attached)) {
+            metrics().add("flat.attach", 1);
+            ringPublish(obs::RingEventCode::FlatAttach, 0, checksum);
+            return cache.emplace(behavior, std::move(attached))
+                .first->second;
+        }
+        FlatTrace flat = FlatTrace::build(cachedTrace(conc, gran));
+        metrics().add("flat.predecode", 1);
+        ringPublish(obs::RingEventCode::FlatPredecode, 0, checksum);
+        std::string err;
+        if (saveFlatTrace(flat, checksum, path, &err)) {
+            metrics().add("flat.store", 1);
+            ringPublish(obs::RingEventCode::FlatStore, 0, checksum);
+        } else {
+            std::cerr << "warning: could not store flat trace at "
+                      << path << ": " << err << '\n';
+        }
+        return cache.emplace(behavior, std::move(flat)).first->second;
+    }
+
+    metrics().add("flat.predecode", 1);
+    ringPublish(obs::RingEventCode::FlatPredecode, 0, checksum);
     return cache
         .emplace(behavior, FlatTrace::build(cachedTrace(conc, gran)))
         .first->second;
@@ -252,6 +307,8 @@ replayPoint(const EventTrace &trace, const EngineConfig &engine,
             SchedPolicy policy, const FlatTrace *flat)
 {
     metrics().add("replay.points", 1);
+    ringPublish(obs::RingEventCode::ReplayPoint,
+                static_cast<std::uint32_t>(engine.numWindows), 0);
     ReplayDriver driver(trace, engine, policy, flat);
     if (!obsEnabled()) {
         driver.run();

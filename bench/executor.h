@@ -45,6 +45,15 @@ namespace bench {
 void setResultCacheEnabled(bool enabled);
 bool resultCacheEnabled();
 
+/**
+ * Toggle the on-disk flat-trace store (default on; --no-cache turns
+ * it off). When on, cachedFlatTrace attaches bench_out/flat/ arena
+ * files instead of re-walking TraceCursor, writing them on first
+ * build; when off, every predecode happens in memory.
+ */
+void setFlatCacheEnabled(bool enabled);
+bool flatCacheEnabled();
+
 /** Execute every point of @p plan exactly once (see file comment). */
 void executePlan(const ExperimentPlan &plan);
 

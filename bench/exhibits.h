@@ -50,6 +50,9 @@ int runSparcInterp(const FlagSet &flags);
 void addReplayThroughputFlags(FlagSet &flags);
 int runReplayThroughput(const FlagSet &flags);
 
+void addCacheFlags(FlagSet &flags);
+int runCache(const FlagSet &flags);
+
 } // namespace bench
 } // namespace crw
 

@@ -18,6 +18,7 @@
 #include "common/table.h"
 #include "obs/metrics.h"
 #include "obs/publish.h"
+#include "obs/ring.h"
 #include "obs/trace_json.h"
 
 namespace crw {
@@ -110,6 +111,16 @@ benchInit(int argc, const char *const *argv, FlagSet &flags)
             static_cast<std::uint64_t>(flags.getInt("trace-limit"));
     g_epoch = std::chrono::steady_clock::now();
 
+    // Invert the rt -> obs layering: the pool reports job start/end
+    // through a plain hook, the harness forwards into the ring.
+    HostPool::setEventHook([](HostPool::Event event, std::uint64_t a,
+                              std::uint64_t b) {
+        ringPublish(event == HostPool::Event::JobStart
+                        ? obs::RingEventCode::PoolJobStart
+                        : obs::RingEventCode::PoolJobEnd,
+                    static_cast<std::uint32_t>(b), a);
+    });
+
     if (obsEnabled()) {
         std::string bench = argc > 0 ? argv[0] : "unknown";
         const std::size_t slash = bench.find_last_of('/');
@@ -163,6 +174,37 @@ traceWriter()
     return writer;
 }
 
+obs::EventRing &
+eventRing()
+{
+    // File-backed when this process wins the flock; a second bench
+    // running concurrently (or a read-only `crw-bench cache`
+    // attacher) silently gets an anonymous ring instead of torn
+    // events. Opened on first publish, independent of obs flags —
+    // the "always-on" tier.
+    static obs::EventRing ring;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (!ring.openFile(outputPath("obs/events.ring"),
+                           obs::kEventRingCapacity) ||
+            !ring.writable())
+            ring.openAnonymous(obs::kEventRingCapacity);
+    });
+    return ring;
+}
+
+void
+ringPublish(obs::RingEventCode code, std::uint32_t arg,
+            std::uint64_t value)
+{
+    obs::RingEvent e;
+    e.t_us = hostMicros();
+    e.code = static_cast<std::uint32_t>(code);
+    e.arg = arg;
+    e.value = value;
+    eventRing().publish(e);
+}
+
 void
 manifestSet(const std::string &key, const std::string &value)
 {
@@ -195,6 +237,17 @@ benchFinish()
             std::cerr << "warning: " << err << '\n';
     }
     if (!g_traceOut.empty()) {
+        // Drain the always-on ring into the timeline as one host-time
+        // instant track ("ring" process): the cache/flat/pool events
+        // line up under the worker spans in the same viewer.
+        obs::SpanCollector rc("ring", g_traceLimit);
+        rc.nameThread(0, "events");
+        for (const obs::RingEvent &e : eventRing().snapshot())
+            rc.instant(0,
+                       obs::ringEventName(
+                           static_cast<obs::RingEventCode>(e.code)),
+                       "ring", e.t_us);
+        traceWriter().addTrack(rc.take());
         if (traceWriter().writeFile(g_traceOut, &err))
             std::cerr << "trace written to " << g_traceOut << " ("
                       << traceWriter().totalSpans() << " spans, "

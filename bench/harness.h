@@ -35,8 +35,10 @@ class FlagSet;
 class Table;
 
 namespace obs {
+class EventRing;
 class MetricsRegistry;
 class TraceJsonWriter;
+enum class RingEventCode : std::uint32_t;
 } // namespace obs
 
 namespace bench {
@@ -96,6 +98,22 @@ obs::MetricsRegistry &metrics();
 
 /** The process-wide trace collector (dumped by benchFinish()). */
 obs::TraceJsonWriter &traceWriter();
+
+/**
+ * The always-on event ring (obs/ring.h): file-backed at
+ * bench_out/obs/events.ring when this process wins its flock (else a
+ * private in-memory ring), independent of --metrics-out/--trace-out.
+ * benchFinish() drains it into the Chrome trace when --trace-out was
+ * given.
+ */
+obs::EventRing &eventRing();
+
+/**
+ * Stamp one event with session-relative host time and publish it to
+ * the ring. Thread-safe; never blocks on observers.
+ */
+void ringPublish(obs::RingEventCode code, std::uint32_t arg,
+                 std::uint64_t value);
 
 /** Thread-safe run-manifest stamping (RunManifest::set). */
 void manifestSet(const std::string &key, const std::string &value);

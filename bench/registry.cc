@@ -21,7 +21,8 @@ bool
 inAll(const Exhibit &ex)
 {
     const std::string name(ex.name);
-    return name != "sparc_interp" && name != "replay-throughput";
+    return name != "sparc_interp" && name != "replay-throughput" &&
+           name != "cache";
 }
 
 void
@@ -50,6 +51,10 @@ runSelected(const std::vector<const Exhibit *> &selected,
 {
     setResultCacheEnabled(!flags.getBool("no-cache") &&
                           !traceRequested());
+    // The flat-trace store stays on for --trace-out (attaching a
+    // predecoded arena does not skew a timeline the way a cached
+    // result would), but --no-cache bypasses it like everything else.
+    setFlatCacheEnabled(!flags.getBool("no-cache"));
 
     ExperimentPlan plan;
     for (const Exhibit *ex : selected)
@@ -70,8 +75,8 @@ void
 defineCommonExtras(FlagSet &flags)
 {
     flags.defineBool("no-cache", false,
-                     "bypass the on-disk point-result cache "
-                     "(bench_out/results/); replay every point");
+                     "bypass the on-disk stores (point results and "
+                     "flat traces); replay every point");
 }
 
 } // namespace
@@ -102,6 +107,8 @@ exhibitRegistry()
          addSparcInterpFlags, nullptr, runSparcInterp},
         {"replay-throughput", "replay engine host throughput",
          addReplayThroughputFlags, nullptr, runReplayThroughput},
+        {"cache", "bench_out store inventory and GC", addCacheFlags,
+         nullptr, runCache},
     };
     return kExhibits;
 }

@@ -1,22 +1,31 @@
 /**
  * @file
- * Content-addressed on-disk cache of replay results (DESIGN.md §11).
+ * Content-addressed on-disk cache of replay results (DESIGN.md §11,
+ * §13).
  *
- * One entry per executed plan point, stored under
- * bench_out/results/<fnv1a64(cache key) hex>.metrics in the versioned
- * CRWMETRS format (trace/run_metrics.h). The cache key names the full
- * identity of a result:
+ * The primary container is one arena-backed record store
+ * (src/store/record_store.h) at bench_out/results/store.crwstore —
+ * single-writer (flock-elected), attachable read-only by any number
+ * of concurrent processes, one mmap for the whole sweep instead of
+ * one file parse per point. The cache key names the full identity of
+ * a result:
  *
  *   <pointConfigKey>|trace=<checksum hex>|v<kRunMetricsFormatVersion>
  *
- * so an entry is invalidated — by key change, hence by file-name
- * change — when the captured trace changes (checksum), when any
- * result-affecting EngineConfig field, the policy or the cost model
- * changes (pointConfigKey), or when the serialized format is bumped.
- * The key is also stored inside the entry and verified on load, so a
- * hash collision in the file naming degrades to a miss, never to an
- * aliased result. A corrupted or truncated entry fails its checksum
- * and is silently re-replayed (and overwritten).
+ * so an entry is invalidated when the captured trace changes
+ * (checksum), when any result-affecting EngineConfig field, the
+ * policy or the cost model changes (pointConfigKey), or when the
+ * serialized format is bumped. The key is stored inside each record
+ * and verified on load, so an index collision degrades to a miss,
+ * never to an aliased result. A record that fails validation bumps
+ * the cache.corrupt counter and is silently re-replayed.
+ *
+ * The legacy one-file-per-point CRWMETRS scheme
+ * (bench_out/results/<fnv1a64(key) hex>.metrics) remains as the
+ * migration path: a store miss falls through to the legacy file, and
+ * a legacy hit is promoted into the store so the next run attaches
+ * it. A process that loses the writer election (or cannot map the
+ * store at all) still reads the store and writes legacy files.
  */
 
 #ifndef CRW_BENCH_RESULT_CACHE_H_
@@ -24,6 +33,8 @@
 
 #include <cstdint>
 #include <string>
+
+#include "store/record_store.h"
 
 namespace crw {
 
@@ -35,19 +46,47 @@ namespace bench {
 std::string resultCacheKey(const std::string &point_key,
                            std::uint64_t trace_checksum);
 
-/** bench_out/results/<fnv1a64(cache_key) hex>.metrics */
+/** Legacy path: bench_out/results/<fnv1a64(cache_key) hex>.metrics */
 std::string resultCachePath(const std::string &cache_key);
 
 /**
- * Load the entry for @p cache_key. False on any mismatch or damage
- * (missing file, bad magic/version/checksum, foreign key) — callers
- * re-replay; a miss is never an error.
+ * Path of the shared result store. Overridable via the
+ * CRW_RESULT_STORE environment variable so test processes (which run
+ * concurrently under ctest and deliberately damage entries) get a
+ * private store instead of fighting over the benchmark one.
+ */
+std::string resultStorePath();
+
+/**
+ * The process-wide result store, opened lazily at resultStorePath().
+ * Writer if this process won the flock election, Reader if another
+ * holds it, Invalid if the path is unusable — in every mode the
+ * load/store functions below degrade to the legacy files.
+ */
+store::RecordStore &resultStore();
+
+/**
+ * Load the entry for @p cache_key: store first, then the legacy file
+ * (promoting a legacy hit into the store). False on any mismatch or
+ * damage — callers re-replay; a miss is never an error. Damage bumps
+ * cache.corrupt.
  */
 bool loadCachedResult(const std::string &cache_key, RunMetrics &out);
 
-/** Persist one result (temp file + rename). False on I/O failure. */
+/**
+ * Persist one result: into the store when this process is the
+ * writer (and the store has room), else as a legacy file. False only
+ * when both fail.
+ */
 bool storeCachedResult(const std::string &cache_key,
                        const RunMetrics &metrics);
+
+/**
+ * Drop @p cache_key from the store and the legacy file, wherever it
+ * lives. True if anything was removed. (Tests and the GC use this;
+ * the executor never deletes.)
+ */
+bool removeCachedResult(const std::string &cache_key);
 
 } // namespace bench
 } // namespace crw

@@ -5,7 +5,8 @@
 # virtual-dispatch loop) and bench_fig11 (the event-level headline
 # sweep), and record machine-readable summaries at the repo root —
 # BENCH_sparc_interp.json and BENCH_replay_throughput.json, each
-# {mips/mevps, speedup, wall_s, git_sha, per-row detail}.
+# {mips/mevps, speedup, wall_s, git_sha, per-row detail}, plus
+# BENCH_warm_start.json from the arena-store warm-start gate.
 #
 # Run from the repo root. The Release tree lives in build-perf/ so it
 # never disturbs an existing default (often Debug) build/ tree.
@@ -97,6 +98,54 @@ if [ "$cold_replays" -eq 0 ] || [ "$warm_replays" -ne 0 ] ||
    [ "$warm_hits" -ne "$cold_stores" ]; then
     echo "error: warm-cache rerun did not serve every point from" \
          "the result cache" >&2
+    exit 1
+fi
+
+# Warm-start gate (DESIGN.md section 13): with the arena stores
+# populated, a warm `crw-bench fig11 table2` rerun must replay zero
+# points and predecode zero flat traces — every result attaches from
+# store.crwstore, so it must also beat the cold run's wall time. The
+# measured cold/warm split is recorded in BENCH_warm_start.json.
+echo "== warm-start gate (crw-bench fig11 table2 cold vs warm)"
+warm_dir=$(mktemp -d)
+t0=$(date +%s%N 2>/dev/null || date +%s)
+(cd "$warm_dir" &&
+ "$crwbench_abs" fig11 table2 --metrics-out cold.json > /dev/null)
+t1=$(date +%s%N 2>/dev/null || date +%s)
+(cd "$warm_dir" &&
+ "$crwbench_abs" fig11 table2 --metrics-out warm.json > /dev/null)
+t2=$(date +%s%N 2>/dev/null || date +%s)
+case "$t0" in
+    *N) cold_ms=$(( (t1 - t0) * 1000 )); warm_ms=$(( (t2 - t1) * 1000 )) ;;
+    *)  cold_ms=$(( (t1 - t0) / 1000000 )); warm_ms=$(( (t2 - t1) / 1000000 )) ;;
+esac
+ws_cold_replays=$(counter "$warm_dir/cold.json" "replay.points")
+ws_warm_replays=$(counter "$warm_dir/warm.json" "replay.points")
+ws_warm_predecodes=$(counter "$warm_dir/warm.json" "flat.predecode")
+rm -rf "$warm_dir"
+echo "  cold: ${cold_ms} ms (${ws_cold_replays} replays);" \
+     "warm: ${warm_ms} ms (${ws_warm_replays} replays," \
+     "${ws_warm_predecodes} predecodes)"
+cat > "$repo_root/BENCH_warm_start.json" <<EOF
+{
+  "bench": "crw-bench fig11 table2",
+  "git_sha": "$git_sha",
+  "cold_ms": $cold_ms,
+  "warm_ms": $warm_ms,
+  "cold_replays": $ws_cold_replays,
+  "warm_replays": $ws_warm_replays,
+  "warm_predecodes": $ws_warm_predecodes
+}
+EOF
+if [ "$ws_cold_replays" -eq 0 ] || [ "$ws_warm_replays" -ne 0 ] ||
+   [ "$ws_warm_predecodes" -ne 0 ]; then
+    echo "error: warm start still replayed or predecoded" \
+         "(replays=$ws_warm_replays predecodes=$ws_warm_predecodes)" >&2
+    exit 1
+fi
+if [ "$warm_ms" -ge "$cold_ms" ]; then
+    echo "error: warm start (${warm_ms} ms) not faster than cold" \
+         "(${cold_ms} ms)" >&2
     exit 1
 fi
 

@@ -37,6 +37,17 @@
 #     produces byte-identical CSVs, stdout and normalized metrics,
 #     and the fast path agrees with itself at --jobs 1 vs --jobs N.
 #
+#  6. The arena-backed stores (DESIGN.md section 13) are invisible in
+#     every output byte: cold, warm and --no-cache runs of
+#     `crw-bench fig11 table2` produce byte-identical stdout and
+#     CSVs; the warm run replays and predecodes nothing (served
+#     entirely from store.crwstore); a warm --trace-out run attaches
+#     its flat traces from disk (flat.attach > 0); cold and
+#     --no-cache metrics agree once the cache/flat counters (which
+#     legitimately record store traffic) are stripped; and a
+#     concurrent read-only `crw-bench cache` attacher perturbs
+#     nothing.
+#
 # Usage: scripts/check_determinism.sh [build-dir] [jobs]
 #   build-dir  CMake build tree containing bench/ (default: build)
 #   jobs       parallel worker count for the second run
@@ -394,12 +405,164 @@ else
     status=1
 fi
 
+# Part 6: the arena-backed stores. One directory runs `crw-bench
+# fig11 table2` cold (populating bench_out/flat/ and
+# bench_out/results/store.crwstore), then warm (everything must come
+# from the stores: zero replays, zero predecodes), then warm with
+# --trace-out (the result cache is off for timelines, so the replays
+# come back — but the flat traces must attach from disk, not
+# re-predecode). A --no-cache run bypasses both stores and must still
+# produce the same bytes; its metrics agree with the cold run's once
+# the store-traffic counters (cache.*, flat.*) are stripped. Finally
+# the cold run is repeated with a concurrent read-only `crw-bench
+# cache` attacher hammering the live store — same bytes again.
+echo "== crw-bench fig11 table2 (cold stores)"
+mkdir -p "$workdir/store" "$workdir/store_nocache"
+(cd "$workdir/store" &&
+ "$crwbench_abs" fig11 table2 --metrics-out cold.json \
+     > stdout_cold.txt)
+echo "== crw-bench fig11 table2 (warm stores)"
+(cd "$workdir/store" &&
+ "$crwbench_abs" fig11 table2 --metrics-out warm.json \
+     > stdout_warm.txt)
+echo "== crw-bench fig11 table2 --no-cache"
+(cd "$workdir/store_nocache" &&
+ "$crwbench_abs" fig11 table2 --no-cache --metrics-out nocache.json \
+     > stdout.txt)
+
+if cmp -s "$workdir/store/stdout_cold.txt" \
+          "$workdir/store/stdout_warm.txt" &&
+   cmp -s "$workdir/store/stdout_cold.txt" \
+          "$workdir/store_nocache/stdout.txt"; then
+    echo "  ok   stdout identical cold, warm and --no-cache"
+else
+    echo "  FAIL stdout differs across store states"
+    status=1
+fi
+found=0
+for cold_csv in "$workdir"/store/bench_out/*.csv; do
+    [ -e "$cold_csv" ] || break
+    found=1
+    name=$(basename "$cold_csv")
+    if cmp -s "$cold_csv" "$workdir/store_nocache/bench_out/$name"; then
+        echo "  ok   $name identical with the stores bypassed"
+    else
+        echo "  FAIL $name differs under --no-cache"
+        status=1
+    fi
+done
+if [ "$found" -eq 0 ]; then
+    echo "error: the cold store run produced no CSVs" >&2
+    exit 2
+fi
+
+warm_replays=$(counter "$workdir/store/warm.json" "replay.points")
+warm_predecodes=$(counter "$workdir/store/warm.json" "flat.predecode")
+warm_hits=$(counter "$workdir/store/warm.json" "cache.hit")
+cold_flat_stores=$(counter "$workdir/store/cold.json" "flat.store")
+if [ "$warm_replays" -eq 0 ] && [ "$warm_predecodes" -eq 0 ] &&
+   [ "$warm_hits" -gt 0 ] && [ "$cold_flat_stores" -gt 0 ]; then
+    echo "  ok   warm start: $warm_hits hits, 0 replays," \
+         "0 predecodes (cold wrote $cold_flat_stores flat arenas)"
+else
+    echo "  FAIL warm-start counters: hits=$warm_hits" \
+         "replays=$warm_replays predecodes=$warm_predecodes" \
+         "cold flat stores=$cold_flat_stores"
+    status=1
+fi
+
+# Warm --trace-out: live replays (timelines need them), but the flat
+# arenas must attach, not rebuild.
+echo "== crw-bench fig11 table2 --trace-out (warm flat store)"
+(cd "$workdir/store" &&
+ "$crwbench_abs" fig11 table2 --trace-out trace.json \
+     --metrics-out trace_metrics.json > stdout_trace.txt)
+trace_attaches=$(counter "$workdir/store/trace_metrics.json" \
+    "flat.attach")
+trace_predecodes=$(counter "$workdir/store/trace_metrics.json" \
+    "flat.predecode")
+if [ "$trace_attaches" -gt 0 ] && [ "$trace_predecodes" -eq 0 ]; then
+    echo "  ok   --trace-out run attached $trace_attaches flat" \
+         "arenas, predecoded none"
+else
+    echo "  FAIL --trace-out run: attaches=$trace_attaches" \
+         "predecodes=$trace_predecodes"
+    status=1
+fi
+if cmp -s "$workdir/store/stdout_cold.txt" \
+          "$workdir/store/stdout_trace.txt"; then
+    echo "  ok   stdout unchanged by --trace-out"
+else
+    echo "  FAIL stdout changed when --trace-out was given"
+    status=1
+fi
+
+# Cold vs --no-cache metrics: identical but for the store-traffic
+# counters themselves.
+strip_store_counters() {
+    metrics_view "$1" | grep -v '^    "cache\.' |
+        grep -v '^    "flat\.'
+}
+strip_store_counters "$workdir/store/cold.json" > "$workdir/cold.sview"
+strip_store_counters "$workdir/store_nocache/nocache.json" \
+    > "$workdir/nocache.sview"
+if cmp -s "$workdir/cold.sview" "$workdir/nocache.sview"; then
+    echo "  ok   metrics identical cold vs --no-cache (minus" \
+         "cache/flat counters)"
+else
+    echo "  FAIL metrics differ between cold and --no-cache runs"
+    status=1
+fi
+
+# Concurrent read-only attacher: `crw-bench cache` loops against the
+# live store while a fresh cold run executes. The attacher must
+# always exit 0 (reader mode, never a crash or a torn read) and the
+# observed run must produce the same bytes as the first cold run.
+echo "== crw-bench fig11 table2 with a concurrent cache attacher"
+mkdir -p "$workdir/store_observed"
+(cd "$workdir/store_observed" &&
+ "$crwbench_abs" fig11 table2 > stdout.txt) &
+bench_pid=$!
+attacher_rc=0
+while kill -0 "$bench_pid" 2>/dev/null; do
+    (cd "$workdir/store_observed" &&
+     "$crwbench_abs" cache > /dev/null 2>&1) || attacher_rc=1
+done
+wait "$bench_pid" || {
+    echo "  FAIL observed bench run exited non-zero"
+    status=1
+}
+if [ "$attacher_rc" -eq 0 ]; then
+    echo "  ok   concurrent cache attacher always exited cleanly"
+else
+    echo "  FAIL a concurrent cache attacher invocation failed"
+    status=1
+fi
+if cmp -s "$workdir/store/stdout_cold.txt" \
+          "$workdir/store_observed/stdout.txt"; then
+    echo "  ok   observed run's stdout identical to the cold run"
+else
+    echo "  FAIL concurrent attacher perturbed the bench output"
+    status=1
+fi
+for cold_csv in "$workdir"/store/bench_out/*.csv; do
+    [ -e "$cold_csv" ] || break
+    name=$(basename "$cold_csv")
+    if cmp -s "$cold_csv" "$workdir/store_observed/bench_out/$name"; then
+        echo "  ok   $name identical under concurrent attach"
+    else
+        echo "  FAIL $name differs under concurrent attach"
+        status=1
+    fi
+done
+
 if [ "$status" -eq 0 ]; then
     echo "determinism check passed: identical output at --jobs 1 and" \
          "--jobs $jobs, with the block cache on and off, with" \
          "observability on and off, with the result cache cold," \
-         "warm, shared and disabled, and with the fast replay path" \
-         "on and off"
+         "warm, shared and disabled, with the fast replay path on" \
+         "and off, and with the arena stores cold, warm, bypassed" \
+         "and concurrently attached"
 else
     echo "determinism check FAILED" >&2
 fi

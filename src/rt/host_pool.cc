@@ -6,6 +6,16 @@
 
 namespace crw {
 
+namespace {
+HostPool::EventHook g_eventHook = nullptr;
+} // namespace
+
+void
+HostPool::setEventHook(EventHook hook)
+{
+    g_eventHook = hook;
+}
+
 HostPool &
 HostPool::instance()
 {
@@ -114,6 +124,10 @@ HostPool::run(std::size_t count, int max_workers, TaskFn fn, void *ctx)
     const int workers = static_cast<int>(std::min<std::size_t>(
         count, static_cast<std::size_t>(std::max(1, max_workers))));
 
+    if (g_eventHook)
+        g_eventHook(Event::JobStart, count,
+                    static_cast<std::uint64_t>(workers));
+
     failed_.store(false, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(errMu_);
@@ -153,6 +167,10 @@ HostPool::run(std::size_t count, int max_workers, TaskFn fn, void *ctx)
             doneCv_.wait(lock, [this] { return pending_ == 0; });
         }
     }
+
+    if (g_eventHook)
+        g_eventHook(Event::JobEnd, count,
+                    static_cast<std::uint64_t>(workers));
 
     if (failed_.load(std::memory_order_acquire)) {
         std::exception_ptr err;

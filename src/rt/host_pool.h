@@ -66,6 +66,24 @@ class HostPool
      */
     void run(std::size_t count, int max_workers, TaskFn fn, void *ctx);
 
+    /** What an EventHook is told about. */
+    enum class Event
+    {
+        JobStart, ///< run() published a job (a = count, b = workers)
+        JobEnd,   ///< the job drained (a = count, b = workers)
+    };
+
+    /**
+     * One process-wide hook observing run() start/end. rt sits below
+     * the observability layer, so the dependency is inverted: the
+     * bench harness installs a hook that forwards into the obs event
+     * ring. Called from the run() caller only — same thread-safety
+     * as run() itself. Null uninstalls.
+     */
+    using EventHook = void (*)(Event event, std::uint64_t a,
+                               std::uint64_t b);
+    static void setEventHook(EventHook hook);
+
     /** Helper threads currently parked/spawned (for tests). */
     int spawnedHelpers() const;
 

@@ -12,24 +12,28 @@ FlatTrace::build(const EventTrace &trace)
     // second growth pass over multi-megabyte arenas.
     const std::uint64_t total = trace.eventCount();
     crw_assert(total <= UINT32_MAX);
-    flat.ops.reserve(total);
-    flat.operands.reserve(total);
+    flat.opsStorage.reserve(total);
+    flat.operandStorage.reserve(total);
     flat.threads.reserve(trace.threads.size());
 
     for (const TraceThreadInfo &t : trace.threads) {
         Span span;
-        span.begin = static_cast<std::uint32_t>(flat.ops.size());
+        span.begin = static_cast<std::uint32_t>(flat.opsStorage.size());
         TraceCursor cur(t.code);
         std::uint64_t operand;
         while (!cur.atEnd()) {
             const TraceOp op = cur.peek(operand);
             cur.advance();
-            flat.ops.push_back(static_cast<std::uint8_t>(op));
-            flat.operands.push_back(operand);
+            flat.opsStorage.push_back(static_cast<std::uint8_t>(op));
+            flat.operandStorage.push_back(operand);
         }
-        span.end = static_cast<std::uint32_t>(flat.ops.size());
+        span.end = static_cast<std::uint32_t>(flat.opsStorage.size());
         flat.threads.push_back(span);
     }
+    flat.ops = flat.opsStorage.data();
+    flat.operands = flat.operandStorage.data();
+    flat.events =
+        static_cast<std::uint32_t>(flat.opsStorage.size());
     return flat;
 }
 

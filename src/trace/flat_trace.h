@@ -16,6 +16,13 @@
  * TraceCursor decode the legacy path uses, so a flat walk and a cursor
  * walk yield the same event sequence by construction
  * (tests/trace/test_flat_trace.cc pins this).
+ *
+ * The arenas are exposed as pointer views because they have two
+ * backings: build() decodes into vectors this struct owns, while
+ * trace/flat_trace_io.h attaches the same SoA layout straight out of
+ * an mmap'd arena file — a warm start pays neither the TraceCursor
+ * walk nor a copy. Either way the replay hot loop sees the same two
+ * raw pointers.
  */
 
 #ifndef CRW_TRACE_FLAT_TRACE_H_
@@ -24,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "store/arena.h"
 #include "trace/event_trace.h"
 
 namespace crw {
@@ -38,16 +46,32 @@ struct FlatTrace
     };
 
     /** TraceOp per event, in thread-script order. */
-    std::vector<std::uint8_t> ops;
+    const std::uint8_t *ops = nullptr;
     /** Charge cycles or stream id per event (0 for Save/.../Exit). */
-    std::vector<std::uint64_t> operands;
+    const std::uint64_t *operands = nullptr;
+    /** Number of events behind both arena pointers. */
+    std::uint32_t events = 0;
     /** Arena span of each thread, indexed by ThreadId (spawn order). */
     std::vector<Span> threads;
 
-    std::size_t eventCount() const { return ops.size(); }
+    std::size_t eventCount() const { return events; }
 
     /** Decode every thread script of @p trace into one flat arena. */
     static FlatTrace build(const EventTrace &trace);
+
+    // Moving transfers the backing (vector heap buffers or the mmap)
+    // without invalidating the view pointers; copying would not, so
+    // it is forbidden.
+    FlatTrace() = default;
+    FlatTrace(FlatTrace &&) = default;
+    FlatTrace &operator=(FlatTrace &&) = default;
+    FlatTrace(const FlatTrace &) = delete;
+    FlatTrace &operator=(const FlatTrace &) = delete;
+
+    /** Backing storage — exactly one of {vectors, arena} is live. */
+    std::vector<std::uint8_t> opsStorage;
+    std::vector<std::uint64_t> operandStorage;
+    store::ArenaView arena;
 };
 
 } // namespace crw

@@ -218,8 +218,8 @@ ReplayDriver::runFastLoop(const FlatTrace &flat,
                           ObserverPolicy observer)
 {
     FastEngineView<SchemeT, ObserverPolicy> fast(engine_, observer);
-    const std::uint8_t *const ops = flat.ops.data();
-    const std::uint64_t *const operands = flat.operands.data();
+    const std::uint8_t *const ops = flat.ops;
+    const std::uint64_t *const operands = flat.operands;
 
     while (!core_.idle()) {
         const ThreadId tid = core_.dispatchNext();

@@ -86,66 +86,30 @@ collectRunMetrics(const WindowEngine &engine,
     return m;
 }
 
-bool
-saveMetricsFile(const RunMetrics &metrics, const std::string &key,
-                const std::string &path, std::string *error)
+std::vector<std::uint8_t>
+encodeMetricsRecord(const RunMetrics &metrics, const std::string &key)
 {
     ByteWriter payload;
     encodeMetricsPayload(metrics, key, payload);
-
-    ByteWriter file;
-    file.bytes.insert(file.bytes.end(), kMetricsMagic,
-                      kMetricsMagic + 8);
-    file.u32(kRunMetricsFormatVersion);
-    file.bytes.insert(file.bytes.end(), payload.bytes.begin(),
-                      payload.bytes.end());
-    file.u64(fnv1a64(payload.bytes.data(), payload.bytes.size()));
-
-    return writeFileAtomic(file.bytes, path, error);
+    return std::move(payload.bytes);
 }
 
 bool
-loadMetricsFile(const std::string &path,
-                const std::string &expected_key, RunMetrics &out,
-                std::string *error)
+decodeMetricsRecord(const std::uint8_t *data, std::size_t n,
+                    const std::string &expected_key, RunMetrics &out,
+                    bool *key_mismatch)
 {
-    auto fail = [error](const std::string &why) {
-        if (error)
-            *error = why;
-        return false;
-    };
-
-    std::vector<std::uint8_t> bytes;
-    std::string io_err;
-    if (!readFileBytes(path, bytes, &io_err))
-        return fail(io_err);
-
-    // 8 magic + 4 version + 8 trailing checksum.
-    if (bytes.size() < 20)
-        return fail("truncated header");
-    if (std::memcmp(bytes.data(), kMetricsMagic, 8) != 0)
-        return fail("bad magic (not a crw metrics record)");
-
-    ByteReader header{bytes.data() + 8, bytes.data() + bytes.size()};
-    const std::uint32_t version = header.u32();
-    if (version != kRunMetricsFormatVersion)
-        return fail("unsupported metrics version " +
-                    std::to_string(version));
-
-    const std::uint8_t *payload = bytes.data() + 12;
-    const std::size_t payload_size = bytes.size() - 20;
-    ByteReader csum{bytes.data() + bytes.size() - 8,
-                    bytes.data() + bytes.size()};
-    if (fnv1a64(payload, payload_size) != csum.u64())
-        return fail("checksum mismatch (corrupted metrics record)");
-
-    ByteReader r{payload, payload + payload_size};
+    if (key_mismatch)
+        *key_mismatch = false;
+    ByteReader r{data, data + n};
     const std::string stored_key = r.str();
     if (!r.ok)
-        return fail("malformed payload");
-    if (stored_key != expected_key)
-        return fail("identity key mismatch (record is for \"" +
-                    stored_key + "\")");
+        return false;
+    if (stored_key != expected_key) {
+        if (key_mismatch)
+            *key_mismatch = true;
+        return false;
+    }
 
     RunMetrics m;
     m.scheme = static_cast<SchemeKind>(r.u32());
@@ -175,9 +139,129 @@ loadMetricsFile(const std::string &path,
         m.perThread.push_back(t);
     }
     if (!r.ok || r.p != r.end)
-        return fail("malformed payload");
+        return false;
     out = std::move(m);
     return true;
+}
+
+namespace {
+
+/**
+ * Shared CRWMETRS frame validation: on success @p payload / @p size
+ * delimit the record payload inside @p bytes.
+ */
+MetricsLoadStatus
+checkMetricsFrame(const std::vector<std::uint8_t> &bytes,
+                  const std::uint8_t **payload, std::size_t *size,
+                  std::string *error)
+{
+    auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+    };
+    // 8 magic + 4 version + 8 trailing checksum.
+    if (bytes.size() < 20) {
+        fail("truncated header");
+        return MetricsLoadStatus::Malformed;
+    }
+    if (std::memcmp(bytes.data(), kMetricsMagic, 8) != 0) {
+        fail("bad magic (not a crw metrics record)");
+        return MetricsLoadStatus::Malformed;
+    }
+    ByteReader header{bytes.data() + 8, bytes.data() + bytes.size()};
+    const std::uint32_t version = header.u32();
+    if (version != kRunMetricsFormatVersion) {
+        fail("unsupported metrics version " + std::to_string(version));
+        return MetricsLoadStatus::VersionMismatch;
+    }
+    *payload = bytes.data() + 12;
+    *size = bytes.size() - 20;
+    ByteReader csum{bytes.data() + bytes.size() - 8,
+                    bytes.data() + bytes.size()};
+    if (fnv1a64(*payload, *size) != csum.u64()) {
+        fail("checksum mismatch (corrupted metrics record)");
+        return MetricsLoadStatus::Malformed;
+    }
+    return MetricsLoadStatus::Ok;
+}
+
+} // namespace
+
+bool
+saveMetricsFile(const RunMetrics &metrics, const std::string &key,
+                const std::string &path, std::string *error)
+{
+    const std::vector<std::uint8_t> payload =
+        encodeMetricsRecord(metrics, key);
+
+    ByteWriter file;
+    file.bytes.insert(file.bytes.end(), kMetricsMagic,
+                      kMetricsMagic + 8);
+    file.u32(kRunMetricsFormatVersion);
+    file.bytes.insert(file.bytes.end(), payload.begin(),
+                      payload.end());
+    file.u64(fnv1a64(payload.data(), payload.size()));
+
+    return writeFileAtomic(file.bytes, path, error);
+}
+
+bool
+loadMetricsFile(const std::string &path,
+                const std::string &expected_key, RunMetrics &out,
+                std::string *error, MetricsLoadStatus *status)
+{
+    auto fail = [error, status](MetricsLoadStatus st,
+                                const std::string &why) {
+        if (error)
+            *error = why;
+        if (status)
+            *status = st;
+        return false;
+    };
+
+    std::vector<std::uint8_t> bytes;
+    std::string io_err;
+    if (!readFileBytes(path, bytes, &io_err))
+        return fail(MetricsLoadStatus::NotFound, io_err);
+
+    const std::uint8_t *payload = nullptr;
+    std::size_t payload_size = 0;
+    const MetricsLoadStatus frame =
+        checkMetricsFrame(bytes, &payload, &payload_size, error);
+    if (frame != MetricsLoadStatus::Ok) {
+        if (status)
+            *status = frame;
+        return false;
+    }
+
+    bool key_mismatch = false;
+    if (!decodeMetricsRecord(payload, payload_size, expected_key, out,
+                             &key_mismatch)) {
+        if (key_mismatch)
+            return fail(MetricsLoadStatus::KeyMismatch,
+                        "identity key mismatch");
+        return fail(MetricsLoadStatus::Malformed,
+                    "malformed payload");
+    }
+    if (status)
+        *status = MetricsLoadStatus::Ok;
+    return true;
+}
+
+bool
+peekMetricsFileKey(const std::string &path, std::string &key_out)
+{
+    std::vector<std::uint8_t> bytes;
+    if (!readFileBytes(path, bytes, nullptr))
+        return false;
+    const std::uint8_t *payload = nullptr;
+    std::size_t payload_size = 0;
+    if (checkMetricsFrame(bytes, &payload, &payload_size, nullptr) !=
+        MetricsLoadStatus::Ok)
+        return false;
+    ByteReader r{payload, payload + payload_size};
+    key_out = r.str();
+    return r.ok;
 }
 
 bool

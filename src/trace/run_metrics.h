@@ -81,19 +81,59 @@ RunMetrics collectRunMetrics(const WindowEngine &engine,
  */
 inline constexpr std::uint32_t kRunMetricsFormatVersion = 1;
 
+/**
+ * Serialize @p metrics with identity @p key into the versioned record
+ * payload — the exact bytes the CRWMETRS file frames and the arena
+ * result store (bench/result_cache.cc) stores as its blob. One
+ * encoder, two containers: a record migrated from a legacy file into
+ * the store stays bit-identical.
+ */
+std::vector<std::uint8_t> encodeMetricsRecord(const RunMetrics &metrics,
+                                              const std::string &key);
+
+/**
+ * Decode a payload produced by encodeMetricsRecord. False on
+ * malformed bytes or on a stored identity key differing from
+ * @p expected_key; @p key_mismatch (may be null) distinguishes the
+ * latter — an honest collision, not corruption.
+ */
+bool decodeMetricsRecord(const std::uint8_t *data, std::size_t n,
+                         const std::string &expected_key,
+                         RunMetrics &out,
+                         bool *key_mismatch = nullptr);
+
+/** Why a loadMetricsFile call did not produce a record. */
+enum class MetricsLoadStatus
+{
+    Ok,
+    NotFound,        ///< no file at the path
+    Malformed,       ///< bad magic, truncation, checksum, or decode
+    VersionMismatch, ///< stale format: recompute, don't count corrupt
+    KeyMismatch,     ///< file-name hash collision: silent miss
+};
+
 /** Write @p metrics under identity @p key (temp file + rename). */
 bool saveMetricsFile(const RunMetrics &metrics, const std::string &key,
                      const std::string &path,
                      std::string *error = nullptr);
 
 /**
- * Read a metrics record back. False (with a reason in @p error) on a
- * bad magic, unknown version, truncation, checksum mismatch, or a
- * stored identity key differing from @p expected_key.
+ * Read a metrics record back. False (with a reason in @p error and a
+ * classification in @p status, both optional) on a bad magic, unknown
+ * version, truncation, checksum mismatch, or a stored identity key
+ * differing from @p expected_key.
  */
 bool loadMetricsFile(const std::string &path,
                      const std::string &expected_key, RunMetrics &out,
-                     std::string *error = nullptr);
+                     std::string *error = nullptr,
+                     MetricsLoadStatus *status = nullptr);
+
+/**
+ * Extract the stored identity key of a CRWMETRS file without decoding
+ * the record (frame and checksum are still verified). The cache GC
+ * uses this to map legacy files back to their trace checksum.
+ */
+bool peekMetricsFileKey(const std::string &path, std::string &key_out);
 
 /**
  * Field-for-field equality, doubles compared bit-exactly (the cache

@@ -14,21 +14,43 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "bench/executor.h"
+#include "bench/harness.h"
 #include "bench/plan.h"
 #include "bench/result_cache.h"
+#include "obs/metrics.h"
+#include "store/record_store.h"
 #include "trace/run_metrics.h"
 
 namespace crw {
 namespace bench {
 namespace {
+
+/**
+ * Point the process-wide result store at a test-private file before
+ * anything opens it (it is a function-local static, created on first
+ * use): the suite must not inherit — or pollute — a real
+ * bench_out/results/store.crwstore.
+ */
+const bool g_privateStore = [] {
+    std::filesystem::create_directories("bench_out/results");
+    static char env[128];
+    std::snprintf(env, sizeof env,
+                  "CRW_RESULT_STORE=bench_out/results/test-%d.crwstore",
+                  static_cast<int>(::getpid()));
+    ::putenv(env);
+    return true;
+}();
 
 PlanPoint
 basePoint()
@@ -188,10 +210,10 @@ class ResultCacheFile : public ::testing::Test
         key_ = resultCacheKey(pointConfigKey(basePoint()),
                               0xfeedfacecafebeefull);
         path_ = resultCachePath(key_);
-        std::remove(path_.c_str());
+        removeCachedResult(key_);
     }
 
-    void TearDown() override { std::remove(path_.c_str()); }
+    void TearDown() override { removeCachedResult(key_); }
 
     std::string key_;
     std::string path_;
@@ -212,26 +234,30 @@ TEST_F(ResultCacheFile, StoreThenLoadIsBitIdentical)
     EXPECT_TRUE(metricsBitIdentical(m, out));
 }
 
-TEST_F(ResultCacheFile, CorruptEntryIsAMissAndRecoverable)
+TEST_F(ResultCacheFile, CorruptLegacyEntryIsAMissAndRecoverable)
 {
-    ASSERT_TRUE(storeCachedResult(key_, syntheticMetrics()));
+    // Damage on the legacy migration path: plant a per-file entry,
+    // flip one byte. The load must degrade to a miss (counting
+    // cache.corrupt), and a re-store must overwrite the damage.
+    ASSERT_TRUE(saveMetricsFile(syntheticMetrics(), key_, path_));
     std::vector<char> bytes = readAll(path_);
     ASSERT_GT(bytes.size(), 20u);
     bytes[bytes.size() / 2] =
         static_cast<char>(bytes[bytes.size() / 2] ^ 0x5A);
     writeAll(path_, bytes);
 
+    const std::uint64_t corrupt0 =
+        metrics().counterValue("cache.corrupt");
     RunMetrics out;
     EXPECT_FALSE(loadCachedResult(key_, out)); // silent miss
-    // Re-storing (what the executor does after re-replaying)
-    // overwrites the damage.
+    EXPECT_GT(metrics().counterValue("cache.corrupt"), corrupt0);
     ASSERT_TRUE(storeCachedResult(key_, syntheticMetrics()));
     EXPECT_TRUE(loadCachedResult(key_, out));
 }
 
-TEST_F(ResultCacheFile, TruncatedEntryIsAMiss)
+TEST_F(ResultCacheFile, TruncatedLegacyEntryIsAMiss)
 {
-    ASSERT_TRUE(storeCachedResult(key_, syntheticMetrics()));
+    ASSERT_TRUE(saveMetricsFile(syntheticMetrics(), key_, path_));
     std::vector<char> bytes = readAll(path_);
     bytes.resize(bytes.size() / 2);
     writeAll(path_, bytes);
@@ -240,17 +266,65 @@ TEST_F(ResultCacheFile, TruncatedEntryIsAMiss)
     EXPECT_FALSE(loadCachedResult(key_, out));
 }
 
+TEST_F(ResultCacheFile, CorruptStoreRecordIsAMissAndCounted)
+{
+    // Regression: a damaged record inside the arena-backed store must
+    // bump cache.corrupt and degrade to a miss, never crash or serve
+    // bad bytes (the record checksum covers key and payload).
+    ASSERT_TRUE(storeCachedResult(key_, syntheticMetrics()));
+    std::vector<std::uint8_t> blob;
+    std::uint64_t offset = 0;
+    ASSERT_EQ(resultStore().find(key_, blob, &offset),
+              store::RecordStore::FindResult::Hit);
+    ASSERT_FALSE(blob.empty());
+
+    // Flip one payload byte through the file; the store's mapping is
+    // MAP_SHARED, so the in-process view sees it immediately.
+    {
+        std::fstream f(resultStorePath(),
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekg(static_cast<std::streamoff>(offset) + 8 +
+                static_cast<std::streamoff>(key_.size()));
+        char c = 0;
+        f.get(c);
+        f.seekp(static_cast<std::streamoff>(offset) + 8 +
+                static_cast<std::streamoff>(key_.size()));
+        f.put(static_cast<char>(c ^ 0x5A));
+    }
+
+    const std::uint64_t corrupt0 =
+        metrics().counterValue("cache.corrupt");
+    RunMetrics out;
+    EXPECT_FALSE(loadCachedResult(key_, out));
+    EXPECT_GT(metrics().counterValue("cache.corrupt"), corrupt0);
+    // The executor's re-store heals the slot.
+    ASSERT_TRUE(storeCachedResult(key_, syntheticMetrics()));
+    EXPECT_TRUE(loadCachedResult(key_, out));
+}
+
+TEST_F(ResultCacheFile, LegacyFileIsPromotedToStore)
+{
+    ASSERT_TRUE(saveMetricsFile(syntheticMetrics(), key_, path_));
+    RunMetrics out;
+    ASSERT_TRUE(loadCachedResult(key_, out)); // legacy hit + promote
+    std::remove(path_.c_str());
+    RunMetrics again;
+    ASSERT_TRUE(loadCachedResult(key_, again)) // now store-resident
+        << "promotion did not reach the store";
+    EXPECT_TRUE(metricsBitIdentical(out, again));
+}
+
 TEST_F(ResultCacheFile, FileNameCollisionDegradesToMiss)
 {
-    // Simulate two keys hashing to the same file: plant key A's entry
-    // at key B's path. The stored identity key must reject it.
-    ASSERT_TRUE(storeCachedResult(key_, syntheticMetrics()));
+    // Simulate two keys hashing to the same legacy file: plant key
+    // A's entry at key B's path. The stored identity key must reject
+    // it (the record store performs the same in-record key check).
     const std::string other_key = resultCacheKey(
         pointConfigKey(basePoint()), 0x1111111111111111ull);
     const std::string other_path = resultCachePath(other_key);
-    std::filesystem::copy_file(
-        path_, other_path,
-        std::filesystem::copy_options::overwrite_existing);
+    ASSERT_TRUE(
+        saveMetricsFile(syntheticMetrics(), key_, other_path));
 
     RunMetrics out;
     EXPECT_FALSE(loadCachedResult(other_key, out));
@@ -300,7 +374,7 @@ TEST(ResultCacheReplay, HitIsBitIdenticalToFreshReplay)
             EXPECT_TRUE(metricsBitIdentical(fresh, again))
                 << pointConfigKey(p);
 
-            std::remove(resultCachePath(key).c_str());
+            removeCachedResult(key);
         }
     }
 }

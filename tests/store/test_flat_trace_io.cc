@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The durable FlatTrace store (trace/flat_trace_io.h): a round-trip
+ * through a .flat arena file must hand the replay fast loop exactly
+ * the bytes FlatTrace::build produces — ops, operands and spans all
+ * bit-identical — and every validation failure (wrong checksum, wrong
+ * version key, damage) must fall back cleanly to a load failure, so
+ * cachedFlatTrace re-predecodes instead of replaying garbage.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "trace/event_trace.h"
+#include "trace/flat_trace.h"
+#include "trace/flat_trace_io.h"
+
+namespace crw {
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return "flat-io-test-" + std::string(tag) + "-" +
+           std::to_string(static_cast<int>(::getpid())) + ".flat";
+}
+
+/** Same shape as the predecode unit test: all ops, both encodings. */
+EventTrace
+sampleTrace()
+{
+    TraceRecorder rec("m1-n1-d4000-v500", 1993, 3000);
+    rec.onThreadSpawn(0, "T1:producer");
+    rec.onThreadSpawn(1, "T2:consumer");
+    const int s1 = rec.onStreamCreate("S1", 2, 1);
+
+    rec.recordSave(0);
+    rec.recordCharge(0, 7);
+    rec.recordPut(0, s1);
+    rec.recordSave(0);
+    rec.recordRestore(0);
+    rec.recordCharge(0, 1000000);
+    rec.recordClose(0, s1);
+    rec.recordExit(0);
+
+    rec.recordGet(1, s1);
+    rec.recordCharge(1, 15);
+    rec.recordExit(1);
+
+    return rec.take(42, 567);
+}
+
+TEST(FlatTraceIo, RoundTripIsBitIdenticalToBuild)
+{
+    const EventTrace trace = sampleTrace();
+    const std::uint64_t checksum = traceChecksum(trace);
+    const FlatTrace built = FlatTrace::build(trace);
+    const std::string path = tempPath("roundtrip");
+
+    std::string err;
+    ASSERT_TRUE(saveFlatTrace(built, checksum, path, &err)) << err;
+
+    FlatTrace loaded;
+    ASSERT_TRUE(loadFlatTrace(path, checksum, loaded, &err)) << err;
+    EXPECT_TRUE(loaded.arena.valid()) << "must serve the mmap, not a copy";
+
+    ASSERT_EQ(loaded.eventCount(), built.eventCount());
+    EXPECT_EQ(std::memcmp(loaded.ops, built.ops, built.eventCount()),
+              0);
+    EXPECT_EQ(std::memcmp(loaded.operands, built.operands,
+                          built.eventCount() * sizeof(std::uint64_t)),
+              0);
+    ASSERT_EQ(loaded.threads.size(), built.threads.size());
+    for (std::size_t t = 0; t < built.threads.size(); ++t) {
+        EXPECT_EQ(loaded.threads[t].begin, built.threads[t].begin);
+        EXPECT_EQ(loaded.threads[t].end, built.threads[t].end);
+    }
+
+    std::remove(path.c_str());
+}
+
+TEST(FlatTraceIo, WrongChecksumIsRejected)
+{
+    const EventTrace trace = sampleTrace();
+    const std::uint64_t checksum = traceChecksum(trace);
+    const std::string path = tempPath("wrongsum");
+    ASSERT_TRUE(saveFlatTrace(FlatTrace::build(trace), checksum, path));
+
+    // A stale capture (different checksum) must never attach: the key
+    // embeds the checksum, so this is an identity mismatch.
+    FlatTrace loaded;
+    EXPECT_FALSE(loadFlatTrace(path, checksum ^ 1, loaded));
+    std::remove(path.c_str());
+}
+
+TEST(FlatTraceIo, DamagedPayloadIsRejected)
+{
+    const EventTrace trace = sampleTrace();
+    const std::uint64_t checksum = traceChecksum(trace);
+    const std::string path = tempPath("damage");
+    ASSERT_TRUE(saveFlatTrace(FlatTrace::build(trace), checksum, path));
+
+    // Flip one byte near the end (inside the payload): attach's O(1)
+    // header check passes, but loadFlatTrace's verifyPayload must not.
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekg(0, std::ios::end);
+        const std::streamoff size = f.tellg();
+        f.seekg(size - 3);
+        char c = 0;
+        f.get(c);
+        f.seekp(size - 3);
+        f.put(static_cast<char>(c ^ 0x20));
+    }
+    FlatTrace loaded;
+    EXPECT_FALSE(loadFlatTrace(path, checksum, loaded));
+    std::remove(path.c_str());
+}
+
+TEST(FlatTraceIo, MissingFileIsAMiss)
+{
+    FlatTrace loaded;
+    std::string err;
+    EXPECT_FALSE(
+        loadFlatTrace(tempPath("missing"), 123, loaded, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(FlatTraceIo, KeyAndFileNameEmbedTheChecksum)
+{
+    EXPECT_EQ(flatTraceFileName(0x0123456789abcdefull),
+              "c0123456789abcdef.flat");
+    const std::string key = flatTraceKey(0x0123456789abcdefull);
+    EXPECT_NE(key.find("trace=0123456789abcdef"), std::string::npos)
+        << key;
+    EXPECT_NE(key.find("|v" + std::to_string(kFlatTraceFormatVersion)),
+              std::string::npos)
+        << key;
+}
+
+TEST(FlatTraceIo, EmptyTraceRoundTrips)
+{
+    TraceRecorder rec("m1-n1-d4000-v500", 1993, 3000);
+    const EventTrace trace = rec.take(0, 0);
+    const std::uint64_t checksum = traceChecksum(trace);
+    const std::string path = tempPath("empty");
+    ASSERT_TRUE(saveFlatTrace(FlatTrace::build(trace), checksum, path));
+    FlatTrace loaded;
+    std::string err;
+    ASSERT_TRUE(loadFlatTrace(path, checksum, loaded, &err)) << err;
+    EXPECT_EQ(loaded.eventCount(), 0u);
+    EXPECT_TRUE(loaded.threads.empty());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace crw

@@ -49,7 +49,6 @@ TEST(FlatTrace, MatchesCursorWalkOpForOp)
     const FlatTrace flat = FlatTrace::build(trace);
 
     ASSERT_EQ(flat.threads.size(), trace.threads.size());
-    ASSERT_EQ(flat.ops.size(), flat.operands.size());
     EXPECT_EQ(flat.eventCount(), trace.eventCount());
 
     std::uint32_t expected_begin = 0;
@@ -57,7 +56,7 @@ TEST(FlatTrace, MatchesCursorWalkOpForOp)
         const FlatTrace::Span span = flat.threads[t];
         // Spans tile the arena in thread order, no gaps or overlap.
         EXPECT_EQ(span.begin, expected_begin) << "thread " << t;
-        ASSERT_LE(span.end, flat.ops.size()) << "thread " << t;
+        ASSERT_LE(span.end, flat.eventCount()) << "thread " << t;
         expected_begin = span.end;
 
         TraceCursor cur(trace.threads[t].code);
@@ -75,7 +74,7 @@ TEST(FlatTrace, MatchesCursorWalkOpForOp)
         }
         EXPECT_EQ(pc, span.end) << "thread " << t;
     }
-    EXPECT_EQ(expected_begin, flat.ops.size());
+    EXPECT_EQ(expected_begin, flat.eventCount());
 }
 
 TEST(FlatTrace, EmptyTraceBuildsEmptyArena)
