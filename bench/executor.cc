@@ -1,5 +1,8 @@
 #include "bench/executor.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <mutex>
@@ -16,6 +19,7 @@
 #include "obs/trace_json.h"
 #include "spell/capture.h"
 #include "trace/flat_trace_io.h"
+#include "trace/replay_batch.h"
 #include "trace/replay_driver.h"
 
 namespace crw {
@@ -45,6 +49,112 @@ storeInsert(const std::string &key, RunMetrics metrics)
 {
     std::lock_guard<std::mutex> lock(g_storeMu);
     return g_store.emplace(key, std::move(metrics)).first->second;
+}
+
+/**
+ * Lockstep batch width cap. CRW_REPLAY_BATCH unset/empty/garbage: the
+ * default 16; "0" (or "1" — a width-1 batch is just the fast path
+ * with extra steps) disables batching; any larger integer caps the
+ * lanes per batch. Read per executePoints call so tests can flip it.
+ */
+std::size_t
+replayBatchCap()
+{
+    const char *v = std::getenv("CRW_REPLAY_BATCH");
+    if (!v || !*v)
+        return 16;
+    char *end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || n < 0)
+        return 16;
+    return static_cast<std::size_t>(n);
+}
+
+/** Mirror of the replay driver's CRW_REPLAY_FAST=0 oracle pin. */
+bool
+fastReplayEnabled()
+{
+    const char *v = std::getenv("CRW_REPLAY_FAST");
+    return !(v && v[0] == '0' && v[1] == '\0');
+}
+
+/** Raise the named counter to at least @p v (CAS max — the result is
+ *  independent of the order concurrent batches finish in). */
+void
+counterAtLeast(const std::string &name, std::uint64_t v)
+{
+    std::atomic<std::uint64_t> &c = metrics().counter(name);
+    std::uint64_t cur = c.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !c.compare_exchange_weak(cur, v,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+/**
+ * Replay one lockstep unit (>= 2 lanes) and write each lane's metrics
+ * into @p results at the lane's miss index. A diverged working-set
+ * batch is discarded whole and its points re-replayed individually
+ * through replayPoint() — which then does the per-point bookkeeping
+ * itself, so replay.points counts every replayed point exactly once
+ * on either outcome.
+ */
+void
+runLockstepUnit(const std::vector<PlanPoint> &misses,
+                const std::vector<std::size_t> &unit,
+                std::vector<RunMetrics> &results)
+{
+    const PlanPoint &p0 = misses[unit[0]];
+    const EventTrace &trace = cachedTrace(p0.conc, p0.gran);
+    const FlatTrace &flat = cachedFlatTrace(p0.conc, p0.gran);
+    std::vector<EngineConfig> configs;
+    configs.reserve(unit.size());
+    for (const std::size_t i : unit)
+        configs.push_back(misses[i].engine);
+
+    BatchedReplayDriver driver(trace, configs, p0.policy, &flat);
+    if (!driver.run()) {
+        metrics().add("replay.batch_fallback", 1);
+        ringPublish(obs::RingEventCode::ReplayBatchFallback,
+                    static_cast<std::uint32_t>(unit.size()), 0);
+        for (const std::size_t i : unit) {
+            const PlanPoint &p = misses[i];
+            results[i] = replayPoint(trace, p.engine, p.policy, &flat);
+        }
+        return;
+    }
+
+    metrics().add("replay.batches", 1);
+    metrics().add("replay.batched_points", unit.size());
+    counterAtLeast("replay.batch_width", unit.size());
+    ringPublish(obs::RingEventCode::ReplayBatch,
+                static_cast<std::uint32_t>(unit.size()), 0);
+    for (std::size_t lane = 0; lane < unit.size(); ++lane) {
+        const PlanPoint &p = misses[unit[lane]];
+        metrics().add("replay.points", 1);
+        ringPublish(obs::RingEventCode::ReplayPoint,
+                    static_cast<std::uint32_t>(p.engine.numWindows),
+                    0);
+        results[unit[lane]] = driver.metrics(lane);
+        if (!obsEnabled())
+            continue;
+        // The exact publication replayPoint() performs per point. The
+        // shared core's schedule statistics are what each of the K
+        // per-point cores would have recorded (the schedules are
+        // identical — that is what made the batch sound), so the
+        // merged records stay bit-identical to an unbatched run.
+        const std::string label =
+            trace.key + "/" + schemeName(p.engine.scheme) + "/w" +
+            std::to_string(p.engine.numWindows) + "/" +
+            policyName(p.policy);
+        obs::PointRecord rec =
+            obs::pointFromEngine(driver.engine(lane));
+        obs::publishSchedCore(driver.core(), rec);
+        metrics().mergePoint(label, rec);
+        manifestNote("schemes", schemeName(p.engine.scheme));
+        manifestNote("windows", std::to_string(p.engine.numWindows));
+        manifestNote("policies", policyName(p.policy));
+    }
 }
 
 /**
@@ -135,12 +245,56 @@ executePoints(const std::vector<PlanPoint> &points)
         cachedFlatTrace(behaviors[i].first, behaviors[i].second);
     });
 
+    // Group the misses into lockstep batches: points sharing a
+    // pointBatchKey (behavior, scheme, cost model, policy) follow
+    // identical schedules and replay in one pass over the trace
+    // (trace/replay_batch.h) — a cold fig11+fig12+fig13 run walks
+    // each trace once per scheme instead of once per point. The
+    // per-point path remains for width-1 groups, invariant-checking
+    // points, trace-recording runs (the timeline observer is
+    // per-point only), and when CRW_REPLAY_BATCH=0 or
+    // CRW_REPLAY_FAST=0 pins it off.
+    const std::size_t cap = replayBatchCap();
+    const bool batching =
+        cap > 1 && fastReplayEnabled() && !traceRequested();
+    std::vector<std::vector<std::size_t>> units;
+    if (batching) {
+        std::map<std::string, std::vector<std::size_t>> groups;
+        for (std::size_t i = 0; i < misses.size(); ++i) {
+            if (misses[i].engine.checkInvariants) {
+                units.push_back({i});
+                continue;
+            }
+            groups[pointBatchKey(misses[i])].push_back(i);
+        }
+        for (auto &entry : groups) {
+            const std::vector<std::size_t> &idx = entry.second;
+            for (std::size_t at = 0; at < idx.size(); at += cap) {
+                const std::size_t n = std::min(cap, idx.size() - at);
+                units.emplace_back(idx.begin() +
+                                       static_cast<std::ptrdiff_t>(at),
+                                   idx.begin() +
+                                       static_cast<std::ptrdiff_t>(
+                                           at + n));
+            }
+        }
+    } else {
+        for (std::size_t i = 0; i < misses.size(); ++i)
+            units.push_back({i});
+    }
+
     std::vector<RunMetrics> results(misses.size());
-    pool.run(misses.size(), [&](std::size_t i) {
-        const PlanPoint &p = misses[i];
-        results[i] =
-            replayPoint(cachedTrace(p.conc, p.gran), p.engine,
-                        p.policy, &cachedFlatTrace(p.conc, p.gran));
+    pool.run(units.size(), [&](std::size_t u) {
+        const std::vector<std::size_t> &unit = units[u];
+        if (unit.size() == 1) {
+            const PlanPoint &p = misses[unit[0]];
+            results[unit[0]] =
+                replayPoint(cachedTrace(p.conc, p.gran), p.engine,
+                            p.policy,
+                            &cachedFlatTrace(p.conc, p.gran));
+            return;
+        }
+        runLockstepUnit(misses, unit, results);
     });
     for (std::size_t i = 0; i < misses.size(); ++i) {
         storeInsert(missKeys[i], std::move(results[i]));

@@ -237,17 +237,39 @@ runCache(const FlagSet &flags)
               << " traces, " << live.size() << " distinct checksums\n";
 
     // The session ring: attach (or share) and report its high-water
-    // mark. Reading while a bench publishes is safe by design.
+    // mark, plus a summary of the resident lockstep-replay events
+    // (DESIGN.md §14). Reading while a bench publishes is safe by
+    // design.
     {
         obs::EventRing ring;
         if (ring.openFile(outputPath("obs/events.ring"),
-                          obs::kEventRingCapacity))
+                          obs::kEventRingCapacity)) {
             std::cout << "event ring     " << ring.published()
                       << " events published, capacity "
                       << ring.capacity() << " (format v"
                       << obs::kEventRingFormatVersion << ")\n";
-        else
+            std::size_t batches = 0, lanes = 0, fallbacks = 0;
+            std::uint32_t max_width = 0;
+            for (const obs::RingEvent &ev : ring.snapshot()) {
+                const auto code =
+                    static_cast<obs::RingEventCode>(ev.code);
+                if (code == obs::RingEventCode::ReplayBatch) {
+                    ++batches;
+                    lanes += ev.arg;
+                    if (ev.arg > max_width)
+                        max_width = ev.arg;
+                } else if (code ==
+                           obs::RingEventCode::ReplayBatchFallback) {
+                    ++fallbacks;
+                }
+            }
+            std::cout << "  replay batch " << batches
+                      << " resident batches, " << lanes
+                      << " lanes, max width " << max_width << ", "
+                      << fallbacks << " fallbacks\n";
+        } else {
             std::cout << "event ring     absent\n";
+        }
     }
 
     if (flags.getBool("gc"))

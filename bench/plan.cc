@@ -29,6 +29,15 @@ pointConfigKey(const PlanPoint &point)
            policyName(point.policy);
 }
 
+std::string
+pointBatchKey(const PlanPoint &point)
+{
+    return spellTraceKey(behaviorConfig(point.conc, point.gran)) + "|" +
+           schemeName(point.engine.scheme) +
+           "|cm=" + costModelKey(point.engine.cost) + "|" +
+           policyName(point.policy);
+}
+
 void
 ExperimentPlan::add(const PlanPoint &point)
 {

@@ -53,6 +53,17 @@ PlanPoint makePlanPoint(ConcurrencyLevel conc, GranularityLevel gran,
  */
 std::string pointConfigKey(const PlanPoint &point);
 
+/**
+ * Lockstep-batch identity of a point: the pointConfigKey coordinates
+ * that must be *shared* for two points to replay in one batched pass —
+ * behavior, scheme, cost model, policy — with the per-lane fields
+ * (window count, PRW reclamation, allocation policy) left out. Points
+ * with equal batch keys follow provably identical schedules under
+ * FIFO (see trace/replay_batch.h), so the executor groups cache
+ * misses by this key before fanning out to the pool.
+ */
+std::string pointBatchKey(const PlanPoint &point);
+
 /** Deduplicated set of plan points, in first-added order. */
 class ExperimentPlan
 {

@@ -65,8 +65,25 @@ if awk "BEGIN { exit !($replay_speedup < 1.0) }"; then
     exit 1
 fi
 
+# Lockstep-batch gate (DESIGN.md section 14): the aggregate sweep —
+# one batched pass driving the full default window sweep — must
+# deliver at least 2x the events/second of replaying those points
+# one at a time through the fast path. The exhibit has already
+# checked every lane bit-identical against the per-point runs.
+batched_speedup=$(grep -o '"batched_speedup": [0-9.]*' \
+    "$repo_root/BENCH_replay_throughput.json" | head -n1 |
+    sed 's/.*: //')
+echo "  batched-vs-per-point aggregate speedup: ${batched_speedup}x"
+if [ -z "$batched_speedup" ] ||
+   awk "BEGIN { exit !($batched_speedup < 2.0) }"; then
+    echo "error: lockstep batch replay under 2x the per-point fast" \
+         "baseline (aggregate speedup ${batched_speedup:-absent}x" \
+         "< 2.0x)" >&2
+    exit 1
+fi
+
 echo "== determinism gate (incl. observability + result cache +" \
-     "fast replay path)"
+     "fast replay path + lockstep batch replay)"
 "$repo_root/scripts/check_determinism.sh" "$build_dir"
 
 # Result-cache gate: a warm `crw-bench fig11 fig12 fig13` rerun must

@@ -48,6 +48,16 @@
 #     concurrent read-only `crw-bench cache` attacher perturbs
 #     nothing.
 #
+#  7. Lockstep batch replay (DESIGN.md section 14) is semantically
+#     invisible: `crw-bench fig11 fig12 fig13 --no-cache` with
+#     CRW_REPLAY_BATCH=0 (every point replayed individually) and with
+#     the default batching produces byte-identical stdout, CSVs and
+#     normalized metrics (minus the replay.batch* counters, which only
+#     the batching run records), the batched run agrees with itself at
+#     --jobs 1 vs --jobs N, and the counters prove the batched run
+#     really replayed lockstep batches while the pinned run replayed
+#     none.
+#
 # Usage: scripts/check_determinism.sh [build-dir] [jobs]
 #   build-dir  CMake build tree containing bench/ (default: build)
 #   jobs       parallel worker count for the second run
@@ -384,10 +394,19 @@ else
     status=1
 fi
 
-metrics_view "$workdir/replay_legacy/metrics.json" \
+# CRW_REPLAY_FAST=0 also pins lockstep batching off (the batch loop
+# is a fast-path specialization), so the legacy run legitimately lacks
+# the replay.batch* counters; strip them for the legacy-vs-fast view
+# only. The fast runs keep them: across job counts they must agree.
+strip_batch_counters() {
+    metrics_view "$1" | grep -v '^    "replay\.batch'
+}
+strip_batch_counters "$workdir/replay_legacy/metrics.json" \
     > "$workdir/replay_legacy.view"
-metrics_view "$workdir/replay_fast/metrics.json" \
+strip_batch_counters "$workdir/replay_fast/metrics.json" \
     > "$workdir/replay_fast.view"
+metrics_view "$workdir/replay_fast/metrics.json" \
+    > "$workdir/replay_fast_full.view"
 metrics_view "$workdir/replay_fast_par/metrics.json" \
     > "$workdir/replay_fast_par.view"
 if cmp -s "$workdir/replay_legacy.view" "$workdir/replay_fast.view"; then
@@ -396,7 +415,7 @@ else
     echo "  FAIL metrics.json differs between CRW_REPLAY_FAST=0 and =1"
     status=1
 fi
-if cmp -s "$workdir/replay_fast.view" \
+if cmp -s "$workdir/replay_fast_full.view" \
           "$workdir/replay_fast_par.view"; then
     echo "  ok   fast-path metrics.json identical across job counts"
 else
@@ -556,13 +575,107 @@ for cold_csv in "$workdir"/store/bench_out/*.csv; do
     fi
 done
 
+# Part 7: lockstep batch replay. CRW_REPLAY_BATCH=0 pins every cache
+# miss to the per-point fast path; the default groups misses that
+# share a (behavior, scheme, cost model, policy) batch key into one
+# lockstep pass per trace. Both must produce the same bytes, and the
+# counters must show the batched run actually batched. --no-cache
+# keeps every point a live replay; the fig11+fig12+fig13 union is the
+# workload the batching was built for (one walk per scheme).
+run_batchmode() {
+    # $1: subdir, $2: CRW_REPLAY_BATCH value, $3: --jobs value
+    mkdir -p "$workdir/$1"
+    (cd "$workdir/$1" &&
+     CRW_REPLAY_BATCH="$2" "$crwbench_abs" fig11 fig12 fig13 \
+         --no-cache --jobs "$3" --metrics-out metrics.json \
+         > stdout.txt)
+}
+
+echo "== crw-bench fig11 fig12 fig13 --no-cache (CRW_REPLAY_BATCH=0)"
+run_batchmode batch_off 0 1
+echo "== crw-bench fig11 fig12 fig13 --no-cache (batched)"
+run_batchmode batch_on "" 1
+echo "== crw-bench fig11 fig12 fig13 --no-cache (batched, --jobs $jobs)"
+run_batchmode batch_on_par "" "$jobs"
+
+found=0
+for off_csv in "$workdir"/batch_off/bench_out/*.csv; do
+    [ -e "$off_csv" ] || break
+    found=1
+    name=$(basename "$off_csv")
+    if cmp -s "$off_csv" "$workdir/batch_on/bench_out/$name" &&
+       cmp -s "$off_csv" "$workdir/batch_on_par/bench_out/$name"; then
+        echo "  ok   $name identical batched and per-point"
+    else
+        echo "  FAIL $name differs between batched and per-point replay"
+        status=1
+    fi
+done
+if [ "$found" -eq 0 ]; then
+    echo "error: the CRW_REPLAY_BATCH=0 run produced no CSVs" >&2
+    exit 2
+fi
+if cmp -s "$workdir/batch_off/stdout.txt" \
+          "$workdir/batch_on/stdout.txt" &&
+   cmp -s "$workdir/batch_off/stdout.txt" \
+          "$workdir/batch_on_par/stdout.txt"; then
+    echo "  ok   stdout identical batched and per-point"
+else
+    echo "  FAIL stdout differs between batched and per-point replay"
+    status=1
+fi
+
+strip_batch_counters "$workdir/batch_off/metrics.json" \
+    > "$workdir/batch_off.view"
+strip_batch_counters "$workdir/batch_on/metrics.json" \
+    > "$workdir/batch_on.view"
+metrics_view "$workdir/batch_on/metrics.json" \
+    > "$workdir/batch_on_full.view"
+metrics_view "$workdir/batch_on_par/metrics.json" \
+    > "$workdir/batch_on_par.view"
+if cmp -s "$workdir/batch_off.view" "$workdir/batch_on.view"; then
+    echo "  ok   metrics identical batched and per-point (minus" \
+         "replay.batch* counters)"
+else
+    echo "  FAIL metrics differ between batched and per-point replay"
+    status=1
+fi
+if cmp -s "$workdir/batch_on_full.view" "$workdir/batch_on_par.view"; then
+    echo "  ok   batched metrics identical at --jobs 1 and --jobs $jobs"
+else
+    echo "  FAIL batched metrics differ between --jobs 1 and --jobs $jobs"
+    status=1
+fi
+
+off_batches=$(counter "$workdir/batch_off/metrics.json" \
+    "replay.batches")
+on_batches=$(counter "$workdir/batch_on/metrics.json" "replay.batches")
+on_lanes=$(counter "$workdir/batch_on/metrics.json" \
+    "replay.batched_points")
+on_width=$(counter "$workdir/batch_on/metrics.json" \
+    "replay.batch_width")
+off_points=$(counter "$workdir/batch_off/metrics.json" "replay.points")
+on_points=$(counter "$workdir/batch_on/metrics.json" "replay.points")
+if [ "$off_batches" -eq 0 ] && [ "$on_batches" -gt 0 ] &&
+   [ "$on_lanes" -gt 0 ] && [ "$on_width" -gt 1 ] &&
+   [ "$on_points" -eq "$off_points" ]; then
+    echo "  ok   batched run: $on_batches batches, $on_lanes lanes" \
+         "(width <= $on_width) over the same $on_points points"
+else
+    echo "  FAIL batch counters: off batches=$off_batches" \
+         "on batches=$on_batches lanes=$on_lanes width=$on_width" \
+         "points $off_points vs $on_points"
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
     echo "determinism check passed: identical output at --jobs 1 and" \
          "--jobs $jobs, with the block cache on and off, with" \
          "observability on and off, with the result cache cold," \
          "warm, shared and disabled, with the fast replay path on" \
-         "and off, and with the arena stores cold, warm, bypassed" \
-         "and concurrently attached"
+         "and off, with the arena stores cold, warm, bypassed" \
+         "and concurrently attached, and with lockstep batch replay" \
+         "on and off"
 else
     echo "determinism check FAILED" >&2
 fi

@@ -52,19 +52,30 @@ class CyclicSpace
         return m < 0 ? m + n_ : m;
     }
 
-    /** The window reached from @p i by one "save" (one step above). */
+    /**
+     * The window reached from @p i by one "save" (one step above).
+     *
+     * @tparam Checked Evaluate the range assertion. The devirtualized
+     *         replay loops instantiate the unchecked flavor — see the
+     *         note in win/window_file.h; every other caller keeps the
+     *         default.
+     */
+    template <bool Checked = true>
     int
     above(int i) const
     {
-        crw_assert(i >= 0 && i < n_);
+        if constexpr (Checked)
+            crw_assert(i >= 0 && i < n_);
         return i == 0 ? n_ - 1 : i - 1;
     }
 
     /** The window reached from @p i by one "restore" (one step below). */
+    template <bool Checked = true>
     int
     below(int i) const
     {
-        crw_assert(i >= 0 && i < n_);
+        if constexpr (Checked)
+            crw_assert(i >= 0 && i < n_);
         return i + 1 == n_ ? 0 : i + 1;
     }
 

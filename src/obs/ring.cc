@@ -54,6 +54,9 @@ ringEventName(RingEventCode code)
       case RingEventCode::FlatStore:     return "flat.store";
       case RingEventCode::PoolJobStart:  return "pool.job_start";
       case RingEventCode::PoolJobEnd:    return "pool.job_end";
+      case RingEventCode::ReplayBatch:   return "replay.batch";
+      case RingEventCode::ReplayBatchFallback:
+          return "replay.batch_fallback";
     }
     return "unknown";
 }

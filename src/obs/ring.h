@@ -65,6 +65,9 @@ enum class RingEventCode : std::uint32_t
     FlatStore = 8,     ///< flat trace arenas written to disk
     PoolJobStart = 9,  ///< HostPool::run began (value = task count)
     PoolJobEnd = 10,   ///< HostPool::run drained
+    ReplayBatch = 11,  ///< one lockstep batch replayed (arg = width)
+    /** A working-set batch diverged and fell back to per-point. */
+    ReplayBatchFallback = 12,
 };
 
 /** Short stable name for drains and the Chrome-trace emitter. */

@@ -1,0 +1,361 @@
+#include "trace/replay_batch.h"
+
+#include <string>
+#include <type_traits>
+
+#include "common/logging.h"
+#include "win/engine_batch.h"
+
+namespace crw {
+namespace {
+
+std::string
+batchContext(const EventTrace &trace, const WindowEngine &engine,
+             SchedPolicy policy, std::size_t lanes)
+{
+    return "behavior \"" + trace.key + "\", " +
+           schemeName(engine.scheme()) + "/" + policyName(policy) +
+           ", batch of " + std::to_string(lanes);
+}
+
+/**
+ * The lockstep dispatch loop: the exact state machine of
+ * ReplayDriver::runFastLoop (replay_driver.cc) — same goto-chained
+ * measured-successor decode, same stream/waiter/scheduler statements
+ * — with the single-engine FastEngineView replaced by the
+ * leader/follower BatchedEngineView and the one engine-state read in
+ * the control path (working-set residency at wake) answered by the
+ * leader, recorded, and re-verified on every follower lane when the
+ * drained loop hands off to view.finish().
+ */
+// flatten: same rationale as runFastLoop — the window-file and scheme
+// primitives must inline into the per-lane event bodies, where they
+// run hundreds of millions of times per sweep.
+template <typename SchemeT>
+__attribute__((flatten)) bool
+lockstepLoop(const EventTrace &trace, const FlatTrace &flat,
+             SchedCore &core, std::vector<RStream> &streams,
+             std::vector<RThread> &threads,
+             WindowEngine *const *engines, BehaviorTracker &tracker,
+             std::size_t lanes)
+{
+    BatchedEngineView<SchemeT> view(engines, lanes);
+    view.reserveOps(flat.eventCount());
+    const bool ws = core.policy() == SchedPolicy::WorkingSet;
+    const std::uint8_t *const ops = flat.ops;
+    const std::uint64_t *const operands = flat.operands;
+
+    const auto fatalEventsAfterExit = [&](ThreadId tid) {
+        crw_fatal << "replay: events after Exit in thread " << tid
+                  << " ("
+                  << trace.threads[static_cast<std::size_t>(tid)].name
+                  << ") — "
+                  << batchContext(trace, *engines[0], core.policy(),
+                                  lanes);
+    };
+    const auto fatalEndedWithoutExit = [&](ThreadId tid) {
+        crw_fatal << "replay: script of thread " << tid << " ("
+                  << trace.threads[static_cast<std::size_t>(tid)].name
+                  << ") ended without Exit — "
+                  << batchContext(trace, *engines[0], core.policy(),
+                                  lanes);
+    };
+
+    // Mirror of ReplayDriver::wakeAllSlow, plus the batch contract:
+    // under working-set the scheduler consumes the *leader's*
+    // residency of the woken thread, and the view records a checkpoint
+    // every follower lane re-verifies during its deferred replay. A
+    // follower that disagrees would have forked the schedule at that
+    // wake, so view.finish() reports the batch as diverged.
+    const auto wakeAllSlow = [&](SmallVec<ThreadId, 8> &waiters) {
+        for (const ThreadId tid : waiters) {
+            RThread &t = threads[static_cast<std::size_t>(tid)];
+            if (t.state != RState::Blocked)
+                continue;
+            t.state = RState::Ready;
+            bool resident = false;
+            if (ws) {
+                resident = view.resident(tid);
+                view.recordWakeCheck(tid, resident);
+            }
+            core.wake(tid, resident);
+        }
+        waiters.clear();
+    };
+    const auto wakeAll = [&](SmallVec<ThreadId, 8> &waiters) {
+        if (!waiters.empty())
+            wakeAllSlow(waiters);
+    };
+
+    while (!core.idle()) {
+        const ThreadId tid = core.dispatchNext();
+        RThread &t = threads[static_cast<std::size_t>(tid)];
+        crw_assert(t.state == RState::Ready);
+        t.state = RState::Running;
+        if (view.current() != tid) {
+            const ThreadId from = view.current();
+            view.contextSwitch(tid);
+            tracker.onSwitch(from, tid, view.depth(tid),
+                             view.switchBegin(0), view.now(0));
+        }
+
+        std::uint32_t pc = t.pc;
+        const std::uint32_t end =
+            flat.threads[static_cast<std::size_t>(tid)].end;
+        bool running = true;
+        while (running) {
+            if (pc == end)
+                fatalEndedWithoutExit(tid);
+            switch (static_cast<TraceOp>(ops[pc])) {
+              case TraceOp::Save:
+              save_op:
+                view.save();
+                tracker.onSave(tid, view.depth(tid));
+                ++pc;
+                if (pc != end &&
+                    static_cast<TraceOp>(ops[pc]) == TraceOp::Charge)
+                    goto charge_op;
+                break;
+              case TraceOp::Restore:
+              restore_op:
+                view.restore();
+                tracker.onRestore(tid, view.depth(tid));
+                ++pc;
+                if (pc != end &&
+                    static_cast<TraceOp>(ops[pc]) == TraceOp::Save)
+                    goto save_op;
+                break;
+              case TraceOp::Charge:
+              charge_op:
+                view.charge(static_cast<Cycles>(operands[pc]));
+                ++pc;
+                if (pc != end) {
+                    const TraceOp next = static_cast<TraceOp>(ops[pc]);
+                    if (next == TraceOp::Get)
+                        goto get_op;
+                    if (next == TraceOp::Put)
+                        goto put_op;
+                    if (next == TraceOp::Save)
+                        goto save_op;
+                }
+                break;
+              case TraceOp::Put:
+              put_op: {
+                RStream &s = streams[operands[pc]];
+                if (s.count == s.capacity) {
+                    wakeAll(s.readWaiters);
+                    s.writeWaiters.push_back(tid);
+                    t.state = RState::Blocked;
+                    running = false;
+                    break;
+                }
+                ++s.count;
+                wakeAll(s.readWaiters);
+                ++pc;
+                if (pc != end) {
+                    const TraceOp next = static_cast<TraceOp>(ops[pc]);
+                    if (next == TraceOp::Restore)
+                        goto restore_op;
+                    if (next == TraceOp::Put)
+                        goto put_op;
+                }
+                break;
+              }
+              case TraceOp::Get:
+              get_op: {
+                RStream &s = streams[operands[pc]];
+                if (s.count == 0) {
+                    if (s.openWriters == 0) {
+                        ++pc;
+                        break;
+                    }
+                    wakeAll(s.writeWaiters);
+                    s.readWaiters.push_back(tid);
+                    t.state = RState::Blocked;
+                    running = false;
+                    break;
+                }
+                --s.count;
+                wakeAll(s.writeWaiters);
+                ++pc;
+                if (pc != end &&
+                    static_cast<TraceOp>(ops[pc]) == TraceOp::Restore)
+                    goto restore_op;
+                break;
+              }
+              case TraceOp::Close: {
+                RStream &s = streams[operands[pc]];
+                crw_assert(s.openWriters > 0);
+                if (--s.openWriters == 0)
+                    wakeAll(s.readWaiters);
+                ++pc;
+                break;
+              }
+              case TraceOp::Exit:
+                ++pc;
+                if (pc != end)
+                    fatalEventsAfterExit(tid);
+                view.threadExit();
+                tracker.onExit(tid);
+                t.state = RState::Finished;
+                running = false;
+                break;
+            }
+        }
+        t.pc = pc;
+    }
+    // The follower lanes replay the recorded op stream here; a
+    // working-set divergence surfaces as false.
+    return view.finish();
+}
+
+} // namespace
+
+namespace detail_replay {
+
+bool
+runLockstepLoop(const EventTrace &trace, const FlatTrace &flat,
+                SchedCore &core, std::vector<RStream> &streams,
+                std::vector<RThread> &threads,
+                WindowEngine *const *engines, BehaviorTracker &tracker,
+                std::size_t lanes)
+{
+    const auto dispatch = [&](auto scheme_tag) {
+        using SchemeT = typename decltype(scheme_tag)::type;
+        return lockstepLoop<SchemeT>(trace, flat, core, streams,
+                                     threads, engines, tracker,
+                                     lanes);
+    };
+    switch (engines[0]->scheme()) {
+      case SchemeKind::NS:
+        return dispatch(std::type_identity<detail::NsScheme>{});
+      case SchemeKind::SNP:
+        return dispatch(std::type_identity<detail::SnpScheme>{});
+      case SchemeKind::SP:
+        return dispatch(std::type_identity<detail::SpScheme>{});
+      case SchemeKind::Infinite:
+        return dispatch(std::type_identity<detail::InfiniteScheme>{});
+    }
+    crw_unreachable("bad scheme kind");
+}
+
+} // namespace detail_replay
+
+BatchedReplayDriver::BatchedReplayDriver(
+    const EventTrace &trace, const std::vector<EngineConfig> &configs,
+    SchedPolicy policy, const FlatTrace *flat)
+    : trace_(trace),
+      flat_(flat),
+      tracker_(64),
+      core_(policy)
+{
+    if (configs.empty())
+        crw_fatal << "BatchedReplayDriver: empty config batch for "
+                     "behavior \""
+                  << trace.key << "\"";
+    engines_.reserve(configs.size());
+    for (const EngineConfig &config : configs) {
+        if (config.scheme != configs.front().scheme)
+            crw_fatal << "BatchedReplayDriver: mixed schemes in one "
+                         "batch ("
+                      << schemeName(configs.front().scheme) << " vs "
+                      << schemeName(config.scheme)
+                      << ") — one lockstep instantiation drives one "
+                         "concrete scheme class";
+        if (config.checkInvariants)
+            crw_fatal << "BatchedReplayDriver: checkInvariants is an "
+                         "oracle-path debugging aid; batched replay "
+                         "refuses it (behavior \""
+                      << trace.key << "\", "
+                      << schemeName(config.scheme) << "/"
+                      << policyName(policy) << ")";
+        engines_.push_back(std::make_unique<WindowEngine>(config));
+    }
+
+    streams_.resize(trace.streams.size());
+    for (std::size_t i = 0; i < trace.streams.size(); ++i) {
+        streams_[i].capacity = trace.streams[i].capacity;
+        streams_[i].openWriters =
+            static_cast<int>(trace.streams[i].writers);
+    }
+    threads_.reserve(trace.threads.size());
+    // Spawn order: dense tids, ready queue back — as Scheduler::spawn.
+    for (std::size_t i = 0; i < trace.threads.size(); ++i) {
+        const ThreadId tid = static_cast<ThreadId>(i);
+        for (auto &engine : engines_)
+            engine->addThread(tid);
+        threads_.push_back(RThread{TraceCursor(trace.threads[i].code),
+                                   0, RState::Ready});
+        core_.enqueueBack(tid);
+    }
+    crw_assert(!flat_ || flat_->threads.size() == threads_.size());
+}
+
+bool
+BatchedReplayDriver::run()
+{
+    if (ran_)
+        crw_fatal << "BatchedReplayDriver::run() called twice ("
+                  << batchContext(trace_, *engines_[0], core_.policy(),
+                                  lanes())
+                  << ")";
+    ran_ = true;
+
+    if (!flat_) {
+        ownedFlat_ =
+            std::make_unique<FlatTrace>(FlatTrace::build(trace_));
+        flat_ = ownedFlat_.get();
+    }
+    for (std::size_t i = 0; i < threads_.size(); ++i)
+        threads_[i].pc = flat_->threads[i].begin;
+
+    // The raw lane array the loop iterates (unique_ptr unwrapped off
+    // the hot path).
+    std::vector<WindowEngine *> engines;
+    engines.reserve(lanes());
+    for (std::size_t l = 0; l < lanes(); ++l)
+        engines.push_back(engines_[l].get());
+
+    ok_ = detail_replay::runLockstepLoop(trace_, *flat_, core_,
+                                         streams_, threads_,
+                                         engines.data(), tracker_,
+                                         lanes());
+    if (!ok_)
+        return false;
+
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        if (threads_[i].state != RState::Finished)
+            crw_fatal << "replay deadlock: thread " << i << " ("
+                      << trace_.threads[i].name
+                      << ") never finished — trace/config mismatch, "
+                      << batchContext(trace_, *engines_[0],
+                                      core_.policy(), lanes());
+    }
+    // One finish at lane 0's clock: the sole clock-dependent tracker
+    // state is the granularity distribution, which no RunMetrics
+    // field reads (see replay_batch.h).
+    tracker_.finish(engines_[0]->now());
+    return true;
+}
+
+RunMetrics
+BatchedReplayDriver::metrics(std::size_t lane) const
+{
+    if (!ran_ || !ok_)
+        crw_fatal << "BatchedReplayDriver::metrics() before a "
+                     "successful run() — "
+                  << (ran_ ? "the batch diverged and its lanes are "
+                             "garbage"
+                           : "the engines and trackers are "
+                             "unpopulated")
+                  << " ("
+                  << batchContext(trace_, *engines_[0], core_.policy(),
+                                  lanes())
+                  << ")";
+    return collectRunMetrics(*engines_[lane], tracker_,
+                             core_.slackness(), core_.policy(),
+                             static_cast<int>(threads_.size()),
+                             trace_.misspelled);
+}
+
+} // namespace crw

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Batched lockstep replay: one forward pass over a FlatTrace drives
+ * up to K engine states (DESIGN.md §14).
+ *
+ * Replay control flow — dispatch order, stream occupancy/blocking,
+ * thread script positions — depends on the *event sequence* only,
+ * never on engine state, with one exception: the working-set policy
+ * consults engine residency at each wake (SchedCore::wake). Under
+ * FIFO the schedules of every (windows, PRW, alloc) variant of one
+ * (behavior, scheme, policy, cost-model) group are therefore
+ * *provably identical*, so one shared SchedCore + stream/thread state
+ * can drive K engines in lockstep: a cold fig11+12+13 sweep walks
+ * each trace once per scheme instead of once per point. Under
+ * working-set the batch runs optimistically — the leader lane answers
+ * each wake's residency query and records a checkpoint, and every
+ * follower lane re-verifies the checkpoints during its deferred
+ * replay — and reports divergence on the first disagreement; the
+ * executor then replays those points individually (the diverged
+ * engines are discarded, never flushed, so no partial state leaks).
+ *
+ * Each lane still produces RunMetrics bit-identical to a per-point
+ * replay: every tracker field RunMetrics reads (activity, total
+ * activity, concurrency) is a pure function of the shared event
+ * sequence, so ONE BehaviorTracker serves the whole batch; per-lane
+ * switch-cost Distributions sample in per-lane event order; and the
+ * shared core's slackness/dispatch statistics are schedule-derived —
+ * identical to what K per-point cores would each record
+ * (tests/win/test_batch_replay.cc pins all of this differentially).
+ */
+
+#ifndef CRW_TRACE_REPLAY_BATCH_H_
+#define CRW_TRACE_REPLAY_BATCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "rt/sched_core.h"
+#include "trace/behavior.h"
+#include "trace/event_trace.h"
+#include "trace/flat_trace.h"
+#include "trace/replay_state.h"
+#include "trace/run_metrics.h"
+#include "win/engine.h"
+
+namespace crw {
+
+namespace detail_replay {
+
+/**
+ * The lockstep batch loop over shared control state and K lanes.
+ * Internal: ReplayDriver (ReplayPath::Batched) runs it at width one
+ * over its own state; BatchedReplayDriver runs it at full width.
+ *
+ * @return false when a working-set wake found the lanes disagreeing
+ *         on residency — the schedules would fork, the batch state is
+ *         abandoned mid-run and must be discarded.
+ */
+bool runLockstepLoop(const EventTrace &trace, const FlatTrace &flat,
+                     SchedCore &core, std::vector<RStream> &streams,
+                     std::vector<RThread> &threads,
+                     WindowEngine *const *engines,
+                     BehaviorTracker &tracker, std::size_t lanes);
+
+} // namespace detail_replay
+
+/**
+ * Replays one trace once, advancing one engine per config in
+ * lockstep. All configs must share the scheme kind (one template
+ * instantiation drives the batch) and must not request
+ * checkInvariants; window count, PRW reclamation, allocation policy
+ * and cost model may differ per lane — none of them feed back into
+ * scheduling.
+ */
+class BatchedReplayDriver
+{
+  public:
+    /**
+     * @param trace The captured run (not owned; must outlive this).
+     * @param configs One engine configuration per lane (>= 1).
+     * @param policy Ready-queue policy to re-schedule with.
+     * @param flat Optional predecoded image of @p trace (not owned);
+     *        when absent, run() predecodes privately.
+     */
+    BatchedReplayDriver(const EventTrace &trace,
+                        const std::vector<EngineConfig> &configs,
+                        SchedPolicy policy,
+                        const FlatTrace *flat = nullptr);
+
+    BatchedReplayDriver(const BatchedReplayDriver &) = delete;
+    BatchedReplayDriver &operator=(const BatchedReplayDriver &) =
+        delete;
+
+    /**
+     * Replay the whole trace across all lanes. Fatal on a second call
+     * and on a stuck/mismatched trace.
+     *
+     * @return true on a completed lockstep run; false when a
+     *         working-set batch diverged — every lane's state is then
+     *         garbage and the caller must re-replay the points
+     *         individually on fresh drivers.
+     */
+    bool run();
+
+    std::size_t lanes() const { return engines_.size(); }
+
+    /** Metrics of lane @p lane. Fatal before a successful run(). */
+    RunMetrics metrics(std::size_t lane) const;
+
+    WindowEngine &engine(std::size_t lane)
+    {
+        return *engines_[lane];
+    }
+    const WindowEngine &engine(std::size_t lane) const
+    {
+        return *engines_[lane];
+    }
+    const SchedCore &core() const { return core_; }
+
+  private:
+    const EventTrace &trace_;
+    const FlatTrace *flat_;
+    std::unique_ptr<FlatTrace> ownedFlat_;
+    std::vector<std::unique_ptr<WindowEngine>> engines_;
+    /**
+     * One tracker for all lanes: every field RunMetrics reads from it
+     * depends only on the shared event sequence (the granularity
+     * distribution is the lone per-clock member, and nothing collects
+     * it from a replay).
+     */
+    BehaviorTracker tracker_;
+    SchedCore core_;
+    std::vector<RStream> streams_;
+    std::vector<RThread> threads_;
+    bool ran_ = false;
+    bool ok_ = false;
+};
+
+} // namespace crw
+
+#endif // CRW_TRACE_REPLAY_BATCH_H_

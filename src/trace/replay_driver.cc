@@ -5,6 +5,7 @@
 #include <type_traits>
 
 #include "common/logging.h"
+#include "trace/replay_batch.h"
 #include "win/engine_fast.h"
 
 namespace crw {
@@ -390,6 +391,7 @@ ReplayDriver::run()
     ran_ = true;
 
     bool fast = false;
+    bool batched = false;
     switch (path_) {
       case ReplayPath::Auto:
         fast = !engine_.checkInvariants() && fastEnabledByEnv();
@@ -407,9 +409,40 @@ ReplayDriver::run()
       case ReplayPath::Legacy:
         fast = false;
         break;
+      case ReplayPath::Batched:
+        if (engine_.checkInvariants() || engine_.observer())
+            crw_fatal << "ReplayPath::Batched with "
+                      << (engine_.checkInvariants() ? "checkInvariants"
+                                                    : "an observer")
+                      << ": batched replay is the headless sweep "
+                         "path; oracle-only features fall back to "
+                         "the per-point loops ("
+                      << replayContext(trace_, engine_,
+                                       core_.policy())
+                      << ")";
+        batched = true;
+        break;
     }
 
-    if (fast) {
+    if (batched) {
+        if (!flat_) {
+            ownedFlat_ =
+                std::make_unique<FlatTrace>(FlatTrace::build(trace_));
+            flat_ = ownedFlat_.get();
+        }
+        for (std::size_t i = 0; i < threads_.size(); ++i)
+            threads_[i].pc = flat_->threads[i].begin;
+        WindowEngine *eng = &engine_;
+        if (!detail_replay::runLockstepLoop(trace_, *flat_, core_,
+                                            streams_, threads_, &eng,
+                                            tracker_, 1))
+            crw_fatal << "a width-1 batch diverged — residency can "
+                         "only disagree *between* lanes ("
+                      << replayContext(trace_, engine_,
+                                       core_.policy())
+                      << ")";
+        usedBatched_ = true;
+    } else if (fast) {
         if (!flat_) {
             ownedFlat_ =
                 std::make_unique<FlatTrace>(FlatTrace::build(trace_));

@@ -47,6 +47,7 @@
 #include "trace/behavior.h"
 #include "trace/event_trace.h"
 #include "trace/flat_trace.h"
+#include "trace/replay_state.h"
 #include "trace/run_metrics.h"
 #include "win/engine.h"
 
@@ -57,6 +58,14 @@ enum class ReplayPath : std::uint8_t {
     Auto,   ///< fast unless checkInvariants or CRW_REPLAY_FAST=0
     Fast,   ///< force the specialized loop (fatal w/ checkInvariants)
     Legacy, ///< force the virtual-dispatch oracle loop
+    /**
+     * Force the lockstep batch loop (trace/replay_batch.h) at width
+     * one. Semantically identical to Fast — the differential tests
+     * pin the batched event bodies against both other loops on a
+     * single point, where lane divergence is impossible. Multi-lane
+     * batching goes through BatchedReplayDriver instead.
+     */
+    Batched,
 };
 
 class ReplayDriver
@@ -93,6 +102,9 @@ class ReplayDriver
     /** True once run() completed through the specialized loop. */
     bool usedFastPath() const { return usedFast_; }
 
+    /** True once run() completed through the lockstep batch loop. */
+    bool usedBatchedPath() const { return usedBatched_; }
+
     /**
      * Metrics of the finished run. Fatal before run(): the engine and
      * tracker hold a half-initialized state that would serialize as a
@@ -106,35 +118,6 @@ class ReplayDriver
     const BehaviorTracker &tracker() const { return tracker_; }
 
   private:
-    /**
-     * Replay image of one bounded stream (occupancy + waiters). The
-     * waiter lists hold at most one entry per application thread, so
-     * the inline capacity makes parking/waking allocation-free.
-     */
-    struct RStream
-    {
-        std::uint32_t capacity = 0;
-        std::uint32_t count = 0;
-        int openWriters = 0;
-        SmallVec<ThreadId, 8> readWaiters;
-        SmallVec<ThreadId, 8> writeWaiters;
-    };
-
-    enum class RState : std::uint8_t {
-        Ready,
-        Running,
-        Blocked,
-        Finished
-    };
-
-    struct RThread
-    {
-        TraceCursor cursor;
-        /** Fast loop: index of the next event in the flat arena. */
-        std::uint32_t pc = 0;
-        RState state = RState::Ready;
-    };
-
     /** Oracle loop: execute @p tid's script until it parks or exits. */
     void runThread(ThreadId tid);
     /** The oracle dispatch loop (virtual Scheme + TraceCursor). */
@@ -169,6 +152,7 @@ class ReplayDriver
     ReplayPath path_ = ReplayPath::Auto;
     bool ran_ = false;
     bool usedFast_ = false;
+    bool usedBatched_ = false;
 };
 
 } // namespace crw

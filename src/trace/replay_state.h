@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The replay state machine's control-state types, shared by the
+ * per-point ReplayDriver (replay_driver.h) and the lockstep batched
+ * driver (replay_batch.h). One schedule is one instance of this
+ * state: a SchedCore, one RStream per bounded stream, one RThread per
+ * application thread. The per-point driver pairs it with a single
+ * engine; the batched driver drives K engines from the same instance,
+ * which is exactly what makes a batch lockstep — control flow lives
+ * here and only here, engine state lives per lane.
+ */
+
+#ifndef CRW_TRACE_REPLAY_STATE_H_
+#define CRW_TRACE_REPLAY_STATE_H_
+
+#include <cstdint>
+
+#include "common/small_vec.h"
+#include "common/types.h"
+#include "trace/event_trace.h"
+
+namespace crw {
+
+/**
+ * Replay image of one bounded stream (occupancy + waiters). The
+ * waiter lists hold at most one entry per application thread, so the
+ * inline capacity makes parking/waking allocation-free.
+ */
+struct RStream
+{
+    std::uint32_t capacity = 0;
+    std::uint32_t count = 0;
+    int openWriters = 0;
+    SmallVec<ThreadId, 8> readWaiters;
+    SmallVec<ThreadId, 8> writeWaiters;
+};
+
+enum class RState : std::uint8_t {
+    Ready,
+    Running,
+    Blocked,
+    Finished
+};
+
+struct RThread
+{
+    TraceCursor cursor;
+    /** Fast/batched loops: index of the next event in the flat arena. */
+    std::uint32_t pc = 0;
+    RState state = RState::Ready;
+};
+
+} // namespace crw
+
+#endif // CRW_TRACE_REPLAY_STATE_H_

@@ -134,6 +134,9 @@ struct ThreadCounters
 template <typename SchemeT, typename ObserverPolicy>
 class FastEngineView;
 
+template <typename SchemeT>
+class BatchedEngineView;
+
 /**
  * The window-management simulator.
  *
@@ -244,6 +247,9 @@ class WindowEngine
     template <typename SchemeT, typename ObserverPolicy>
     friend class FastEngineView;
 
+    template <typename SchemeT>
+    friend class BatchedEngineView;
+
     void postEventCheck();
     void syncStats() const;
 
@@ -269,12 +275,17 @@ class WindowEngine
     std::vector<std::uint8_t> registered_;
 
     /**
-     * Switch-case histogram, probed on *every* context switch. Nearly
-     * all switches move < kSmallSwitchCase windows each way, so the
-     * hot path is one flat-array increment; the rare large cases (NS
-     * flushing a deep thread) fall into the overflow map.
+     * Switch-case histogram, probed on *every* context switch. The
+     * flat array covers every case a window file up to 32 windows can
+     * produce (NS flushing a full-depth thread moves at most N - 1
+     * windows), so the hot path is one flat-array increment; cases
+     * beyond it (exotic window counts) fall into the overflow map.
+     * Sizing the array past the sweep's largest window count matters:
+     * at the old threshold of 8, every switch that flushed a deep
+     * thread paid a std::map tree walk — measurably the hottest part
+     * of a deep-window replay's switch body.
      */
-    static constexpr int kSmallSwitchCase = 8;
+    static constexpr int kSmallSwitchCase = 33;
     std::uint64_t switchCasesSmall_[kSmallSwitchCase]
                                    [kSmallSwitchCase] = {};
     std::map<std::pair<int, int>, std::uint64_t> switchCasesLarge_;

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * BatchedEngineView: the lockstep sibling of FastEngineView
+ * (engine_fast.h). One view fronts an array of up to K WindowEngines
+ * that replay the same FlatTrace under the same schedule, so one
+ * forward pass over the trace advances all K engine states.
+ *
+ * Why this is sound: the replay state machine's control flow (dispatch
+ * order, stream blocking, thread scripts) never reads engine state
+ * except at one point — working-set queue placement consults
+ * isResident() at wake time. Under FIFO the placement ignores
+ * residency entirely, so every lane follows the identical schedule no
+ * matter how its window count, PRW reclamation or allocation policy
+ * differ; under working-set the batch runs optimistically and every
+ * residency read is re-verified on every lane (below), aborting the
+ * batch on the first disagreement. Within that contract, per-lane
+ * state evolves exactly as K independent FastEngineView runs would.
+ *
+ * Execution is leader/follower rather than per-event interleaved:
+ *
+ *  - Lane 0 (the leader) advances inline with the control loop — it is
+ *    the lane whose clock and call depths the tracker and the
+ *    working-set wakes read — while the view records the *engine op
+ *    stream*: the sequence of save/restore/switch/exit events plus,
+ *    under working-set, the residency checkpoints. Charges never enter
+ *    the stream; they are lane-invariant trace operands and accumulate
+ *    in one shared counter.
+ *  - finish() then replays the recorded stream once per follower lane:
+ *    a tight linear pass over a dense op array — no trace decode, no
+ *    scheduler, no stream bookkeeping, no tracker — in which the
+ *    lane's window file stays cache-hot and the branch predictor sees
+ *    one lane's trap pattern at a time. A follower that disagrees with
+ *    a recorded residency checkpoint would have forked the schedule at
+ *    that wake, so finish() returns false and the caller discards the
+ *    whole batch (the executor re-replays those points individually).
+ *
+ * Everything the shared schedule makes lane-invariant is accumulated
+ * once, in shared scalars, and folded into each lane at finish():
+ * charge cycles, the save/restore/switch/exit event counts, the plain
+ * save/restore cost (psr × event count — per-lane psr, shared count),
+ * and the per-thread tallies. The per-op work that remains on each
+ * lane is exactly the divergent residue: the scheme's window motion
+ * and the trap/switch costs it implies. Consequently a lane's clock
+ * decomposes as
+ *
+ *   now(l) = charges + psr(l)·(saves+restores) + offset(l)
+ *
+ * with offset(l) accumulating only that lane's trap and switch costs —
+ * all integer arithmetic, so the decomposition is exact and the
+ * flushed state is bit-identical to a per-point replay's.
+ *
+ * Observer-carrying and checkInvariants engines are refused: batched
+ * replay is for headless sweep points only, and the driver layer
+ * falls back to the per-point paths for everything else.
+ */
+
+#ifndef CRW_WIN_ENGINE_BATCH_H_
+#define CRW_WIN_ENGINE_BATCH_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "win/engine.h"
+#include "win/schemes_impl.h"
+
+namespace crw {
+
+template <typename SchemeT>
+class BatchedEngineView
+{
+  public:
+    /**
+     * @param engines K engines sharing scheme kind; window counts and
+     *        PRW/allocation variants may differ per lane. None may
+     *        carry an observer or checkInvariants (oracle-only
+     *        features), and all must be at the same point of the
+     *        schedule (freshly constructed, same registered threads).
+     */
+    BatchedEngineView(WindowEngine *const *engines, std::size_t lanes)
+        : lanes_(lanes)
+    {
+        crw_assert(lanes > 0);
+        e_.reserve(lanes);
+        s_.reserve(lanes);
+        t_.reserve(lanes);
+        hot_.reserve(lanes);
+        offset_.reserve(lanes);
+        psr_.reserve(lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            WindowEngine &e = *engines[l];
+            crw_assert(e.kind_ == engines[0]->kind_);
+            crw_assert(!e.checkInvariants_);
+            crw_assert(!e.observer_);
+            crw_assert(e.current_ == engines[0]->current_);
+            crw_assert(e.threadCounters_.size() ==
+                       engines[0]->threadCounters_.size());
+            e_.push_back(&e);
+            s_.push_back(static_cast<SchemeT *>(e.scheme_.get()));
+            crw_assert(s_.back()->kind() == e.kind_);
+            t_.emplace_back(e.cost_, e.kind_, e.file_.numWindows());
+            hot_.push_back(e.hot_);
+            offset_.push_back(e.now_);
+            psr_.push_back(t_.back().plainSaveRestore());
+        }
+        current_ = engines[0]->current_;
+        threadSaves_.resize(engines[0]->threadCounters_.size());
+        threadRestores_.resize(threadSaves_.size());
+        threadSwitchesIn_.resize(threadSaves_.size());
+    }
+
+    /**
+     * Pre-size the recorded op stream (engine ops are a fraction of
+     * @p trace_events; half is a generous ceiling). No-op at width 1,
+     * which records nothing.
+     */
+    void
+    reserveOps(std::size_t trace_events)
+    {
+        if (lanes_ > 1)
+            ops_.reserve(trace_events / 2);
+    }
+
+    void
+    save()
+    {
+        crw_assert(current_ != kNoThread);
+        ++threadSaves_[static_cast<std::size_t>(current_)];
+        ++sharedSaves_;
+        const OpOutcome out =
+            s_[0]->template doSave<false>(current_);
+        if (out.trapped)
+            chargeOverflow(0, out.windowsSaved);
+        if (lanes_ > 1)
+            record(OpRec::Kind::Save, current_, kNoThread);
+    }
+
+    void
+    restore()
+    {
+        crw_assert(current_ != kNoThread);
+        ++threadRestores_[static_cast<std::size_t>(current_)];
+        ++sharedRestores_;
+        const OpOutcome out =
+            s_[0]->template doRestore<false>(current_);
+        if (out.trapped)
+            chargeUnderflow(0, out.windowsRestored);
+        if (lanes_ > 1)
+            record(OpRec::Kind::Restore, current_, kNoThread);
+    }
+
+    /**
+     * Switch every lane to @p to. The leader's switch span is kept in
+     * switchBegin(0) .. now(0) for the tracker; followers re-derive
+     * their own costs during replay.
+     */
+    void
+    contextSwitch(ThreadId to)
+    {
+        crw_assert(to != current_);
+        const ThreadId from = current_;
+        current_ = to;
+        ++threadSwitchesIn_[static_cast<std::size_t>(to)];
+        ++sharedSwitches_;
+        switchBegin0_ = now(0);
+        applySwitch(s_[0], t_[0], *e_[0], hot_[0], offset_[0], from,
+                    to);
+        if (lanes_ > 1)
+            record(OpRec::Kind::Switch, from, to);
+    }
+
+    void
+    threadExit()
+    {
+        crw_assert(current_ != kNoThread);
+        ++sharedExits_;
+        s_[0]->template doExit<false>(current_);
+        if (lanes_ > 1)
+            record(OpRec::Kind::Exit, current_, kNoThread);
+        current_ = kNoThread;
+    }
+
+    /** Charges are lane-invariant: one add advances every clock. */
+    void charge(Cycles cycles) { charges_ += cycles; }
+
+    /**
+     * Working-set wake support: the leader's residency of @p tid (the
+     * queue-placement input the scheduler consumes) plus a recorded
+     * checkpoint every follower must reproduce during replay — a
+     * disagreement there means that lane's schedule would have forked
+     * at this wake, and finish() reports the batch as diverged.
+     */
+    bool
+    resident(ThreadId tid) const
+    {
+        return e_[0]->isResident(tid);
+    }
+
+    void
+    recordWakeCheck(ThreadId tid, bool leader_resident)
+    {
+        if (lanes_ > 1) {
+            record(OpRec::Kind::WakeCheck, tid, kNoThread);
+            ops_.back().resident = leader_resident ? 1 : 0;
+        }
+    }
+
+    ThreadId current() const { return current_; }
+    std::size_t lanes() const { return lanes_; }
+
+    /** Leader clock; only lane 0 is live before finish(). */
+    Cycles
+    now(std::size_t lane) const
+    {
+        crw_assert(lane == 0);
+        return charges_ +
+               psr_[0] * (sharedSaves_ + sharedRestores_) + offset_[0];
+    }
+    Cycles
+    switchBegin(std::size_t lane) const
+    {
+        crw_assert(lane == 0);
+        return switchBegin0_;
+    }
+
+    /**
+     * Call depth of @p tid. Depth is pure call nesting — every scheme
+     * pushes/pops exactly one frame per save/restore — so it is
+     * identical across lanes; the leader answers for all.
+     */
+    int
+    depth(ThreadId tid) const
+    {
+        return e_[0]->file_.thread(tid).depth;
+    }
+
+    /**
+     * Replay the recorded op stream through every follower lane, then
+     * flush the accumulated clocks/counters back into the engines.
+     * Call exactly once, when the control loop has drained.
+     *
+     * @return false when a follower disagreed with a recorded
+     *         residency checkpoint (working-set divergence): nothing
+     *         is flushed and every lane's engine must be discarded.
+     */
+    bool
+    finish()
+    {
+        // One lane per stream pass: the branch predictor then sees a
+        // single lane's trap pattern per pass (pairing lanes was
+        // measured slower — the per-op trap branches alias across
+        // lanes and mispredict).
+        for (std::size_t l = 1; l < lanes_; ++l)
+            if (!replayLanes<1>({l}))
+                return false;
+        const std::uint64_t sr = sharedSaves_ + sharedRestores_;
+        for (std::size_t l = 0; l < lanes_; ++l) {
+            WindowEngine &e = *e_[l];
+            WindowEngine::HotCounters &h = hot_[l];
+            h.saves += sharedSaves_;
+            h.restores += sharedRestores_;
+            h.switches += sharedSwitches_;
+            h.cyclesCallret += psr_[l] * sr;
+            h.cyclesCompute += charges_;
+            e.hot_ = h;
+            e.now_ = charges_ + psr_[l] * sr + offset_[l];
+            e.current_ = current_;
+            e.stats_.counter("thread_exits") += sharedExits_;
+            for (std::size_t tid = 0; tid < threadSaves_.size();
+                 ++tid) {
+                ThreadCounters &tc = e.threadCounters_[tid];
+                tc.saves += threadSaves_[tid];
+                tc.restores += threadRestores_[tid];
+                tc.switchesIn += threadSwitchesIn_[tid];
+            }
+        }
+        return true;
+    }
+
+  private:
+    /**
+     * One recorded engine op, packed to eight bytes so a follower pass
+     * streams the fewest possible cache lines (charges never enter the
+     * stream, and the lane-invariant counts live in shared scalars).
+     */
+    struct OpRec
+    {
+        enum class Kind : std::uint8_t {
+            Save,
+            Restore,
+            Switch,
+            Exit,
+            WakeCheck,
+        };
+        Kind kind;
+        std::uint8_t resident; ///< WakeCheck only: leader's answer
+        std::int16_t a;        ///< op tid, or switch-from
+        std::int16_t b;        ///< switch-to
+        std::uint16_t pad = 0;
+    };
+    static_assert(sizeof(OpRec) == 8, "op stream packing");
+
+    void
+    record(typename OpRec::Kind kind, ThreadId a, ThreadId b)
+    {
+        crw_assert(a >= INT16_MIN && a <= INT16_MAX);
+        crw_assert(b >= INT16_MIN && b <= INT16_MAX);
+        ops_.push_back({kind, 0, static_cast<std::int16_t>(a),
+                        static_cast<std::int16_t>(b)});
+    }
+
+    // The divergent per-op residue, shared verbatim by the leader
+    // (l = 0, inline with the control loop) and the follower replay.
+
+    void
+    chargeOverflow(std::size_t l, int windows_saved)
+    {
+        WindowEngine::HotCounters &h = hot_[l];
+        ++h.ovfTraps;
+        h.ovfSpilled += static_cast<std::uint64_t>(windows_saved);
+        const Cycles trap = t_[l].overflowCost(windows_saved);
+        h.cyclesTrap += trap;
+        offset_[l] += trap;
+    }
+
+    void
+    chargeUnderflow(std::size_t l, int windows_restored)
+    {
+        WindowEngine::HotCounters &h = hot_[l];
+        ++h.unfTraps;
+        h.unfRestored += static_cast<std::uint64_t>(windows_restored);
+        const Cycles trap = t_[l].underflowCost();
+        h.cyclesTrap += trap;
+        offset_[l] += trap;
+    }
+
+    static void
+    applySwitch(SchemeT *s, const FlatCostTables &t, WindowEngine &e,
+                WindowEngine::HotCounters &h, Cycles &offset,
+                ThreadId from, ThreadId to)
+    {
+        crw_assert(e.file_.hasThread(to));
+        const SwitchOutcome out =
+            s->template doSwitchIn<false>(from, to);
+        h.switchSaved += static_cast<std::uint64_t>(out.windowsSaved);
+        h.switchRestored +=
+            static_cast<std::uint64_t>(out.windowsRestored);
+        if (out.windowsSaved < WindowEngine::kSmallSwitchCase &&
+            out.windowsRestored < WindowEngine::kSmallSwitchCase)
+            ++e.switchCasesSmall_[out.windowsSaved]
+                                 [out.windowsRestored];
+        else
+            ++e.switchCasesLarge_[{out.windowsSaved,
+                                   out.windowsRestored}];
+        const Cycles cycles =
+            t.switchCost(out.windowsSaved, out.windowsRestored);
+        h.cyclesSwitch += cycles;
+        e.dSwitchCost_->sample(static_cast<double>(cycles));
+        offset += cycles;
+    }
+
+    /**
+     * The follower pass: one linear walk over the op stream applying
+     * N lanes' scheme bodies against local (alias-free) state. The
+     * inner per-lane loops fully unroll (N is a compile-time
+     * constant). Per-lane event order — and with it the switch-cost
+     * Distribution's sample order and the switch-case histograms —
+     * matches a per-point replay exactly, because the stream *is* the
+     * shared schedule restricted to engine ops.
+     */
+    template <std::size_t N>
+    bool
+    replayLanes(const std::array<std::size_t, N> &ls)
+    {
+        SchemeT *s[N];
+        const FlatCostTables *t[N];
+        WindowEngine *e[N];
+        WindowEngine::HotCounters h[N];
+        Cycles offset[N];
+        for (std::size_t j = 0; j < N; ++j) {
+            s[j] = s_[ls[j]];
+            t[j] = &t_[ls[j]];
+            e[j] = e_[ls[j]];
+            h[j] = hot_[ls[j]];
+            offset[j] = offset_[ls[j]];
+        }
+        for (const OpRec &op : ops_) {
+            switch (op.kind) {
+              case OpRec::Kind::Save:
+                for (std::size_t j = 0; j < N; ++j) {
+                    const OpOutcome out =
+                        s[j]->template doSave<false>(op.a);
+                    if (out.trapped) {
+                        ++h[j].ovfTraps;
+                        h[j].ovfSpilled += static_cast<std::uint64_t>(
+                            out.windowsSaved);
+                        const Cycles trap =
+                            t[j]->overflowCost(out.windowsSaved);
+                        h[j].cyclesTrap += trap;
+                        offset[j] += trap;
+                    }
+                }
+                break;
+              case OpRec::Kind::Restore:
+                for (std::size_t j = 0; j < N; ++j) {
+                    const OpOutcome out =
+                        s[j]->template doRestore<false>(op.a);
+                    if (out.trapped) {
+                        ++h[j].unfTraps;
+                        h[j].unfRestored += static_cast<std::uint64_t>(
+                            out.windowsRestored);
+                        const Cycles trap = t[j]->underflowCost();
+                        h[j].cyclesTrap += trap;
+                        offset[j] += trap;
+                    }
+                }
+                break;
+              case OpRec::Kind::Switch:
+                for (std::size_t j = 0; j < N; ++j)
+                    applySwitch(s[j], *t[j], *e[j], h[j], offset[j],
+                                op.a, op.b);
+                break;
+              case OpRec::Kind::Exit:
+                for (std::size_t j = 0; j < N; ++j)
+                    s[j]->template doExit<false>(op.a);
+                break;
+              case OpRec::Kind::WakeCheck:
+                // A mismatch abandons the local state unsaved; every
+                // lane is garbage anyway once the batch diverges.
+                for (std::size_t j = 0; j < N; ++j)
+                    if (e[j]->isResident(op.a) != (op.resident != 0))
+                        return false;
+                break;
+            }
+        }
+        for (std::size_t j = 0; j < N; ++j) {
+            hot_[ls[j]] = h[j];
+            offset_[ls[j]] = offset[j];
+        }
+        return true;
+    }
+
+    std::size_t lanes_;
+    ThreadId current_ = kNoThread;
+    /** Shared clock component: the sum of all charges so far. */
+    Cycles charges_ = 0;
+    // Shared event tallies — lane-invariant by the lockstep contract,
+    // folded into every lane at finish().
+    std::uint64_t sharedSaves_ = 0;
+    std::uint64_t sharedRestores_ = 0;
+    std::uint64_t sharedSwitches_ = 0;
+    std::uint64_t sharedExits_ = 0;
+    std::vector<WindowEngine *> e_;
+    std::vector<SchemeT *> s_;
+    std::vector<FlatCostTables> t_;
+    // Dense per-lane hot state: the diverging counters, the per-lane
+    // trap/switch clock contribution, and the hoisted plain
+    // save/restore cost.
+    std::vector<WindowEngine::HotCounters> hot_;
+    std::vector<Cycles> offset_;
+    std::vector<Cycles> psr_;
+    Cycles switchBegin0_ = 0;
+    /** The engine op stream the followers replay (width > 1 only). */
+    std::vector<OpRec> ops_;
+    // Shared per-tid tallies, identical for every lane (the event
+    // sequence decides them); replicated into each engine at finish.
+    std::vector<std::uint64_t> threadSaves_;
+    std::vector<std::uint64_t> threadRestores_;
+    std::vector<std::uint64_t> threadSwitchesIn_;
+};
+
+} // namespace crw
+
+#endif // CRW_WIN_ENGINE_BATCH_H_

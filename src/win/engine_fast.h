@@ -22,7 +22,11 @@
  * bit-for-bit, including the switch-cost Distribution's summation
  * order — from one driven through the engine members. That invariant
  * is enforced by tests/win/test_fast_replay.cc across every scheme,
- * policy and PRW/allocation variant.
+ * policy and PRW/allocation variant. Backed by that differential
+ * pinning, the view instantiates the Checked = false flavor of the
+ * scheme event bodies: structural assertions are not evaluated on
+ * this path (see the policy note in win/window_file.h); the oracle
+ * keeps them all.
  *
  * postEventCheck() is deliberately absent: the full invariant walk is
  * a debugging aid of the oracle path, so a view refuses engines
@@ -72,7 +76,8 @@ class FastEngineView
     save()
     {
         crw_assert(e_.current_ != kNoThread);
-        const OpOutcome out = s_.onSave(e_.current_);
+        const OpOutcome out =
+            s_.template doSave<false>(e_.current_);
 
         ++e_.hot_.saves;
         ++e_.threadCounters_[static_cast<std::size_t>(e_.current_)]
@@ -104,7 +109,8 @@ class FastEngineView
     restore()
     {
         crw_assert(e_.current_ != kNoThread);
-        const OpOutcome out = s_.onRestore(e_.current_);
+        const OpOutcome out =
+            s_.template doRestore<false>(e_.current_);
 
         ++e_.hot_.restores;
         ++e_.threadCounters_[static_cast<std::size_t>(e_.current_)]
@@ -138,7 +144,8 @@ class FastEngineView
         crw_assert(e_.file_.hasThread(to));
         crw_assert(to != e_.current_);
         const ThreadId from = e_.current_;
-        const SwitchOutcome out = s_.onSwitchIn(from, to);
+        const SwitchOutcome out =
+            s_.template doSwitchIn<false>(from, to);
         e_.current_ = to;
 
         ++e_.hot_.switches;
@@ -169,7 +176,7 @@ class FastEngineView
     threadExit()
     {
         crw_assert(e_.current_ != kNoThread);
-        s_.onExit(e_.current_);
+        s_.template doExit<false>(e_.current_);
         ++e_.stats_.counter("thread_exits");
         if constexpr (ObserverPolicy::kEnabled)
             o_.obs->onExit(e_.current_);

@@ -10,6 +10,15 @@
  * specializations are tested against. makeScheme() (schemes.cc)
  * remains the only way to construct them; everything here is an
  * implementation detail.
+ *
+ * Every event body is a `doX<Checked>` member template; the virtual
+ * Scheme overrides forward to the Checked = true instantiation, so
+ * the oracle path evaluates every structural assertion exactly as
+ * before. The replay views (win/engine_fast.h, win/engine_batch.h)
+ * instantiate Checked = false: the window-file primitives then skip
+ * assertion *evaluation* — see the policy note in win/window_file.h —
+ * which removed ~25% of replay wall time. The differential suites pin
+ * the unchecked instantiations bit-identical to the checked oracle.
  */
 
 #ifndef CRW_WIN_SCHEMES_IMPL_H_
@@ -37,33 +46,50 @@ class InfiniteScheme final : public Scheme
 
     SchemeKind kind() const override { return SchemeKind::Infinite; }
 
-    OpOutcome
-    onSave(ThreadId tid) override
-    {
-        file_.pushFrame(tid);
-        return {};
-    }
-
+    OpOutcome onSave(ThreadId tid) override { return doSave<true>(tid); }
     OpOutcome
     onRestore(ThreadId tid) override
     {
-        file_.popFrame(tid);
-        return {};
+        return doRestore<true>(tid);
     }
-
     SwitchOutcome
     onSwitchIn(ThreadId from, ThreadId to) override
     {
-        (void)from;
-        if (file_.thread(to).depth == 0)
-            file_.pushFrame(to); // the root frame of a fresh thread
+        return doSwitchIn<true>(from, to);
+    }
+    void onExit(ThreadId tid) override { doExit<true>(tid); }
+
+    template <bool Checked>
+    OpOutcome
+    doSave(ThreadId tid)
+    {
+        file_.pushFrame<Checked>(tid);
         return {};
     }
 
-    void
-    onExit(ThreadId tid) override
+    template <bool Checked>
+    OpOutcome
+    doRestore(ThreadId tid)
     {
-        file_.thread(tid).depth = 0;
+        file_.popFrame<Checked>(tid);
+        return {};
+    }
+
+    template <bool Checked>
+    SwitchOutcome
+    doSwitchIn(ThreadId from, ThreadId to)
+    {
+        (void)from;
+        if (file_.thread<Checked>(to).depth == 0)
+            file_.pushFrame<Checked>(to); // root frame of a fresh thread
+        return {};
+    }
+
+    template <bool Checked>
+    void
+    doExit(ThreadId tid)
+    {
+        file_.thread<Checked>(tid).depth = 0;
     }
 };
 
@@ -81,77 +107,98 @@ class NsScheme final : public Scheme
 
     SchemeKind kind() const override { return SchemeKind::NS; }
 
+    OpOutcome onSave(ThreadId tid) override { return doSave<true>(tid); }
     OpOutcome
-    onSave(ThreadId tid) override
+    onRestore(ThreadId tid) override
+    {
+        return doRestore<true>(tid);
+    }
+    SwitchOutcome
+    onSwitchIn(ThreadId from, ThreadId to) override
+    {
+        return doSwitchIn<true>(from, to);
+    }
+    void onExit(ThreadId tid) override { doExit<true>(tid); }
+
+    template <bool Checked>
+    OpOutcome
+    doSave(ThreadId tid)
     {
         OpOutcome out;
-        ThreadWindows &tw = file_.thread(tid);
-        crw_assert(tw.isResident());
-        file_.pushFrame(tid);
-        const WindowIndex nt = file_.space().above(tw.top);
+        ThreadWindows &tw = file_.thread<Checked>(tid);
+        if constexpr (Checked)
+            crw_assert(tw.isResident());
+        file_.pushFrame<Checked>(tid);
+        const WindowIndex nt = file_.space().above<Checked>(tw.top);
         // One window must stay dead above the stack-top for the out
         // registers' overlap, so at most N-1 windows are usable.
         if (tw.resident == file_.numWindows() - 1) {
             out.trapped = true;
             out.windowsSaved = 1;
-            file_.spillBottom(tid);
+            file_.spillBottom<Checked>(tid);
         }
-        crw_assert(file_.isFree(nt));
-        file_.claimAsTop(tid, nt);
+        if constexpr (Checked)
+            crw_assert(file_.isFree(nt));
+        file_.claimAsTop<Checked>(tid, nt);
         return out;
     }
 
+    template <bool Checked>
     OpOutcome
-    onRestore(ThreadId tid) override
+    doRestore(ThreadId tid)
     {
         OpOutcome out;
-        ThreadWindows &tw = file_.thread(tid);
-        crw_assert(tw.isResident());
-        file_.popFrame(tid);
+        ThreadWindows &tw = file_.thread<Checked>(tid);
+        if constexpr (Checked)
+            crw_assert(tw.isResident());
+        file_.popFrame<Checked>(tid);
         if (tw.depth == 0) {
             // The root frame returned; the thread is about to exit.
             file_.dropAll(tid);
             return out;
         }
         if (tw.resident >= 2) {
-            file_.releaseTop(tid);
+            file_.releaseTop<Checked>(tid);
             return out;
         }
         // Conventional underflow: the caller's window is restored
         // *below* the current one, where it lived before being spilled.
         out.trapped = true;
         out.windowsRestored = 1;
-        file_.refillBelow(tid);
+        file_.refillBelow<Checked>(tid);
         return out;
     }
 
+    template <bool Checked>
     SwitchOutcome
-    onSwitchIn(ThreadId from, ThreadId to) override
+    doSwitchIn(ThreadId from, ThreadId to)
     {
         SwitchOutcome out;
         if (from != kNoThread) {
-            ThreadWindows &ftw = file_.thread(from);
+            ThreadWindows &ftw = file_.thread<Checked>(from);
             out.windowsSaved = ftw.resident;
             // Flush: every resident frame goes to the memory stack.
-            file_.spillAllFrames(from);
+            file_.spillAllFrames<Checked>(from);
         }
-        ThreadWindows &ttw = file_.thread(to);
-        crw_assert(!ttw.isResident());
+        ThreadWindows &ttw = file_.thread<Checked>(to);
+        if constexpr (Checked)
+            crw_assert(!ttw.isResident());
         if (ttw.depth > 0) {
-            file_.fillAsTop(to, 0);
+            file_.fillAsTop<Checked>(to, 0);
             out.windowsRestored = 1;
         } else {
-            file_.pushFrame(to);
-            file_.claimAsTop(to, 0);
+            file_.pushFrame<Checked>(to);
+            file_.claimAsTop<Checked>(to, 0);
         }
         return out;
     }
 
+    template <bool Checked>
     void
-    onExit(ThreadId tid) override
+    doExit(ThreadId tid)
     {
         file_.dropAll(tid);
-        file_.thread(tid).depth = 0;
+        file_.thread<Checked>(tid).depth = 0;
     }
 };
 
@@ -175,22 +222,24 @@ class SharingSchemeBase : public Scheme
      * (paper §3.1: overflow spillage is always from the stack-bottom);
      * spill it. Returns the number of windows transferred to memory.
      */
+    template <bool Checked>
     int
     evict(WindowIndex w)
     {
-        switch (file_.state(w)) {
+        switch (file_.state<Checked>(w)) {
           case WinState::Free:
             return 0;
           case WinState::Owned: {
-            const ThreadId victim = file_.owner(w);
-            crw_assert(file_.bottomOf(victim) == w);
-            file_.spillBottom(victim);
-            ThreadWindows &vt = file_.thread(victim);
+            const ThreadId victim = file_.owner<Checked>(w);
+            if constexpr (Checked)
+                crw_assert(file_.bottomOf(victim) == w);
+            file_.spillBottom<Checked>(victim);
+            ThreadWindows &vt = file_.thread<Checked>(victim);
             if (!vt.isResident() && vt.prw != kNoWindow &&
                 reclaim_ != PrwReclaim::Lazy) {
                 // The victim lost its whole run: write its PRW state
                 // (outs, PCs) out with it and free the slot too.
-                file_.clearPrw(victim);
+                file_.clearPrw<Checked>(victim);
                 return reclaim_ == PrwReclaim::Eager ? 2 : 1;
             }
             return 1;
@@ -201,9 +250,10 @@ class SharingSchemeBase : public Scheme
             // writes them to the thread's TCB — one transfer. Growth
             // geometry guarantees a PRW is only reached after its
             // owner's whole run was spilled.
-            const ThreadId victim = file_.owner(w);
-            crw_assert(!file_.thread(victim).isResident());
-            file_.clearPrw(victim);
+            const ThreadId victim = file_.owner<Checked>(w);
+            if constexpr (Checked)
+                crw_assert(!file_.thread(victim).isResident());
+            file_.clearPrw<Checked>(victim);
             return 1;
           }
         }
@@ -212,23 +262,29 @@ class SharingSchemeBase : public Scheme
 
     /**
      * Shared restore logic: plain release, restore-in-place underflow,
-     * or root-frame return.
+     * or root-frame return. The scheme-specific handling of a plain
+     * (non-trapping) restore — the *common* case — is reached through
+     * a CRTP cast rather than a virtual hook so it inlines into the
+     * replay loops' devirtualized restore bodies.
      *
      * @return outcome, with `trapped` set on the underflow-trap path.
      */
+    template <typename Derived, bool Checked>
     OpOutcome
     sharedRestore(ThreadId tid)
     {
         OpOutcome out;
-        ThreadWindows &tw = file_.thread(tid);
-        crw_assert(tw.isResident());
-        file_.popFrame(tid);
+        ThreadWindows &tw = file_.thread<Checked>(tid);
+        if constexpr (Checked)
+            crw_assert(tw.isResident());
+        file_.popFrame<Checked>(tid);
         if (tw.depth == 0) {
             file_.dropAll(tid);
             return out;
         }
         if (tw.resident >= 2) {
-            releaseTopHook(tid);
+            static_cast<Derived *>(this)
+                ->template releaseTopHook<Checked>(tid);
             return out;
         }
         // Underflow trap, the paper's key idea: restore the caller's
@@ -236,12 +292,9 @@ class SharingSchemeBase : public Scheme
         // No spillage of anybody's window can occur here.
         out.trapped = true;
         out.windowsRestored = 1;
-        file_.refillInPlace(tid);
+        file_.refillInPlace<Checked>(tid);
         return out;
     }
-
-    /** Scheme-specific handling of a plain (non-trapping) restore. */
-    virtual void releaseTopHook(ThreadId tid) = 0;
 
     PrwReclaim reclaim_;
     AllocPolicy alloc_;
@@ -322,43 +375,63 @@ class SnpScheme final : public SharingSchemeBase
 
     SchemeKind kind() const override { return SchemeKind::SNP; }
 
+    OpOutcome onSave(ThreadId tid) override { return doSave<true>(tid); }
     OpOutcome
-    onSave(ThreadId tid) override
+    onRestore(ThreadId tid) override
+    {
+        return doRestore<true>(tid);
+    }
+    SwitchOutcome
+    onSwitchIn(ThreadId from, ThreadId to) override
+    {
+        return doSwitchIn<true>(from, to);
+    }
+    void onExit(ThreadId tid) override { doExit<true>(tid); }
+
+    template <bool Checked>
+    OpOutcome
+    doSave(ThreadId tid)
     {
         OpOutcome out;
-        ThreadWindows &tw = file_.thread(tid);
-        crw_assert(tw.isResident());
-        file_.pushFrame(tid);
-        const WindowIndex nt = file_.space().above(tw.top);
-        crw_assert(file_.isFree(nt)); // the reserved window
-        const WindowIndex w2 = file_.space().above(nt);
-        const int spilled = evict(w2);
+        ThreadWindows &tw = file_.thread<Checked>(tid);
+        if constexpr (Checked)
+            crw_assert(tw.isResident());
+        file_.pushFrame<Checked>(tid);
+        const WindowIndex nt = file_.space().above<Checked>(tw.top);
+        if constexpr (Checked) // the reserved window
+            crw_assert(file_.isFree(nt));
+        const WindowIndex w2 = file_.space().above<Checked>(nt);
+        const int spilled = evict<Checked>(w2);
         if (spilled) {
             out.trapped = true;
             out.windowsSaved = spilled;
         }
-        file_.claimAsTop(tid, nt);
+        file_.claimAsTop<Checked>(tid, nt);
         return out;
     }
 
+    template <bool Checked>
     OpOutcome
-    onRestore(ThreadId tid) override
+    doRestore(ThreadId tid)
     {
-        return sharedRestore(tid);
+        return sharedRestore<SnpScheme, Checked>(tid);
     }
 
+    template <bool Checked>
     SwitchOutcome
-    onSwitchIn(ThreadId from, ThreadId to) override
+    doSwitchIn(ThreadId from, ThreadId to)
     {
         SwitchOutcome out;
-        if (from != kNoThread && file_.thread(from).isResident())
-            allocHint_ = file_.space().above(file_.thread(from).top);
+        if (from != kNoThread && file_.thread<Checked>(from).isResident())
+            allocHint_ = file_.space().above<Checked>(
+                file_.thread<Checked>(from).top);
 
-        ThreadWindows &ttw = file_.thread(to);
+        ThreadWindows &ttw = file_.thread<Checked>(to);
         if (ttw.isResident()) {
             // Only re-reserve the window above the scheduled thread's
             // stack-top; no window of `to` itself moves.
-            out.windowsSaved += evict(file_.space().above(ttw.top));
+            out.windowsSaved +=
+                evict<Checked>(file_.space().above<Checked>(ttw.top));
             return out;
         }
 
@@ -366,35 +439,40 @@ class SnpScheme final : public SharingSchemeBase
         // above the suspended thread's is allocated" (§4.5) — that is
         // exactly the old reserved window, so it is free already.
         WindowIndex w = allocSlot(allocHint_);
-        if (!file_.isFree(w))
+        if (!file_.isFree<Checked>(w))
             w = findFree(allocHint_);
         if (ttw.depth > 0) {
-            file_.fillAsTop(to, w);
+            file_.fillAsTop<Checked>(to, w);
             out.windowsRestored += 1;
         } else {
-            file_.pushFrame(to);
-            file_.claimAsTop(to, w);
+            file_.pushFrame<Checked>(to);
+            file_.claimAsTop<Checked>(to, w);
         }
-        out.windowsSaved += evict(file_.space().above(w));
+        out.windowsSaved +=
+            evict<Checked>(file_.space().above<Checked>(w));
         return out;
     }
 
+    template <bool Checked>
     void
-    onExit(ThreadId tid) override
+    doExit(ThreadId tid)
     {
-        allocHint_ = file_.thread(tid).top;
+        allocHint_ = file_.thread<Checked>(tid).top;
         file_.dropAll(tid);
-        file_.thread(tid).depth = 0;
+        file_.thread<Checked>(tid).depth = 0;
     }
 
   private:
+    friend class SharingSchemeBase; // sharedRestore's CRTP callback
+
+    template <bool Checked>
     void
-    releaseTopHook(ThreadId tid) override
+    releaseTopHook(ThreadId tid)
     {
         // The vacated window becomes the new reserved window above the
         // (lowered) stack-top; the old reserved window becomes plain
         // free. Both are just Free slots in this model.
-        file_.releaseTop(tid);
+        file_.releaseTop<Checked>(tid);
     }
 
     WindowIndex allocHint_ = kNoWindow;
@@ -417,48 +495,67 @@ class SpScheme final : public SharingSchemeBase
     SchemeKind kind() const override { return SchemeKind::SP; }
     bool usesPrw() const override { return true; }
 
+    OpOutcome onSave(ThreadId tid) override { return doSave<true>(tid); }
     OpOutcome
-    onSave(ThreadId tid) override
+    onRestore(ThreadId tid) override
+    {
+        return doRestore<true>(tid);
+    }
+    SwitchOutcome
+    onSwitchIn(ThreadId from, ThreadId to) override
+    {
+        return doSwitchIn<true>(from, to);
+    }
+    void onExit(ThreadId tid) override { doExit<true>(tid); }
+
+    template <bool Checked>
+    OpOutcome
+    doSave(ThreadId tid)
     {
         OpOutcome out;
-        ThreadWindows &tw = file_.thread(tid);
-        crw_assert(tw.isResident());
-        crw_assert(tw.prw != kNoWindow);
-        file_.pushFrame(tid);
+        ThreadWindows &tw = file_.thread<Checked>(tid);
+        if constexpr (Checked) {
+            crw_assert(tw.isResident());
+            crw_assert(tw.prw != kNoWindow);
+        }
+        file_.pushFrame<Checked>(tid);
         // The stack-top advances into the PRW slot (whose ins already
         // alias the old top's outs); the PRW moves one window up.
         const WindowIndex nt = tw.prw;
-        const WindowIndex p2 = file_.space().above(nt);
-        file_.clearPrw(tid);
-        const int spilled = evict(p2);
+        const WindowIndex p2 = file_.space().above<Checked>(nt);
+        file_.clearPrw<Checked>(tid);
+        const int spilled = evict<Checked>(p2);
         if (spilled) {
             out.trapped = true;
             out.windowsSaved = spilled;
         }
-        file_.claimAsTop(tid, nt);
-        file_.setPrw(tid, p2);
+        file_.claimAsTop<Checked>(tid, nt);
+        file_.setPrw<Checked>(tid, p2);
         return out;
     }
 
+    template <bool Checked>
     OpOutcome
-    onRestore(ThreadId tid) override
+    doRestore(ThreadId tid)
     {
-        return sharedRestore(tid);
+        return sharedRestore<SpScheme, Checked>(tid);
     }
 
+    template <bool Checked>
     SwitchOutcome
-    onSwitchIn(ThreadId from, ThreadId to) override
+    doSwitchIn(ThreadId from, ThreadId to)
     {
         SwitchOutcome out;
-        if (from != kNoThread && file_.thread(from).isResident())
-            allocHint_ =
-                file_.space().above(file_.thread(from).prw);
+        if (from != kNoThread && file_.thread<Checked>(from).isResident())
+            allocHint_ = file_.space().above<Checked>(
+                file_.thread<Checked>(from).prw);
 
-        ThreadWindows &ttw = file_.thread(to);
+        ThreadWindows &ttw = file_.thread<Checked>(to);
         if (ttw.isResident()) {
             // Best case: everything — windows, outs, PCs — is already
             // in place. Nothing moves.
-            crw_assert(ttw.prw != kNoWindow);
+            if constexpr (Checked)
+                crw_assert(ttw.prw != kNoWindow);
             return out;
         }
 
@@ -470,44 +567,50 @@ class SpScheme final : public SharingSchemeBase
             // Orphaned PRW from before this thread was fully spilled;
             // its preserved state is carried over to the new PRW
             // (register-to-register, no memory traffic).
-            file_.clearPrw(to);
+            file_.clearPrw<Checked>(to);
         }
         const WindowIndex w = allocSlot(allocHint_);
-        out.windowsSaved += evict(w);
-        out.windowsSaved += evict(file_.space().above(w));
+        out.windowsSaved += evict<Checked>(w);
+        out.windowsSaved +=
+            evict<Checked>(file_.space().above<Checked>(w));
         if (ttw.depth > 0) {
-            file_.fillAsTop(to, w);
+            file_.fillAsTop<Checked>(to, w);
             out.windowsRestored += 1;
         } else {
-            file_.pushFrame(to);
-            file_.claimAsTop(to, w);
+            file_.pushFrame<Checked>(to);
+            file_.claimAsTop<Checked>(to, w);
         }
-        const WindowIndex p = file_.space().above(w);
-        crw_assert(file_.isFree(p));
-        file_.setPrw(to, p);
+        const WindowIndex p = file_.space().above<Checked>(w);
+        if constexpr (Checked)
+            crw_assert(file_.isFree(p));
+        file_.setPrw<Checked>(to, p);
         return out;
     }
 
+    template <bool Checked>
     void
-    onExit(ThreadId tid) override
+    doExit(ThreadId tid)
     {
-        allocHint_ = file_.thread(tid).top;
+        allocHint_ = file_.thread<Checked>(tid).top;
         file_.dropAll(tid);
-        file_.thread(tid).depth = 0;
+        file_.thread<Checked>(tid).depth = 0;
     }
 
   private:
+    friend class SharingSchemeBase; // sharedRestore's CRTP callback
+
+    template <bool Checked>
     void
-    releaseTopHook(ThreadId tid) override
+    releaseTopHook(ThreadId tid)
     {
         // The vacated top slot already holds the new top's outs (they
         // were the callee's ins), so it becomes the PRW with no copy;
         // the old PRW becomes free (§4.1).
-        file_.clearPrw(tid);
-        ThreadWindows &tw = file_.thread(tid);
+        file_.clearPrw<Checked>(tid);
+        ThreadWindows &tw = file_.thread<Checked>(tid);
         const WindowIndex vacated = tw.top;
-        file_.releaseTop(tid);
-        file_.setPrw(tid, vacated);
+        file_.releaseTop<Checked>(tid);
+        file_.setPrw<Checked>(tid, vacated);
     }
 
     WindowIndex allocHint_ = kNoWindow;

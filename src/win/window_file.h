@@ -75,36 +75,66 @@ class WindowFile
     int numWindows() const { return space_.size(); }
     const CyclicSpace &space() const { return space_; }
 
+    template <bool Checked = true>
     const WindowSlot &slot(WindowIndex w) const;
-    WinState state(WindowIndex w) const { return slot(w).state; }
-    ThreadId owner(WindowIndex w) const { return slot(w).owner; }
-    bool isFree(WindowIndex w) const
+    template <bool Checked = true>
+    WinState
+    state(WindowIndex w) const
     {
-        return state(w) == WinState::Free;
+        return slot<Checked>(w).state;
+    }
+    template <bool Checked = true>
+    ThreadId
+    owner(WindowIndex w) const
+    {
+        return slot<Checked>(w).owner;
+    }
+    template <bool Checked = true>
+    bool
+    isFree(WindowIndex w) const
+    {
+        return state<Checked>(w) == WinState::Free;
     }
 
     /** Register a new thread id (depth 0, not resident). */
     void addThread(ThreadId tid);
     bool hasThread(ThreadId tid) const;
 
+    template <bool Checked = true>
     ThreadWindows &thread(ThreadId tid);
+    template <bool Checked = true>
     const ThreadWindows &thread(ThreadId tid) const;
 
     /** Stack-bottom window of a resident thread. */
+    template <bool Checked = true>
     WindowIndex bottomOf(ThreadId tid) const;
 
     /** True if @p w lies inside @p tid's resident run. */
     bool inRunOf(ThreadId tid, WindowIndex w) const;
 
     // --- primitive transitions (callers maintain run contiguity) ---
+    //
+    // Every primitive takes a `Checked` template parameter (default
+    // true): whether its structural assertions are *evaluated*. The
+    // oracle engine, the invariant checker, and every test keep the
+    // checked default; only the devirtualized replay instantiations
+    // (win/engine_fast.h, win/engine_batch.h) use Checked = false —
+    // their transition sequences are pinned bit-identical to the
+    // checked oracle by the differential suites, and evaluating the
+    // assertion operands (slot loads, cyclic recomputation) was ~25%
+    // of replay wall time. The assertions themselves stay active in
+    // all build types, per the crw_assert contract (common/logging.h).
 
     /** Claim a Free window as the new stack-top of @p tid. */
+    template <bool Checked = true>
     void claimAsTop(ThreadId tid, WindowIndex w);
 
     /** Release @p tid's stack-top (plain restore); top moves below. */
+    template <bool Checked = true>
     void releaseTop(ThreadId tid);
 
     /** Spill @p tid's stack-bottom window: slot freed, frame to memory. */
+    template <bool Checked = true>
     void spillBottom(ThreadId tid);
 
     /**
@@ -113,9 +143,11 @@ class WindowFile
      * one top-down walk instead of recomputing the bottom each time —
      * this is NS's every-switch flush.
      */
+    template <bool Checked = true>
     void spillAllFrames(ThreadId tid);
 
     /** Fill one frame from memory into the Free window @p w as new top. */
+    template <bool Checked = true>
     void fillAsTop(ThreadId tid, WindowIndex w);
 
     /**
@@ -123,6 +155,7 @@ class WindowFile
      * replaces the callee's in the *same* window. Depth bookkeeping:
      * one frame leaves memory, the resident count is unchanged.
      */
+    template <bool Checked = true>
     void refillInPlace(ThreadId tid);
 
     /**
@@ -130,17 +163,22 @@ class WindowFile
      * the window *below* the current one, and the replayed restore
      * moves the stack-top there; the old top window dies.
      */
+    template <bool Checked = true>
     void refillBelow(ThreadId tid);
 
     /** Set / move / clear @p tid's PRW. */
+    template <bool Checked = true>
     void setPrw(ThreadId tid, WindowIndex w);
+    template <bool Checked = true>
     void clearPrw(ThreadId tid);
 
     /** Free every window (and PRW) of @p tid without memory traffic. */
     void dropAll(ThreadId tid);
 
     /** Adjust total call depth (save/restore instructions). */
+    template <bool Checked = true>
     void pushFrame(ThreadId tid);
+    template <bool Checked = true>
     void popFrame(ThreadId tid);
 
     /** Number of Free slots. */
@@ -163,10 +201,12 @@ class WindowFile
 // (hundreds of millions of times per sweep); they are defined inline
 // so the scheme implementations can flatten them.
 
+template <bool Checked>
 inline const WindowSlot &
 WindowFile::slot(WindowIndex w) const
 {
-    crw_assert(w >= 0 && w < space_.size());
+    if constexpr (Checked)
+        crw_assert(w >= 0 && w < space_.size());
     return slots_[static_cast<std::size_t>(w)];
 }
 
@@ -176,25 +216,31 @@ WindowFile::hasThread(ThreadId tid) const
     return tid >= 0 && tid < static_cast<ThreadId>(threads_.size());
 }
 
+template <bool Checked>
 inline ThreadWindows &
 WindowFile::thread(ThreadId tid)
 {
-    crw_assert(hasThread(tid));
+    if constexpr (Checked)
+        crw_assert(hasThread(tid));
     return threads_[static_cast<std::size_t>(tid)];
 }
 
+template <bool Checked>
 inline const ThreadWindows &
 WindowFile::thread(ThreadId tid) const
 {
-    crw_assert(hasThread(tid));
+    if constexpr (Checked)
+        crw_assert(hasThread(tid));
     return threads_[static_cast<std::size_t>(tid)];
 }
 
+template <bool Checked>
 inline WindowIndex
 WindowFile::bottomOf(ThreadId tid) const
 {
-    const ThreadWindows &tw = thread(tid);
-    crw_assert(tw.isResident());
+    const ThreadWindows &tw = thread<Checked>(tid);
+    if constexpr (Checked)
+        crw_assert(tw.isResident());
     return space_.belowBy(tw.top, tw.resident - 1);
 }
 
@@ -207,95 +253,115 @@ WindowFile::inRunOf(ThreadId tid, WindowIndex w) const
     return space_.inRunBelow(tw.top, tw.resident, w);
 }
 
+template <bool Checked>
 inline void
 WindowFile::claimAsTop(ThreadId tid, WindowIndex w)
 {
-    ThreadWindows &tw = thread(tid);
-    crw_assert(isFree(w));
-    if (tw.isResident())
-        crw_assert(w == space_.above(tw.top));
+    ThreadWindows &tw = thread<Checked>(tid);
+    if constexpr (Checked) {
+        crw_assert(isFree(w));
+        if (tw.isResident())
+            crw_assert(w == space_.above(tw.top));
+    }
     slots_[static_cast<std::size_t>(w)] = {WinState::Owned, tid};
     tw.top = w;
     ++tw.resident;
 }
 
+template <bool Checked>
 inline void
 WindowFile::releaseTop(ThreadId tid)
 {
-    ThreadWindows &tw = thread(tid);
-    crw_assert(tw.resident >= 2); // plain restore needs a caller below
+    ThreadWindows &tw = thread<Checked>(tid);
+    if constexpr (Checked) // plain restore needs a caller below
+        crw_assert(tw.resident >= 2);
     slots_[static_cast<std::size_t>(tw.top)] = {WinState::Free,
                                                 kNoThread};
-    tw.top = space_.below(tw.top);
+    tw.top = space_.below<Checked>(tw.top);
     --tw.resident;
 }
 
+template <bool Checked>
 inline void
 WindowFile::spillBottom(ThreadId tid)
 {
-    ThreadWindows &tw = thread(tid);
-    crw_assert(tw.isResident());
-    const WindowIndex b = bottomOf(tid);
+    ThreadWindows &tw = thread<Checked>(tid);
+    if constexpr (Checked)
+        crw_assert(tw.isResident());
+    const WindowIndex b = bottomOf<Checked>(tid);
     slots_[static_cast<std::size_t>(b)] = {WinState::Free, kNoThread};
     --tw.resident;
     if (tw.resident == 0)
         tw.top = kNoWindow;
 }
 
+template <bool Checked>
 inline void
 WindowFile::spillAllFrames(ThreadId tid)
 {
-    ThreadWindows &tw = thread(tid);
+    ThreadWindows &tw = thread<Checked>(tid);
     WindowIndex w = tw.top;
     for (int k = tw.resident; k > 0; --k) {
         slots_[static_cast<std::size_t>(w)] = {WinState::Free,
                                                kNoThread};
-        w = space_.below(w);
+        w = space_.below<Checked>(w);
     }
     tw.resident = 0;
     tw.top = kNoWindow;
 }
 
+template <bool Checked>
 inline void
 WindowFile::fillAsTop(ThreadId tid, WindowIndex w)
 {
-    ThreadWindows &tw = thread(tid);
-    crw_assert(!tw.isResident());
-    crw_assert(tw.memFrames() >= 1);
-    crw_assert(isFree(w));
+    ThreadWindows &tw = thread<Checked>(tid);
+    if constexpr (Checked) {
+        crw_assert(!tw.isResident());
+        crw_assert(tw.memFrames() >= 1);
+        crw_assert(isFree(w));
+    }
     slots_[static_cast<std::size_t>(w)] = {WinState::Owned, tid};
     tw.top = w;
     tw.resident = 1;
 }
 
+template <bool Checked>
 inline void
 WindowFile::refillInPlace(ThreadId tid)
 {
-    ThreadWindows &tw = thread(tid);
-    crw_assert(tw.resident == 1);
-    crw_assert(tw.depth >= 1); // the caller's frame must exist
+    ThreadWindows &tw = thread<Checked>(tid);
+    if constexpr (Checked) {
+        crw_assert(tw.resident == 1);
+        crw_assert(tw.depth >= 1); // the caller's frame must exist
+    }
     // The slot already belongs to tid; only the (unmodeled) contents
     // change: the callee's dead frame is overwritten by the caller's.
+    (void)tw;
 }
 
+template <bool Checked>
 inline void
 WindowFile::refillBelow(ThreadId tid)
 {
-    ThreadWindows &tw = thread(tid);
-    crw_assert(tw.resident == 1);
-    crw_assert(tw.depth >= 1);
-    const WindowIndex below = space_.below(tw.top);
-    crw_assert(isFree(below));
+    ThreadWindows &tw = thread<Checked>(tid);
+    if constexpr (Checked) {
+        crw_assert(tw.resident == 1);
+        crw_assert(tw.depth >= 1);
+    }
+    const WindowIndex below = space_.below<Checked>(tw.top);
+    if constexpr (Checked)
+        crw_assert(isFree(below));
     slots_[static_cast<std::size_t>(tw.top)] = {WinState::Free,
                                                 kNoThread};
     slots_[static_cast<std::size_t>(below)] = {WinState::Owned, tid};
     tw.top = below;
 }
 
+template <bool Checked>
 inline void
 WindowFile::clearPrw(ThreadId tid)
 {
-    ThreadWindows &tw = thread(tid);
+    ThreadWindows &tw = thread<Checked>(tid);
     if (tw.prw == kNoWindow)
         return;
     slots_[static_cast<std::size_t>(tw.prw)] = {WinState::Free,
@@ -303,11 +369,13 @@ WindowFile::clearPrw(ThreadId tid)
     tw.prw = kNoWindow;
 }
 
+template <bool Checked>
 inline void
 WindowFile::setPrw(ThreadId tid, WindowIndex w)
 {
-    ThreadWindows &tw = thread(tid);
-    crw_assert(isFree(w));
+    ThreadWindows &tw = thread<Checked>(tid);
+    if constexpr (Checked)
+        crw_assert(isFree(w));
     if (tw.prw != kNoWindow)
         slots_[static_cast<std::size_t>(tw.prw)] = {WinState::Free,
                                                     kNoThread};
@@ -315,17 +383,20 @@ WindowFile::setPrw(ThreadId tid, WindowIndex w)
     tw.prw = w;
 }
 
+template <bool Checked>
 inline void
 WindowFile::pushFrame(ThreadId tid)
 {
-    ++thread(tid).depth;
+    ++thread<Checked>(tid).depth;
 }
 
+template <bool Checked>
 inline void
 WindowFile::popFrame(ThreadId tid)
 {
-    ThreadWindows &tw = thread(tid);
-    crw_assert(tw.depth >= 1);
+    ThreadWindows &tw = thread<Checked>(tid);
+    if constexpr (Checked)
+        crw_assert(tw.depth >= 1);
     --tw.depth;
 }
 

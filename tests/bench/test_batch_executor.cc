@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The sweep executor's lockstep batching (bench/executor.cc,
+ * DESIGN.md §14): cache misses sharing a pointBatchKey replay as one
+ * batch (replay.batches / replay.batched_points / replay.batch_width
+ * count it), CRW_REPLAY_BATCH caps the width (ragged tail chunks) and
+ * "0" pins batching off, a cache-disabled sweep still batches (the
+ * --no-cache path), and a --trace-out run falls back to per-point
+ * replays (the timeline observer is per-point only). Batched results
+ * must stay bit-identical to fresh per-point replays throughout.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "bench/executor.h"
+#include "bench/harness.h"
+#include "bench/plan.h"
+#include "obs/metrics.h"
+#include "trace/run_metrics.h"
+
+namespace crw {
+namespace bench {
+namespace {
+
+/**
+ * Same private-store trick as test_result_cache.cc: the result store
+ * is a function-local static opened on first use, so point it at a
+ * test-private file before anything touches the real one.
+ */
+const bool g_privateStore = [] {
+    std::filesystem::create_directories("bench_out/results");
+    static char env[128];
+    std::snprintf(
+        env, sizeof env,
+        "CRW_RESULT_STORE=bench_out/results/test-batch-%d.crwstore",
+        static_cast<int>(::getpid()));
+    ::putenv(env);
+    return true;
+}();
+
+/** Scoped CRW_REPLAY_BATCH override (unset on destruction). */
+class ScopedBatchEnv
+{
+  public:
+    explicit ScopedBatchEnv(const char *value)
+    {
+        ::setenv("CRW_REPLAY_BATCH", value, 1);
+    }
+    ~ScopedBatchEnv() { ::unsetenv("CRW_REPLAY_BATCH"); }
+};
+
+/**
+ * Scoped result+flat cache disable: every planned point is a cache
+ * miss, so the sweep replays all of them live — the deterministic
+ * setting for counter-delta assertions (and exactly what --no-cache
+ * configures).
+ */
+class ScopedNoCache
+{
+  public:
+    ScopedNoCache()
+    {
+        setResultCacheEnabled(false);
+        setFlatCacheEnabled(false);
+    }
+    ~ScopedNoCache()
+    {
+        setFlatCacheEnabled(true);
+        setResultCacheEnabled(true);
+    }
+};
+
+std::uint64_t
+counter(const char *name)
+{
+    return metrics().counterValue(name);
+}
+
+/**
+ * One single-scheme plan over distinct window counts. Window counts
+ * are chosen per test and never reused across tests: the executor's
+ * in-process result store memoizes by point key, and only points it
+ * has never seen reach the replay (and its counters) at all.
+ */
+ExperimentPlan
+windowsPlan(SchemeKind scheme, const std::vector<int> &windows,
+            SchedPolicy policy = SchedPolicy::Fifo)
+{
+    ExperimentPlan plan;
+    for (const int w : windows)
+        plan.add(makePlanPoint(ConcurrencyLevel::High,
+                               GranularityLevel::Fine, scheme, w,
+                               policy));
+    return plan;
+}
+
+TEST(BatchExecutor, ColdSweepReplaysOneLockstepBatch)
+{
+    const ScopedNoCache nocache;
+    const std::vector<int> windows{5, 7, 9, 11, 13, 15};
+    const ExperimentPlan plan =
+        windowsPlan(SchemeKind::SP, windows);
+
+    const std::uint64_t batches = counter("replay.batches");
+    const std::uint64_t lanes = counter("replay.batched_points");
+    const std::uint64_t points = counter("replay.points");
+    executePlan(plan);
+    EXPECT_EQ(counter("replay.batches"), batches + 1);
+    EXPECT_EQ(counter("replay.batched_points"),
+              lanes + windows.size());
+    EXPECT_EQ(counter("replay.points"), points + windows.size());
+    EXPECT_GE(counter("replay.batch_width"), windows.size());
+
+    // Batched results are served bit-identical to a fresh per-point
+    // replay of the same coordinate.
+    for (const PlanPoint &p : plan.points()) {
+        const RunMetrics fresh =
+            replayPoint(cachedTrace(p.conc, p.gran), p.engine,
+                        p.policy, &cachedFlatTrace(p.conc, p.gran));
+        EXPECT_TRUE(metricsBitIdentical(pointResult(p), fresh))
+            << pointConfigKey(p);
+    }
+}
+
+TEST(BatchExecutor, WidthCapChunksRaggedBatches)
+{
+    const ScopedNoCache nocache;
+    const ScopedBatchEnv cap("4");
+    // Six misses with one batch key at cap 4: units of 4 and 2.
+    const ExperimentPlan plan =
+        windowsPlan(SchemeKind::NS, {5, 7, 9, 11, 13, 15});
+
+    const std::uint64_t batches = counter("replay.batches");
+    const std::uint64_t lanes = counter("replay.batched_points");
+    executePlan(plan);
+    EXPECT_EQ(counter("replay.batches"), batches + 2);
+    EXPECT_EQ(counter("replay.batched_points"), lanes + 6);
+}
+
+TEST(BatchExecutor, BatchZeroPinsPerPointReplay)
+{
+    const ScopedNoCache nocache;
+    const ScopedBatchEnv off("0");
+    const ExperimentPlan plan =
+        windowsPlan(SchemeKind::SNP, {5, 7, 9});
+
+    const std::uint64_t batches = counter("replay.batches");
+    const std::uint64_t lanes = counter("replay.batched_points");
+    const std::uint64_t points = counter("replay.points");
+    executePlan(plan);
+    EXPECT_EQ(counter("replay.batches"), batches);
+    EXPECT_EQ(counter("replay.batched_points"), lanes);
+    EXPECT_EQ(counter("replay.points"), points + 3);
+}
+
+TEST(BatchExecutor, TraceOutRequestForcesPerPointReplay)
+{
+    const ScopedNoCache nocache;
+    // --trace-out makes traceRequested() true; the Chrome-timeline
+    // observer is installed per point, so the sweep must not batch.
+    const std::string out =
+        outputPath("tmp-batch-trace-" +
+                   std::to_string(::getpid()) + ".json");
+    const std::string flag = "--trace-out=" + out;
+    const char *argv[] = {"test_batch_executor", flag.c_str()};
+    ASSERT_TRUE(benchInit(2, argv));
+    ASSERT_TRUE(traceRequested());
+
+    const ExperimentPlan plan =
+        windowsPlan(SchemeKind::SP, {17, 19, 21});
+    const std::uint64_t batches = counter("replay.batches");
+    const std::uint64_t points = counter("replay.points");
+    executePlan(plan);
+    EXPECT_EQ(counter("replay.batches"), batches);
+    EXPECT_EQ(counter("replay.points"), points + 3);
+
+    // Reset the harness flags so later tests see no --trace-out.
+    const char *reset[] = {"test_batch_executor"};
+    ASSERT_TRUE(benchInit(1, reset));
+    ASSERT_FALSE(traceRequested());
+    std::remove(out.c_str());
+}
+
+TEST(BatchExecutor, CacheDisabledSweepStillBatches)
+{
+    // The ScopedNoCache in every test above is exactly the --no-cache
+    // configuration; this test makes the property explicit and also
+    // covers a working-set plan end to end: whether its batch
+    // completes or falls back per-point, every point must come out
+    // bit-identical to a fresh replay.
+    const ScopedNoCache nocache;
+    const ExperimentPlan plan = windowsPlan(
+        SchemeKind::SP, {4, 6, 32}, SchedPolicy::WorkingSet);
+
+    const std::uint64_t points = counter("replay.points");
+    executePlan(plan);
+    // Batched or fallen back, every miss replayed exactly once.
+    EXPECT_EQ(counter("replay.points"), points + 3);
+    for (const PlanPoint &p : plan.points()) {
+        const RunMetrics fresh =
+            replayPoint(cachedTrace(p.conc, p.gran), p.engine,
+                        p.policy, &cachedFlatTrace(p.conc, p.gran));
+        EXPECT_TRUE(metricsBitIdentical(pointResult(p), fresh))
+            << pointConfigKey(p);
+    }
+}
+
+} // namespace
+} // namespace bench
+} // namespace crw
