@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -52,22 +53,14 @@ storeInsert(const std::string &key, RunMetrics metrics)
 }
 
 /**
- * Lockstep batch width cap. CRW_REPLAY_BATCH unset/empty/garbage: the
- * default 16; "0" (or "1" — a width-1 batch is just the fast path
- * with extra steps) disables batching; any larger integer caps the
- * lanes per batch. Read per executePoints call so tests can flip it.
+ * Lockstep batch width cap: $CRW_REPLAY_BATCH through the strict
+ * parseReplayBatchCap. Read per executePoints call so tests can flip
+ * the env var between plans.
  */
 std::size_t
 replayBatchCap()
 {
-    const char *v = std::getenv("CRW_REPLAY_BATCH");
-    if (!v || !*v)
-        return 16;
-    char *end = nullptr;
-    const long n = std::strtol(v, &end, 10);
-    if (end == v || *end != '\0' || n < 0)
-        return 16;
-    return static_cast<std::size_t>(n);
+    return parseReplayBatchCap(std::getenv("CRW_REPLAY_BATCH"));
 }
 
 /** Mirror of the replay driver's CRW_REPLAY_FAST=0 oracle pin. */
@@ -105,8 +98,8 @@ runLockstepUnit(const std::vector<PlanPoint> &misses,
                 std::vector<RunMetrics> &results)
 {
     const PlanPoint &p0 = misses[unit[0]];
-    const EventTrace &trace = cachedTrace(p0.conc, p0.gran);
-    const FlatTrace &flat = cachedFlatTrace(p0.conc, p0.gran);
+    const EventTrace &trace = cachedTrace(p0.behavior);
+    const FlatTrace &flat = cachedFlatTrace(p0.behavior);
     std::vector<EngineConfig> configs;
     configs.reserve(unit.size());
     for (const std::size_t i : unit)
@@ -201,7 +194,7 @@ executePoints(const std::vector<PlanPoint> &points)
     // resolve every point from the result store below without paying
     // a predecode or even an attach.
     for (const PlanPoint &p : todo)
-        cachedTrace(p.conc, p.gran);
+        cachedTrace(p.behavior);
 
     const bool use_cache = g_cacheEnabled;
     std::vector<PlanPoint> misses;
@@ -210,7 +203,7 @@ executePoints(const std::vector<PlanPoint> &points)
     for (std::size_t i = 0; i < todo.size(); ++i) {
         const PlanPoint &p = todo[i];
         const std::string cache_key = resultCacheKey(
-            todoKeys[i], cachedTraceChecksum(p.conc, p.gran));
+            todoKeys[i], cachedTraceChecksum(p.behavior));
         RunMetrics m;
         if (use_cache && loadCachedResult(cache_key, m)) {
             storeInsert(todoKeys[i], std::move(m));
@@ -230,19 +223,16 @@ executePoints(const std::vector<PlanPoint> &points)
     // Only behaviors that actually replay need their flat arenas —
     // attach-or-predecode them on the shared worker pool, the same
     // pool the replay fan-out below uses.
-    std::vector<std::pair<ConcurrencyLevel, GranularityLevel>>
-        behaviors;
+    std::vector<BehaviorId> behaviors;
     {
-        std::set<std::pair<int, int>> seen;
+        std::set<std::string> seen;
         for (const PlanPoint &p : misses)
-            if (seen.emplace(static_cast<int>(p.conc),
-                             static_cast<int>(p.gran))
-                    .second)
-                behaviors.emplace_back(p.conc, p.gran);
+            if (seen.insert(p.behavior.key()).second)
+                behaviors.push_back(p.behavior);
     }
     const ParallelSweep pool(sweepJobs());
     pool.run(behaviors.size(), [&](std::size_t i) {
-        cachedFlatTrace(behaviors[i].first, behaviors[i].second);
+        cachedFlatTrace(behaviors[i]);
     });
 
     // Group the misses into lockstep batches: points sharing a
@@ -289,9 +279,8 @@ executePoints(const std::vector<PlanPoint> &points)
         if (unit.size() == 1) {
             const PlanPoint &p = misses[unit[0]];
             results[unit[0]] =
-                replayPoint(cachedTrace(p.conc, p.gran), p.engine,
-                            p.policy,
-                            &cachedFlatTrace(p.conc, p.gran));
+                replayPoint(cachedTrace(p.behavior), p.engine,
+                            p.policy, &cachedFlatTrace(p.behavior));
             return;
         }
         runLockstepUnit(misses, unit, results);
@@ -310,6 +299,28 @@ executePoints(const std::vector<PlanPoint> &points)
 }
 
 } // namespace
+
+std::size_t
+parseReplayBatchCap(const char *text)
+{
+    constexpr std::size_t kDefault = 16;
+    if (!text || !*text)
+        return kDefault;
+    errno = 0;
+    char *rest = nullptr;
+    const long v = std::strtol(text, &rest, 10);
+    if (rest == text || *rest != '\0' || errno == ERANGE || v < 0) {
+        std::cerr << "warning: invalid replay batch cap \"" << text
+                  << "\"; using " << kDefault << '\n';
+        return kDefault;
+    }
+    if (static_cast<unsigned long>(v) > kMaxReplayBatch) {
+        std::cerr << "warning: replay batch cap " << v
+                  << " clamped to " << kMaxReplayBatch << '\n';
+        return kMaxReplayBatch;
+    }
+    return static_cast<std::size_t>(v);
+}
 
 void
 setResultCacheEnabled(bool enabled)
@@ -353,62 +364,76 @@ pointResult(const PlanPoint &point)
 }
 
 const EventTrace &
-cachedTrace(ConcurrencyLevel conc, GranularityLevel gran)
+cachedTrace(const BehaviorId &behavior)
 {
-    static std::map<std::pair<int, int>, EventTrace> cache;
-    const auto behavior =
-        std::make_pair(static_cast<int>(conc), static_cast<int>(gran));
+    static std::map<std::string, EventTrace> cache;
+    const std::string key = behavior.key();
 
-    const SpellConfig cfg = behaviorConfig(conc, gran);
-    const std::string key = spellTraceKey(cfg);
+    // Spell behaviors stamp their corpus size into the trace file
+    // name and header; synthetic traces carry no corpus (c0).
+    const bool is_spell = behavior.kind == BehaviorId::Kind::Spell;
+    const SpellConfig cfg =
+        is_spell ? behaviorConfig(behavior.conc, behavior.gran)
+                 : SpellConfig{};
+    const std::uint64_t seed = behavior.seed();
+    const std::uint64_t corpus_bytes = is_spell ? cfg.corpusBytes : 0;
     if (obsEnabled()) {
         manifestNote("behaviors", key);
-        manifestNote("seed", std::to_string(cfg.seed));
+        manifestNote("seed", std::to_string(seed));
     }
 
-    const auto hit = cache.find(behavior);
+    const auto hit = cache.find(key);
     if (hit != cache.end())
         return hit->second;
     const std::string path = outputPath(
-        "traces/" + key + "-s" + std::to_string(cfg.seed) + "-c" +
-        std::to_string(cfg.corpusBytes) + ".trace");
+        "traces/" + key + "-s" + std::to_string(seed) + "-c" +
+        std::to_string(corpus_bytes) + ".trace");
 
     EventTrace trace;
     std::string err;
     if (loadTraceFile(path, trace, &err)) {
-        if (trace.key == key && trace.seed == cfg.seed &&
-            trace.corpusBytes == cfg.corpusBytes)
-            return cache.emplace(behavior, std::move(trace))
+        if (trace.key == key && trace.seed == seed &&
+            trace.corpusBytes == corpus_bytes)
+            return cache.emplace(key, std::move(trace))
                 .first->second;
         std::cerr << "note: " << path
                   << " is for a different workload; re-capturing\n";
     }
 
-    const SpellWorkload wl = SpellWorkload::make(cfg);
-    trace = captureSpellTrace(wl, cfg);
+    if (is_spell) {
+        const SpellWorkload wl = SpellWorkload::make(cfg);
+        trace = captureSpellTrace(wl, cfg);
+    } else {
+        trace = generateSynthTrace(behavior.synth);
+    }
     if (!saveTraceFile(trace, path, &err))
         std::cerr << "warning: could not cache trace at " << path
                   << ": " << err << '\n';
-    return cache.emplace(behavior, std::move(trace)).first->second;
+    return cache.emplace(key, std::move(trace)).first->second;
+}
+
+const EventTrace &
+cachedTrace(ConcurrencyLevel conc, GranularityLevel gran)
+{
+    return cachedTrace(BehaviorId::spell(conc, gran));
 }
 
 const FlatTrace &
-cachedFlatTrace(ConcurrencyLevel conc, GranularityLevel gran)
+cachedFlatTrace(const BehaviorId &behavior)
 {
     // Unlike cachedTrace, this memo is probed from sweep workers, so
     // it carries its own lock; std::map node references stay valid
     // across inserts. The trace itself must already be captured —
     // cachedTrace is called under the lock only for its memo lookup.
     static std::mutex mu;
-    static std::map<std::pair<int, int>, FlatTrace> cache;
-    const auto behavior =
-        std::make_pair(static_cast<int>(conc), static_cast<int>(gran));
+    static std::map<std::string, FlatTrace> cache;
+    const std::string key = behavior.key();
     std::lock_guard<std::mutex> lock(mu);
-    const auto hit = cache.find(behavior);
+    const auto hit = cache.find(key);
     if (hit != cache.end())
         return hit->second;
 
-    const std::uint64_t checksum = cachedTraceChecksum(conc, gran);
+    const std::uint64_t checksum = cachedTraceChecksum(behavior);
     if (g_flatCacheEnabled) {
         // Warm path: attach the predecoded arenas straight off disk.
         // Any validation failure (absent file, stale version, damage)
@@ -419,10 +444,10 @@ cachedFlatTrace(ConcurrencyLevel conc, GranularityLevel gran)
         if (loadFlatTrace(path, checksum, attached)) {
             metrics().add("flat.attach", 1);
             ringPublish(obs::RingEventCode::FlatAttach, 0, checksum);
-            return cache.emplace(behavior, std::move(attached))
+            return cache.emplace(key, std::move(attached))
                 .first->second;
         }
-        FlatTrace flat = FlatTrace::build(cachedTrace(conc, gran));
+        FlatTrace flat = FlatTrace::build(cachedTrace(behavior));
         metrics().add("flat.predecode", 1);
         ringPublish(obs::RingEventCode::FlatPredecode, 0, checksum);
         std::string err;
@@ -433,27 +458,38 @@ cachedFlatTrace(ConcurrencyLevel conc, GranularityLevel gran)
             std::cerr << "warning: could not store flat trace at "
                       << path << ": " << err << '\n';
         }
-        return cache.emplace(behavior, std::move(flat)).first->second;
+        return cache.emplace(key, std::move(flat)).first->second;
     }
 
     metrics().add("flat.predecode", 1);
     ringPublish(obs::RingEventCode::FlatPredecode, 0, checksum);
     return cache
-        .emplace(behavior, FlatTrace::build(cachedTrace(conc, gran)))
+        .emplace(key, FlatTrace::build(cachedTrace(behavior)))
         .first->second;
+}
+
+const FlatTrace &
+cachedFlatTrace(ConcurrencyLevel conc, GranularityLevel gran)
+{
+    return cachedFlatTrace(BehaviorId::spell(conc, gran));
+}
+
+std::uint64_t
+cachedTraceChecksum(const BehaviorId &behavior)
+{
+    static std::map<std::string, std::uint64_t> memo;
+    const std::string key = behavior.key();
+    const auto hit = memo.find(key);
+    if (hit != memo.end())
+        return hit->second;
+    const std::uint64_t sum = traceChecksum(cachedTrace(behavior));
+    return memo.emplace(key, sum).first->second;
 }
 
 std::uint64_t
 cachedTraceChecksum(ConcurrencyLevel conc, GranularityLevel gran)
 {
-    static std::map<std::pair<int, int>, std::uint64_t> memo;
-    const auto behavior =
-        std::make_pair(static_cast<int>(conc), static_cast<int>(gran));
-    const auto hit = memo.find(behavior);
-    if (hit != memo.end())
-        return hit->second;
-    const std::uint64_t sum = traceChecksum(cachedTrace(conc, gran));
-    return memo.emplace(behavior, sum).first->second;
+    return cachedTraceChecksum(BehaviorId::spell(conc, gran));
 }
 
 RunMetrics
@@ -524,8 +560,8 @@ evaluatedSchemes()
 }
 
 SchemeSweep
-sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
-             SchedPolicy policy, const std::vector<int> &windows)
+sweepSchemes(const BehaviorId &behavior, SchedPolicy policy,
+             const std::vector<int> &windows)
 {
     const std::vector<SchemeKind> &schemes = evaluatedSchemes();
 
@@ -533,8 +569,7 @@ sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
     pts.reserve(schemes.size() * windows.size());
     for (const SchemeKind scheme : schemes)
         for (const int w : windows)
-            pts.push_back(
-                makePlanPoint(conc, gran, scheme, w, policy));
+            pts.push_back(makePlanPoint(behavior, scheme, w, policy));
     executePoints(pts);
 
     SchemeSweep sweep;
@@ -544,9 +579,17 @@ sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
     for (std::size_t si = 0; si < schemes.size(); ++si)
         for (std::size_t wi = 0; wi < windows.size(); ++wi)
             sweep.bySchemeByWindow[si][wi] = pointResult(
-                makePlanPoint(conc, gran, schemes[si], windows[wi],
+                makePlanPoint(behavior, schemes[si], windows[wi],
                               policy));
     return sweep;
+}
+
+SchemeSweep
+sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
+             SchedPolicy policy, const std::vector<int> &windows)
+{
+    return sweepSchemes(BehaviorId::spell(conc, gran), policy,
+                        windows);
 }
 
 void

@@ -54,6 +54,20 @@ bool resultCacheEnabled();
 void setFlatCacheEnabled(bool enabled);
 bool flatCacheEnabled();
 
+/** Upper bound enforced on $CRW_REPLAY_BATCH (lanes per batch). */
+inline constexpr std::size_t kMaxReplayBatch = 1024;
+
+/**
+ * Strictly parse a $CRW_REPLAY_BATCH value, mirroring parseJobs
+ * (bench/harness.h): the whole string must be a decimal integer
+ * >= 0. Null/empty text quietly returns the default cap 16;
+ * unparsable or negative text warns on stderr and returns 16 — it
+ * does NOT silently disable batching; values beyond kMaxReplayBatch
+ * are clamped with a warning. 0 (and 1 — a width-1 batch is just the
+ * fast path with extra steps) disables batching.
+ */
+std::size_t parseReplayBatchCap(const char *text);
+
 /** Execute every point of @p plan exactly once (see file comment). */
 void executePlan(const ExperimentPlan &plan);
 
@@ -65,15 +79,18 @@ void executePlan(const ExperimentPlan &plan);
 const RunMetrics &pointResult(const PlanPoint &point);
 
 /**
- * The captured trace of one behavior. In-memory cache first, then the
- * disk cache bench_out/traces/<key>-s<seed>-c<bytes>.trace (stale or
- * corrupted files are re-captured), else one live capture run. Not
- * thread-safe; the executor captures before fanning out.
+ * The trace of one behavior. In-memory cache first, then the disk
+ * cache bench_out/traces/<key>-s<seed>-c<bytes>.trace (stale or
+ * corrupted files are re-captured), else one live capture run (Spell)
+ * or a deterministic generation (Synth). Not thread-safe; the
+ * executor captures before fanning out.
  */
+const EventTrace &cachedTrace(const BehaviorId &behavior);
 const EventTrace &cachedTrace(ConcurrencyLevel conc,
                               GranularityLevel gran);
 
 /** FNV-1a checksum of the behavior's trace (capture-once, memoized). */
+std::uint64_t cachedTraceChecksum(const BehaviorId &behavior);
 std::uint64_t cachedTraceChecksum(ConcurrencyLevel conc,
                                   GranularityLevel gran);
 
@@ -83,6 +100,7 @@ std::uint64_t cachedTraceChecksum(ConcurrencyLevel conc,
  * sweep. Thread-safe (the executor predecodes on the worker pool);
  * the underlying trace must already be captured (cachedTrace).
  */
+const FlatTrace &cachedFlatTrace(const BehaviorId &behavior);
 const FlatTrace &cachedFlatTrace(ConcurrencyLevel conc,
                                  GranularityLevel gran);
 
@@ -123,6 +141,9 @@ struct SchemeSweep
  * The NS/SNP/SP x windows matrix for one behavior, assembled from the
  * executor's results (points not yet executed are run, in parallel).
  */
+SchemeSweep sweepSchemes(const BehaviorId &behavior,
+                         SchedPolicy policy,
+                         const std::vector<int> &windows);
 SchemeSweep sweepSchemes(ConcurrencyLevel conc, GranularityLevel gran,
                          SchedPolicy policy,
                          const std::vector<int> &windows);

@@ -44,6 +44,9 @@ int runAblation(const FlagSet &flags);
 
 int runMicrotrace(const FlagSet &flags);
 
+void planSynth(ExperimentPlan &plan);
+int runSynth(const FlagSet &flags);
+
 void addSparcInterpFlags(FlagSet &flags);
 int runSparcInterp(const FlagSet &flags);
 

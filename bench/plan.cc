@@ -8,23 +8,64 @@
 namespace crw {
 namespace bench {
 
+BehaviorId
+BehaviorId::spell(ConcurrencyLevel conc, GranularityLevel gran)
+{
+    BehaviorId b;
+    b.kind = Kind::Spell;
+    b.conc = conc;
+    b.gran = gran;
+    return b;
+}
+
+BehaviorId
+BehaviorId::fromSynth(const SynthSpec &spec)
+{
+    BehaviorId b;
+    b.kind = Kind::Synth;
+    b.synth = spec;
+    return b;
+}
+
+std::string
+BehaviorId::key() const
+{
+    return kind == Kind::Spell
+               ? spellTraceKey(behaviorConfig(conc, gran))
+               : synthTraceKey(synth);
+}
+
+std::uint64_t
+BehaviorId::seed() const
+{
+    return kind == Kind::Spell ? behaviorConfig(conc, gran).seed
+                               : synth.seed;
+}
+
 PlanPoint
-makePlanPoint(ConcurrencyLevel conc, GranularityLevel gran,
-              SchemeKind scheme, int windows, SchedPolicy policy)
+makePlanPoint(const BehaviorId &behavior, SchemeKind scheme,
+              int windows, SchedPolicy policy)
 {
     PlanPoint p;
-    p.conc = conc;
-    p.gran = gran;
+    p.behavior = behavior;
     p.engine.scheme = scheme;
     p.engine.numWindows = windows;
     p.policy = policy;
     return p;
 }
 
+PlanPoint
+makePlanPoint(ConcurrencyLevel conc, GranularityLevel gran,
+              SchemeKind scheme, int windows, SchedPolicy policy)
+{
+    return makePlanPoint(BehaviorId::spell(conc, gran), scheme,
+                         windows, policy);
+}
+
 std::string
 pointConfigKey(const PlanPoint &point)
 {
-    return spellTraceKey(behaviorConfig(point.conc, point.gran)) + "|" +
+    return point.behavior.key() + "|" +
            engineConfigKey(point.engine) + "|" +
            policyName(point.policy);
 }
@@ -32,7 +73,7 @@ pointConfigKey(const PlanPoint &point)
 std::string
 pointBatchKey(const PlanPoint &point)
 {
-    return spellTraceKey(behaviorConfig(point.conc, point.gran)) + "|" +
+    return point.behavior.key() + "|" +
            schemeName(point.engine.scheme) +
            "|cm=" + costModelKey(point.engine.cost) + "|" +
            policyName(point.policy);
@@ -46,14 +87,23 @@ ExperimentPlan::add(const PlanPoint &point)
 }
 
 void
-ExperimentPlan::addSweep(ConcurrencyLevel conc, GranularityLevel gran,
+ExperimentPlan::addSweep(const BehaviorId &behavior,
                          SchedPolicy policy,
                          const std::vector<SchemeKind> &schemes,
                          const std::vector<int> &windows)
 {
     for (const SchemeKind scheme : schemes)
         for (const int w : windows)
-            add(makePlanPoint(conc, gran, scheme, w, policy));
+            add(makePlanPoint(behavior, scheme, w, policy));
+}
+
+void
+ExperimentPlan::addSweep(ConcurrencyLevel conc, GranularityLevel gran,
+                         SchedPolicy policy,
+                         const std::vector<SchemeKind> &schemes,
+                         const std::vector<int> &windows)
+{
+    addSweep(BehaviorId::spell(conc, gran), policy, schemes, windows);
 }
 
 std::string

@@ -24,21 +24,53 @@
 
 #include "rt/sched_core.h"
 #include "spell/app.h"
+#include "trace/synth.h"
 #include "win/engine.h"
 
 namespace crw {
 namespace bench {
 
+/**
+ * The behavior axis of a plan point: which captured (or generated)
+ * EventTrace the point replays. Historically this axis was hard-wired
+ * to the spell checker's (concurrency, granularity) grid; the synth
+ * exhibit adds generated behaviors, so a behavior is now either a
+ * Spell corner or a SynthSpec. key() is the canonical identity — for
+ * Spell it is exactly spellTraceKey(behaviorConfig(conc, gran)), so
+ * every pre-existing pointConfigKey (and therefore every result-cache
+ * entry and CSV) is byte-for-byte unchanged.
+ */
+struct BehaviorId
+{
+    enum class Kind : std::uint8_t { Spell, Synth };
+
+    Kind kind = Kind::Spell;
+    ConcurrencyLevel conc = ConcurrencyLevel::High;
+    GranularityLevel gran = GranularityLevel::Fine;
+    SynthSpec synth; ///< read only when kind == Synth
+
+    static BehaviorId spell(ConcurrencyLevel conc,
+                            GranularityLevel gran);
+    static BehaviorId fromSynth(const SynthSpec &spec);
+
+    /** Canonical behavior key (names the trace and keys the memos). */
+    std::string key() const;
+
+    /** Seed the behavior's trace is captured/generated with. */
+    std::uint64_t seed() const;
+};
+
 /** One replay coordinate: behavior × engine config × policy. */
 struct PlanPoint
 {
-    ConcurrencyLevel conc = ConcurrencyLevel::High;
-    GranularityLevel gran = GranularityLevel::Fine;
+    BehaviorId behavior;
     EngineConfig engine;
     SchedPolicy policy = SchedPolicy::Fifo;
 };
 
 /** A PlanPoint with the default engine config at (scheme, windows). */
+PlanPoint makePlanPoint(const BehaviorId &behavior, SchemeKind scheme,
+                        int windows, SchedPolicy policy);
 PlanPoint makePlanPoint(ConcurrencyLevel conc, GranularityLevel gran,
                         SchemeKind scheme, int windows,
                         SchedPolicy policy);
@@ -72,6 +104,9 @@ class ExperimentPlan
     void add(const PlanPoint &point);
 
     /** Add the schemes × windows matrix of one behavior/policy. */
+    void addSweep(const BehaviorId &behavior, SchedPolicy policy,
+                  const std::vector<SchemeKind> &schemes,
+                  const std::vector<int> &windows);
     void addSweep(ConcurrencyLevel conc, GranularityLevel gran,
                   SchedPolicy policy,
                   const std::vector<SchemeKind> &schemes,

@@ -25,11 +25,10 @@ inAll(const Exhibit &ex)
            name != "cache";
 }
 
+/** The `crw-bench list` body: the registry with descriptions. */
 void
-printUsage(std::ostream &os)
+printExhibitList(std::ostream &os)
 {
-    os << "usage: crw-bench [flags] <exhibit>... | all\n"
-          "\nexhibits:\n";
     std::size_t width = 0;
     for (const Exhibit &ex : exhibitRegistry())
         width = std::max(width, std::string(ex.name).size());
@@ -38,6 +37,14 @@ printUsage(std::ostream &os)
            << std::string(width + 2 - std::string(ex.name).size(), ' ')
            << ex.title << (inAll(ex) ? "" : "  [not part of 'all']")
            << '\n';
+}
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: crw-bench [flags] <exhibit>... | all | list\n"
+          "\nexhibits:\n";
+    printExhibitList(os);
     os << "\nSelected exhibits share one experiment plan: the union "
           "of their replay\npoints runs exactly once, then each "
           "report prints in command-line order.\nSee --help for the "
@@ -103,6 +110,8 @@ exhibitRegistry()
          nullptr, planAblation, runAblation},
         {"microtrace", "synthetic call-depth random walks", nullptr,
          nullptr, runMicrotrace},
+        {"synth", "generated behaviors x full policy family", nullptr,
+         planSynth, runSynth},
         {"sparc_interp", "SPARC interpreter host throughput",
          addSparcInterpFlags, nullptr, runSparcInterp},
         {"replay-throughput", "replay engine host throughput",
@@ -127,7 +136,9 @@ exhibitMain(const char *name, int argc, char **argv)
 {
     const Exhibit *ex = findExhibit(name);
     if (!ex) {
-        std::cerr << "error: unknown exhibit \"" << name << "\"\n";
+        std::cerr << "error: unknown exhibit \"" << name
+                  << "\" (run 'crw-bench list' for the available "
+                     "exhibits)\n";
         return 2;
     }
     FlagSet flags;
@@ -164,6 +175,13 @@ crwBenchMain(int argc, char **argv)
             selected.push_back(ex);
     };
     for (const std::string &name : names) {
+        if (name == "list") {
+            // A listing request wins over any exhibit selection: no
+            // plan runs, nothing is replayed.
+            std::cout << "exhibits:\n";
+            printExhibitList(std::cout);
+            return 0;
+        }
         if (name == "all") {
             for (const Exhibit &ex : exhibitRegistry())
                 if (inAll(ex))
@@ -173,7 +191,8 @@ crwBenchMain(int argc, char **argv)
         const Exhibit *ex = findExhibit(name);
         if (!ex) {
             std::cerr << "error: unknown exhibit \"" << name
-                      << "\"\n\n";
+                      << "\" (run 'crw-bench list' for the available "
+                         "exhibits)\n\n";
             printUsage(std::cerr);
             return 2;
         }

@@ -83,7 +83,8 @@ if [ -z "$batched_speedup" ] ||
 fi
 
 echo "== determinism gate (incl. observability + result cache +" \
-     "fast replay path + lockstep batch replay)"
+     "fast replay path + lockstep batch replay + policy family/" \
+     "synthetic behaviors)"
 "$repo_root/scripts/check_determinism.sh" "$build_dir"
 
 # Result-cache gate: a warm `crw-bench fig11 fig12 fig13` rerun must

@@ -58,6 +58,13 @@
 #     really replayed lockstep batches while the pinned run replayed
 #     none.
 #
+#  8. The synthetic behavior generator and the policy family
+#     (DESIGN.md section 15) are deterministic end to end: `crw-bench
+#     synth --no-cache` regenerates byte-identical synth-*.trace
+#     files and produces byte-identical CSVs, stdout and normalized
+#     metrics across --jobs 1 vs --jobs N and across batched vs
+#     CRW_REPLAY_BATCH=0 replay — all five policies included.
+#
 # Usage: scripts/check_determinism.sh [build-dir] [jobs]
 #   build-dir  CMake build tree containing bench/ (default: build)
 #   jobs       parallel worker count for the second run
@@ -668,14 +675,111 @@ else
     status=1
 fi
 
+# Part 8: the policy family and the synthetic behavior generator.
+# `crw-bench synth` sweeps generated behaviors x schemes x windows x
+# all five scheduling policies; the generator is a pure function of
+# its seeded spec, so the emitted trace files, every sweep CSV and
+# the normalized metrics must be byte-identical across --jobs 1 vs
+# --jobs N and across batched vs CRW_REPLAY_BATCH=0 replay. The
+# batched run mixes lockstep-batchable policies (FIFO/RR/PRI) with
+# the checkpointed working-set family, so this also exercises the
+# divergence-fallback path against the pinned per-point baseline.
+run_synth() {
+    # $1: subdir, $2: CRW_REPLAY_BATCH value, $3: --jobs value
+    mkdir -p "$workdir/$1"
+    (cd "$workdir/$1" &&
+     CRW_REPLAY_BATCH="$2" "$crwbench_abs" synth --no-cache \
+         --jobs "$3" --metrics-out metrics.json > stdout.txt)
+}
+
+echo "== crw-bench synth --no-cache (--jobs 1)"
+run_synth synth_serial "" 1
+echo "== crw-bench synth --no-cache (--jobs $jobs)"
+run_synth synth_par "" "$jobs"
+echo "== crw-bench synth --no-cache (CRW_REPLAY_BATCH=0)"
+run_synth synth_nobatch 0 1
+
+found=0
+for trace in "$workdir"/synth_serial/bench_out/traces/synth-*.trace; do
+    [ -e "$trace" ] || break
+    found=1
+    name=$(basename "$trace")
+    if cmp -s "$trace" \
+              "$workdir/synth_par/bench_out/traces/$name" &&
+       cmp -s "$trace" \
+              "$workdir/synth_nobatch/bench_out/traces/$name"; then
+        echo "  ok   $name regenerated byte-identical in every run"
+    else
+        echo "  FAIL $name differs between generator runs"
+        status=1
+    fi
+done
+if [ "$found" -eq 0 ]; then
+    echo "error: the synth run generated no trace files" >&2
+    exit 2
+fi
+
+found=0
+for serial_csv in "$workdir"/synth_serial/bench_out/*.csv; do
+    [ -e "$serial_csv" ] || break
+    found=1
+    name=$(basename "$serial_csv")
+    if cmp -s "$serial_csv" "$workdir/synth_par/bench_out/$name" &&
+       cmp -s "$serial_csv" \
+              "$workdir/synth_nobatch/bench_out/$name"; then
+        echo "  ok   $name identical across jobs and batch modes"
+    else
+        echo "  FAIL $name differs across jobs or batch modes"
+        status=1
+    fi
+done
+if [ "$found" -eq 0 ]; then
+    echo "error: the synth run produced no CSVs" >&2
+    exit 2
+fi
+if cmp -s "$workdir/synth_serial/stdout.txt" \
+          "$workdir/synth_par/stdout.txt" &&
+   cmp -s "$workdir/synth_serial/stdout.txt" \
+          "$workdir/synth_nobatch/stdout.txt"; then
+    echo "  ok   synth stdout identical across jobs and batch modes"
+else
+    echo "  FAIL synth stdout differs across jobs or batch modes"
+    status=1
+fi
+
+metrics_view "$workdir/synth_serial/metrics.json" \
+    > "$workdir/synth_serial.view"
+metrics_view "$workdir/synth_par/metrics.json" \
+    > "$workdir/synth_par.view"
+strip_batch_counters "$workdir/synth_serial/metrics.json" \
+    > "$workdir/synth_serial_nb.view"
+strip_batch_counters "$workdir/synth_nobatch/metrics.json" \
+    > "$workdir/synth_nobatch.view"
+if cmp -s "$workdir/synth_serial.view" "$workdir/synth_par.view"; then
+    echo "  ok   synth metrics identical at --jobs 1 and --jobs $jobs"
+else
+    echo "  FAIL synth metrics differ between --jobs 1 and --jobs $jobs"
+    status=1
+fi
+if cmp -s "$workdir/synth_serial_nb.view" \
+          "$workdir/synth_nobatch.view"; then
+    echo "  ok   synth metrics identical batched and per-point (minus" \
+         "replay.batch* counters)"
+else
+    echo "  FAIL synth metrics differ between batched and per-point" \
+         "replay"
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
     echo "determinism check passed: identical output at --jobs 1 and" \
          "--jobs $jobs, with the block cache on and off, with" \
          "observability on and off, with the result cache cold," \
          "warm, shared and disabled, with the fast replay path on" \
          "and off, with the arena stores cold, warm, bypassed" \
-         "and concurrently attached, and with lockstep batch replay" \
-         "on and off"
+         "and concurrently attached, with lockstep batch replay" \
+         "on and off, and with the synthetic policy sweep across" \
+         "job counts and batch modes"
 else
     echo "determinism check FAILED" >&2
 fi

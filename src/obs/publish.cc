@@ -40,6 +40,12 @@ publishSchedCore(const SchedCore &core, PointRecord &rec)
     rec.counters["sched.dispatches"] = core.dispatches();
     rec.counters["sched.peak_ready"] =
         static_cast<std::uint64_t>(core.peakReady());
+    // Per-policy placement counters: every wake is either a front or
+    // a back placement (only the working-set family ever places
+    // front), and quantum_yields counts RoundRobin quantum expiries.
+    rec.counters["sched.wakes_front"] = core.wakesFront();
+    rec.counters["sched.wakes_back"] = core.wakesBack();
+    rec.counters["sched.quantum_yields"] = core.quantumYields();
     // Deterministic: computed by one single-threaded run of this
     // point, never accumulated across points.
     rec.values["sched.slackness_mean"] = core.slackness().mean();

@@ -43,9 +43,10 @@ class Runtime
     Runtime &operator=(const Runtime &) = delete;
 
     ThreadId
-    spawn(std::string name, std::function<void()> body)
+    spawn(std::string name, std::function<void()> body,
+          std::uint8_t priority = 0)
     {
-        return sched_.spawn(std::move(name), std::move(body));
+        return sched_.spawn(std::move(name), std::move(body), priority);
     }
 
     /** Run all spawned threads to completion. */

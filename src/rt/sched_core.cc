@@ -6,10 +6,63 @@ const char *
 policyName(SchedPolicy policy)
 {
     switch (policy) {
-      case SchedPolicy::Fifo:       return "FIFO";
-      case SchedPolicy::WorkingSet: return "WS";
+    case SchedPolicy::Fifo:
+        return "FIFO";
+    case SchedPolicy::WorkingSet:
+        return "WS";
+    case SchedPolicy::RoundRobin:
+        return "RR";
+    case SchedPolicy::Priority:
+        return "PRI";
+    case SchedPolicy::WorkingSetAged:
+        return "WSA";
     }
     return "?";
+}
+
+bool
+parsePolicyName(std::string_view name, SchedPolicy &out)
+{
+    for (const SchedPolicy policy : allSchedPolicies()) {
+        if (name == policyName(policy)) {
+            out = policy;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<SchedPolicy> &
+allSchedPolicies()
+{
+    static const std::vector<SchedPolicy> kAll = {
+        SchedPolicy::Fifo,       SchedPolicy::WorkingSet,
+        SchedPolicy::RoundRobin, SchedPolicy::Priority,
+        SchedPolicy::WorkingSetAged,
+    };
+    return kAll;
+}
+
+SchedPolicyBox::SchedPolicyBox(SchedPolicy kind)
+    : kind_(kind)
+{
+    switch (kind) {
+    case SchedPolicy::Fifo:
+        impl_ = FifoPolicy{};
+        break;
+    case SchedPolicy::WorkingSet:
+        impl_ = WorkingSetPolicy{};
+        break;
+    case SchedPolicy::RoundRobin:
+        impl_ = RoundRobinPolicy{};
+        break;
+    case SchedPolicy::Priority:
+        impl_ = PriorityPolicy{};
+        break;
+    case SchedPolicy::WorkingSetAged:
+        impl_ = WorkingSetAgedPolicy{};
+        break;
+    }
 }
 
 } // namespace crw

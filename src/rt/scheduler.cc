@@ -10,6 +10,7 @@ Scheduler::Scheduler(WindowEngine &engine, SchedPolicy policy,
                      std::size_t stack_size)
     : engine_(engine),
       core_(policy),
+      policy_(policy),
       stackSize_(stack_size)
 {}
 
@@ -30,19 +31,21 @@ Scheduler::thread(ThreadId tid) const
 }
 
 ThreadId
-Scheduler::spawn(std::string name, std::function<void()> body)
+Scheduler::spawn(std::string name, std::function<void()> body,
+                 std::uint8_t priority)
 {
     const ThreadId tid = static_cast<ThreadId>(threads_.size());
     engine_.addThread(tid);
     if (sink_)
-        sink_->onThreadSpawn(tid, name);
+        sink_->onThreadSpawn(tid, name, priority);
     Thread t;
     t.id = tid;
     t.name = std::move(name);
     t.state = ThreadState::Ready;
     t.coro = std::make_unique<Coroutine>(std::move(body), stackSize_);
     threads_.push_back(std::move(t));
-    core_.enqueueBack(tid);
+    policy_.noteSpawn(tid, priority);
+    policy_.onSpawn(core_, tid);
     return tid;
 }
 
@@ -109,9 +112,10 @@ Scheduler::wake(ThreadId tid)
     if (t.state != ThreadState::Blocked)
         return;
     t.state = ThreadState::Ready;
-    // §4.6 queue placement is SchedCore's job; residency is evaluated
-    // here, at wake time, exactly as the paper's monitor would.
-    core_.wake(tid, engine_.isResident(tid));
+    // Queue placement is the policy object's job; residency is
+    // evaluated here, at wake time, exactly as the paper's monitor
+    // would.
+    policy_.wake(core_, tid, engine_.isResident(tid));
 }
 
 ThreadState

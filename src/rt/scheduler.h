@@ -3,15 +3,19 @@
  * Non-preemptive user-level thread scheduler.
  *
  * Scheduling follows the paper's evaluation setup (§4.5/§4.6): it is
- * non-preemptive and FIFO, with an optional working-set refinement —
- * a thread awoken while its windows are still resident is enqueued at
- * the *front* of the ready queue, otherwise at the back, steering the
- * concurrently-scheduled working set to fit the physical window file.
+ * non-preemptive, with queue placement delegated to a policy object
+ * (rt/sched_core.h) — FIFO, the §4.6 working-set refinement (a thread
+ * awoken while its windows are still resident jumps to the *front* of
+ * the ready queue), static priorities, and variants thereof.
  *
- * The queue-placement policy itself lives in SchedCore
- * (rt/sched_core.h) so the trace ReplayDriver can reuse it without
+ * The mechanism and policy layer live in SchedCore / SchedPolicyBox
+ * (rt/sched_core.h) so the trace ReplayDriver can reuse them without
  * coroutines; this class adds the live side: thread objects, stackful
- * coroutines, and the dispatch loop.
+ * coroutines, and the dispatch loop. Because the live scheduler is
+ * non-preemptive (and the trace recorder coalesces adjacent charges),
+ * the RoundRobin quantum is a *replay-time* construct: live RR is
+ * placement-only, identical to FIFO. All other policies behave the
+ * same live and under replay.
  *
  * Every actual dispatch is reported to the WindowEngine as a context
  * switch, so switch costs and window motion are charged exactly where
@@ -61,8 +65,14 @@ class Scheduler
     Scheduler(const Scheduler &) = delete;
     Scheduler &operator=(const Scheduler &) = delete;
 
-    /** Create a thread; it starts Ready, at the back of the queue. */
-    ThreadId spawn(std::string name, std::function<void()> body);
+    /**
+     * Create a thread; it starts Ready, placed by the policy (FIFO
+     * back of the queue; Priority at its level). @p priority is the
+     * static priority recorded into the trace (0 = default; higher
+     * runs first under SchedPolicy::Priority, ignored elsewhere).
+     */
+    ThreadId spawn(std::string name, std::function<void()> body,
+                   std::uint8_t priority = 0);
 
     /** Dispatch until all threads finish. Main-context only. */
     void run();
@@ -117,6 +127,7 @@ class Scheduler
 
     WindowEngine &engine_;
     SchedCore core_;
+    SchedPolicyBox policy_;
     std::size_t stackSize_;
 
     std::vector<Thread> threads_;

@@ -22,6 +22,7 @@
 #define CRW_RT_TRACE_SINK_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/types.h"
@@ -33,8 +34,14 @@ class TraceSink
   public:
     virtual ~TraceSink() = default;
 
-    /** A thread was spawned; tids arrive in spawn order, 0-based. */
-    virtual void onThreadSpawn(ThreadId tid, const std::string &name) = 0;
+    /**
+     * A thread was spawned; tids arrive in spawn order, 0-based.
+     * @p priority is the static scheduling priority (0 = default) —
+     * a thread *attribute* like the name, not a schedule event, so
+     * recording it keeps the trace configuration-independent.
+     */
+    virtual void onThreadSpawn(ThreadId tid, const std::string &name,
+                               std::uint8_t priority) = 0;
 
     /**
      * A stream was constructed. Returns the stream id the runtime

@@ -45,6 +45,7 @@ encodeTracePayload(const EventTrace &trace, ByteWriter &payload)
     payload.u32(static_cast<std::uint32_t>(trace.threads.size()));
     for (const TraceThreadInfo &t : trace.threads) {
         payload.str(t.name);
+        payload.u32(t.priority); // format v2
         payload.blob(t.code);
     }
 }
@@ -119,13 +120,14 @@ TraceRecorder::code(ThreadId tid)
 }
 
 void
-TraceRecorder::onThreadSpawn(ThreadId tid, const std::string &name)
+TraceRecorder::onThreadSpawn(ThreadId tid, const std::string &name,
+                             std::uint8_t priority)
 {
     if (tid != static_cast<ThreadId>(trace_.threads.size()))
         crw_fatal << "trace capture: thread ids must be dense spawn "
                      "order, got "
                   << tid;
-    trace_.threads.push_back(TraceThreadInfo{name, {}});
+    trace_.threads.push_back(TraceThreadInfo{name, priority, {}});
     pendingCharge_.push_back(0);
 }
 
@@ -357,6 +359,7 @@ loadTraceFile(const std::string &path, EventTrace &out,
     for (std::uint32_t i = 0; r.ok && i < num_threads; ++i) {
         TraceThreadInfo th;
         th.name = r.str();
+        th.priority = static_cast<std::uint8_t>(r.u32());
         th.code = r.blob();
         t.threads.push_back(std::move(th));
     }

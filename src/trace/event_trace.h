@@ -78,16 +78,20 @@ struct TraceStreamInfo
     }
 };
 
-/** One thread: its name and encoded event script, in spawn order. */
+/** One thread: its name, static scheduling priority (0 = default;
+ *  consulted only by SchedPolicy::Priority) and encoded event script,
+ *  in spawn order. */
 struct TraceThreadInfo
 {
     std::string name;
+    std::uint8_t priority = 0;
     std::vector<std::uint8_t> code;
 
     bool
     operator==(const TraceThreadInfo &o) const
     {
-        return name == o.name && code == o.code;
+        return name == o.name && priority == o.priority &&
+               code == o.code;
     }
 };
 
@@ -161,7 +165,8 @@ class TraceRecorder : public TraceSink
     TraceRecorder(std::string key, std::uint64_t seed,
                   std::uint64_t corpus_bytes);
 
-    void onThreadSpawn(ThreadId tid, const std::string &name) override;
+    void onThreadSpawn(ThreadId tid, const std::string &name,
+                       std::uint8_t priority) override;
     int onStreamCreate(const std::string &name, std::size_t capacity,
                        int num_writers) override;
     void recordSave(ThreadId tid) override;
@@ -189,8 +194,15 @@ class TraceRecorder : public TraceSink
  * Binary serialization with a versioned header and a payload checksum
  * so stale or corrupted cache files are rejected, never replayed.
  * Layout: magic "CRWTRACE", u32 version, payload, u64 FNV-1a checksum.
+ *
+ * Version history:
+ *   1  original format
+ *   2  TraceThreadInfo gained the per-thread priority byte (between
+ *      the name and the code blob). v1 files are rejected and
+ *      re-captured deterministically — re-capture emits identical
+ *      scripts, so downstream results are unchanged.
  */
-inline constexpr std::uint32_t kTraceFormatVersion = 1;
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
 
 /**
  * FNV-1a of the trace's serialized payload — exactly the bytes

@@ -24,24 +24,28 @@ batchContext(const EventTrace &trace, const WindowEngine &engine,
  * measured-successor decode, same stream/waiter/scheduler statements
  * — with the single-engine FastEngineView replaced by the
  * leader/follower BatchedEngineView and the one engine-state read in
- * the control path (working-set residency at wake) answered by the
- * leader, recorded, and re-verified on every follower lane when the
- * drained loop hands off to view.finish().
+ * the control path (residency at wake, consulted by the working-set
+ * policy family) answered by the leader, recorded, and re-verified on
+ * every follower lane when the drained loop hands off to
+ * view.finish(). Every other policy input (static priorities, the
+ * round-robin quantum's charge operands) is lane-invariant by the
+ * policy determinism contract (rt/sched_core.h), so those policies
+ * batch without checkpoints.
  */
 // flatten: same rationale as runFastLoop — the window-file and scheme
 // primitives must inline into the per-lane event bodies, where they
 // run hundreds of millions of times per sweep.
-template <typename SchemeT>
+template <typename SchemeT, typename PolicyT>
 __attribute__((flatten)) bool
 lockstepLoop(const EventTrace &trace, const FlatTrace &flat,
-             SchedCore &core, std::vector<RStream> &streams,
+             SchedCore &core, PolicyT &pol,
+             std::vector<RStream> &streams,
              std::vector<RThread> &threads,
              WindowEngine *const *engines, BehaviorTracker &tracker,
              std::size_t lanes)
 {
     BatchedEngineView<SchemeT> view(engines, lanes);
     view.reserveOps(flat.eventCount());
-    const bool ws = core.policy() == SchedPolicy::WorkingSet;
     const std::uint8_t *const ops = flat.ops;
     const std::uint64_t *const operands = flat.operands;
 
@@ -62,23 +66,25 @@ lockstepLoop(const EventTrace &trace, const FlatTrace &flat,
     };
 
     // Mirror of ReplayDriver::wakeAllSlow, plus the batch contract:
-    // under working-set the scheduler consumes the *leader's*
-    // residency of the woken thread, and the view records a checkpoint
-    // every follower lane re-verifies during its deferred replay. A
-    // follower that disagrees would have forked the schedule at that
-    // wake, so view.finish() reports the batch as diverged.
+    // when the policy consults residency (WS, WSA) the placement
+    // consumes the *leader's* residency of the woken thread, and the
+    // view records a checkpoint every follower lane re-verifies during
+    // its deferred replay. A follower that disagrees would have forked
+    // the schedule at that wake, so view.finish() reports the batch as
+    // diverged. Residency-blind policies skip the checkpoint entirely.
     const auto wakeAllSlow = [&](SmallVec<ThreadId, 8> &waiters) {
         for (const ThreadId tid : waiters) {
             RThread &t = threads[static_cast<std::size_t>(tid)];
             if (t.state != RState::Blocked)
                 continue;
             t.state = RState::Ready;
-            bool resident = false;
-            if (ws) {
-                resident = view.resident(tid);
+            if constexpr (PolicyT::kUsesResidency) {
+                const bool resident = view.resident(tid);
                 view.recordWakeCheck(tid, resident);
+                pol.wake(core, tid, resident);
+            } else {
+                pol.wake(core, tid, false);
             }
-            core.wake(tid, resident);
         }
         waiters.clear();
     };
@@ -89,6 +95,8 @@ lockstepLoop(const EventTrace &trace, const FlatTrace &flat,
 
     while (!core.idle()) {
         const ThreadId tid = core.dispatchNext();
+        if constexpr (PolicyT::kHasQuantum)
+            pol.resetQuantum();
         RThread &t = threads[static_cast<std::size_t>(tid)];
         crw_assert(t.state == RState::Ready);
         t.state = RState::Running;
@@ -128,6 +136,21 @@ lockstepLoop(const EventTrace &trace, const FlatTrace &flat,
               case TraceOp::Charge:
               charge_op:
                 view.charge(static_cast<Cycles>(operands[pc]));
+                if constexpr (PolicyT::kHasQuantum) {
+                    // Preemption point: the charge has executed, then
+                    // the thread yields to the tail of the queue —
+                    // same statement order as the per-point loops. The
+                    // operand is a shared trace value, so every lane
+                    // observes the identical quantum schedule.
+                    if (pol.chargeExpires(
+                            static_cast<Cycles>(operands[pc]))) {
+                        ++pc;
+                        pol.onQuantumExpiry(core, tid);
+                        t.state = RState::Ready;
+                        running = false;
+                        break;
+                    }
+                }
                 ++pc;
                 if (pc != end) {
                     const TraceOp next = static_cast<TraceOp>(ops[pc]);
@@ -215,16 +238,23 @@ namespace detail_replay {
 
 bool
 runLockstepLoop(const EventTrace &trace, const FlatTrace &flat,
-                SchedCore &core, std::vector<RStream> &streams,
+                SchedCore &core, SchedPolicyBox &policy,
+                std::vector<RStream> &streams,
                 std::vector<RThread> &threads,
                 WindowEngine *const *engines, BehaviorTracker &tracker,
                 std::size_t lanes)
 {
+    // One instantiation per (scheme, policy) pair, mirroring
+    // ReplayDriver::runFast: the policy's placement verbs and quantum
+    // branches compile to straight-line code inside the flattened
+    // loop.
     const auto dispatch = [&](auto scheme_tag) {
         using SchemeT = typename decltype(scheme_tag)::type;
-        return lockstepLoop<SchemeT>(trace, flat, core, streams,
-                                     threads, engines, tracker,
-                                     lanes);
+        return policy.visit([&](auto &pol) {
+            return lockstepLoop<SchemeT>(trace, flat, core, pol,
+                                         streams, threads, engines,
+                                         tracker, lanes);
+        });
     };
     switch (engines[0]->scheme()) {
       case SchemeKind::NS:
@@ -247,7 +277,8 @@ BatchedReplayDriver::BatchedReplayDriver(
     : trace_(trace),
       flat_(flat),
       tracker_(64),
-      core_(policy)
+      core_(policy),
+      policy_(policy)
 {
     if (configs.empty())
         crw_fatal << "BatchedReplayDriver: empty config batch for "
@@ -279,14 +310,16 @@ BatchedReplayDriver::BatchedReplayDriver(
             static_cast<int>(trace.streams[i].writers);
     }
     threads_.reserve(trace.threads.size());
-    // Spawn order: dense tids, ready queue back — as Scheduler::spawn.
+    // Spawn order: dense tids, placement by the policy (priorities
+    // come from the trace) — exactly as Scheduler::spawn.
     for (std::size_t i = 0; i < trace.threads.size(); ++i) {
         const ThreadId tid = static_cast<ThreadId>(i);
         for (auto &engine : engines_)
             engine->addThread(tid);
         threads_.push_back(RThread{TraceCursor(trace.threads[i].code),
                                    0, RState::Ready});
-        core_.enqueueBack(tid);
+        policy_.noteSpawn(tid, trace.threads[i].priority);
+        policy_.onSpawn(core_, tid);
     }
     crw_assert(!flat_ || flat_->threads.size() == threads_.size());
 }
@@ -317,7 +350,7 @@ BatchedReplayDriver::run()
         engines.push_back(engines_[l].get());
 
     ok_ = detail_replay::runLockstepLoop(trace_, *flat_, core_,
-                                         streams_, threads_,
+                                         policy_, streams_, threads_,
                                          engines.data(), tracker_,
                                          lanes());
     if (!ok_)

@@ -6,18 +6,23 @@
  * Replay control flow — dispatch order, stream occupancy/blocking,
  * thread script positions — depends on the *event sequence* only,
  * never on engine state, with one exception: the working-set policy
- * consults engine residency at each wake (SchedCore::wake). Under
- * FIFO the schedules of every (windows, PRW, alloc) variant of one
- * (behavior, scheme, policy, cost-model) group are therefore
- * *provably identical*, so one shared SchedCore + stream/thread state
- * can drive K engines in lockstep: a cold fig11+12+13 sweep walks
- * each trace once per scheme instead of once per point. Under
- * working-set the batch runs optimistically — the leader lane answers
- * each wake's residency query and records a checkpoint, and every
- * follower lane re-verifies the checkpoints during its deferred
- * replay — and reports divergence on the first disagreement; the
- * executor then replays those points individually (the diverged
- * engines are discarded, never flushed, so no partial state leaks).
+ * family (WS, WSA) consults engine residency at each wake. Every
+ * other policy input is lane-invariant by the policy determinism
+ * contract (rt/sched_core.h): FIFO ignores everything, Priority reads
+ * static per-thread priorities from the trace, and RoundRobin's
+ * quantum accumulates shared trace charge operands. For those
+ * policies the schedules of every (windows, PRW, alloc) variant of
+ * one (behavior, scheme, policy, cost-model) group are therefore
+ * *provably identical*, so one shared SchedCore + policy object +
+ * stream/thread state can drive K engines in lockstep: a cold
+ * fig11+12+13 sweep walks each trace once per scheme instead of once
+ * per point. Under the working-set family the batch runs
+ * optimistically — the leader lane answers each wake's residency
+ * query and records a checkpoint, and every follower lane re-verifies
+ * the checkpoints during its deferred replay — and reports divergence
+ * on the first disagreement; the executor then replays those points
+ * individually (the diverged engines are discarded, never flushed, so
+ * no partial state leaks).
  *
  * Each lane still produces RunMetrics bit-identical to a per-point
  * replay: every tracker field RunMetrics reads (activity, total
@@ -52,12 +57,13 @@ namespace detail_replay {
  * Internal: ReplayDriver (ReplayPath::Batched) runs it at width one
  * over its own state; BatchedReplayDriver runs it at full width.
  *
- * @return false when a working-set wake found the lanes disagreeing
- *         on residency — the schedules would fork, the batch state is
- *         abandoned mid-run and must be discarded.
+ * @return false when a working-set-family wake found the lanes
+ *         disagreeing on residency — the schedules would fork, the
+ *         batch state is abandoned mid-run and must be discarded.
  */
 bool runLockstepLoop(const EventTrace &trace, const FlatTrace &flat,
-                     SchedCore &core, std::vector<RStream> &streams,
+                     SchedCore &core, SchedPolicyBox &policy,
+                     std::vector<RStream> &streams,
                      std::vector<RThread> &threads,
                      WindowEngine *const *engines,
                      BehaviorTracker &tracker, std::size_t lanes);
@@ -130,6 +136,7 @@ class BatchedReplayDriver
      */
     BehaviorTracker tracker_;
     SchedCore core_;
+    SchedPolicyBox policy_;
     std::vector<RStream> streams_;
     std::vector<RThread> threads_;
     bool ran_ = false;

@@ -44,6 +44,7 @@ ReplayDriver::ReplayDriver(const EventTrace &trace,
       flat_(flat),
       engine_(engine_config),
       core_(policy),
+      policy_(policy),
       tracker_(64)
 {
     // The tracker is driven directly from the dispatch loops below (a
@@ -57,14 +58,16 @@ ReplayDriver::ReplayDriver(const EventTrace &trace,
             static_cast<int>(trace.streams[i].writers);
     }
     threads_.reserve(trace.threads.size());
-    // Spawn order: dense tids, ready queue back — as Scheduler::spawn.
+    // Spawn order: dense tids, placement by the policy (priorities
+    // come from the trace) — exactly as Scheduler::spawn.
     for (std::size_t i = 0; i < trace.threads.size(); ++i) {
         const ThreadId tid = static_cast<ThreadId>(i);
         engine_.addThread(tid);
         threads_.push_back(
             RThread{TraceCursor(trace.threads[i].code), 0,
                     RState::Ready});
-        core_.enqueueBack(tid);
+        policy_.noteSpawn(tid, trace.threads[i].priority);
+        policy_.onSpawn(core_, tid);
     }
     crw_assert(!flat_ || flat_->threads.size() == threads_.size());
 }
@@ -80,7 +83,7 @@ ReplayDriver::wakeAllSlow(SmallVec<ThreadId, 8> &waiters)
         if (t.state != RState::Blocked)
             continue;
         t.state = RState::Ready;
-        core_.wake(tid, engine_.isResident(tid));
+        policy_.wake(core_, tid, engine_.isResident(tid));
     }
     waiters.clear();
 }
@@ -126,6 +129,15 @@ ReplayDriver::runThread(ThreadId tid)
           case TraceOp::Charge:
             engine_.charge(static_cast<Cycles>(operand));
             cur.advance();
+            // Round-robin preemption point: the charge has executed
+            // (clock advanced, cursor moved), then the thread yields
+            // back to the tail of the queue. chargeExpires is
+            // identically false for quantum-less policies.
+            if (policy_.chargeExpires(static_cast<Cycles>(operand))) {
+                policy_.onQuantumExpiry(core_, tid);
+                t.state = RState::Ready;
+                return;
+            }
             break;
           case TraceOp::Put: {
             RStream &s = streams_[operand];
@@ -186,6 +198,7 @@ ReplayDriver::runLegacy()
 {
     while (!core_.idle()) {
         const ThreadId tid = core_.dispatchNext();
+        policy_.resetQuantum();
         RThread &t = threads_[static_cast<std::size_t>(tid)];
         crw_assert(t.state == RState::Ready);
         t.state = RState::Running;
@@ -208,22 +221,42 @@ ReplayDriver::runLegacy()
  * exact statements of the oracle loop — only the event decode and the
  * engine dispatch differ.
  */
-// flatten: the eight instantiations are each large enough that gcc's
+// flatten: the instantiations are each large enough that gcc's
 // unit-growth budget otherwise gives up on inlining the window-file
 // primitives (thread(), claimAsTop(), ...) precisely where they fire
 // hundreds of millions of times; forcing the full event path inline
 // here is the point of the specialized loop.
-template <typename SchemeT, typename ObserverPolicy>
+template <typename SchemeT, typename ObserverPolicy, typename PolicyT>
 __attribute__((flatten)) void
-ReplayDriver::runFastLoop(const FlatTrace &flat,
-                          ObserverPolicy observer)
+ReplayDriver::runFastLoop(const FlatTrace &flat, ObserverPolicy observer,
+                          PolicyT &pol)
 {
     FastEngineView<SchemeT, ObserverPolicy> fast(engine_, observer);
     const std::uint8_t *const ops = flat.ops;
     const std::uint64_t *const operands = flat.operands;
 
+    // Local mirrors of wakeAll/wakeAllSlow, bound to the concrete
+    // policy type so queue placement compiles to straight-line code
+    // (the member versions dispatch through the runtime box).
+    const auto wakeAllSlow = [&](SmallVec<ThreadId, 8> &waiters) {
+        for (const ThreadId wtid : waiters) {
+            RThread &w = threads_[static_cast<std::size_t>(wtid)];
+            if (w.state != RState::Blocked)
+                continue;
+            w.state = RState::Ready;
+            pol.wake(core_, wtid, engine_.isResident(wtid));
+        }
+        waiters.clear();
+    };
+    const auto wakeAll = [&](SmallVec<ThreadId, 8> &waiters) {
+        if (!waiters.empty())
+            wakeAllSlow(waiters);
+    };
+
     while (!core_.idle()) {
         const ThreadId tid = core_.dispatchNext();
+        if constexpr (PolicyT::kHasQuantum)
+            pol.resetQuantum();
         RThread &t = threads_[static_cast<std::size_t>(tid)];
         crw_assert(t.state == RState::Ready);
         t.state = RState::Running;
@@ -271,6 +304,19 @@ ReplayDriver::runFastLoop(const FlatTrace &flat,
               case TraceOp::Charge:
               charge_op:
                 fast.charge(static_cast<Cycles>(operands[pc]));
+                if constexpr (PolicyT::kHasQuantum) {
+                    // Preemption point: the charge has executed, then
+                    // the thread yields to the tail of the queue —
+                    // same statement order as the oracle loop.
+                    if (pol.chargeExpires(
+                            static_cast<Cycles>(operands[pc]))) {
+                        ++pc;
+                        pol.onQuantumExpiry(core_, tid);
+                        t.state = RState::Ready;
+                        running = false;
+                        break;
+                    }
+                }
                 ++pc;
                 if (pc != end) {
                     const TraceOp next = static_cast<TraceOp>(ops[pc]);
@@ -352,15 +398,18 @@ ReplayDriver::runFastLoop(const FlatTrace &flat,
 void
 ReplayDriver::runFast(const FlatTrace &flat)
 {
-    // One instantiation per (scheme, observer) pair; the observer
-    // branch compiles out entirely of the no-observer loops.
+    // One instantiation per (scheme, observer, policy) triple; the
+    // observer branch compiles out entirely of the no-observer loops
+    // and the policy is a concrete type from the box's variant.
     EngineObserver *const obs = engine_.observer();
     const auto dispatch = [&](auto scheme_tag) {
         using SchemeT = typename decltype(scheme_tag)::type;
-        if (obs)
-            runFastLoop<SchemeT>(flat, EngineObserverRef{obs});
-        else
-            runFastLoop<SchemeT>(flat, NoopEngineObserver{});
+        policy_.visit([&](auto &pol) {
+            if (obs)
+                runFastLoop<SchemeT>(flat, EngineObserverRef{obs}, pol);
+            else
+                runFastLoop<SchemeT>(flat, NoopEngineObserver{}, pol);
+        });
     };
     switch (engine_.scheme()) {
       case SchemeKind::NS:
@@ -434,8 +483,9 @@ ReplayDriver::run()
             threads_[i].pc = flat_->threads[i].begin;
         WindowEngine *eng = &engine_;
         if (!detail_replay::runLockstepLoop(trace_, *flat_, core_,
-                                            streams_, threads_, &eng,
-                                            tracker_, 1))
+                                            policy_, streams_,
+                                            threads_, &eng, tracker_,
+                                            1))
             crw_fatal << "a width-1 batch diverged — residency can "
                          "only disagree *between* lanes ("
                       << replayContext(trace_, engine_,

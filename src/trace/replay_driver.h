@@ -122,10 +122,13 @@ class ReplayDriver
     void runThread(ThreadId tid);
     /** The oracle dispatch loop (virtual Scheme + TraceCursor). */
     void runLegacy();
-    /** Instantiate and run the fast loop for the engine's scheme. */
+    /** Instantiate and run the fast loop for the engine's scheme and
+     *  the concrete scheduling-policy type (SchedPolicyBox::visit). */
     void runFast(const FlatTrace &flat);
-    template <typename SchemeT, typename ObserverPolicy>
-    void runFastLoop(const FlatTrace &flat, ObserverPolicy observer);
+    template <typename SchemeT, typename ObserverPolicy,
+              typename PolicyT>
+    void runFastLoop(const FlatTrace &flat, ObserverPolicy observer,
+                     PolicyT &pol);
     /**
      * Wake every parked waiter on @p waiters. Most stream operations
      * find nobody parked (wakes happen on the full/empty edges only),
@@ -146,6 +149,7 @@ class ReplayDriver
     std::unique_ptr<FlatTrace> ownedFlat_;
     WindowEngine engine_;
     SchedCore core_;
+    SchedPolicyBox policy_;
     BehaviorTracker tracker_;
     std::vector<RStream> streams_;
     std::vector<RThread> threads_;

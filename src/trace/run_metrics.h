@@ -78,8 +78,17 @@ RunMetrics collectRunMetrics(const WindowEngine &engine,
  * Bump kRunMetricsFormatVersion whenever RunMetrics gains, loses or
  * reinterprets a field: old cache entries are then rejected (version
  * mismatch) and silently recomputed.
+ *
+ * Version history:
+ *   1  original format
+ *   2  the SchedPolicy axis grew from {Fifo, WorkingSet} to the full
+ *      policy family (rt/sched_core.h) and traces gained per-thread
+ *      priorities (kTraceFormatVersion 2). The encoding is unchanged,
+ *      but every v1 entry predates the policy layer, so the bump
+ *      retires them explicitly rather than leaning on the trace
+ *      checksum change alone.
  */
-inline constexpr std::uint32_t kRunMetricsFormatVersion = 1;
+inline constexpr std::uint32_t kRunMetricsFormatVersion = 2;
 
 /**
  * Serialize @p metrics with identity @p key into the versioned record

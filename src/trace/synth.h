@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Deterministic synthetic-behavior generator (DESIGN.md §15).
+ *
+ * The spell checker exercises exactly one communication topology and
+ * one call-depth profile, so every sweep judged the CRW schemes on a
+ * single corner of the scenario space. generateSynthTrace() emits
+ * versioned EventTraces directly — no live coroutine run — from a
+ * parameterized SynthSpec: communication topology (pipeline,
+ * fan-in/fan-out, producer-consumer token ring), thread count, seeded
+ * call-depth distributions, per-thread static priorities (the input
+ * SchedPolicy::Priority schedules on), and optional lock-contention
+ * segments in which every thread ping-pongs a capacity-1 token stream
+ * — blocked threads there induce the switch storms that stress window
+ * residency very differently from smooth FIFO streams.
+ *
+ * Determinism contract: the emitted trace is a pure function of the
+ * SynthSpec (all randomness comes from one Rng seeded with spec.seed,
+ * consumed in a fixed thread-by-thread order), so the same spec
+ * yields byte-identical trace files, checksums and replay results on
+ * every host and at every --jobs count. scripts are built through
+ * TraceRecorder, so they are well-formed by construction (charge
+ * coalescing included) and replay through the exact machinery the
+ * captured spell traces use.
+ *
+ * Liveness: every topology is a Kahn network whose puts and gets are
+ * exactly matched per stream (writers close after their last put), and
+ * the ring primes at most `streamCapacity` tokens and strictly
+ * get-then-puts thereafter, so the in-flight token count can never
+ * exceed any buffer — replays cannot deadlock at any window/scheme/
+ * policy point. The lock stream is never closed (a get on it must
+ * park, never EOF) and holders always return the token, so every
+ * contender makes progress.
+ */
+
+#ifndef CRW_TRACE_SYNTH_H_
+#define CRW_TRACE_SYNTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/event_trace.h"
+
+namespace crw {
+
+/**
+ * Bump when the generator's emission logic changes in any way that
+ * alters the bytes it produces: the version is part of synthTraceKey,
+ * so stale cached traces (and every point result derived from them)
+ * are invalidated rather than silently reused.
+ */
+inline constexpr std::uint32_t kSynthGenVersion = 1;
+
+/** One parameterized synthetic behavior. */
+struct SynthSpec
+{
+    /** Communication topology of the generated Kahn network. */
+    enum class Topology : std::uint8_t {
+        Pipeline, ///< linear chain: stage i feeds stage i+1
+        FanInOut, ///< source → W workers → sink (scatter/gather)
+        Ring,     ///< producer-consumer token ring (circular)
+    };
+
+    Topology topology = Topology::Pipeline;
+
+    /**
+     * Worker threads. Pipeline: total stages (>= 2). FanInOut:
+     * workers W (total threads W + 2 with source and sink). Ring:
+     * ring size (>= 2).
+     */
+    int threads = 4;
+
+    /** Work items flowing through the topology. */
+    int items = 256;
+
+    /** Capacity of every data stream (>= 1; small values block). */
+    int streamCapacity = 1;
+
+    // Call-depth distribution of the per-item work: each item runs a
+    // balanced save/charge…charge/restore walk to a depth drawn
+    // uniformly from [meanDepth - depthJitter, meanDepth +
+    // depthJitter] (clamped to >= 1).
+    int meanDepth = 4;
+    int depthJitter = 2;
+
+    /** Mean compute charge between window events (jittered ±50%). */
+    Cycles meanCharge = 40;
+
+    /**
+     * Lock-contention rounds per thread (0 = none). After its main
+     * phase every thread contends `lockRounds` times on one shared
+     * capacity-1 token stream: get token → critical-section walk →
+     * put token. Thread 0 seeds the token at the start of its script.
+     */
+    int lockRounds = 0;
+
+    /**
+     * Assign rotating static priorities (tid·3 + 1 mod kNumLevels)
+     * instead of all-zero, so SchedPolicy::Priority produces a
+     * schedule genuinely different from FIFO.
+     */
+    bool prioritized = false;
+
+    std::uint64_t seed = 1;
+};
+
+const char *synthTopologyName(SynthSpec::Topology topology);
+
+/**
+ * Canonical identity of a spec, e.g.
+ * "synth-ring-t5-i300-c2-d4j2-ch40-l0-p1-g1". Every knob that affects
+ * the emitted bytes appears (the seed is carried separately, in
+ * EventTrace::seed and the trace file name, matching the spell key
+ * convention). Keys the trace disk cache and, through the behavior
+ * key, the result cache — so it must never collide across distinct
+ * specs.
+ */
+std::string synthTraceKey(const SynthSpec &spec);
+
+/**
+ * Emit the spec's EventTrace. Pure function of @p spec (see file
+ * comment); the result validates under validateTraceCode and replays
+ * deadlock-free at every (scheme, windows, policy) point.
+ */
+EventTrace generateSynthTrace(const SynthSpec &spec);
+
+/**
+ * The `crw-bench synth` exhibit's behavior menu: one spec per
+ * topology plus a lock-contention-heavy variant, all prioritized so
+ * the full policy family differentiates.
+ */
+const std::vector<SynthSpec> &synthBehaviorMenu();
+
+} // namespace crw
+
+#endif // CRW_TRACE_SYNTH_H_

@@ -103,6 +103,33 @@ windowsPlan(SchemeKind scheme, const std::vector<int> &windows,
     return plan;
 }
 
+TEST(BatchExecutor, ParseReplayBatchCapIsStrict)
+{
+    // Mirrors parseJobs: unset/empty quietly default, garbage and
+    // negatives warn-and-default (never silently disable batching),
+    // huge values clamp.
+    EXPECT_EQ(parseReplayBatchCap(nullptr), 16u);
+    EXPECT_EQ(parseReplayBatchCap(""), 16u);
+
+    EXPECT_EQ(parseReplayBatchCap("0"), 0u);
+    EXPECT_EQ(parseReplayBatchCap("1"), 1u);
+    EXPECT_EQ(parseReplayBatchCap("4"), 4u);
+    EXPECT_EQ(parseReplayBatchCap("1024"), 1024u);
+
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(parseReplayBatchCap("abc"), 16u);
+    EXPECT_EQ(parseReplayBatchCap("8x"), 16u);
+    EXPECT_EQ(parseReplayBatchCap("-3"), 16u);
+    EXPECT_EQ(parseReplayBatchCap("999999999999999999999"), 16u);
+    EXPECT_EQ(parseReplayBatchCap("4096"), kMaxReplayBatch);
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("invalid replay batch cap \"abc\""),
+              std::string::npos);
+    EXPECT_NE(err.find("invalid replay batch cap \"-3\""),
+              std::string::npos);
+    EXPECT_NE(err.find("clamped to"), std::string::npos);
+}
+
 TEST(BatchExecutor, ColdSweepReplaysOneLockstepBatch)
 {
     const ScopedNoCache nocache;
@@ -124,8 +151,8 @@ TEST(BatchExecutor, ColdSweepReplaysOneLockstepBatch)
     // replay of the same coordinate.
     for (const PlanPoint &p : plan.points()) {
         const RunMetrics fresh =
-            replayPoint(cachedTrace(p.conc, p.gran), p.engine,
-                        p.policy, &cachedFlatTrace(p.conc, p.gran));
+            replayPoint(cachedTrace(p.behavior), p.engine,
+                        p.policy, &cachedFlatTrace(p.behavior));
         EXPECT_TRUE(metricsBitIdentical(pointResult(p), fresh))
             << pointConfigKey(p);
     }
@@ -207,8 +234,8 @@ TEST(BatchExecutor, CacheDisabledSweepStillBatches)
     EXPECT_EQ(counter("replay.points"), points + 3);
     for (const PlanPoint &p : plan.points()) {
         const RunMetrics fresh =
-            replayPoint(cachedTrace(p.conc, p.gran), p.engine,
-                        p.policy, &cachedFlatTrace(p.conc, p.gran));
+            replayPoint(cachedTrace(p.behavior), p.engine,
+                        p.policy, &cachedFlatTrace(p.behavior));
         EXPECT_TRUE(metricsBitIdentical(pointResult(p), fresh))
             << pointConfigKey(p);
     }

@@ -102,11 +102,11 @@ TEST(PointConfigKey, NamesEveryResultAffectingComponent)
     const std::string base = pointConfigKey(basePoint());
 
     PlanPoint p = basePoint();
-    p.conc = ConcurrencyLevel::Low;
+    p.behavior.conc = ConcurrencyLevel::Low;
     EXPECT_NE(pointConfigKey(p), base);
 
     p = basePoint();
-    p.gran = GranularityLevel::Coarse;
+    p.behavior.gran = GranularityLevel::Coarse;
     EXPECT_NE(pointConfigKey(p), base);
 
     p = basePoint();

@@ -38,8 +38,8 @@ EventTrace
 sampleTrace()
 {
     TraceRecorder rec("m1-n1-d4000-v500", 1993, 3000);
-    rec.onThreadSpawn(0, "T1:producer");
-    rec.onThreadSpawn(1, "T2:consumer");
+    rec.onThreadSpawn(0, "T1:producer", 0);
+    rec.onThreadSpawn(1, "T2:consumer", 0);
     const int s1 = rec.onStreamCreate("S1", 2, 1);
 
     rec.recordSave(0);

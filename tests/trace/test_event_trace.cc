@@ -24,8 +24,8 @@ EventTrace
 sampleTrace()
 {
     TraceRecorder rec("m1-n1-d4000-v500", 1993, 3000);
-    rec.onThreadSpawn(0, "T1:delatex");
-    rec.onThreadSpawn(1, "T2:words");
+    rec.onThreadSpawn(0, "T1:delatex", 0);
+    rec.onThreadSpawn(1, "T2:words", 0);
     const int s1 = rec.onStreamCreate("S1", 1, 1);
     const int s2 = rec.onStreamCreate("S2", 4, 2);
 

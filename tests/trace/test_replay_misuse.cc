@@ -21,7 +21,7 @@ EventTrace
 tinyTrace()
 {
     TraceRecorder rec("m1-n1-d4000-v500", 1993, 3000);
-    rec.onThreadSpawn(0, "T1:solo");
+    rec.onThreadSpawn(0, "T1:solo", 0);
     rec.recordSave(0);
     rec.recordCharge(0, 10);
     rec.recordRestore(0);

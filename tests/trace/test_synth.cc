@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Synthetic behavior generator (trace/synth.h): the emitted trace
+ * must be a pure function of the SynthSpec, structurally valid,
+ * keyed without collisions, and deadlock-free when replayed at every
+ * (scheme, windows, policy) corner — the properties the synth exhibit
+ * and the determinism gate lean on.
+ */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "trace/replay_driver.h"
+#include "trace/run_metrics.h"
+#include "trace/synth.h"
+
+namespace crw {
+namespace {
+
+TEST(SynthGenerator, PureFunctionOfTheSpec)
+{
+    for (const SynthSpec &spec : synthBehaviorMenu()) {
+        const EventTrace a = generateSynthTrace(spec);
+        const EventTrace b = generateSynthTrace(spec);
+        EXPECT_TRUE(a == b) << synthTraceKey(spec);
+        EXPECT_EQ(traceChecksum(a), traceChecksum(b))
+            << synthTraceKey(spec);
+    }
+
+    // The seed feeds every drawn depth and charge, so two seeds give
+    // different traces of the same shape.
+    SynthSpec spec = synthBehaviorMenu().front();
+    const EventTrace base = generateSynthTrace(spec);
+    spec.seed += 1;
+    const EventTrace reseeded = generateSynthTrace(spec);
+    EXPECT_NE(traceChecksum(base), traceChecksum(reseeded));
+    EXPECT_EQ(base.threads.size(), reseeded.threads.size());
+}
+
+TEST(SynthGenerator, KeyNamesEveryShapeKnobButNotTheSeed)
+{
+    const SynthSpec base; // defaults
+    const std::string baseKey = synthTraceKey(base);
+
+    SynthSpec s = base;
+    s.topology = SynthSpec::Topology::Ring;
+    EXPECT_NE(synthTraceKey(s), baseKey);
+    s = base;
+    s.threads += 1;
+    EXPECT_NE(synthTraceKey(s), baseKey);
+    s = base;
+    s.items += 1;
+    EXPECT_NE(synthTraceKey(s), baseKey);
+    s = base;
+    s.streamCapacity += 1;
+    EXPECT_NE(synthTraceKey(s), baseKey);
+    s = base;
+    s.meanDepth += 1;
+    EXPECT_NE(synthTraceKey(s), baseKey);
+    s = base;
+    s.depthJitter += 1;
+    EXPECT_NE(synthTraceKey(s), baseKey);
+    s = base;
+    s.meanCharge += 1;
+    EXPECT_NE(synthTraceKey(s), baseKey);
+    s = base;
+    s.lockRounds += 1;
+    EXPECT_NE(synthTraceKey(s), baseKey);
+    s = base;
+    s.prioritized = !s.prioritized;
+    EXPECT_NE(synthTraceKey(s), baseKey);
+
+    // The seed is carried in EventTrace::seed and the trace file name
+    // (matching the spell-key convention), not in the key.
+    s = base;
+    s.seed += 99;
+    EXPECT_EQ(synthTraceKey(s), baseKey);
+
+    std::set<std::string> keys;
+    for (const SynthSpec &spec : synthBehaviorMenu())
+        EXPECT_TRUE(keys.insert(synthTraceKey(spec)).second)
+            << "menu key collision: " << synthTraceKey(spec);
+}
+
+TEST(SynthGenerator, EmitsValidScriptsAndPriorities)
+{
+    for (const SynthSpec &spec : synthBehaviorMenu()) {
+        const EventTrace trace = generateSynthTrace(spec);
+        EXPECT_EQ(trace.key, synthTraceKey(spec));
+        EXPECT_EQ(trace.seed, spec.seed);
+        EXPECT_EQ(trace.corpusBytes, 0u);
+        EXPECT_GE(trace.threads.size(), 2u);
+        EXPECT_FALSE(trace.streams.empty());
+        EXPECT_GT(trace.eventCount(), 0u);
+
+        std::string err;
+        for (const TraceThreadInfo &t : trace.threads)
+            EXPECT_TRUE(validateTraceCode(t.code,
+                                          trace.streams.size(), &err))
+                << trace.key << "/" << t.name << ": " << err;
+
+        if (spec.prioritized) {
+            bool nonzero = false;
+            for (const TraceThreadInfo &t : trace.threads)
+                nonzero = nonzero || t.priority != 0;
+            EXPECT_TRUE(nonzero) << trace.key;
+        }
+    }
+}
+
+TEST(SynthGenerator, MenuReplaysDeadlockFreeAtHarshCorners)
+{
+    // Four windows under SP is the harshest legitimate corner (max
+    // trap pressure); every policy must drain every menu behavior to
+    // completion there. A stuck replay is fatal inside the driver, so
+    // completion of run() IS the liveness assertion.
+    for (const SynthSpec &spec : synthBehaviorMenu()) {
+        const EventTrace trace = generateSynthTrace(spec);
+        for (const SchedPolicy policy : allSchedPolicies()) {
+            EngineConfig ec;
+            ec.scheme = SchemeKind::SP;
+            ec.numWindows = 4;
+            ReplayDriver driver(trace, ec, policy);
+            driver.run();
+            EXPECT_GT(driver.metrics().totalCycles, 0u)
+                << trace.key << "/" << policyName(policy);
+        }
+    }
+}
+
+} // namespace
+} // namespace crw

@@ -23,6 +23,7 @@
 #include "trace/replay_batch.h"
 #include "trace/replay_driver.h"
 #include "trace/run_metrics.h"
+#include "trace/synth.h"
 
 namespace crw {
 namespace {
@@ -64,12 +65,50 @@ struct Variant
     AllocPolicy alloc;
 };
 
+/**
+ * A generated behavior with rotating per-thread priorities and a
+ * lock-contention segment: Priority genuinely reorders dispatches
+ * here (the spell trace's all-zero priorities reduce PRI to FIFO),
+ * and the blocked lock contenders exercise wake placement under every
+ * policy.
+ */
+SynthSpec
+prioritizedSpec()
+{
+    SynthSpec spec;
+    spec.topology = SynthSpec::Topology::FanInOut;
+    spec.threads = 4;
+    spec.items = 200;
+    spec.streamCapacity = 2;
+    spec.meanDepth = 5;
+    spec.depthJitter = 3;
+    spec.meanCharge = 60;
+    spec.lockRounds = 20;
+    spec.prioritized = true;
+    spec.seed = 7;
+    return spec;
+}
+
+const EventTrace &
+synthTrace()
+{
+    static const EventTrace trace =
+        generateSynthTrace(prioritizedSpec());
+    return trace;
+}
+
+const FlatTrace &
+synthFlat()
+{
+    static const FlatTrace flat = FlatTrace::build(synthTrace());
+    return flat;
+}
+
 std::vector<Variant>
 allVariants()
 {
     std::vector<Variant> out;
-    for (const SchedPolicy policy :
-         {SchedPolicy::Fifo, SchedPolicy::WorkingSet}) {
+    for (const SchedPolicy policy : allSchedPolicies()) {
         for (const int windows : {4, 8}) {
             out.push_back({SchemeKind::NS, windows, policy,
                            PrwReclaim::Eager, AllocPolicy::Simple});
@@ -112,15 +151,21 @@ configOf(const Variant &v)
 }
 
 RunMetrics
-replayOnce(const Variant &v, ReplayPath path)
+replayTrace(const EventTrace &trace, const FlatTrace &flat,
+            const Variant &v, ReplayPath path)
 {
-    ReplayDriver driver(smallTrace(), configOf(v), v.policy,
-                        &smallFlat());
+    ReplayDriver driver(trace, configOf(v), v.policy, &flat);
     driver.setPath(path);
     driver.run();
     EXPECT_EQ(driver.usedBatchedPath(), path == ReplayPath::Batched)
         << variantName(v);
     return driver.metrics();
+}
+
+RunMetrics
+replayOnce(const Variant &v, ReplayPath path)
+{
+    return replayTrace(smallTrace(), smallFlat(), v, path);
 }
 
 /**
@@ -284,6 +329,98 @@ TEST(BatchReplay, WorkingSetBatchCompletesExactlyOrReportsDivergence)
     // fails, the divergence path has lost its coverage — find a
     // diverging batch and update the lanes above.
     EXPECT_TRUE(sawDivergence);
+}
+
+/**
+ * The full policy family on a prioritized, lock-contended synthetic
+ * behavior: every policy must produce bit-identical RunMetrics across
+ * the Legacy oracle, the Fast loop and the width-1 Batched loop —
+ * the replay paths may never disagree, whichever policy reorders the
+ * dispatches.
+ */
+TEST(BatchReplay, AllPoliciesAgreeAcrossPathsOnPrioritizedSynth)
+{
+    for (const SchedPolicy policy : allSchedPolicies()) {
+        for (const SchemeKind scheme :
+             {SchemeKind::NS, SchemeKind::SNP, SchemeKind::SP}) {
+            for (const int windows : {4, 8}) {
+                const Variant v{scheme, windows, policy,
+                                PrwReclaim::Eager,
+                                AllocPolicy::Simple};
+                const RunMetrics legacy = replayTrace(
+                    synthTrace(), synthFlat(), v, ReplayPath::Legacy);
+                const RunMetrics fast = replayTrace(
+                    synthTrace(), synthFlat(), v, ReplayPath::Fast);
+                const RunMetrics batched =
+                    replayTrace(synthTrace(), synthFlat(), v,
+                                ReplayPath::Batched);
+                EXPECT_TRUE(metricsBitIdentical(legacy, batched))
+                    << variantName(v);
+                EXPECT_TRUE(metricsBitIdentical(fast, batched))
+                    << variantName(v);
+            }
+        }
+    }
+}
+
+/**
+ * The lane-invariant policies (everything but the working-set family)
+ * read no engine state, so a ragged multi-window batch must complete
+ * lockstep — never diverge — with every lane bit-identical to its
+ * per-point fast replay, even on the prioritized synthetic behavior.
+ */
+TEST(BatchReplay, LaneInvariantPoliciesBatchLocksteppedOnSynth)
+{
+    for (const SchedPolicy policy :
+         {SchedPolicy::Fifo, SchedPolicy::RoundRobin,
+          SchedPolicy::Priority}) {
+        std::vector<Variant> lanes;
+        for (const int windows : {8, 4, 20, 5, 32})
+            lanes.push_back({SchemeKind::SP, windows, policy,
+                             PrwReclaim::Eager, AllocPolicy::Simple});
+        std::vector<EngineConfig> configs;
+        for (const Variant &v : lanes)
+            configs.push_back(configOf(v));
+        BatchedReplayDriver batch(synthTrace(), configs, policy,
+                                  &synthFlat());
+        ASSERT_TRUE(batch.run()) << policyName(policy);
+        for (std::size_t l = 0; l < lanes.size(); ++l)
+            EXPECT_TRUE(metricsBitIdentical(
+                replayTrace(synthTrace(), synthFlat(), lanes[l],
+                            ReplayPath::Fast),
+                batch.metrics(l)))
+                << policyName(policy) << " lane " << l;
+    }
+}
+
+/**
+ * Priority's reduction contract: on an all-zero-priority trace (every
+ * spell capture) PRI is FIFO exactly — same level, same ring, same
+ * order — so legacy result-cache semantics carry over unchanged. On a
+ * trace with real priorities it must actually reorder the schedule.
+ */
+TEST(BatchReplay, PriorityReducesToFifoWithoutPrioritiesOnly)
+{
+    const Variant fifo{SchemeKind::SP, 8, SchedPolicy::Fifo,
+                       PrwReclaim::Eager, AllocPolicy::Simple};
+    Variant pri = fifo;
+    pri.policy = SchedPolicy::Priority;
+
+    // RunMetrics names its own policy, so normalize that identity
+    // field: what must (or must not) coincide is the schedule-derived
+    // remainder.
+    RunMetrics priSpell = replayOnce(pri, ReplayPath::Fast);
+    priSpell.policy = SchedPolicy::Fifo;
+    EXPECT_TRUE(metricsBitIdentical(replayOnce(fifo, ReplayPath::Fast),
+                                    priSpell));
+
+    RunMetrics priSynth = replayTrace(synthTrace(), synthFlat(), pri,
+                                      ReplayPath::Fast);
+    priSynth.policy = SchedPolicy::Fifo;
+    EXPECT_FALSE(metricsBitIdentical(
+        replayTrace(synthTrace(), synthFlat(), fifo,
+                    ReplayPath::Fast),
+        priSynth));
 }
 
 } // namespace
