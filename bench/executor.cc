@@ -22,6 +22,7 @@
 #include "trace/flat_trace_io.h"
 #include "trace/replay_batch.h"
 #include "trace/replay_driver.h"
+#include "win/simd.h"
 
 namespace crw {
 namespace bench {
@@ -54,13 +55,14 @@ storeInsert(const std::string &key, RunMetrics metrics)
 
 /**
  * Lockstep batch width cap: $CRW_REPLAY_BATCH through the strict
- * parseReplayBatchCap. Read per executePoints call so tests can flip
- * the env var between plans.
+ * parseReplayBatchCap, falling back to the ISA-aware default. Read
+ * per executePoints call so tests can flip the env var between plans.
  */
 std::size_t
 replayBatchCap()
 {
-    return parseReplayBatchCap(std::getenv("CRW_REPLAY_BATCH"));
+    return parseReplayBatchCap(std::getenv("CRW_REPLAY_BATCH"),
+                               defaultReplayBatchCap());
 }
 
 /** Mirror of the replay driver's CRW_REPLAY_FAST=0 oracle pin. */
@@ -122,6 +124,14 @@ runLockstepUnit(const std::vector<PlanPoint> &misses,
     counterAtLeast("replay.batch_width", unit.size());
     ringPublish(obs::RingEventCode::ReplayBatch,
                 static_cast<std::uint32_t>(unit.size()), 0);
+    // Which follower pass the batch took (win/simd.h): the counter
+    // records the widest tier any batch used this session, the ring
+    // event every batch's tier and width.
+    const SimdTier tier = effectiveSimdTier();
+    counterAtLeast("replay.simd_path",
+                   static_cast<std::uint64_t>(tier));
+    ringPublish(obs::RingEventCode::ReplaySimd,
+                static_cast<std::uint32_t>(tier), unit.size());
     for (std::size_t lane = 0; lane < unit.size(); ++lane) {
         const PlanPoint &p = misses[unit[lane]];
         metrics().add("replay.points", 1);
@@ -301,18 +311,17 @@ executePoints(const std::vector<PlanPoint> &points)
 } // namespace
 
 std::size_t
-parseReplayBatchCap(const char *text)
+parseReplayBatchCap(const char *text, std::size_t fallback)
 {
-    constexpr std::size_t kDefault = 16;
     if (!text || !*text)
-        return kDefault;
+        return fallback;
     errno = 0;
     char *rest = nullptr;
     const long v = std::strtol(text, &rest, 10);
     if (rest == text || *rest != '\0' || errno == ERANGE || v < 0) {
         std::cerr << "warning: invalid replay batch cap \"" << text
-                  << "\"; using " << kDefault << '\n';
-        return kDefault;
+                  << "\"; using " << fallback << '\n';
+        return fallback;
     }
     if (static_cast<unsigned long>(v) > kMaxReplayBatch) {
         std::cerr << "warning: replay batch cap " << v
@@ -320,6 +329,12 @@ parseReplayBatchCap(const char *text)
         return kMaxReplayBatch;
     }
     return static_cast<std::size_t>(v);
+}
+
+std::size_t
+defaultReplayBatchCap()
+{
+    return effectiveSimdTier() == SimdTier::Avx2 ? 32 : 16;
 }
 
 void

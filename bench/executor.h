@@ -60,13 +60,23 @@ inline constexpr std::size_t kMaxReplayBatch = 1024;
 /**
  * Strictly parse a $CRW_REPLAY_BATCH value, mirroring parseJobs
  * (bench/harness.h): the whole string must be a decimal integer
- * >= 0. Null/empty text quietly returns the default cap 16;
- * unparsable or negative text warns on stderr and returns 16 — it
- * does NOT silently disable batching; values beyond kMaxReplayBatch
- * are clamped with a warning. 0 (and 1 — a width-1 batch is just the
- * fast path with extra steps) disables batching.
+ * >= 0. Null/empty text quietly returns @p fallback (16 when not
+ * given); unparsable or negative text warns on stderr and returns
+ * @p fallback — it does NOT silently disable batching; values beyond
+ * kMaxReplayBatch are clamped with a warning. 0 (and 1 — a width-1
+ * batch is just the fast path with extra steps) disables batching.
  */
-std::size_t parseReplayBatchCap(const char *text);
+std::size_t parseReplayBatchCap(const char *text,
+                                std::size_t fallback = 16);
+
+/**
+ * ISA-aware batch width the executor uses when $CRW_REPLAY_BATCH is
+ * unset: 32 lanes when the SoA follower pass runs 8-wide (AVX2 —
+ * 31 followers amortize the recorded stream further at no divergence
+ * cost), 16 otherwise (the PR 7 default the scalar oracle was tuned
+ * at).
+ */
+std::size_t defaultReplayBatchCap();
 
 /** Execute every point of @p plan exactly once (see file comment). */
 void executePlan(const ExperimentPlan &plan);

@@ -36,6 +36,7 @@
 #include "trace/event_trace.h"
 #include "trace/flat_trace_io.h"
 #include "trace/run_metrics.h"
+#include "win/simd.h"
 
 namespace crw {
 namespace bench {
@@ -250,6 +251,8 @@ runCache(const FlagSet &flags)
                       << obs::kEventRingFormatVersion << ")\n";
             std::size_t batches = 0, lanes = 0, fallbacks = 0;
             std::uint32_t max_width = 0;
+            std::size_t simd_events = 0;
+            std::uint32_t simd_top = 0; // highest SimdTier code seen
             for (const obs::RingEvent &ev : ring.snapshot()) {
                 const auto code =
                     static_cast<obs::RingEventCode>(ev.code);
@@ -261,12 +264,20 @@ runCache(const FlagSet &flags)
                 } else if (code ==
                            obs::RingEventCode::ReplayBatchFallback) {
                     ++fallbacks;
+                } else if (code == obs::RingEventCode::ReplaySimd) {
+                    ++simd_events;
+                    if (ev.arg > simd_top)
+                        simd_top = ev.arg;
                 }
             }
             std::cout << "  replay batch " << batches
                       << " resident batches, " << lanes
                       << " lanes, max width " << max_width << ", "
-                      << fallbacks << " fallbacks\n";
+                      << fallbacks << " fallbacks\n"
+                      << "  replay simd  " << simd_events
+                      << " resident batches, top tier "
+                      << simdTierName(static_cast<SimdTier>(simd_top))
+                      << '\n';
         } else {
             std::cout << "event ring     absent\n";
         }

@@ -44,6 +44,7 @@
 #include "trace/replay_driver.h"
 #include "trace/run_metrics.h"
 #include "win/engine.h"
+#include "win/simd.h"
 
 namespace crw {
 namespace bench {
@@ -187,12 +188,28 @@ runReplayThroughput(const FlagSet &flags)
     // FreeSearch lane's per-op cost is higher, which *dilutes* the
     // ratio against the per-point baseline without changing the
     // absolute win, so the windows-only sweep is the cleaner number.)
+    // Each scheme's sweep is timed three ways per rep: the per-point
+    // fast path (one driver per lane), the batched loop with the
+    // follower replay pinned to the PR 7 per-lane scalar oracle, and
+    // the batched loop under the session's effective SIMD dispatch
+    // (win/simd.h) — deliberately NOT a forced tier, so the sharing
+    // schemes route exactly as a figure sweep would (under `auto`
+    // their slot-map lanes pin to the oracle; DESIGN.md §16). scalar
+    // vs simd on the NS sweep isolates the lane-SoA kernel win — same
+    // recorded op stream, same batch shape — and is the simd_speedup
+    // number scripts/bench_perf.sh gates at >= 1.25x; the aggregate
+    // rows report the full three-scheme mix.
     const std::vector<int> &sweep = defaultWindowSweep();
+    const SimdTier simd_tier = effectiveSimdTier();
     std::cout << "\n  lockstep batched: one trace walk drives the "
-              << sweep.size() << "-window sweep per scheme\n\n";
+              << sweep.size() << "-window sweep per scheme; follower "
+                 "pass scalar vs "
+              << simdTierName(simd_tier) << "\n\n";
     Table btable({"scheme", "lanes", "Mev/s per-point",
-                  "Mev/s batched", "speedup"});
-    double batch_wall_point = 0, batch_wall_batched = 0;
+                  "Mev/s scalar", "Mev/s simd", "batch x", "simd x"});
+    double batch_wall_point = 0, batch_wall_batched = 0,
+           batch_wall_simd = 0;
+    double ns_wall_scalar = 0, ns_wall_simd = 0;
     double batch_events = 0;
     std::size_t max_lanes = 0;
     for (const SchemeKind scheme : schemes) {
@@ -205,7 +222,7 @@ runReplayThroughput(const FlagSet &flags)
         }
         const std::size_t lanes = configs.size();
         max_lanes = std::max(max_lanes, lanes);
-        double wall_point = 0, wall_batched = 0;
+        double wall_point = 0, wall_batched = 0, wall_simd = 0;
         for (int rep = 0; rep < reps; ++rep) {
             std::vector<RunMetrics> point_metrics(lanes);
             const auto p0 = std::chrono::steady_clock::now();
@@ -217,42 +234,68 @@ runReplayThroughput(const FlagSet &flags)
                 point_metrics[l] = driver.metrics();
             }
             const auto p1 = std::chrono::steady_clock::now();
+            setSimdTierOverride(SimdTier::Scalar);
             BatchedReplayDriver batched(trace, configs,
                                         SchedPolicy::Fifo, &flat);
             if (!batched.run())
                 crw_fatal << "a FIFO batch diverged — scheduling "
                              "never consults the engines under FIFO";
             const auto p2 = std::chrono::steady_clock::now();
+            clearSimdTierOverride(); // auto dispatch, as sweeps run
+            BatchedReplayDriver simd_batched(trace, configs,
+                                             SchedPolicy::Fifo, &flat);
+            if (!simd_batched.run())
+                crw_fatal << "a FIFO batch diverged — scheduling "
+                             "never consults the engines under FIFO";
+            const auto p3 = std::chrono::steady_clock::now();
+            clearSimdTierOverride();
             for (std::size_t l = 0; l < lanes; ++l) {
                 if (!metricsBitIdentical(point_metrics[l],
                                          batched.metrics(l))) {
                     ok = false;
                     std::cout << "  [FAIL] " << schemeName(scheme)
                               << " w" << configs[l].numWindows
-                              << (configs[l].allocPolicy ==
-                                          AllocPolicy::FreeSearch
-                                      ? "+search"
-                                      : "")
-                              << ": batched lane metrics diverged "
-                                 "from the per-point fast path\n";
+                              << ": scalar batched lane metrics "
+                                 "diverged from the per-point fast "
+                                 "path\n";
+                }
+                if (!metricsBitIdentical(point_metrics[l],
+                                         simd_batched.metrics(l))) {
+                    ok = false;
+                    std::cout << "  [FAIL] " << schemeName(scheme)
+                              << " w" << configs[l].numWindows << " ("
+                              << simdTierName(simd_tier)
+                              << "): SIMD batched lane metrics "
+                                 "diverged from the per-point fast "
+                                 "path\n";
                 }
             }
             const double wp =
                 std::chrono::duration<double>(p1 - p0).count();
             const double wb =
                 std::chrono::duration<double>(p2 - p1).count();
+            const double ws =
+                std::chrono::duration<double>(p3 - p2).count();
             if (rep == 0 || wp < wall_point)
                 wall_point = wp;
             if (rep == 0 || wb < wall_batched)
                 wall_batched = wb;
+            if (rep == 0 || ws < wall_simd)
+                wall_simd = ws;
         }
         batch_wall_point += wall_point;
         batch_wall_batched += wall_batched;
+        batch_wall_simd += wall_simd;
+        if (scheme == SchemeKind::NS) {
+            ns_wall_scalar = wall_batched;
+            ns_wall_simd = wall_simd;
+        }
         const double lane_events =
             static_cast<double>(lanes) *
             static_cast<double>(trace.eventCount());
         batch_events += lane_events;
-        char point_s[32], batched_s[32], speedup_s[32];
+        char point_s[32], batched_s[32], simd_s[32], speedup_s[32],
+            simdx_s[32];
         std::snprintf(point_s, sizeof point_s, "%.1f",
                       wall_point > 0
                           ? lane_events / wall_point / 1e6
@@ -261,12 +304,20 @@ runReplayThroughput(const FlagSet &flags)
                       wall_batched > 0
                           ? lane_events / wall_batched / 1e6
                           : 0.0);
+        std::snprintf(simd_s, sizeof simd_s, "%.1f",
+                      wall_simd > 0
+                          ? lane_events / wall_simd / 1e6
+                          : 0.0);
         std::snprintf(speedup_s, sizeof speedup_s, "%.2fx",
                       wall_batched > 0 ? wall_point / wall_batched
                                        : 0.0);
+        std::snprintf(simdx_s, sizeof simdx_s, "%.2fx",
+                      wall_simd > 0 ? wall_batched / wall_simd
+                                    : 0.0);
         btable.addRowOf(std::string(schemeName(scheme)), lanes,
                         std::string(point_s), std::string(batched_s),
-                        std::string(speedup_s));
+                        std::string(simd_s), std::string(speedup_s),
+                        std::string(simdx_s));
     }
     btable.printText(std::cout);
     btable.writeCsvFile(outputPath("replay_throughput_batched.csv"));
@@ -278,15 +329,30 @@ runReplayThroughput(const FlagSet &flags)
         batch_wall_batched > 0
             ? batch_events / batch_wall_batched / 1e6
             : 0;
+    const double mevps_simd_agg =
+        batch_wall_simd > 0
+            ? batch_events / batch_wall_simd / 1e6
+            : 0;
     const double batch_speedup =
         batch_wall_batched > 0 ? batch_wall_point / batch_wall_batched
                                : 0;
+    // The gated number: the SoA vector-kernel pass against the scalar
+    // follower on the sweep it dispatches to (NS). The sharing
+    // schemes' simd column reads ~1.00x by design — under auto their
+    // lanes pin to the oracle (serial slot-map probes; DESIGN.md §16)
+    // — and the full-mix throughput is published alongside.
+    const double simd_speedup =
+        ns_wall_simd > 0 ? ns_wall_scalar / ns_wall_simd : 0;
     std::cout << "\n  aggregate: " << static_cast<long>(batch_events)
               << " lane-events, " << mevps_batched_agg
-              << " Mev/s batched (batch width " << max_lanes
+              << " Mev/s scalar batched (batch width " << max_lanes
               << ") vs "
               << mevps_point_agg << " Mev/s per-point, "
-              << batch_speedup << "x\n";
+              << batch_speedup << "x\n"
+              << "  simd (" << simdTierName(simd_tier)
+              << "): " << mevps_simd_agg
+              << " Mev/s full mix; NS vector-kernel sweep "
+              << simd_speedup << "x vs scalar follower\n";
 
     const double mevps =
         total_wall_fast > 0 ? total_events / total_wall_fast / 1e6
@@ -319,6 +385,11 @@ runReplayThroughput(const FlagSet &flags)
            << "  \"mevps_batched_aggregate\": " << mevps_batched_agg
            << ",\n"
            << "  \"batched_speedup\": " << batch_speedup << ",\n"
+           << "  \"simd_path\": \"" << simdTierName(simd_tier)
+           << "\",\n"
+           << "  \"mevps_simd_aggregate\": " << mevps_simd_agg
+           << ",\n"
+           << "  \"simd_speedup\": " << simd_speedup << ",\n"
            << "  \"points\": [\n";
         for (std::size_t i = 0; i < json_rows.size(); ++i)
             os << json_rows[i]

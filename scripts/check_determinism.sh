@@ -65,6 +65,16 @@
 #     metrics across --jobs 1 vs --jobs N and across batched vs
 #     CRW_REPLAY_BATCH=0 replay — all five policies included.
 #
+#  9. The SIMD follower pass (DESIGN.md section 16) is semantically
+#     invisible: `crw-bench fig11 fig12 fig13 --no-cache` under
+#     CRW_SIMD=scalar (per-lane oracle replay), =sse2 and =avx2
+#     (lane-SoA vector kernels; avx2 clamps with a warning on hosts
+#     without it) produces byte-identical CSVs, stdout and normalized
+#     metrics — minus the replay.simd_path counter, which records the
+#     tier itself — and the widest tier agrees with itself at
+#     --jobs 1 vs --jobs N. The counters prove each run took the
+#     tier it was pinned to.
+#
 # Usage: scripts/check_determinism.sh [build-dir] [jobs]
 #   build-dir  CMake build tree containing bench/ (default: build)
 #   jobs       parallel worker count for the second run
@@ -403,10 +413,16 @@ fi
 
 # CRW_REPLAY_FAST=0 also pins lockstep batching off (the batch loop
 # is a fast-path specialization), so the legacy run legitimately lacks
-# the replay.batch* counters; strip them for the legacy-vs-fast view
-# only. The fast runs keep them: across job counts they must agree.
+# the replay.batch* counters — and replay.simd_path, which only the
+# batched follower pass records; strip both for the legacy-vs-fast
+# and batched-vs-per-point views only. The batched runs keep them:
+# across job counts they must agree.
+# Stripping a counter that happened to be last in its block leaves
+# the new last line with a now-spurious trailing comma, so the views
+# drop counter-line commas before comparing.
 strip_batch_counters() {
-    metrics_view "$1" | grep -v '^    "replay\.batch'
+    metrics_view "$1" | grep -v '^    "replay\.batch' |
+        grep -v '^    "replay\.simd' | sed 's/,$//'
 }
 strip_batch_counters "$workdir/replay_legacy/metrics.json" \
     > "$workdir/replay_legacy.view"
@@ -771,6 +787,111 @@ else
     status=1
 fi
 
+# Part 9: the SIMD follower pass. CRW_SIMD pins the batched follower
+# replay to one dispatch tier: `scalar` is the per-lane oracle, the
+# named vector tiers run the lane-SoA pass (an explicit pin forces it
+# for every scheme, including the sharing schemes that auto dispatch
+# routes to the oracle). Every tier must produce the same bytes —
+# the tier may only change host wall time. The replay.simd_path
+# counter records the tier taken, so it is stripped from the
+# cross-tier metrics view and then used to prove each run really ran
+# its pinned tier (scalar=0, sse2=1, avx2=2; avx2 clamps to the
+# host's widest tier, so it is only required to be >= sse2).
+run_simd() {
+    # $1: subdir, $2: CRW_SIMD value, $3: --jobs value
+    mkdir -p "$workdir/$1"
+    (cd "$workdir/$1" &&
+     CRW_SIMD="$2" "$crwbench_abs" fig11 fig12 fig13 --no-cache \
+         --jobs "$3" --metrics-out metrics.json > stdout.txt)
+}
+
+echo "== crw-bench fig11 fig12 fig13 --no-cache (CRW_SIMD=scalar)"
+run_simd simd_scalar scalar 1
+echo "== crw-bench fig11 fig12 fig13 --no-cache (CRW_SIMD=sse2)"
+run_simd simd_sse2 sse2 1
+echo "== crw-bench fig11 fig12 fig13 --no-cache (CRW_SIMD=avx2)"
+run_simd simd_avx2 avx2 1
+echo "== crw-bench fig11 fig12 fig13 --no-cache (CRW_SIMD=avx2," \
+     "--jobs $jobs)"
+run_simd simd_avx2_par avx2 "$jobs"
+
+found=0
+for scalar_csv in "$workdir"/simd_scalar/bench_out/*.csv; do
+    [ -e "$scalar_csv" ] || break
+    found=1
+    name=$(basename "$scalar_csv")
+    if cmp -s "$scalar_csv" "$workdir/simd_sse2/bench_out/$name" &&
+       cmp -s "$scalar_csv" "$workdir/simd_avx2/bench_out/$name" &&
+       cmp -s "$scalar_csv" "$workdir/simd_avx2_par/bench_out/$name"; then
+        echo "  ok   $name identical across every simd tier"
+    else
+        echo "  FAIL $name differs between simd tiers or job counts"
+        status=1
+    fi
+done
+if [ "$found" -eq 0 ]; then
+    echo "error: the CRW_SIMD=scalar run produced no CSVs" >&2
+    exit 2
+fi
+if cmp -s "$workdir/simd_scalar/stdout.txt" \
+          "$workdir/simd_sse2/stdout.txt" &&
+   cmp -s "$workdir/simd_scalar/stdout.txt" \
+          "$workdir/simd_avx2/stdout.txt" &&
+   cmp -s "$workdir/simd_scalar/stdout.txt" \
+          "$workdir/simd_avx2_par/stdout.txt"; then
+    echo "  ok   stdout identical across every simd tier"
+else
+    echo "  FAIL stdout differs between simd tiers or job counts"
+    status=1
+fi
+
+strip_simd_counters() {
+    metrics_view "$1" | grep -v '^    "replay\.simd' | sed 's/,$//'
+}
+strip_simd_counters "$workdir/simd_scalar/metrics.json" \
+    > "$workdir/simd_scalar.view"
+strip_simd_counters "$workdir/simd_sse2/metrics.json" \
+    > "$workdir/simd_sse2.view"
+strip_simd_counters "$workdir/simd_avx2/metrics.json" \
+    > "$workdir/simd_avx2.view"
+metrics_view "$workdir/simd_avx2/metrics.json" \
+    > "$workdir/simd_avx2_full.view"
+metrics_view "$workdir/simd_avx2_par/metrics.json" \
+    > "$workdir/simd_avx2_par.view"
+if cmp -s "$workdir/simd_scalar.view" "$workdir/simd_sse2.view" &&
+   cmp -s "$workdir/simd_scalar.view" "$workdir/simd_avx2.view"; then
+    echo "  ok   metrics identical across simd tiers (minus" \
+         "replay.simd_path)"
+else
+    echo "  FAIL metrics differ between simd tiers"
+    status=1
+fi
+if cmp -s "$workdir/simd_avx2_full.view" \
+          "$workdir/simd_avx2_par.view"; then
+    echo "  ok   widest-tier metrics identical at --jobs 1 and" \
+         "--jobs $jobs"
+else
+    echo "  FAIL widest-tier metrics differ between --jobs 1 and" \
+         "--jobs $jobs"
+    status=1
+fi
+
+scalar_tier=$(counter "$workdir/simd_scalar/metrics.json" \
+    "replay.simd_path")
+sse2_tier=$(counter "$workdir/simd_sse2/metrics.json" \
+    "replay.simd_path")
+avx2_tier=$(counter "$workdir/simd_avx2/metrics.json" \
+    "replay.simd_path")
+if [ "$scalar_tier" -eq 0 ] && [ "$sse2_tier" -eq 1 ] &&
+   [ "$avx2_tier" -ge 1 ]; then
+    echo "  ok   simd_path counters: scalar=$scalar_tier" \
+         "sse2=$sse2_tier avx2=$avx2_tier"
+else
+    echo "  FAIL simd_path counters: scalar=$scalar_tier" \
+         "sse2=$sse2_tier avx2=$avx2_tier"
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
     echo "determinism check passed: identical output at --jobs 1 and" \
          "--jobs $jobs, with the block cache on and off, with" \
@@ -778,8 +899,9 @@ if [ "$status" -eq 0 ]; then
          "warm, shared and disabled, with the fast replay path on" \
          "and off, with the arena stores cold, warm, bypassed" \
          "and concurrently attached, with lockstep batch replay" \
-         "on and off, and with the synthetic policy sweep across" \
-         "job counts and batch modes"
+         "on and off, with the synthetic policy sweep across" \
+         "job counts and batch modes, and with the follower replay" \
+         "pinned to every simd tier"
 else
     echo "determinism check FAILED" >&2
 fi

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * AlignedVec: a minimal growable array over 64-byte-aligned storage.
+ *
+ * The replay hot loops stream two kinds of arenas linearly: the
+ * FlatTrace op/operand arrays and the batched replay's recorded
+ * engine-op stream. std::vector aligns to alignof(T), so a lane
+ * vector's 64-byte load in the SoA follower pass — and the op
+ * stream's 8-at-a-time walk — could start mid cache line and split
+ * every access across two lines. This container pins the base address
+ * to kCacheAlign instead. It is deliberately tiny: trivially-copyable
+ * element types only, no erase/insert, geometric growth, move-only —
+ * exactly what an append-once/stream-many arena needs.
+ */
+
+#ifndef CRW_COMMON_ALIGNED_H_
+#define CRW_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace crw {
+
+/** Alignment of every AlignedVec allocation (one x86 cache line). */
+inline constexpr std::size_t kCacheAlign = 64;
+
+template <typename T>
+class AlignedVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "AlignedVec is a raw byte arena");
+    static_assert(kCacheAlign % alignof(T) == 0, "alignment order");
+
+  public:
+    AlignedVec() = default;
+    ~AlignedVec() { std::free(data_); }
+
+    AlignedVec(AlignedVec &&other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0)),
+          cap_(std::exchange(other.cap_, 0))
+    {}
+    AlignedVec &
+    operator=(AlignedVec &&other) noexcept
+    {
+        if (this != &other) {
+            std::free(data_);
+            data_ = std::exchange(other.data_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+            cap_ = std::exchange(other.cap_, 0);
+        }
+        return *this;
+    }
+    AlignedVec(const AlignedVec &) = delete;
+    AlignedVec &operator=(const AlignedVec &) = delete;
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+    T &back() { return data_[size_ - 1]; }
+
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap_)
+            regrow(n);
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == cap_)
+            regrow(cap_ < 16 ? 16 : cap_ * 2);
+        data_[size_++] = v;
+    }
+
+    /** Zero-filled resize (arena-style: never shrinks capacity). */
+    void
+    resize(std::size_t n)
+    {
+        reserve(n);
+        if (n > size_)
+            std::memset(data_ + size_, 0, (n - size_) * sizeof(T));
+        size_ = n;
+    }
+
+    void clear() { size_ = 0; }
+
+  private:
+    void
+    regrow(std::size_t cap)
+    {
+        // aligned_alloc requires the size to be a multiple of the
+        // alignment; round the byte count up to the next line.
+        const std::size_t bytes =
+            (cap * sizeof(T) + kCacheAlign - 1) / kCacheAlign *
+            kCacheAlign;
+        T *fresh = static_cast<T *>(
+            std::aligned_alloc(kCacheAlign, bytes));
+        if (!fresh)
+            throw std::bad_alloc();
+        if (size_)
+            std::memcpy(fresh, data_, size_ * sizeof(T));
+        std::free(data_);
+        data_ = fresh;
+        cap_ = bytes / sizeof(T);
+    }
+
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t cap_ = 0;
+};
+
+} // namespace crw
+
+#endif // CRW_COMMON_ALIGNED_H_

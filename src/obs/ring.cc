@@ -57,6 +57,7 @@ ringEventName(RingEventCode code)
       case RingEventCode::ReplayBatch:   return "replay.batch";
       case RingEventCode::ReplayBatchFallback:
           return "replay.batch_fallback";
+      case RingEventCode::ReplaySimd:    return "replay.simd";
     }
     return "unknown";
 }

@@ -68,6 +68,9 @@ enum class RingEventCode : std::uint32_t
     ReplayBatch = 11,  ///< one lockstep batch replayed (arg = width)
     /** A working-set batch diverged and fell back to per-point. */
     ReplayBatchFallback = 12,
+    /** SIMD follower path of a batch (arg = SimdTier code: 0 scalar
+     *  oracle, 1 SSE2, 2 AVX2; value = batch width). */
+    ReplaySimd = 13,
 };
 
 /** Short stable name for drains and the Chrome-trace emitter. */

@@ -35,8 +35,12 @@
  *   off 40  u64 headerChecksum   FNV-1a over [0, payloadOffset) with
  *                                this field zeroed
  *   off 48  segmentCount × { char name[8]; u64 offset; u64 bytes; }
- *   ...     key bytes, then zero padding to a 16-byte boundary
- *   payloadOffset: segments, each 16-byte aligned
+ *   ...     key bytes, then zero padding to a kArenaAlign boundary
+ *   payloadOffset: segments, each kArenaAlign (64-byte) aligned —
+ *                  cache-line aligned so hot loops that stream a
+ *                  mapped segment (the flat-trace replay walk, the
+ *                  SoA follower pass) never split a line, and wide
+ *                  aligned vector loads over segment data are legal
  *
  * A view rejects — cleanly, never by crashing — any file whose magic,
  * versions, identity key, header checksum, fileBytes, or segment
@@ -55,11 +59,16 @@
 namespace crw {
 namespace store {
 
-/** Bump when the superblock layout changes shape. */
-inline constexpr std::uint32_t kArenaFormatVersion = 1;
+/** Bump when the superblock layout changes shape (v2: segment
+ *  alignment widened from 16 to one cache line; v1 files fail the
+ *  version check cleanly and are rebuilt). */
+inline constexpr std::uint32_t kArenaFormatVersion = 2;
 
-/** Segment payloads are aligned to this within the file. */
-inline constexpr std::size_t kArenaAlign = 16;
+/** Segment payloads are aligned to this within the file. One x86
+ *  cache line: mmap bases are page-aligned, so a 64-byte file offset
+ *  makes the in-memory segment pointer 64-byte aligned too — the
+ *  contract the SIMD replay layer's aligned loads rely on. */
+inline constexpr std::size_t kArenaAlign = 64;
 
 /**
  * Word-at-a-time mixing hash for arena payload checksums. Format-
@@ -124,7 +133,7 @@ class Mapping
 struct ArenaSegmentInfo
 {
     std::string name;       ///< at most 8 significant characters
-    std::uint64_t offset;   ///< absolute file offset (16-aligned)
+    std::uint64_t offset;   ///< absolute file offset (kArenaAlign-ed)
     std::uint64_t bytes;
 };
 

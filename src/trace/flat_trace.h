@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "store/arena.h"
 #include "trace/event_trace.h"
 
@@ -68,9 +69,12 @@ struct FlatTrace
     FlatTrace(const FlatTrace &) = delete;
     FlatTrace &operator=(const FlatTrace &) = delete;
 
-    /** Backing storage — exactly one of {vectors, arena} is live. */
-    std::vector<std::uint8_t> opsStorage;
-    std::vector<std::uint64_t> operandStorage;
+    // Backing storage — exactly one of {vectors, arena} is live.
+    // Both backings start every arena on a cache-line boundary
+    // (AlignedVec in memory, kArenaAlign in the file), so the replay
+    // walks stream whole lines regardless of which one is attached.
+    AlignedVec<std::uint8_t> opsStorage;
+    AlignedVec<std::uint64_t> operandStorage;
     store::ArenaView arena;
 };
 

@@ -29,9 +29,12 @@ namespace crw {
 /**
  * Bump when the flat-trace segment encoding changes (new segment,
  * different span packing, ...). Old files then fail the app-version
- * check at attach and are rebuilt, never misread.
+ * check at attach and are rebuilt, never misread. v2: arena segments
+ * became cache-line aligned (store/arena.h kArenaAlign 16 -> 64) so
+ * mapped replay arenas honour the same alignment contract as the
+ * in-memory AlignedVec backing.
  */
-inline constexpr std::uint32_t kFlatTraceFormatVersion = 1;
+inline constexpr std::uint32_t kFlatTraceFormatVersion = 2;
 
 /**
  * Identity key stored in the arena superblock: names the source trace

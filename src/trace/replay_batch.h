@@ -32,6 +32,13 @@
  * shared core's slackness/dispatch statistics are schedule-derived —
  * identical to what K per-point cores would each record
  * (tests/win/test_batch_replay.cc pins all of this differentially).
+ *
+ * Within a batch only lane 0 runs the walk inline; it records the
+ * engine-op stream, and BatchedEngineView::finish() replays the
+ * followers from that record — per lane on the scalar tier, or in
+ * one lane-SoA pass with SIMD run kernels on the vector tiers
+ * ($CRW_SIMD, win/simd.h, DESIGN.md §16). The tier is a host-side
+ * choice only: every tier produces bit-identical lane results.
  */
 
 #ifndef CRW_TRACE_REPLAY_BATCH_H_

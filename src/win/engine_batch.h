@@ -25,14 +25,32 @@
  *    under working-set, the residency checkpoints. Charges never enter
  *    the stream; they are lane-invariant trace operands and accumulate
  *    in one shared counter.
- *  - finish() then replays the recorded stream once per follower lane:
- *    a tight linear pass over a dense op array — no trace decode, no
- *    scheduler, no stream bookkeeping, no tracker — in which the
- *    lane's window file stays cache-hot and the branch predictor sees
- *    one lane's trap pattern at a time. A follower that disagrees with
- *    a recorded residency checkpoint would have forked the schedule at
- *    that wake, so finish() returns false and the caller discards the
- *    whole batch (the executor re-replays those points individually).
+ *  - finish() then replays the recorded stream through the followers.
+ *    Two pass shapes exist, selected by effectiveSimdTier()
+ *    (win/simd.h, $CRW_SIMD):
+ *
+ *      Scalar — the PR 7 oracle: one tight linear pass over the op
+ *      array per follower lane, the lane's window file cache-hot and
+ *      the branch predictor seeing one lane's trap pattern at a time.
+ *
+ *      Sse2/Avx2 — the lane-SoA pass (DESIGN.md §16): the followers'
+ *      hot state is transposed into the lane-major arrays of
+ *      win/lane_soa.h and ONE walk over the stream applies each op to
+ *      every lane at once. Runs of same-thread saves/restores collapse
+ *      into single calls of the closed-form kernels (win/scheme.h
+ *      RunFold math, vectorized 4- or 8-wide); switches, exits and the
+ *      sharing schemes' eviction probes stay scalar per lane against
+ *      the transposed state. The per-lane engines are only touched
+ *      again at writeback, which materializes the SoA state through
+ *      the WindowFile import primitives. Both shapes are bit-identical
+ *      by construction — the SoA recurrences are the proven closed
+ *      forms of the scalar bodies — and the differential suite pins
+ *      them against each other.
+ *
+ *    A follower that disagrees with a recorded residency checkpoint
+ *    would have forked the schedule at that wake, so finish() returns
+ *    false and the caller discards the whole batch (the executor
+ *    re-replays those points individually).
  *
  * Everything the shared schedule makes lane-invariant is accumulated
  * once, in shared scalars, and folded into each lane at finish():
@@ -60,11 +78,15 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/logging.h"
 #include "win/engine.h"
+#include "win/lane_soa.h"
 #include "win/schemes_impl.h"
+#include "win/simd.h"
 
 namespace crw {
 
@@ -248,13 +270,35 @@ class BatchedEngineView
     bool
     finish()
     {
-        // One lane per stream pass: the branch predictor then sees a
-        // single lane's trap pattern per pass (pairing lanes was
-        // measured slower — the per-op trap branches alias across
-        // lanes and mispredict).
-        for (std::size_t l = 1; l < lanes_; ++l)
-            if (!replayLanes<1>({l}))
-                return false;
+        if (lanes_ > 1) {
+            const SimdTier tier = effectiveSimdTier();
+            if (tier == SimdTier::Scalar) {
+                // The oracle shape: one lane per stream pass, so the
+                // branch predictor sees a single lane's trap pattern
+                // per pass (pairing lanes was measured slower — the
+                // per-op trap branches alias across lanes and
+                // mispredict).
+                for (std::size_t l = 1; l < lanes_; ++l)
+                    if (!replayLanes<1>({l}))
+                        return false;
+            } else if (kSoaIsSharing && !simdTierExplicit()) {
+                // `auto` pins the sharing schemes to the per-lane
+                // oracle: their slot-map eviction probes are serial
+                // per lane, and interleaving lanes in one walk loses
+                // ~25% to cross-lane branch aliasing regardless of
+                // shape (measured for both the SoA translation and
+                // width-4 AoS blocks; DESIGN.md §16). An explicit
+                // $CRW_SIMD=avx2/sse2 (or a test override) still
+                // forces the SoA pass so the sharing translation
+                // stays a live, differentially-pinned code path.
+                for (std::size_t l = 1; l < lanes_; ++l)
+                    if (!replayLanes<1>({l}))
+                        return false;
+            } else {
+                if (!replaySoa(tier))
+                    return false;
+            }
+        }
         const std::uint64_t sr = sharedSaves_ + sharedRestores_;
         for (std::size_t l = 0; l < lanes_; ++l) {
             WindowEngine &e = *e_[l];
@@ -442,6 +486,569 @@ class BatchedEngineView
         return true;
     }
 
+    // Scheme shape traits of the SoA pass.
+    static constexpr bool kSoaIsInf =
+        std::is_same_v<SchemeT, detail::InfiniteScheme>;
+    static constexpr bool kSoaIsNs =
+        std::is_same_v<SchemeT, detail::NsScheme>;
+    static constexpr bool kSoaIsSp =
+        std::is_same_v<SchemeT, detail::SpScheme>;
+    static constexpr bool kSoaIsSharing = !kSoaIsInf && !kSoaIsNs;
+
+    /**
+     * The lane-SoA follower pass (DESIGN.md §16): transpose the
+     * followers' hot state into win/lane_soa.h arrays, walk the op
+     * stream ONCE applying each op to every lane — same-thread
+     * save/restore runs through the tier's vector kernels, switches /
+     * exits / eviction probes scalar per lane against the transposed
+     * state — then materialize the surviving state back into the
+     * engines. Bit-identity with replayLanes<1> is by construction:
+     * every recurrence here is the closed form of the corresponding
+     * scalar scheme body (win/scheme.h RunFold derivations, and the
+     * slot-walk translations documented inline below), and the
+     * differential suite pins the two passes against each other.
+     *
+     * @return false on a working-set residency mismatch; nothing is
+     *         written back (the engines are discarded wholesale).
+     */
+    bool
+    replaySoa(SimdTier tier)
+    {
+        const LaneKernels &kern = laneKernels(tier);
+        const std::size_t nl = lanes_ - 1; // follower lanes
+        const int threads = static_cast<int>(threadSaves_.size());
+        crw_assert(threads * 2 + 1 <= INT16_MAX); // slot encoding
+
+        LaneSoA soa;
+        soa.init(nl, threads);
+
+        // --- transpose --------------------------------------------
+        // Followers were never touched by the control loop, so their
+        // files still hold the batch's start state. The shared call
+        // depths come from lane 1: depth is pure call nesting and the
+        // lockstep contract makes it lane-invariant.
+        int max_win = 1;
+        for (std::size_t l = 1; l < lanes_; ++l) {
+            const std::size_t j = l - 1;
+            const WindowFile &f = e_[l]->file_;
+            soa.numWin[j] = f.numWindows();
+            soa.nsCap[j] = f.numWindows() - 1;
+            const Cycles ovf1 = t_[l].overflowCost(1);
+            const Cycles unf = t_[l].underflowCost();
+            // The vector tally fold multiplies traps by cost in one
+            // 32x32->64 lane product.
+            crw_assert(ovf1 <= UINT32_MAX && unf <= UINT32_MAX);
+            soa.ovfCost1[j] = ovf1;
+            soa.unfCost[j] = unf;
+            if (f.numWindows() > max_win)
+                max_win = f.numWindows();
+            for (ThreadId tid = 0; tid < threads; ++tid) {
+                const ThreadWindows &tw = f.thread(tid);
+                soa.topOf(tid)[j] = tw.top;
+                soa.resOf(tid)[j] = tw.resident;
+                soa.prwOf(tid)[j] = tw.prw;
+            }
+        }
+        std::vector<int> depth(static_cast<std::size_t>(threads));
+        for (ThreadId tid = 0; tid < threads; ++tid)
+            depth[static_cast<std::size_t>(tid)] =
+                e_[1]->file_.thread(tid).depth;
+
+        // Sharing-scheme side state: the per-lane slot map (i16 per
+        // slot: -1 free, tid*2 owned, tid*2+1 PRW), allocation cursor
+        // and policy knobs. Scalar-access only, so no padding.
+        const std::size_t stride = static_cast<std::size_t>(max_win);
+        std::vector<std::int16_t> slots16;
+        std::vector<WindowIndex> alloc_hint;
+        std::vector<PrwReclaim> reclaim;
+        std::vector<AllocPolicy> alloc;
+        if constexpr (kSoaIsSharing) {
+            slots16.assign(nl * stride, -1);
+            alloc_hint.resize(nl);
+            reclaim.resize(nl);
+            alloc.resize(nl);
+            for (std::size_t l = 1; l < lanes_; ++l) {
+                const std::size_t j = l - 1;
+                const WindowFile &f = e_[l]->file_;
+                for (WindowIndex w = 0; w < f.numWindows(); ++w) {
+                    const WindowSlot &ws = f.slot(w);
+                    if (ws.state == WinState::Owned)
+                        slots16[j * stride +
+                                static_cast<std::size_t>(w)] =
+                            static_cast<std::int16_t>(ws.owner * 2);
+                    else if (ws.state == WinState::Prw)
+                        slots16[j * stride +
+                                static_cast<std::size_t>(w)] =
+                            static_cast<std::int16_t>(ws.owner * 2 +
+                                                      1);
+                }
+                alloc_hint[j] = s_[l]->allocHintForReplay();
+                reclaim[j] = s_[l]->prwReclaim();
+                alloc[j] = s_[l]->allocPolicy();
+            }
+        }
+
+        // --- per-lane cyclic/slot helpers -------------------------
+        auto aboveAt = [&soa](std::size_t j, int w) {
+            return w == 0 ? soa.numWin[j] - 1 : w - 1;
+        };
+        auto belowAt = [&soa](std::size_t j, int w) {
+            return w + 1 == soa.numWin[j] ? 0 : w + 1;
+        };
+        auto wrapAt = [&soa](std::size_t j, int x) {
+            const int n = soa.numWin[j];
+            x %= n;
+            return x < 0 ? x + n : x;
+        };
+        auto slotAt = [&](std::size_t j, int w) -> std::int16_t & {
+            return slots16[j * stride + static_cast<std::size_t>(w)];
+        };
+
+        // --- scalar scheme bodies against the SoA state -----------
+        // Each is a line-for-line translation of the corresponding
+        // schemes_impl.h body with WindowFile primitives expanded
+        // into slot-map/cursor assignments.
+
+        auto chargeOvfAt = [&](std::size_t j, int spilled) {
+            soa.ovfTraps[j] += 1;
+            soa.ovfSpilled[j] += static_cast<std::uint64_t>(spilled);
+            const Cycles c = t_[j + 1].overflowCost(spilled);
+            soa.cyclesTrap[j] += c;
+            soa.offset[j] += c;
+        };
+
+        // SharingSchemeBase::evict — free / orphaned-PRW / bottom
+        // spill, including the non-Lazy PRW reclamation of a victim
+        // that just lost its whole run. @p srow is lane j's slot row
+        // (&slots16[j * stride]), hoisted by the caller so the hot
+        // save loop never recomputes the row address.
+        auto evictAt = [&](std::int16_t *srow, std::size_t j,
+                           int w) -> int {
+            const std::int16_t v = srow[w];
+            if (v < 0)
+                return 0;
+            const ThreadId victim = v >> 1;
+            if (v & 1) { // orphaned PRW: one transfer to the TCB
+                srow[w] = -1;
+                soa.prwOf(victim)[j] = kNoWindow;
+                return 1;
+            }
+            // Owned: w is the victim's stack-bottom; spill it.
+            srow[w] = -1;
+            std::int32_t *vres = soa.resOf(victim);
+            if (--vres[j] == 0) {
+                soa.topOf(victim)[j] = kNoWindow;
+                std::int32_t *vprw = soa.prwOf(victim);
+                if (vprw[j] != kNoWindow &&
+                    reclaim[j] != PrwReclaim::Lazy) {
+                    srow[vprw[j]] = -1;
+                    vprw[j] = kNoWindow;
+                    return reclaim[j] == PrwReclaim::Eager ? 2 : 1;
+                }
+            }
+            return 1;
+        };
+
+        auto findFreeAt = [&](const std::int16_t *srow, std::size_t j,
+                              WindowIndex hint) {
+            const int n = soa.numWin[j];
+            const int start = hint == kNoWindow ? 0 : hint;
+            for (int k = 0; k < n; ++k) {
+                const int w = wrapAt(j, start + k);
+                if (srow[w] < 0)
+                    return w;
+            }
+            crw_unreachable("no free window in SoA replay");
+        };
+        auto evictableAt = [&](const std::int16_t *srow, std::size_t j,
+                               int w) {
+            const std::int16_t v = srow[w];
+            if (v < 0)
+                return true;
+            const ThreadId owner = v >> 1;
+            if (v & 1)
+                return soa.resOf(owner)[j] == 0;
+            const int bottom = wrapAt( // belowBy(top, res - 1)
+                j, soa.topOf(owner)[j] + soa.resOf(owner)[j] - 1);
+            return bottom == w;
+        };
+        auto allocSlotAt = [&](const std::int16_t *srow, std::size_t j,
+                               WindowIndex hint) {
+            const int fallback =
+                hint != kNoWindow ? hint : findFreeAt(srow, j, 0);
+            if (alloc[j] == AllocPolicy::Simple)
+                return fallback;
+            const int n = soa.numWin[j];
+            const int start = hint == kNoWindow ? 0 : hint;
+            int second = kNoWindow;
+            for (int k = 0; k < n; ++k) {
+                const int w = wrapAt(j, start + k);
+                if (srow[w] >= 0)
+                    continue;
+                const int up = aboveAt(j, w);
+                if (srow[up] < 0)
+                    return w;
+                if (second == kNoWindow && evictableAt(srow, j, up))
+                    second = w;
+            }
+            return second != kNoWindow ? second : fallback;
+        };
+
+        // SnpScheme/SpScheme::doSave (eviction probes force these
+        // scalar; they still run against the compact SoA state). The
+        // cursors arrive as the op thread's hoisted lane arrays.
+        auto shareSaveAt = [&](std::int16_t *srow, std::size_t j,
+                               ThreadId tid, std::int32_t *top,
+                               std::int32_t *res, std::int32_t *prw) {
+            if constexpr (kSoaIsSp) {
+                const int nt = prw[j];
+                const int p2 = aboveAt(j, nt);
+                srow[nt] = -1; // clearPrw
+                prw[j] = kNoWindow;
+                const int spilled = evictAt(srow, j, p2);
+                if (spilled)
+                    chargeOvfAt(j, spilled);
+                srow[nt] = // claimAsTop
+                    static_cast<std::int16_t>(tid * 2);
+                top[j] = nt;
+                ++res[j];
+                srow[p2] = // setPrw
+                    static_cast<std::int16_t>(tid * 2 + 1);
+                prw[j] = p2;
+            } else {
+                (void)prw;
+                const int nt = aboveAt(j, top[j]);
+                const int w2 = aboveAt(j, nt);
+                const int spilled = evictAt(srow, j, w2);
+                if (spilled)
+                    chargeOvfAt(j, spilled);
+                srow[nt] = static_cast<std::int16_t>(tid * 2);
+                top[j] = nt;
+                ++res[j];
+            }
+        };
+
+        // A folded restore run against a sharing scheme, one lane at a
+        // time: restoreRunFold's closed form (rel = min(k, res-1)
+        // releases, then k-rel in-place refill traps, because resident
+        // only ever shrinks inside the run) fused with the scalar slot
+        // walk. SNP frees the vacated tops; SP walks its PRW one step
+        // behind the shrinking top (releaseTopHook). Deliberately NOT
+        // a vector kernel: the fold itself is O(1) per lane while the
+        // walk is inherently scalar, and keeping the u64 trap tallies
+        // behind a per-lane branch means trap-free runs — the common
+        // case — never stream the four tally arrays the way an
+        // unconditional vector fold must.
+        auto shareRestoreRunAt = [&](ThreadId tid, int k1) {
+            std::int32_t *top = soa.topOf(tid);
+            std::int32_t *res = soa.resOf(tid);
+            std::int32_t *prw = soa.prwOf(tid);
+            (void)prw;
+            for (std::size_t j = 0; j < nl; ++j) {
+                const int r = res[j];
+                const int rel = k1 < r - 1 ? k1 : r - 1;
+                const int traps = k1 - rel;
+                res[j] = r - rel;
+                if (traps > 0) {
+                    soa.unfTraps[j] +=
+                        static_cast<std::uint64_t>(traps);
+                    soa.unfRestored[j] +=
+                        static_cast<std::uint64_t>(traps);
+                    const Cycles c = static_cast<Cycles>(traps) *
+                                     soa.unfCost[j];
+                    soa.cyclesTrap[j] += c;
+                    soa.offset[j] += c;
+                }
+                if (rel > 0) {
+                    std::int16_t *srow = &slots16[j * stride];
+                    int t = top[j];
+                    if constexpr (kSoaIsSp) {
+                        int p = prw[j];
+                        for (int c = 0; c < rel; ++c) {
+                            srow[p] = -1; // old PRW dies
+                            p = t; // vacated top is the new PRW
+                            srow[t] =
+                                static_cast<std::int16_t>(tid * 2 + 1);
+                            t = belowAt(j, t);
+                        }
+                        prw[j] = p;
+                    } else {
+                        for (int c = 0; c < rel; ++c) {
+                            srow[t] = -1;
+                            t = belowAt(j, t);
+                        }
+                    }
+                    top[j] = t;
+                }
+            }
+        };
+
+        // WindowFile::dropAll (root-frame return and thread exit).
+        auto dropAllAt = [&](std::size_t j, ThreadId tid) {
+            std::int32_t *res = soa.resOf(tid);
+            std::int32_t *top = soa.topOf(tid);
+            if constexpr (kSoaIsSharing) {
+                std::int16_t *srow = &slots16[j * stride];
+                int w = top[j];
+                for (int c = res[j]; c > 0; --c) {
+                    srow[w] = -1;
+                    w = belowAt(j, w);
+                }
+                std::int32_t *prw = soa.prwOf(tid);
+                if (prw[j] != kNoWindow) {
+                    srow[prw[j]] = -1;
+                    prw[j] = kNoWindow;
+                }
+            }
+            res[j] = 0;
+            top[j] = kNoWindow;
+        };
+
+        // applySwitch's tally residue, per lane (histograms and the
+        // switch-cost Distribution sample in recorded op order, so
+        // each lane's sample sequence matches a per-point replay).
+        auto chargeSwitchAt = [&](std::size_t j, int saved,
+                                  int restored) {
+            const std::size_t l = j + 1;
+            WindowEngine &e = *e_[l];
+            WindowEngine::HotCounters &h = hot_[l];
+            h.switchSaved += static_cast<std::uint64_t>(saved);
+            h.switchRestored += static_cast<std::uint64_t>(restored);
+            if (saved < WindowEngine::kSmallSwitchCase &&
+                restored < WindowEngine::kSmallSwitchCase)
+                ++e.switchCasesSmall_[saved][restored];
+            else
+                ++e.switchCasesLarge_[{saved, restored}];
+            const Cycles cycles = t_[l].switchCost(saved, restored);
+            h.cyclesSwitch += cycles;
+            e.dSwitchCost_->sample(static_cast<double>(cycles));
+            soa.offset[j] += cycles;
+        };
+
+        // doSwitchIn per scheme. Residency of `to` may genuinely
+        // differ across lanes; call depth cannot (the dispatcher
+        // below maintains the shared depth array once per op).
+        auto switchAt = [&](std::size_t j, ThreadId from,
+                            ThreadId to) {
+            int saved = 0;
+            int restored = 0;
+            if constexpr (kSoaIsInf) {
+                // no window motion, ever
+            } else if constexpr (kSoaIsNs) {
+                if (from != kNoThread) {
+                    std::int32_t *fres = soa.resOf(from);
+                    saved = fres[j]; // flush the whole run
+                    fres[j] = 0;
+                    soa.topOf(from)[j] = kNoWindow;
+                }
+                soa.topOf(to)[j] = 0; // NS schedules into slot 0
+                soa.resOf(to)[j] = 1;
+                if (depth[static_cast<std::size_t>(to)] > 0)
+                    restored = 1;
+            } else if constexpr (kSoaIsSp) {
+                std::int16_t *srow = &slots16[j * stride];
+                if (from != kNoThread && soa.resOf(from)[j] > 0)
+                    alloc_hint[j] = aboveAt(j, soa.prwOf(from)[j]);
+                if (soa.resOf(to)[j] == 0) {
+                    std::int32_t *prw = soa.prwOf(to);
+                    if (prw[j] != kNoWindow) { // orphan carries over
+                        srow[prw[j]] = -1;
+                        prw[j] = kNoWindow;
+                    }
+                    const int w = allocSlotAt(srow, j, alloc_hint[j]);
+                    saved += evictAt(srow, j, w);
+                    saved += evictAt(srow, j, aboveAt(j, w));
+                    srow[w] = static_cast<std::int16_t>(to * 2);
+                    soa.topOf(to)[j] = w;
+                    soa.resOf(to)[j] = 1;
+                    if (depth[static_cast<std::size_t>(to)] > 0)
+                        restored = 1;
+                    const int p = aboveAt(j, w);
+                    srow[p] = static_cast<std::int16_t>(to * 2 + 1);
+                    prw[j] = p;
+                } // resident: nothing moves (Table 2 best case)
+            } else { // SNP
+                std::int16_t *srow = &slots16[j * stride];
+                if (from != kNoThread && soa.resOf(from)[j] > 0)
+                    alloc_hint[j] = aboveAt(j, soa.topOf(from)[j]);
+                std::int32_t *tres = soa.resOf(to);
+                if (tres[j] > 0) {
+                    saved += evictAt(srow, j,
+                                     aboveAt(j, soa.topOf(to)[j]));
+                } else {
+                    int w = allocSlotAt(srow, j, alloc_hint[j]);
+                    if (srow[w] >= 0)
+                        w = findFreeAt(srow, j, alloc_hint[j]);
+                    srow[w] = static_cast<std::int16_t>(to * 2);
+                    soa.topOf(to)[j] = w;
+                    tres[j] = 1;
+                    if (depth[static_cast<std::size_t>(to)] > 0)
+                        restored = 1;
+                    saved += evictAt(srow, j, aboveAt(j, w));
+                }
+            }
+            chargeSwitchAt(j, saved, restored);
+        };
+
+        auto exitAt = [&](std::size_t j, ThreadId tid) {
+            if constexpr (kSoaIsSharing)
+                alloc_hint[j] = soa.resOf(tid)[j] > 0
+                                    ? soa.topOf(tid)[j]
+                                    : kNoWindow;
+            if constexpr (!kSoaIsInf)
+                dropAllAt(j, tid);
+        };
+
+        // --- the single walk --------------------------------------
+        const std::size_t nops = ops_.size();
+        std::size_t i = 0;
+        while (i < nops) {
+            const OpRec &op = ops_[i];
+            switch (op.kind) {
+              case OpRec::Kind::Save: {
+                std::size_t r = i + 1;
+                while (r < nops &&
+                       ops_[r].kind == OpRec::Kind::Save &&
+                       ops_[r].a == op.a)
+                    ++r;
+                const int k = static_cast<int>(r - i);
+                const ThreadId tid = op.a;
+                depth[static_cast<std::size_t>(tid)] += k;
+                if constexpr (kSoaIsNs) {
+                    kern.nsSaveRun(soa, tid, k);
+                } else if constexpr (kSoaIsSharing) {
+                    // Lane-outer with hoisted cursors: one lane's slot
+                    // row and the op thread's lane arrays stay in
+                    // registers across the whole fused run.
+                    std::int32_t *top = soa.topOf(tid);
+                    std::int32_t *res = soa.resOf(tid);
+                    std::int32_t *prw = soa.prwOf(tid);
+                    for (std::size_t j = 0; j < nl; ++j) {
+                        std::int16_t *srow = &slots16[j * stride];
+                        for (int q = 0; q < k; ++q)
+                            shareSaveAt(srow, j, tid, top, res, prw);
+                    }
+                }
+                i = r;
+                break;
+              }
+              case OpRec::Kind::Restore: {
+                std::size_t r = i + 1;
+                while (r < nops &&
+                       ops_[r].kind == OpRec::Kind::Restore &&
+                       ops_[r].a == op.a)
+                    ++r;
+                const int k = static_cast<int>(r - i);
+                const ThreadId tid = op.a;
+                const int d = depth[static_cast<std::size_t>(tid)];
+                crw_assert(k <= d);
+                // The run's last restore is the root-frame return
+                // exactly when it empties the call stack; it drops
+                // all windows instead of trapping, so it is peeled
+                // off the folded run (restoreRunFold precondition).
+                const int k1 = k < d ? k : d - 1;
+                if constexpr (!kSoaIsInf) {
+                    if (k1 > 0) {
+                        if constexpr (kSoaIsNs) {
+                            kern.nsRestoreRun(soa, tid, k1);
+                        } else {
+                            shareRestoreRunAt(tid, k1);
+                        }
+                    }
+                    if (k1 < k)
+                        for (std::size_t j = 0; j < nl; ++j)
+                            dropAllAt(j, tid);
+                }
+                depth[static_cast<std::size_t>(tid)] -= k;
+                i = r;
+                break;
+              }
+              case OpRec::Kind::Switch: {
+                for (std::size_t j = 0; j < nl; ++j)
+                    switchAt(j, op.a, op.b);
+                if (depth[static_cast<std::size_t>(op.b)] == 0)
+                    depth[static_cast<std::size_t>(op.b)] =
+                        1; // root frame of a fresh thread
+                ++i;
+                break;
+              }
+              case OpRec::Kind::Exit: {
+                for (std::size_t j = 0; j < nl; ++j)
+                    exitAt(j, op.a);
+                depth[static_cast<std::size_t>(op.a)] = 0;
+                ++i;
+                break;
+              }
+              case OpRec::Kind::WakeCheck: {
+                if (kern.wakeMismatch(soa, op.a, op.resident))
+                    return false;
+                ++i;
+                break;
+              }
+            }
+        }
+
+        // --- writeback --------------------------------------------
+        for (std::size_t l = 1; l < lanes_; ++l) {
+            const std::size_t j = l - 1;
+            WindowEngine::HotCounters &h = hot_[l];
+            h.ovfTraps += soa.ovfTraps[j];
+            h.ovfSpilled += soa.ovfSpilled[j];
+            h.unfTraps += soa.unfTraps[j];
+            h.unfRestored += soa.unfRestored[j];
+            h.cyclesTrap += soa.cyclesTrap[j];
+            offset_[l] += soa.offset[j];
+            WindowFile &f = e_[l]->file_;
+            if constexpr (kSoaIsInf) {
+                for (ThreadId tid = 0; tid < threads; ++tid) {
+                    ThreadWindows tw;
+                    tw.depth = depth[static_cast<std::size_t>(tid)];
+                    f.importThread(tid, tw);
+                }
+            } else {
+                f.resetSlotsForImport();
+                for (ThreadId tid = 0; tid < threads; ++tid) {
+                    ThreadWindows tw;
+                    tw.resident = soa.resOf(tid)[j];
+                    tw.depth = depth[static_cast<std::size_t>(tid)];
+                    if constexpr (kSoaIsNs) {
+                        if (tw.resident > 0) {
+                            // NS keeps `top` unwrapped during the
+                            // pass; the single wrap happens here. Its
+                            // slots are the contiguous run below top
+                            // (the invariant NS growth preserves).
+                            tw.top = wrapAt(j, soa.topOf(tid)[j]);
+                            int w = tw.top;
+                            for (int c = 0; c < tw.resident; ++c) {
+                                f.importSlot(w, WinState::Owned,
+                                             tid);
+                                w = belowAt(j, w);
+                            }
+                        }
+                    } else {
+                        if (tw.resident > 0)
+                            tw.top = soa.topOf(tid)[j];
+                        tw.prw = soa.prwOf(tid)[j];
+                    }
+                    f.importThread(tid, tw);
+                }
+                if constexpr (kSoaIsSharing) {
+                    for (int w = 0; w < soa.numWin[j]; ++w) {
+                        const std::int16_t v = slotAt(j, w);
+                        if (v >= 0)
+                            f.importSlot(w,
+                                         (v & 1) ? WinState::Prw
+                                                 : WinState::Owned,
+                                         static_cast<ThreadId>(
+                                             v >> 1));
+                    }
+                    s_[l]->setAllocHintForReplay(alloc_hint[j]);
+                }
+            }
+        }
+        return true;
+    }
+
     std::size_t lanes_;
     ThreadId current_ = kNoThread;
     /** Shared clock component: the sum of all charges so far. */
@@ -462,8 +1069,10 @@ class BatchedEngineView
     std::vector<Cycles> offset_;
     std::vector<Cycles> psr_;
     Cycles switchBegin0_ = 0;
-    /** The engine op stream the followers replay (width > 1 only). */
-    std::vector<OpRec> ops_;
+    /** The engine op stream the followers replay (width > 1 only);
+     *  64-byte aligned so the SoA pass's linear walk never splits a
+     *  cache line (eight 8-byte records per line). */
+    AlignedVec<OpRec> ops_;
     // Shared per-tid tallies, identical for every lane (the event
     // sequence decides them); replicated into each engine at finish.
     std::vector<std::uint64_t> threadSaves_;

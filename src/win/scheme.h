@@ -86,6 +86,63 @@ struct SwitchOutcome
     int windowsRestored = 0;
 };
 
+/** Result of folding a run of identical save or restore ops. */
+struct RunFold
+{
+    int newResident = 0; ///< resident count after the whole run
+    int traps = 0;       ///< window traps taken inside the run
+};
+
+/**
+ * Closed form of k consecutive NS saves by one resident thread
+ * (no switch, exit, or wake checkpoint in between). Per op: resident
+ * below the usable ceiling claims a fresh window; at the ceiling
+ * (N - 1 — one window stays dead for the outs overlap) the op spills
+ * the stack-bottom and re-claims, so resident saturates and every
+ * further save is one overflow trap spilling exactly one window:
+ *
+ *   r' = min(r + k, N - 1),   traps = k - (r' - r)
+ *
+ * The stack-top always moves k steps in the save direction. This is
+ * the scalar oracle of the SoA save-run kernels (win/engine_batch.h);
+ * tests/win/test_batch_replay.cc pins it against iterated doSave.
+ */
+inline RunFold
+nsSaveRunFold(int resident, int usable_cap, int k)
+{
+    RunFold f;
+    const int grown = resident + k;
+    f.newResident = grown < usable_cap ? grown : usable_cap;
+    f.traps = k - (f.newResident - resident);
+    return f;
+}
+
+/**
+ * Closed form of k consecutive restores by one resident thread whose
+ * depth stays positive throughout (the run builder peels the final
+ * root-frame restore off separately — it drops all windows and never
+ * traps). Per op: resident >= 2 releases the top; at resident == 1
+ * the op is an underflow trap restoring exactly one window — in place
+ * for the sharing schemes, into the window below for NS — and
+ * resident stays 1 either way:
+ *
+ *   r' = max(r - k, 1),   traps = k - (r - r')
+ *
+ * Identical for NS, SNP and SP: the schemes differ in *which slots*
+ * the releases free (NS/SNP free the vacated top, SP walks its PRW
+ * behind the top), not in the release/trap split. The stack-top
+ * always moves k steps in the restore direction.
+ */
+inline RunFold
+restoreRunFold(int resident, int k)
+{
+    RunFold f;
+    const int shrunk = resident - k;
+    f.newResident = shrunk > 1 ? shrunk : 1;
+    f.traps = k - (resident - f.newResident);
+    return f;
+}
+
 /**
  * One window-management policy operating on a shared WindowFile.
  *

@@ -181,6 +181,39 @@ class WindowFile
     template <bool Checked = true>
     void popFrame(ThreadId tid);
 
+    // --- batched-replay writeback (win/engine_batch.h) ---
+    //
+    // The SoA follower pass evolves every lane's window state in
+    // transposed lane-major arrays and only materializes it into the
+    // real WindowFile once the whole batch completes. These importers
+    // are that materialization: raw assignments with no invariant
+    // maintenance — the pass guarantees the imported state is exactly
+    // what the primitive-transition sequence would have produced, and
+    // the differential suite re-verifies the result with
+    // checkInvariants().
+
+    /** Mark every slot Free (import precedes re-owning them). */
+    void
+    resetSlotsForImport()
+    {
+        for (WindowSlot &s : slots_)
+            s = {WinState::Free, kNoThread};
+    }
+
+    /** Raw slot assignment (batched-replay writeback only). */
+    void
+    importSlot(WindowIndex w, WinState state, ThreadId owner)
+    {
+        slots_[static_cast<std::size_t>(w)] = {state, owner};
+    }
+
+    /** Raw per-thread record assignment (writeback only). */
+    void
+    importThread(ThreadId tid, const ThreadWindows &tw)
+    {
+        threads_[static_cast<std::size_t>(tid)] = tw;
+    }
+
     /** Number of Free slots. */
     int freeCount() const;
 

@@ -26,6 +26,7 @@
 #include "bench/plan.h"
 #include "obs/metrics.h"
 #include "trace/run_metrics.h"
+#include "win/simd.h"
 
 namespace crw {
 namespace bench {
@@ -128,6 +129,27 @@ TEST(BatchExecutor, ParseReplayBatchCapIsStrict)
     EXPECT_NE(err.find("invalid replay batch cap \"-3\""),
               std::string::npos);
     EXPECT_NE(err.find("clamped to"), std::string::npos);
+}
+
+TEST(BatchExecutor, DefaultBatchCapWidensUnderAvx2)
+{
+    // The unset-env default follows the follower dispatch tier: the
+    // wider the vector kernels, the more lanes a batch amortizes its
+    // fixed costs over. Narrower tiers keep the PR 7 width.
+    setSimdTierOverride(SimdTier::Scalar);
+    EXPECT_EQ(defaultReplayBatchCap(), 16u);
+    setSimdTierOverride(SimdTier::Sse2);
+    EXPECT_EQ(defaultReplayBatchCap(), 16u);
+    setSimdTierOverride(SimdTier::Avx2);
+    // Overrides clamp to the host's widest tier, so this is 32 only
+    // where AVX2 (or the non-x86 portable-SoA alias) is available.
+    EXPECT_EQ(defaultReplayBatchCap(),
+              cpuMaxSimdTier() == SimdTier::Avx2 ? 32u : 16u);
+    clearSimdTierOverride();
+
+    // An explicit cap is tier-independent (nullptr keeps the pinned
+    // fallback so test expectations above stay exact).
+    EXPECT_EQ(parseReplayBatchCap("8"), 8u);
 }
 
 TEST(BatchExecutor, ColdSweepReplaysOneLockstepBatch)

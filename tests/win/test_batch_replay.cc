@@ -6,10 +6,14 @@
  * replay of the same (scheme, windows, policy, PRW, alloc) point —
  * through both the width-1 ReplayPath::Batched loop and the
  * multi-lane BatchedReplayDriver, including ragged (non-power-of-two,
- * mixed-variant) batches. Working-set batches must either complete
+ * mixed-variant) batches — and on every follower dispatch tier
+ * (win/simd.h): the scalar per-lane oracle and the forced lane-SoA
+ * pass with SSE2/AVX2 kernels must agree bit-for-bit at every lane
+ * width (DESIGN.md §16). Working-set batches must either complete
  * lockstep bit-identically or report divergence so the caller can
- * fall back per-point; a diverged batch must not poison fresh
- * per-point drivers.
+ * fall back per-point — including divergence detected inside a
+ * partially-filled SIMD chunk; a diverged batch must not poison
+ * fresh per-point drivers.
  */
 
 #include <cstddef>
@@ -24,6 +28,7 @@
 #include "trace/replay_driver.h"
 #include "trace/run_metrics.h"
 #include "trace/synth.h"
+#include "win/simd.h"
 
 namespace crw {
 namespace {
@@ -169,6 +174,29 @@ replayOnce(const Variant &v, ReplayPath path)
 }
 
 /**
+ * Scoped follower-dispatch pin (win/simd.h). An explicit pin also
+ * forces the lane-SoA pass for the sharing schemes, which auto
+ * dispatch routes to the per-lane oracle — exactly what these tests
+ * need to drive the SoA translation of every scheme.
+ */
+class ScopedTier
+{
+  public:
+    explicit ScopedTier(SimdTier tier) { setSimdTierOverride(tier); }
+    ~ScopedTier() { clearSimdTierOverride(); }
+};
+
+/** Scalar + every vector tier the host can actually run. */
+std::vector<SimdTier>
+hostTiers()
+{
+    std::vector<SimdTier> tiers{SimdTier::Scalar, SimdTier::Sse2};
+    if (cpuMaxSimdTier() == SimdTier::Avx2)
+        tiers.push_back(SimdTier::Avx2);
+    return tiers;
+}
+
+/**
  * The width-1 batched loop is the differential anchor: on a single
  * point lane divergence is impossible, so it must agree with both
  * other loops at every variant — including the working-set ones.
@@ -262,6 +290,96 @@ TEST(BatchReplay, SingleLaneBatchDriverMatchesFast)
 }
 
 /**
+ * The SIMD follower pass across every lane width the chunking can
+ * produce: exact vector multiples (8, 16, 32), partial tail chunks
+ * (2, 3, 7) and every host tier must leave each lane bit-identical
+ * to its per-point fast replay AND to the scalar-tier batch — the
+ * dispatch tier is a host-side choice, never a semantic one. The
+ * explicit pin forces the lane-SoA pass for the sharing schemes too,
+ * so this exercises the slot-map translation, not just the NS run
+ * kernels.
+ */
+TEST(BatchReplay, EveryTierBitIdenticalAcrossLaneWidths)
+{
+    for (const SchemeKind scheme :
+         {SchemeKind::NS, SchemeKind::SNP, SchemeKind::SP,
+          SchemeKind::Infinite}) {
+        for (const std::size_t width : {2u, 3u, 7u, 8u, 16u, 32u}) {
+            std::vector<Variant> lanes;
+            for (std::size_t i = 0; i < width; ++i)
+                lanes.push_back({scheme,
+                                 4 + static_cast<int>(i) * 3,
+                                 SchedPolicy::Fifo, PrwReclaim::Eager,
+                                 AllocPolicy::Simple});
+            std::vector<EngineConfig> configs;
+            for (const Variant &v : lanes)
+                configs.push_back(configOf(v));
+
+            std::vector<std::vector<RunMetrics>> perTier;
+            for (const SimdTier tier : hostTiers()) {
+                const ScopedTier pin(tier);
+                BatchedReplayDriver batch(smallTrace(), configs,
+                                          SchedPolicy::Fifo,
+                                          &smallFlat());
+                ASSERT_TRUE(batch.run())
+                    << schemeName(scheme) << " width " << width
+                    << " tier " << simdTierName(tier);
+                std::vector<RunMetrics> ms;
+                for (std::size_t l = 0; l < width; ++l)
+                    ms.push_back(batch.metrics(l));
+                perTier.push_back(std::move(ms));
+            }
+            // Tier 0 is the scalar per-lane oracle: pin it against
+            // fresh per-point replays, then every other tier against
+            // it.
+            for (std::size_t l = 0; l < width; ++l)
+                EXPECT_TRUE(metricsBitIdentical(
+                    replayOnce(lanes[l], ReplayPath::Fast),
+                    perTier[0][l]))
+                    << schemeName(scheme) << " width " << width
+                    << " scalar lane " << l;
+            for (std::size_t t = 1; t < perTier.size(); ++t)
+                for (std::size_t l = 0; l < width; ++l)
+                    EXPECT_TRUE(metricsBitIdentical(perTier[0][l],
+                                                    perTier[t][l]))
+                        << schemeName(scheme) << " width " << width
+                        << " tier " << t << " lane " << l;
+        }
+    }
+}
+
+/**
+ * Mixed-variant SoA coverage: the per-lane knobs the batch key leaves
+ * free (PRW reclamation, allocation policy, ragged window counts)
+ * must survive the forced lane-SoA translation on the widest host
+ * tier exactly as they do on the scalar oracle.
+ */
+TEST(BatchReplay, ForcedSoaHandlesMixedVariantLanes)
+{
+    const ScopedTier pin(cpuMaxSimdTier());
+    std::vector<Variant> lanes;
+    for (const int windows : {4, 9, 17}) {
+        for (const PrwReclaim prw :
+             {PrwReclaim::Lazy, PrwReclaim::Eager,
+              PrwReclaim::EagerFolded})
+            lanes.push_back({SchemeKind::SP, windows,
+                             SchedPolicy::Fifo, prw,
+                             AllocPolicy::Simple});
+        lanes.push_back({SchemeKind::SP, windows, SchedPolicy::Fifo,
+                         PrwReclaim::Eager, AllocPolicy::FreeSearch});
+    }
+    expectLanesMatchPerPoint(lanes);
+
+    std::vector<Variant> snp;
+    for (const AllocPolicy alloc :
+         {AllocPolicy::Simple, AllocPolicy::FreeSearch})
+        for (const int windows : {4, 10, 24})
+            snp.push_back({SchemeKind::SNP, windows, SchedPolicy::Fifo,
+                           PrwReclaim::Eager, alloc});
+    expectLanesMatchPerPoint(snp);
+}
+
+/**
  * Working-set batches whose lanes answer every residency wake the
  * same way must complete lockstep: identical configs are the
  * by-construction case.
@@ -328,6 +446,57 @@ TEST(BatchReplay, WorkingSetBatchCompletesExactlyOrReportsDivergence)
     // residency at some wake for at least one scheme; if this ever
     // fails, the divergence path has lost its coverage — find a
     // diverging batch and update the lanes above.
+    EXPECT_TRUE(sawDivergence);
+}
+
+/**
+ * Divergence inside a partially-filled SIMD chunk: seven lanes pad to
+ * one eight-wide AVX2 vector (or two SSE2 vectors, the last half
+ * full), and the forced SoA pass must abort at the first working-set
+ * wake whose recorded answer any LIVE lane contradicts — the masked
+ * padding lanes never vote. As everywhere, either outcome per scheme
+ * is legal (complete bit-identical, or report divergence and leave
+ * fresh per-point drivers untainted), and at least one scheme must
+ * actually diverge or the mid-vector abort path has no coverage.
+ */
+TEST(BatchReplay, ForcedSoaDivergesCleanlyMidChunk)
+{
+    bool sawDivergence = false;
+    for (const SimdTier tier : hostTiers()) {
+        if (tier == SimdTier::Scalar)
+            continue;
+        const ScopedTier pin(tier);
+        for (const SchemeKind scheme :
+             {SchemeKind::SNP, SchemeKind::SP}) {
+            std::vector<Variant> lanes;
+            for (const int windows : {4, 6, 8, 12, 16, 24, 32})
+                lanes.push_back({scheme, windows,
+                                 SchedPolicy::WorkingSet,
+                                 PrwReclaim::Eager,
+                                 AllocPolicy::Simple});
+            std::vector<EngineConfig> configs;
+            for (const Variant &v : lanes)
+                configs.push_back(configOf(v));
+            BatchedReplayDriver batch(smallTrace(), configs,
+                                      SchedPolicy::WorkingSet,
+                                      &smallFlat());
+            if (batch.run()) {
+                for (std::size_t l = 0; l < lanes.size(); ++l)
+                    EXPECT_TRUE(metricsBitIdentical(
+                        replayOnce(lanes[l], ReplayPath::Fast),
+                        batch.metrics(l)))
+                        << simdTierName(tier) << " lane " << l;
+            } else {
+                sawDivergence = true;
+                for (const Variant &v : lanes)
+                    EXPECT_TRUE(metricsBitIdentical(
+                        replayOnce(v, ReplayPath::Legacy),
+                        replayOnce(v, ReplayPath::Fast)))
+                        << simdTierName(tier) << ": "
+                        << variantName(v);
+            }
+        }
+    }
     EXPECT_TRUE(sawDivergence);
 }
 
