@@ -126,8 +126,11 @@ runLockstepUnit(const std::vector<PlanPoint> &misses,
                 static_cast<std::uint32_t>(unit.size()), 0);
     // Which follower pass the batch took (win/simd.h): the counter
     // records the widest tier any batch used this session, the ring
-    // event every batch's tier and width.
-    const SimdTier tier = effectiveSimdTier();
+    // event every batch's tier and width. The driver reports the pass
+    // it dispatched, not the ambient tier — under `auto` the sharing
+    // schemes pin to the scalar per-lane oracle and must not claim a
+    // vector pass.
+    const SimdTier tier = driver.simdPath();
     counterAtLeast("replay.simd_path",
                    static_cast<std::uint64_t>(tier));
     ringPublish(obs::RingEventCode::ReplaySimd,

@@ -212,6 +212,10 @@ runReplayThroughput(const FlagSet &flags)
     double ns_wall_scalar = 0, ns_wall_simd = 0;
     double batch_events = 0;
     std::size_t max_lanes = 0;
+    // The pass the gated (NS) simd leg actually dispatched — what the
+    // JSON publishes as simd_path, so a $CRW_SIMD=scalar environment
+    // honestly reports "scalar" and bench_perf.sh can skip its gate.
+    SimdTier ns_simd_path = SimdTier::Scalar;
     for (const SchemeKind scheme : schemes) {
         std::vector<EngineConfig> configs;
         for (const int w : sweep) {
@@ -248,7 +252,8 @@ runReplayThroughput(const FlagSet &flags)
                 crw_fatal << "a FIFO batch diverged — scheduling "
                              "never consults the engines under FIFO";
             const auto p3 = std::chrono::steady_clock::now();
-            clearSimdTierOverride();
+            if (scheme == SchemeKind::NS)
+                ns_simd_path = simd_batched.simdPath();
             for (std::size_t l = 0; l < lanes; ++l) {
                 if (!metricsBitIdentical(point_metrics[l],
                                          batched.metrics(l))) {
@@ -349,7 +354,7 @@ runReplayThroughput(const FlagSet &flags)
               << ") vs "
               << mevps_point_agg << " Mev/s per-point, "
               << batch_speedup << "x\n"
-              << "  simd (" << simdTierName(simd_tier)
+              << "  simd (" << simdTierName(ns_simd_path)
               << "): " << mevps_simd_agg
               << " Mev/s full mix; NS vector-kernel sweep "
               << simd_speedup << "x vs scalar follower\n";
@@ -385,7 +390,7 @@ runReplayThroughput(const FlagSet &flags)
            << "  \"mevps_batched_aggregate\": " << mevps_batched_agg
            << ",\n"
            << "  \"batched_speedup\": " << batch_speedup << ",\n"
-           << "  \"simd_path\": \"" << simdTierName(simd_tier)
+           << "  \"simd_path\": \"" << simdTierName(ns_simd_path)
            << "\",\n"
            << "  \"mevps_simd_aggregate\": " << mevps_simd_agg
            << ",\n"

@@ -103,13 +103,28 @@ simd_agg=$(grep -o '"mevps_simd_aggregate": [0-9.]*' \
 echo "  simd follower pass (${simd_path:-absent}):" \
      "NS sweep ${simd_speedup:-absent}x vs scalar follower," \
      "${simd_agg:-absent} Mev/s full mix"
-if [ -z "$simd_speedup" ] ||
-   awk "BEGIN { exit !($simd_speedup < 1.25) }"; then
-    echo "error: SIMD follower pass under 1.25x the scalar follower" \
-         "replay on the NS sweep (simd_speedup" \
-         "${simd_speedup:-absent}x < 1.25x)" >&2
-    exit 1
-fi
+# The speedup gate only means something when a true x86 vector tier
+# actually ran the timed leg: under CRW_SIMD=scalar the exhibit times
+# scalar-vs-scalar (~1.0x), and on non-x86 hosts the "tier" is the
+# portable SoA loop with no guarantee over the scalar follower. Both
+# are configuration, not regressions — note and skip.
+host_arch=$(uname -m 2>/dev/null || echo unknown)
+case "${simd_path:-absent}:$host_arch" in
+    sse2:x86_64|avx2:x86_64)
+        if [ -z "$simd_speedup" ] ||
+           awk "BEGIN { exit !($simd_speedup < 1.25) }"; then
+            echo "error: SIMD follower pass under 1.25x the scalar" \
+                 "follower replay on the NS sweep (simd_speedup" \
+                 "${simd_speedup:-absent}x < 1.25x)" >&2
+            exit 1
+        fi
+        ;;
+    *)
+        echo "  note: simd leg ran ${simd_path:-absent} on" \
+             "$host_arch — no x86 vector tier timed; simd_speedup" \
+             "gate skipped"
+        ;;
+esac
 
 echo "== determinism gate (incl. observability + result cache +" \
      "fast replay path + lockstep batch replay + policy family/" \

@@ -42,7 +42,7 @@ lockstepLoop(const EventTrace &trace, const FlatTrace &flat,
              std::vector<RStream> &streams,
              std::vector<RThread> &threads,
              WindowEngine *const *engines, BehaviorTracker &tracker,
-             std::size_t lanes)
+             std::size_t lanes, SimdTier *simd_path)
 {
     BatchedEngineView<SchemeT> view(engines, lanes);
     view.reserveOps(flat.eventCount());
@@ -229,7 +229,10 @@ lockstepLoop(const EventTrace &trace, const FlatTrace &flat,
     }
     // The follower lanes replay the recorded op stream here; a
     // working-set divergence surfaces as false.
-    return view.finish();
+    const bool ok = view.finish();
+    if (simd_path)
+        *simd_path = view.simdPathTaken();
+    return ok;
 }
 
 } // namespace
@@ -242,7 +245,7 @@ runLockstepLoop(const EventTrace &trace, const FlatTrace &flat,
                 std::vector<RStream> &streams,
                 std::vector<RThread> &threads,
                 WindowEngine *const *engines, BehaviorTracker &tracker,
-                std::size_t lanes)
+                std::size_t lanes, SimdTier *simd_path)
 {
     // One instantiation per (scheme, policy) pair, mirroring
     // ReplayDriver::runFast: the policy's placement verbs and quantum
@@ -253,7 +256,7 @@ runLockstepLoop(const EventTrace &trace, const FlatTrace &flat,
         return policy.visit([&](auto &pol) {
             return lockstepLoop<SchemeT>(trace, flat, core, pol,
                                          streams, threads, engines,
-                                         tracker, lanes);
+                                         tracker, lanes, simd_path);
         });
     };
     switch (engines[0]->scheme()) {
@@ -352,7 +355,7 @@ BatchedReplayDriver::run()
     ok_ = detail_replay::runLockstepLoop(trace_, *flat_, core_,
                                          policy_, streams_, threads_,
                                          engines.data(), tracker_,
-                                         lanes());
+                                         lanes(), &simdPath_);
     if (!ok_)
         return false;
 

@@ -54,6 +54,7 @@
 #include "trace/replay_state.h"
 #include "trace/run_metrics.h"
 #include "win/engine.h"
+#include "win/simd.h"
 
 namespace crw {
 
@@ -67,13 +68,19 @@ namespace detail_replay {
  * @return false when a working-set-family wake found the lanes
  *         disagreeing on residency — the schedules would fork, the
  *         batch state is abandoned mid-run and must be discarded.
+ *
+ * @param simd_path When non-null, receives the follower pass the
+ *        batch actually dispatched (BatchedEngineView::simdPathTaken):
+ *        Scalar when the per-lane oracle ran the followers, else the
+ *        SoA tier. Written on both outcomes.
  */
 bool runLockstepLoop(const EventTrace &trace, const FlatTrace &flat,
                      SchedCore &core, SchedPolicyBox &policy,
                      std::vector<RStream> &streams,
                      std::vector<RThread> &threads,
                      WindowEngine *const *engines,
-                     BehaviorTracker &tracker, std::size_t lanes);
+                     BehaviorTracker &tracker, std::size_t lanes,
+                     SimdTier *simd_path = nullptr);
 
 } // namespace detail_replay
 
@@ -130,6 +137,14 @@ class BatchedReplayDriver
     }
     const SchedCore &core() const { return core_; }
 
+    /**
+     * The follower pass run() actually dispatched: Scalar when the
+     * per-lane oracle replayed the followers (scalar tier, or the
+     * sharing schemes' pin under `auto` dispatch), else the lane-SoA
+     * tier. Meaningless before run().
+     */
+    SimdTier simdPath() const { return simdPath_; }
+
   private:
     const EventTrace &trace_;
     const FlatTrace *flat_;
@@ -146,6 +161,7 @@ class BatchedReplayDriver
     SchedPolicyBox policy_;
     std::vector<RStream> streams_;
     std::vector<RThread> threads_;
+    SimdTier simdPath_ = SimdTier::Scalar;
     bool ran_ = false;
     bool ok_ = false;
 };

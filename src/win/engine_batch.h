@@ -259,6 +259,18 @@ class BatchedEngineView
     }
 
     /**
+     * The follower pass finish() actually dispatched: the SoA tier it
+     * ran, or Scalar when the per-lane oracle handled the followers
+     * (scalar tier, the sharing schemes' auto pin, or a width-1 batch
+     * that replays nothing). What replay.simd_path publishes.
+     */
+    SimdTier
+    simdPathTaken() const
+    {
+        return simdPathTaken_;
+    }
+
+    /**
      * Replay the recorded op stream through every follower lane, then
      * flush the accumulated clocks/counters back into the engines.
      * Call exactly once, when the control loop has drained.
@@ -295,6 +307,7 @@ class BatchedEngineView
                     if (!replayLanes<1>({l}))
                         return false;
             } else {
+                simdPathTaken_ = tier;
                 if (!replaySoa(tier))
                     return false;
             }
@@ -1050,6 +1063,7 @@ class BatchedEngineView
     }
 
     std::size_t lanes_;
+    SimdTier simdPathTaken_ = SimdTier::Scalar;
     ThreadId current_ = kNoThread;
     /** Shared clock component: the sum of all charges so far. */
     Cycles charges_ = 0;

@@ -331,21 +331,24 @@ nsRestoreRunSse2(LaneSoA &s, ThreadId tid, int k)
 inline bool
 wakeMismatchSse2(const LaneSoA &s, ThreadId tid, int expected)
 {
+    // Checked chunk-by-chunk, NOT by accumulating one shift-composed
+    // mask: batch width is bounded by kMaxReplayBatch (1024), far past
+    // the 32 lanes a single mask word could carry. The final partial
+    // chunk masks the padding lanes out of the vote.
     const std::int32_t *res = s.resOf(tid);
     const __m128i zero = _mm_setzero_si128();
-    unsigned resident_mask = 0;
-    for (std::size_t l = 0; l < s.pad; l += 4) {
+    const unsigned want = expected ? 0xfu : 0u;
+    for (std::size_t l = 0; l < s.lanes; l += 4) {
         const __m128i r = _mm_load_si128(
             reinterpret_cast<const __m128i *>(res + l));
         const unsigned m = static_cast<unsigned>(_mm_movemask_ps(
             _mm_castsi128_ps(_mm_cmpgt_epi32(r, zero))));
-        resident_mask |= m << l;
+        const std::size_t rem = s.lanes - l;
+        const unsigned live = rem >= 4 ? 0xfu : ((1u << rem) - 1u);
+        if (((m ^ want) & live) != 0)
+            return true;
     }
-    const unsigned live = (s.lanes >= 32)
-                              ? 0xffffffffu
-                              : ((1u << s.lanes) - 1u);
-    const unsigned want = expected ? live : 0u;
-    return (resident_mask & live) != want;
+    return false;
 }
 
 inline constexpr LaneKernels kSse2Kernels = {
@@ -446,21 +449,23 @@ nsRestoreRunAvx2(LaneSoA &s, ThreadId tid, int k)
 __attribute__((target("avx2"))) inline bool
 wakeMismatchAvx2(const LaneSoA &s, ThreadId tid, int expected)
 {
+    // Chunk-wise for the same reason as the SSE2 flavor: lane counts
+    // can exceed any single mask word, so each 8-lane movemask is
+    // compared in place, with the tail chunk's padding lanes masked.
     const std::int32_t *res = s.resOf(tid);
     const __m256i zero = _mm256_setzero_si256();
-    unsigned resident_mask = 0;
-    for (std::size_t l = 0; l < s.pad; l += 8) {
+    const unsigned want = expected ? 0xffu : 0u;
+    for (std::size_t l = 0; l < s.lanes; l += 8) {
         const __m256i r = _mm256_load_si256(
             reinterpret_cast<const __m256i *>(res + l));
         const unsigned m = static_cast<unsigned>(_mm256_movemask_ps(
             _mm256_castsi256_ps(_mm256_cmpgt_epi32(r, zero))));
-        resident_mask |= m << l;
+        const std::size_t rem = s.lanes - l;
+        const unsigned live = rem >= 8 ? 0xffu : ((1u << rem) - 1u);
+        if (((m ^ want) & live) != 0)
+            return true;
     }
-    const unsigned live = (s.lanes >= 32)
-                              ? 0xffffffffu
-                              : ((1u << s.lanes) - 1u);
-    const unsigned want = expected ? live : 0u;
-    return (resident_mask & live) != want;
+    return false;
 }
 
 inline constexpr LaneKernels kAvx2Kernels = {

@@ -304,7 +304,11 @@ TEST(BatchReplay, EveryTierBitIdenticalAcrossLaneWidths)
     for (const SchemeKind scheme :
          {SchemeKind::NS, SchemeKind::SNP, SchemeKind::SP,
           SchemeKind::Infinite}) {
-        for (const std::size_t width : {2u, 3u, 7u, 8u, 16u, 32u}) {
+        // 33 and 40 cross the 32-lane boundary: lane indices past 31
+        // once silently escaped the vector wake check's 32-bit mask
+        // accumulator, so widths > 32 must stay covered.
+        for (const std::size_t width :
+             {2u, 3u, 7u, 8u, 16u, 32u, 33u, 40u}) {
             std::vector<Variant> lanes;
             for (std::size_t i = 0; i < width; ++i)
                 lanes.push_back({scheme,
@@ -498,6 +502,98 @@ TEST(BatchReplay, ForcedSoaDivergesCleanlyMidChunk)
         }
     }
     EXPECT_TRUE(sawDivergence);
+}
+
+/**
+ * Regression: the vector wake check must vote EVERY live lane, not
+ * just the first 32 — batch width is bounded by kMaxReplayBatch
+ * (1024), not by one movemask accumulator word. The disagreeing
+ * config is parked at the highest lane indices, so a check that stops
+ * (or wraps its shifts) at lane 32 "completes" the batch with wrong
+ * high-lane results instead of reporting divergence.
+ */
+TEST(BatchReplay, WideWorkingSetBatchChecksLanesBeyond32)
+{
+    bool sawDivergence = false;
+    for (const SimdTier tier : hostTiers()) {
+        if (tier == SimdTier::Scalar)
+            continue;
+        const ScopedTier pin(tier);
+        for (const SchemeKind scheme :
+             {SchemeKind::NS, SchemeKind::SNP, SchemeKind::SP}) {
+            // 33 identical roomy lanes, then the starved lanes whose
+            // residency answers can disagree — all past index 31.
+            std::vector<Variant> lanes(
+                33, Variant{scheme, 32, SchedPolicy::WorkingSet,
+                            PrwReclaim::Eager, AllocPolicy::Simple});
+            for (const int windows : {4, 6, 8})
+                lanes.push_back({scheme, windows,
+                                 SchedPolicy::WorkingSet,
+                                 PrwReclaim::Eager,
+                                 AllocPolicy::Simple});
+            std::vector<EngineConfig> configs;
+            for (const Variant &v : lanes)
+                configs.push_back(configOf(v));
+            BatchedReplayDriver batch(smallTrace(), configs,
+                                      SchedPolicy::WorkingSet,
+                                      &smallFlat());
+            if (batch.run()) {
+                for (std::size_t l = 0; l < lanes.size(); ++l)
+                    EXPECT_TRUE(metricsBitIdentical(
+                        replayOnce(lanes[l], ReplayPath::Fast),
+                        batch.metrics(l)))
+                        << simdTierName(tier) << " "
+                        << schemeName(scheme) << " lane " << l;
+            } else {
+                sawDivergence = true;
+                for (const Variant &v : lanes)
+                    EXPECT_TRUE(metricsBitIdentical(
+                        replayOnce(v, ReplayPath::Legacy),
+                        replayOnce(v, ReplayPath::Fast)))
+                        << simdTierName(tier) << ": "
+                        << variantName(v);
+            }
+        }
+    }
+    // Windows 4 vs 32 disagree on residency at some wake for at least
+    // one scheme on this behavior (same contention the narrower
+    // divergence tests rely on) — without a diverging batch the
+    // high-lane vote has no coverage.
+    EXPECT_TRUE(sawDivergence);
+}
+
+/**
+ * The published follower pass must be the one actually dispatched
+ * (replay.simd_path feeds off BatchedReplayDriver::simdPath): under
+ * `auto` the sharing schemes pin to the scalar per-lane oracle and
+ * must say so, NS takes the SoA pass at the ambient tier, and an
+ * explicit pin forces — and reports — the pinned pass everywhere.
+ */
+TEST(BatchReplay, DriverReportsDispatchedSimdPath)
+{
+    const auto runBatch = [](SchemeKind scheme) {
+        const Variant v{scheme, 8, SchedPolicy::Fifo,
+                        PrwReclaim::Eager, AllocPolicy::Simple};
+        const std::vector<EngineConfig> configs(3, configOf(v));
+        BatchedReplayDriver batch(smallTrace(), configs, v.policy,
+                                  &smallFlat());
+        EXPECT_TRUE(batch.run()) << schemeName(scheme);
+        return batch.simdPath();
+    };
+    // Auto dispatch (no override, CRW_SIMD unset in the test env):
+    // NS vectorizes at the ambient tier, the sharing schemes pin to
+    // the oracle.
+    const SimdTier ambient = effectiveSimdTier();
+    if (!simdTierExplicit() && ambient != SimdTier::Scalar) {
+        EXPECT_EQ(runBatch(SchemeKind::NS), ambient);
+        EXPECT_EQ(runBatch(SchemeKind::SP), SimdTier::Scalar);
+        EXPECT_EQ(runBatch(SchemeKind::SNP), SimdTier::Scalar);
+    }
+    for (const SimdTier tier : hostTiers()) {
+        const ScopedTier pin(tier);
+        EXPECT_EQ(runBatch(SchemeKind::NS), tier);
+        EXPECT_EQ(runBatch(SchemeKind::SP), tier);
+    }
 }
 
 /**
